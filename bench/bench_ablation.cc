@@ -1,0 +1,71 @@
+// E10 — Ablations of the advisor's design choices (DESIGN.md section 4).
+//
+// (1) Indicator composition (Section III-B): historical-error term only,
+//     similarity term only, and the combined default.
+// (2) The multi-source scheme optimizer (Section IV-C2): off vs. on.
+//
+// Reported per variant: final configuration error and number of models.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+namespace f2db::bench {
+namespace {
+
+void RunIndicatorAblation(const DataSet& data) {
+  ConfigurationEvaluator evaluator(data.graph, 0.8);
+  ModelFactory factory(ModelSpec::TripleExponentialSmoothing(data.season));
+
+  struct Variant {
+    const char* name;
+    double historical;
+    double similarity;
+  };
+  const Variant variants[] = {
+      {"historical_only", 1.0, 0.0},
+      {"similarity_only", 0.0, 1.0},
+      {"combined", 1.0, 0.5},
+  };
+  for (const Variant& variant : variants) {
+    AdvisorOptions options = BenchAdvisorOptions();
+    options.indicator.historical_weight = variant.historical;
+    options.indicator.similarity_weight = variant.similarity;
+    AdvisorBuilder advisor(options);
+    const ApproachRow row = RunBuilder(advisor, evaluator, factory);
+    std::printf("%s,indicator,%s,%.4f,%zu\n", data.name.c_str(), variant.name,
+                row.error, row.num_models);
+  }
+}
+
+void RunMultiSourceAblation(const DataSet& data) {
+  ConfigurationEvaluator evaluator(data.graph, 0.8);
+  ModelFactory factory(ModelSpec::TripleExponentialSmoothing(data.season));
+  for (const std::size_t probes : {std::size_t{0}, std::size_t{16}}) {
+    AdvisorOptions options = BenchAdvisorOptions();
+    options.multi_source_probes_per_iteration = probes;
+    AdvisorBuilder advisor(options);
+    const ApproachRow row = RunBuilder(advisor, evaluator, factory);
+    std::printf("%s,multi_source,%s,%.4f,%zu\n", data.name.c_str(),
+                probes == 0 ? "off" : "on", row.error, row.num_models);
+  }
+}
+
+}  // namespace
+}  // namespace f2db::bench
+
+int main() {
+  using namespace f2db;
+  using namespace f2db::bench;
+  PrintHeader("E10 ablations", "DESIGN.md section 4",
+              "dataset,ablation,variant,error,num_models");
+  if (auto tourism = MakeTourism(); tourism.ok()) {
+    RunIndicatorAblation(tourism.value());
+    RunMultiSourceAblation(tourism.value());
+  }
+  if (auto sales = MakeSales(); sales.ok()) {
+    RunIndicatorAblation(sales.value());
+    RunMultiSourceAblation(sales.value());
+  }
+  return 0;
+}

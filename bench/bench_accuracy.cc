@@ -1,0 +1,71 @@
+// E1 — Figure 7 (a)-(d): Accuracy Analysis.
+//
+// For each data set (Tourism, Sales, Energy stand-ins and Gen10k) this
+// bench builds a configuration with every approach of Section VI-B plus
+// the advisor and prints forecast error (mean SMAPE) and the number of
+// models in the final configuration — the dark/light bar pairs of
+// Figure 7. Combine is skipped on Gen10k, as in the paper (its
+// reconciliation takes too long for 10k base series).
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+namespace f2db::bench {
+namespace {
+
+void RunDataSet(const DataSet& data, bool include_combine,
+                std::size_t gen_threads) {
+  ConfigurationEvaluator evaluator(data.graph, 0.8);
+  ModelFactory factory(ModelSpec::TripleExponentialSmoothing(data.season));
+
+  DirectBuilder direct;
+  BottomUpBuilder bottom_up;
+  TopDownBuilder top_down;
+  CombineBuilder combine;
+  GreedyBuilder greedy;
+  AdvisorOptions advisor_options = BenchAdvisorOptions();
+  advisor_options.num_threads = gen_threads;
+  AdvisorBuilder advisor(advisor_options);
+
+  std::vector<ConfigurationBuilder*> builders{&direct, &bottom_up, &top_down};
+  if (include_combine) builders.push_back(&combine);
+  builders.push_back(&greedy);
+  builders.push_back(&advisor);
+
+  for (ConfigurationBuilder* builder : builders) {
+    const ApproachRow row = RunBuilder(*builder, evaluator, factory);
+    if (!row.ok) {
+      std::printf("%s,%s,skipped,%s\n", data.name.c_str(),
+                  row.approach.c_str(), row.note.c_str());
+      continue;
+    }
+    std::printf("%s,%s,%.4f,%zu,%.3f\n", data.name.c_str(),
+                row.approach.c_str(), row.error, row.num_models,
+                row.build_seconds);
+  }
+}
+
+}  // namespace
+}  // namespace f2db::bench
+
+int main() {
+  using namespace f2db;
+  using namespace f2db::bench;
+  PrintHeader("E1 accuracy analysis", "Figure 7(a)-(d)",
+              "dataset,approach,error,num_models,build_seconds");
+
+  if (auto tourism = MakeTourism(); tourism.ok()) {
+    RunDataSet(tourism.value(), /*include_combine=*/true, 0);
+  }
+  if (auto sales = MakeSales(); sales.ok()) {
+    RunDataSet(sales.value(), /*include_combine=*/true, 0);
+  }
+  if (auto energy = MakeEnergy(); energy.ok()) {
+    RunDataSet(energy.value(), /*include_combine=*/true, 0);
+  }
+  if (auto gen = MakeGenX(10000); gen.ok()) {
+    RunDataSet(gen.value(), /*include_combine=*/false, 0);
+  }
+  return 0;
+}

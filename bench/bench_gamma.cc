@@ -1,0 +1,71 @@
+// E4/E5 — Figures 8(c) and 8(d): Influence of gamma (candidate selection)
+// under varying model creation time.
+//
+// The paper "artificially var[ies] the time that is required to create a
+// single forecast model" on the Sales data set and measures (c) the total
+// runtime of each approach and (d) the final configuration error of the
+// advisor. Direct/Greedy/Top-Down grow linearly with the per-model delay;
+// the advisor's control phase shifts work into the (cheap) candidate
+// selection phase, so its runtime grows far slower. Delays are scaled to
+// milliseconds to keep the bench laptop-sized; the paper used seconds.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+namespace f2db::bench {
+namespace {
+
+void RunRuntimeSweep(const DataSet& data) {
+  ConfigurationEvaluator evaluator(data.graph, 0.8);
+  const double delays_ms[] = {0.0, 2.0, 5.0, 10.0, 20.0, 40.0};
+  for (const double delay_ms : delays_ms) {
+    ModelFactory factory(ModelSpec::TripleExponentialSmoothing(data.season));
+    factory.set_artificial_delay_seconds(delay_ms / 1000.0);
+
+    DirectBuilder direct;
+    TopDownBuilder top_down;
+    GreedyBuilder greedy;
+    AdvisorBuilder advisor(BenchAdvisorOptions());
+    for (ConfigurationBuilder* builder :
+         std::vector<ConfigurationBuilder*>{&direct, &top_down, &greedy,
+                                            &advisor}) {
+      const ApproachRow row = RunBuilder(*builder, evaluator, factory);
+      std::printf("%s,%.0f,%s,%.3f,%zu\n", data.name.c_str(), delay_ms,
+                  row.approach.c_str(), row.build_seconds, row.models_created);
+    }
+  }
+}
+
+void RunErrorSweep(const DataSet& data) {
+  ConfigurationEvaluator evaluator(data.graph, 0.8);
+  const double delays_ms[] = {0.0, 5.0, 20.0, 40.0};
+  for (const double delay_ms : delays_ms) {
+    ModelFactory factory(ModelSpec::TripleExponentialSmoothing(data.season));
+    factory.set_artificial_delay_seconds(delay_ms / 1000.0);
+    AdvisorBuilder advisor(BenchAdvisorOptions());
+    const ApproachRow row = RunBuilder(advisor, evaluator, factory);
+    std::printf("%s,%.0f,%.4f,%zu\n", data.name.c_str(), delay_ms, row.error,
+                row.num_models);
+  }
+}
+
+}  // namespace
+}  // namespace f2db::bench
+
+int main() {
+  using namespace f2db;
+  using namespace f2db::bench;
+  PrintHeader("E4 gamma runtime", "Figure 8(c)",
+              "dataset,model_delay_ms,approach,total_seconds,models_created");
+  if (auto sales = MakeSales(); sales.ok()) RunRuntimeSweep(sales.value());
+
+  PrintHeader("E5 gamma error", "Figure 8(d)",
+              "dataset,model_delay_ms,advisor_error,num_models");
+  if (auto sales = MakeSales(); sales.ok()) RunErrorSweep(sales.value());
+  if (auto tourism = MakeTourism(); tourism.ok()) RunErrorSweep(tourism.value());
+  if (auto energy = MakeEnergy(3, 504); energy.ok()) {
+    RunErrorSweep(energy.value());
+  }
+  return 0;
+}

@@ -1,0 +1,114 @@
+// Maintenance ablation: how fast do frozen model parameters go stale?
+//
+// The paper's maintenance processor updates model state incrementally and
+// delays parameter re-estimation (Section V). This bench quantifies the
+// trade-off that design rests on: per-origin error of (a) refitting at
+// every origin, (b) incremental state updates only, and (c) the engine's
+// threshold strategy (re-estimate every R periods), on a series with a
+// mid-stream regime change.
+
+#include <cmath>
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "common/rng.h"
+#include "ts/accuracy.h"
+#include "ts/backtest.h"
+
+namespace f2db::bench {
+namespace {
+
+TimeSeries RegimeChangeSeries(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> out(n);
+  double level = 100.0;
+  for (std::size_t t = 0; t < n; ++t) {
+    const double drift = t > n / 2 ? 2.5 : 0.4;
+    const double season =
+        8.0 * std::sin(2.0 * 3.14159265358979 * static_cast<double>(t) / 12.0);
+    level += drift + rng.Gaussian(0.0, 1.0);
+    out[t] = level + season;
+  }
+  return TimeSeries(out);
+}
+
+// Threshold strategy: refit every `reestimate_every` origins, update state
+// in between — the engine's behaviour with reestimate_after_updates = R.
+Result<BacktestResult> ThresholdBacktest(const TimeSeries& series,
+                                         const ModelFactory& factory,
+                                         const BacktestOptions& options,
+                                         std::size_t reestimate_every) {
+  F2DB_ASSIGN_OR_RETURN(std::unique_ptr<ForecastModel> model,
+                        factory.CreateAndFit(series.Head(options.min_train)));
+  BacktestResult result;
+  double abs_sum = 0.0, sq_sum = 0.0;
+  std::size_t count = 0;
+  std::size_t consumed = options.min_train;
+  std::size_t since_fit = 0;
+  for (std::size_t origin = options.min_train;
+       origin + options.horizon <= series.size(); origin += options.stride) {
+    while (consumed < origin) {
+      model->Update(series[consumed]);
+      ++consumed;
+      ++since_fit;
+    }
+    if (since_fit >= reestimate_every) {
+      F2DB_RETURN_IF_ERROR(model->Fit(series.Head(origin)));
+      since_fit = 0;
+    }
+    const std::vector<double> forecast = model->Forecast(options.horizon);
+    std::vector<double> actual(options.horizon);
+    for (std::size_t h = 0; h < options.horizon; ++h) {
+      actual[h] = series[origin + h];
+    }
+    result.per_origin_smape.push_back(Smape(actual, forecast));
+    for (std::size_t h = 0; h < options.horizon; ++h) {
+      const double err = actual[h] - forecast[h];
+      abs_sum += std::abs(err);
+      sq_sum += err * err;
+      ++count;
+    }
+    ++result.origins;
+  }
+  double total = 0.0;
+  for (double v : result.per_origin_smape) total += v;
+  result.smape = result.origins ? total / result.origins : 1.0;
+  result.mae = count ? abs_sum / count : 0.0;
+  result.rmse = count ? std::sqrt(sq_sum / count) : 0.0;
+  return result;
+}
+
+}  // namespace
+}  // namespace f2db::bench
+
+int main() {
+  using namespace f2db;
+  using namespace f2db::bench;
+  PrintHeader("maintenance staleness", "Section V design trade-off",
+              "strategy,smape,rmse,origins");
+
+  const TimeSeries series = RegimeChangeSeries(160, 11);
+  ModelFactory factory(ModelSpec::TripleExponentialSmoothing(12));
+  BacktestOptions options;
+  options.min_train = 60;
+  options.horizon = 4;
+  options.stride = 1;
+
+  if (auto r = RollingOriginBacktest(series, factory, options); r.ok()) {
+    std::printf("refit_every_origin,%.4f,%.3f,%zu\n", r.value().smape,
+                r.value().rmse, r.value().origins);
+  }
+  for (const std::size_t every : {6u, 12u, 24u}) {
+    auto r = ThresholdBacktest(series, factory, options, every);
+    if (r.ok()) {
+      std::printf("reestimate_every_%zu,%.4f,%.3f,%zu\n",
+                  static_cast<std::size_t>(every), r.value().smape,
+                  r.value().rmse, r.value().origins);
+    }
+  }
+  if (auto r = IncrementalBacktest(series, factory, options); r.ok()) {
+    std::printf("incremental_only,%.4f,%.3f,%zu\n", r.value().smape,
+                r.value().rmse, r.value().origins);
+  }
+  return 0;
+}

@@ -1,0 +1,97 @@
+// E9 — Figure 9(b): Forecast query runtime in F2DB under maintenance load.
+//
+// Loads an advisor configuration (alpha = 0.5 and alpha = 1.0) for a GenX
+// cube into the engine, then interleaves forecast queries with inserts of
+// new time series values over 10 periods, varying the query/insert ratio
+// from 1 to 10. Reported: the average runtime of a single forecast query.
+// Expected shape (paper): latency is microseconds (models are precomputed,
+// no base-data access), the alpha = 1.0 configuration is slower than
+// alpha = 0.5 (more models to maintain), and latency falls as the ratio
+// grows (maintenance is amortized over more queries).
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "common/rng.h"
+#include "engine/engine.h"
+
+namespace f2db::bench {
+namespace {
+
+constexpr std::size_t kNumBase = 1000;
+constexpr std::size_t kPeriods = 10;
+
+void RunConfig(double alpha) {
+  auto data = MakeGenX(kNumBase, /*seed=*/4, /*length=*/48);
+  if (!data.ok()) return;
+  ConfigurationEvaluator evaluator(data.value().graph, 0.8);
+  ModelFactory factory(ModelSpec::TripleExponentialSmoothing(12));
+
+  AdvisorOptions options = BenchAdvisorOptions();
+  options.initial_alpha = alpha;
+  options.final_alpha = alpha;
+  AdvisorBuilder advisor(options);
+  auto built = advisor.Build(evaluator, factory);
+  if (!built.ok()) {
+    std::printf("alpha=%.1f advisor failed: %s\n", alpha,
+                built.status().ToString().c_str());
+    return;
+  }
+
+  for (std::size_t ratio = 1; ratio <= 10; ++ratio) {
+    // Fresh engine (and fresh data) per ratio so maintenance state resets.
+    auto engine_data = MakeGenX(kNumBase, /*seed=*/4, /*length=*/48);
+    EngineOptions engine_options;
+    engine_options.reestimate_after_updates = 3;  // threshold invalidation
+    F2dbEngine engine(std::move(engine_data.value().graph), engine_options);
+    if (!engine.LoadConfiguration(built.value().configuration, evaluator)
+             .ok()) {
+      continue;
+    }
+
+    Rng rng(99 + ratio);
+    const std::size_t num_nodes = engine.graph().num_nodes();
+    const std::vector<NodeId> base_nodes = engine.graph().base_nodes();
+
+    for (std::size_t period = 0; period < kPeriods; ++period) {
+      const std::int64_t t =
+          engine.graph().series(base_nodes[0]).end_time();
+      // One insert per base series (150k total inserts in the paper's
+      // setup; scaled to the cube size here).
+      for (NodeId base : base_nodes) {
+        const TimeSeries& series = engine.graph().series(base);
+        const double next =
+            series[series.size() - 1] * (1.0 + rng.Gaussian(0.0, 0.02));
+        (void)engine.InsertFact(base, t, next);
+      }
+      // ratio forecast queries per insert.
+      const std::size_t queries = ratio * base_nodes.size();
+      for (std::size_t q = 0; q < queries; ++q) {
+        const NodeId node = static_cast<NodeId>(
+            rng.UniformInt(0, static_cast<std::int64_t>(num_nodes) - 1));
+        (void)engine.ForecastNode(node, 1);
+      }
+    }
+
+    const EngineStats& stats = engine.stats();
+    const double avg_micros =
+        stats.queries == 0
+            ? 0.0
+            : 1e6 * stats.total_query_seconds / static_cast<double>(stats.queries);
+    std::printf("%.1f,%zu,%zu,%zu,%zu,%.3f\n", alpha, ratio, stats.queries,
+                stats.inserts, stats.reestimates, avg_micros);
+  }
+}
+
+}  // namespace
+}  // namespace f2db::bench
+
+int main() {
+  using namespace f2db::bench;
+  PrintHeader("E9 forecast query runtime", "Figure 9(b)",
+              "alpha,query_insert_ratio,queries,inserts,reestimates,"
+              "avg_query_micros");
+  RunConfig(0.5);
+  RunConfig(1.0);
+  return 0;
+}

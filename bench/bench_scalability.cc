@@ -1,0 +1,68 @@
+// E8 — Figure 9(a): Scalability of configuration creation.
+//
+// Uses the synthetic GenX data sets and varies the number of base time
+// series, measuring the total time to create a configuration with each
+// approach. Expected shape (paper): direct and bottom-up grow linearly
+// (bottom-up cheaper), top-down is constant, greedy grows super-linearly,
+// combine explodes (its reconciliation solves a dense system over the
+// base dimension; it is skipped beyond a size limit, as the paper skipped
+// it for Gen10k), and the advisor stays below everything except top-down.
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "bench/bench_util.h"
+
+namespace f2db::bench {
+namespace {
+
+void RunSize(std::size_t num_base) {
+  auto data = MakeGenX(num_base, /*seed=*/4, /*length=*/48);
+  if (!data.ok()) {
+    std::printf("gen%zu,skipped,%s\n", num_base, data.status().ToString().c_str());
+    return;
+  }
+  ConfigurationEvaluator evaluator(data.value().graph, 0.8);
+  ModelFactory factory(ModelSpec::TripleExponentialSmoothing(12));
+
+  DirectBuilder direct;
+  BottomUpBuilder bottom_up;
+  TopDownBuilder top_down;
+  GreedyBuilder greedy;
+  CombineBuilder combine(/*max_base_series=*/2000);
+  AdvisorOptions advisor_options = BenchAdvisorOptions();
+  advisor_options.stop.max_iterations = 120;
+  AdvisorBuilder advisor(advisor_options);
+
+  for (ConfigurationBuilder* builder :
+       std::vector<ConfigurationBuilder*>{&direct, &bottom_up, &top_down,
+                                          &combine, &greedy, &advisor}) {
+    const ApproachRow row = RunBuilder(*builder, evaluator, factory);
+    if (!row.ok) {
+      std::printf("%zu,%s,skipped\n", num_base, row.approach.c_str());
+      continue;
+    }
+    std::printf("%zu,%s,%.3f,%.4f,%zu\n", num_base, row.approach.c_str(),
+                row.build_seconds, row.error, row.num_models);
+  }
+}
+
+}  // namespace
+}  // namespace f2db::bench
+
+int main() {
+  using namespace f2db::bench;
+  PrintHeader("E8 scalability", "Figure 9(a)",
+              "num_base_series,approach,build_seconds,error,num_models");
+  for (const std::size_t size : {1000u, 5000u, 10000u, 20000u}) {
+    RunSize(size);
+  }
+  // The paper plots up to 100k base series; the largest sizes take minutes
+  // (Greedy grows super-linearly), so they are opt-in:
+  //   F2DB_BENCH_LARGE=1 build/bench/bench_scalability
+  if (std::getenv("F2DB_BENCH_LARGE") != nullptr) {
+    RunSize(50000);
+    RunSize(100000);
+  }
+  return 0;
+}

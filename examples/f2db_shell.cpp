@@ -1,0 +1,141 @@
+// Interactive F2DB shell.
+//
+// Boots a demo cube (the Tourism stand-in), advises a configuration, and
+// drops into a read-eval-print loop over the full statement dialect:
+//
+//   f2db> SELECT time, SUM(visitors) FROM facts GROUP BY time AS OF now() + '4'
+//   f2db> EXPLAIN SELECT time, visitors FROM facts WHERE state = 'S2' AS OF now() + '1'
+//   f2db> INSERT INTO facts VALUES ('holiday', 'S1', 32, 210.5)
+//   f2db> \schema   \stats   \models   \help   \quit
+//
+// Also scriptable:  echo "SELECT ..." | build/examples/f2db_shell
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "baselines/advisor_builder.h"
+#include "data/datasets.h"
+#include "engine/engine.h"
+
+namespace {
+
+using namespace f2db;
+
+void PrintHelp() {
+  std::printf(
+      "statements:\n"
+      "  SELECT time, [SUM(]<measure>[)] FROM facts [WHERE <level> = "
+      "'<value>' [AND ...]] [GROUP BY time] AS OF now() + '<h>'\n"
+      "  EXPLAIN SELECT ...\n"
+      "  INSERT INTO facts VALUES ('<dim value>', ..., <time>, <value>)\n"
+      "commands:\n"
+      "  \\schema  dimension hierarchies\n"
+      "  \\models  stored models\n"
+      "  \\stats   engine counters\n"
+      "  \\help    this text\n"
+      "  \\quit    exit\n");
+}
+
+void PrintSchema(const F2dbEngine& engine) {
+  const CubeSchema& schema = engine.graph().schema();
+  for (std::size_t d = 0; d < schema.num_dimensions(); ++d) {
+    const Hierarchy& h = schema.hierarchy(d);
+    std::printf("dimension %s:", h.name().c_str());
+    for (LevelIndex l = 0; l <= h.num_levels(); ++l) {
+      std::printf(" %s(%zu)", h.level_name(l).c_str(), h.num_values(l));
+      if (l < h.num_levels()) std::printf(" ->");
+    }
+    std::printf("\n");
+  }
+  std::printf("%zu nodes, %zu base series, %zu observations\n",
+              engine.graph().num_nodes(), engine.graph().num_base_nodes(),
+              engine.graph().series_length());
+}
+
+void PrintModels(const F2dbEngine& engine) {
+  auto catalog = engine.ExportCatalog();
+  if (!catalog.ok()) {
+    std::printf("error: %s\n", catalog.status().ToString().c_str());
+    return;
+  }
+  for (const ModelRow& row : catalog.value().model_table()) {
+    const std::size_t semi = row.payload.find(';');
+    std::printf("  node %4u  %-18s %s\n", row.node,
+                row.payload.substr(0, semi).c_str(),
+                engine.graph().NodeName(row.node).c_str());
+  }
+  std::printf("%zu models\n", catalog.value().model_table().size());
+}
+
+void PrintStats(const F2dbEngine& engine) {
+  const EngineStats& s = engine.stats();
+  std::printf(
+      "queries=%zu inserts=%zu advances=%zu reestimates=%zu "
+      "query_time=%.3fms maintenance_time=%.3fms pending=%zu\n",
+      s.queries, s.inserts, s.time_advances, s.reestimates,
+      1e3 * s.total_query_seconds, 1e3 * s.total_maintenance_seconds,
+      engine.pending_inserts());
+}
+
+}  // namespace
+
+int main() {
+  auto data = MakeTourism();
+  if (!data.ok()) {
+    std::fprintf(stderr, "%s\n", data.status().ToString().c_str());
+    return 1;
+  }
+  ConfigurationEvaluator evaluator(data.value().graph, 0.8);
+  ModelFactory factory(
+      ModelSpec::TripleExponentialSmoothing(data.value().season));
+  AdvisorOptions options;
+  options.models_per_iteration = 8;
+  AdvisorBuilder advisor(options);
+  auto built = advisor.Build(evaluator, factory);
+  if (!built.ok()) {
+    std::fprintf(stderr, "%s\n", built.status().ToString().c_str());
+    return 1;
+  }
+
+  auto engine_data = MakeTourism();
+  F2dbEngine engine(std::move(engine_data.value().graph));
+  if (!engine.LoadConfiguration(built.value().configuration, evaluator).ok()) {
+    std::fprintf(stderr, "engine load failed\n");
+    return 1;
+  }
+
+  std::printf("f2db shell — tourism demo cube loaded (%zu models). \\help "
+              "for help.\n",
+              engine.num_models());
+  std::string line;
+  for (;;) {
+    std::printf("f2db> ");
+    std::fflush(stdout);
+    if (!std::getline(std::cin, line)) break;
+    if (line.empty()) continue;
+    if (line[0] == '\\') {
+      if (line == "\\quit" || line == "\\q") break;
+      if (line == "\\help") {
+        PrintHelp();
+      } else if (line == "\\schema") {
+        PrintSchema(engine);
+      } else if (line == "\\models") {
+        PrintModels(engine);
+      } else if (line == "\\stats") {
+        PrintStats(engine);
+      } else {
+        std::printf("unknown command %s (try \\help)\n", line.c_str());
+      }
+      continue;
+    }
+    auto output = engine.ExecuteStatementText(line);
+    if (!output.ok()) {
+      std::printf("error: %s\n", output.status().ToString().c_str());
+      continue;
+    }
+    std::fputs(output.value().c_str(), stdout);
+  }
+  std::printf("\n");
+  return 0;
+}

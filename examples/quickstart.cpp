@@ -1,0 +1,126 @@
+// Quickstart: build a small sales cube, let the model configuration
+// advisor pick the forecast models, load the result into the embedded
+// F2DB engine, and answer the two forecast queries from Figure 1 of the
+// paper.
+//
+//   build/examples/quickstart
+
+#include <cstdio>
+
+#include "core/advisor.h"
+#include "cube/graph.h"
+#include "engine/engine.h"
+#include "ts/model_factory.h"
+
+namespace {
+
+using namespace f2db;
+
+// A cube like Figure 1/2 of the paper: cities C1..C4 rolling up into
+// regions R1/R2, crossed with products P1..P4; monthly sales history.
+Result<TimeSeriesGraph> BuildSalesCube() {
+  Hierarchy location("location");
+  F2DB_RETURN_IF_ERROR(location.AddLevel("city", {"C1", "C2", "C3", "C4"}));
+  F2DB_RETURN_IF_ERROR(location.AddLevel("region", {"R1", "R2"}));
+  F2DB_RETURN_IF_ERROR(location.SetParent(0, 0, 0));  // C1 -> R1
+  F2DB_RETURN_IF_ERROR(location.SetParent(0, 1, 0));  // C2 -> R1
+  F2DB_RETURN_IF_ERROR(location.SetParent(0, 2, 1));  // C3 -> R2
+  F2DB_RETURN_IF_ERROR(location.SetParent(0, 3, 1));  // C4 -> R2
+  F2DB_RETURN_IF_ERROR(location.Finalize());
+
+  CubeSchema schema;
+  F2DB_RETURN_IF_ERROR(schema.AddHierarchy(std::move(location)));
+  F2DB_RETURN_IF_ERROR(schema.AddHierarchy(
+      Hierarchy::Flat("productdim", {"P1", "P2", "P3", "P4"})));
+
+  F2DB_ASSIGN_OR_RETURN(TimeSeriesGraph graph,
+                        TimeSeriesGraph::Create(std::move(schema)));
+
+  // Five years of monthly sales with a seasonal peak in December.
+  Rng rng(2013);
+  for (NodeId node : graph.base_nodes()) {
+    const double scale = rng.Uniform(50.0, 300.0);
+    std::vector<double> values(60);
+    for (std::size_t t = 0; t < values.size(); ++t) {
+      const double season = (t % 12 == 11) ? 1.6 : 1.0 + 0.1 * ((t % 12) / 11.0);
+      values[t] = scale * season * (1.0 + rng.Gaussian(0.0, 0.05));
+    }
+    F2DB_RETURN_IF_ERROR(graph.SetBaseSeries(node, TimeSeries(values)));
+  }
+  F2DB_RETURN_IF_ERROR(graph.BuildAggregates());
+  return graph;
+}
+
+}  // namespace
+
+int main() {
+  // 1. Build the multi-dimensional data set (the time series hyper graph).
+  auto graph = BuildSalesCube();
+  if (!graph.ok()) {
+    std::fprintf(stderr, "cube: %s\n", graph.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("cube: %zu nodes (%zu base time series)\n",
+              graph.value().num_nodes(), graph.value().num_base_nodes());
+
+  // 2. Run the model configuration advisor (triple exponential smoothing,
+  //    season 12, as in the paper's evaluation).
+  ModelFactory factory(ModelSpec::TripleExponentialSmoothing(12));
+  AdvisorOptions options;
+  options.models_per_iteration = 8;
+  ModelConfigurationAdvisor advisor(graph.value(), factory, options);
+  auto result = advisor.Run();
+  if (!result.ok()) {
+    std::fprintf(stderr, "advisor: %s\n", result.status().ToString().c_str());
+    return 1;
+  }
+  std::printf(
+      "advisor: %zu iterations, %zu models kept (of %zu created), "
+      "error %.4f\n",
+      result.value().iterations, result.value().configuration.num_models(),
+      result.value().models_created, result.value().final_error);
+
+  // 3. Load the configuration into the engine and process forecast queries.
+  F2dbEngine engine(std::move(graph).value());
+  const Status loaded = engine.LoadConfiguration(result.value().configuration,
+                                                 advisor.evaluator());
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "engine: %s\n", loaded.ToString().c_str());
+    return 1;
+  }
+
+  const char* queries[] = {
+      // Figure 1, Query 1: base series forecast.
+      "SELECT time, sales FROM facts WHERE productdim = 'P4' AND city = 'C4' "
+      "AS OF now() + '1'",
+      // Figure 1, Query 2: aggregated series forecast.
+      "SELECT time, SUM(sales) FROM facts WHERE productdim = 'P4' AND region "
+      "= 'R2' GROUP BY time AS OF now() + '3'",
+  };
+  for (const char* sql : queries) {
+    std::printf("\n%s\n", sql);
+    auto answer = engine.ExecuteSql(sql);
+    if (!answer.ok()) {
+      std::fprintf(stderr, "  error: %s\n", answer.status().ToString().c_str());
+      continue;
+    }
+    for (const ForecastRow& row : answer.value().rows) {
+      std::printf("  t=%lld  forecast=%.2f\n",
+                  static_cast<long long>(row.time), row.value);
+    }
+  }
+
+  // 4. The same aggregate query with 95% prediction intervals.
+  auto banded = engine.ExecuteSql(
+      "SELECT time, SUM(sales) FROM facts WHERE region = 'R2' GROUP BY time "
+      "AS OF now() + '3' WITH INTERVALS 0.95");
+  if (banded.ok()) {
+    std::printf("\nregion R2 with 95%% intervals:\n");
+    for (const ForecastRow& row : banded.value().rows) {
+      std::printf("  t=%lld  %.2f  [%.2f, %.2f]\n",
+                  static_cast<long long>(row.time), row.value, row.lower,
+                  row.upper);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,27 @@
+#include "baselines/advisor_builder.h"
+
+namespace f2db {
+
+Result<BuildOutcome> AdvisorBuilder::Build(
+    const ConfigurationEvaluator& evaluator, const ModelFactory& factory) {
+  // Align the advisor's internal split with the shared evaluator.
+  AdvisorOptions options = options_;
+  const double total = static_cast<double>(evaluator.train_length() +
+                                           evaluator.test_length());
+  if (total > 0) {
+    options.train_fraction =
+        static_cast<double>(evaluator.train_length()) / total;
+  }
+  ModelConfigurationAdvisor advisor(evaluator.graph(), factory, options);
+  F2DB_ASSIGN_OR_RETURN(AdvisorResult result, advisor.Run());
+
+  BuildOutcome outcome{std::move(result.configuration)};
+  outcome.build_seconds = result.total_runtime_seconds;
+  outcome.models_created = result.models_created;
+
+  last_ = std::move(result);  // configuration already moved out
+  has_last_ = true;
+  return outcome;
+}
+
+}  // namespace f2db

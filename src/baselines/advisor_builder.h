@@ -1,0 +1,36 @@
+// Adapter exposing the model configuration advisor through the common
+// ConfigurationBuilder interface, so benches and examples can sweep the
+// advisor next to the Section VI-B baselines.
+
+#ifndef F2DB_BASELINES_ADVISOR_BUILDER_H_
+#define F2DB_BASELINES_ADVISOR_BUILDER_H_
+
+#include "baselines/builder.h"
+#include "core/advisor.h"
+
+namespace f2db {
+
+/// Runs the advisor and returns its final configuration.
+class AdvisorBuilder final : public ConfigurationBuilder {
+ public:
+  explicit AdvisorBuilder(AdvisorOptions options = {})
+      : options_(std::move(options)) {}
+
+  std::string name() const override { return "advisor"; }
+  Result<BuildOutcome> Build(const ConfigurationEvaluator& evaluator,
+                             const ModelFactory& factory) override;
+
+  /// The run statistics of the last Build (valid after a successful call).
+  const AdvisorResult* last_result() const {
+    return has_last_ ? &last_ : nullptr;
+  }
+
+ private:
+  AdvisorOptions options_;
+  AdvisorResult last_;
+  bool has_last_ = false;
+};
+
+}  // namespace f2db
+
+#endif  // F2DB_BASELINES_ADVISOR_BUILDER_H_

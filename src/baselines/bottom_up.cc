@@ -1,0 +1,37 @@
+#include "baselines/bottom_up.h"
+
+#include "common/stopwatch.h"
+
+namespace f2db {
+
+Result<BuildOutcome> BottomUpBuilder::Build(
+    const ConfigurationEvaluator& evaluator, const ModelFactory& factory) {
+  StopWatch watch;
+  const TimeSeriesGraph& graph = evaluator.graph();
+  BuildOutcome outcome{ModelConfiguration(graph.num_nodes())};
+
+  auto entries = baselines_internal::FitModels(evaluator, factory,
+                                               graph.base_nodes());
+  outcome.models_created = entries.size();
+  for (auto& [node, entry] : entries) {
+    outcome.configuration.AddModel(node, std::move(entry));
+  }
+
+  // Every node aggregates the forecasts of its base descendants; for base
+  // nodes this degenerates to the direct scheme. The derivation weight
+  // h_t / sum h_base(t) equals 1 by construction of the SUM cube.
+  for (NodeId node = 0; node < graph.num_nodes(); ++node) {
+    const DerivationScheme scheme = DerivationScheme::Multi(
+        baselines_internal::BaseDescendants(graph, node));
+    const auto forecasts = outcome.configuration.ForecastsFor(scheme);
+    if (forecasts.empty()) continue;  // some base model failed to fit
+    NodeAssignment assignment;
+    assignment.error = evaluator.SchemeError(scheme, forecasts, node);
+    assignment.scheme = scheme;
+    outcome.configuration.set_assignment(node, std::move(assignment));
+  }
+  outcome.build_seconds = watch.ElapsedSeconds();
+  return outcome;
+}
+
+}  // namespace f2db

@@ -1,0 +1,23 @@
+// Bottom-up approach (Section VI-B): "only forecasts for base time series
+// are created and aggregated to produce forecasts for the whole time series
+// graph" (Dunn et al. 1976, the most common method in the hierarchical
+// forecasting literature).
+
+#ifndef F2DB_BASELINES_BOTTOM_UP_H_
+#define F2DB_BASELINES_BOTTOM_UP_H_
+
+#include "baselines/builder.h"
+
+namespace f2db {
+
+/// Models at base nodes only; aggregates sum their base descendants.
+class BottomUpBuilder final : public ConfigurationBuilder {
+ public:
+  std::string name() const override { return "bottom_up"; }
+  Result<BuildOutcome> Build(const ConfigurationEvaluator& evaluator,
+                             const ModelFactory& factory) override;
+};
+
+}  // namespace f2db
+
+#endif  // F2DB_BASELINES_BOTTOM_UP_H_

@@ -1,0 +1,62 @@
+#include "baselines/builder.h"
+
+#include <mutex>
+
+#include "common/logging.h"
+#include "common/stopwatch.h"
+#include "common/thread_pool.h"
+
+namespace f2db {
+namespace baselines_internal {
+
+std::unordered_map<NodeId, ModelEntry> FitModels(
+    const ConfigurationEvaluator& evaluator, const ModelFactory& factory,
+    const std::vector<NodeId>& nodes, std::size_t num_threads) {
+  std::unordered_map<NodeId, ModelEntry> out;
+  std::mutex mutex;
+  ThreadPool pool(num_threads == 0 ? ThreadPool::DefaultConcurrency()
+                                   : num_threads);
+  pool.ParallelFor(nodes.size(), [&](std::size_t i) {
+    const NodeId node = nodes[i];
+    StopWatch watch;
+    auto fitted = factory.CreateAndFit(evaluator.TrainSeries(node));
+    if (!fitted.ok()) {
+      F2DB_LOG(kWarning) << "baseline model creation failed at node " << node
+                         << ": " << fitted.status().ToString();
+      return;
+    }
+    ModelEntry entry;
+    entry.model = std::move(fitted).value();
+    entry.creation_seconds = watch.ElapsedSeconds();
+    entry.test_forecast = entry.model->Forecast(evaluator.test_length());
+    std::lock_guard<std::mutex> lock(mutex);
+    out[node] = std::move(entry);
+  });
+  return out;
+}
+
+std::vector<NodeId> BaseDescendants(const TimeSeriesGraph& graph,
+                                    NodeId node) {
+  if (graph.IsBaseNode(node)) return {node};
+  std::vector<NodeId> out;
+  std::vector<NodeId> stack{node};
+  while (!stack.empty()) {
+    const NodeId current = stack.back();
+    stack.pop_back();
+    if (graph.IsBaseNode(current)) {
+      out.push_back(current);
+      continue;
+    }
+    // Descend along the first aggregated dimension only; descending along
+    // every dimension would enumerate each base leaf multiple times.
+    const NodeAddress address = graph.AddressOf(current);
+    std::size_t dim = 0;
+    while (address.coords[dim].level == 0) ++dim;
+    for (NodeId child : graph.Children(current, dim)) stack.push_back(child);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace baselines_internal
+}  // namespace f2db

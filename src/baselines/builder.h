@@ -1,0 +1,59 @@
+// ConfigurationBuilder: the common interface of the comparison approaches
+// of Section VI-B (Direct, Bottom-Up, Top-Down, Combine, Greedy). Each
+// builder produces a ModelConfiguration whose per-node assignments carry
+// the measured test error, so benches can sweep all approaches uniformly
+// against the advisor.
+
+#ifndef F2DB_BASELINES_BUILDER_H_
+#define F2DB_BASELINES_BUILDER_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "core/configuration.h"
+#include "core/evaluator.h"
+#include "cube/graph.h"
+#include "ts/model_factory.h"
+
+namespace f2db {
+
+/// What a builder produced plus its cost accounting.
+struct BuildOutcome {
+  ModelConfiguration configuration;
+  /// Wall-clock seconds for the whole configuration construction.
+  double build_seconds = 0.0;
+  /// Models fitted during construction (>= configuration.num_models();
+  /// Greedy and Combine build models they may not keep).
+  std::size_t models_created = 0;
+};
+
+/// Interface of all configuration-building approaches.
+class ConfigurationBuilder {
+ public:
+  virtual ~ConfigurationBuilder() = default;
+
+  /// Short name used in bench output ("direct", "bottom_up", ...).
+  virtual std::string name() const = 0;
+
+  /// Builds a configuration over the evaluator's graph and split.
+  virtual Result<BuildOutcome> Build(const ConfigurationEvaluator& evaluator,
+                                     const ModelFactory& factory) = 0;
+};
+
+namespace baselines_internal {
+
+/// Fits models for `nodes` in parallel (on the training part) and returns
+/// the entries; failed fits are skipped with a warning.
+std::unordered_map<NodeId, ModelEntry> FitModels(
+    const ConfigurationEvaluator& evaluator, const ModelFactory& factory,
+    const std::vector<NodeId>& nodes, std::size_t num_threads = 0);
+
+/// All base nodes under `node` (the leaves of its aggregation subtree).
+std::vector<NodeId> BaseDescendants(const TimeSeriesGraph& graph, NodeId node);
+
+}  // namespace baselines_internal
+}  // namespace f2db
+
+#endif  // F2DB_BASELINES_BUILDER_H_

@@ -1,0 +1,44 @@
+// Combine approach (Section VI-B): Hyndman, Ahmed, Athanasopoulos & Shang,
+// "Optimal combination forecasts for hierarchical time series" (2011).
+// Forecasts every node independently, then reconciles all forecasts through
+// the least-squares projection
+//     y_tilde = S (S^T S)^{-1} S^T y_hat
+// where S is the summing matrix mapping base series to all graph nodes.
+// The solve over the base dimension is what makes this approach explode
+// with the number of base series (paper Figure 9(a): "> one day" for
+// Gen10k); Build refuses graphs above `max_base_series`.
+
+#ifndef F2DB_BASELINES_COMBINE_H_
+#define F2DB_BASELINES_COMBINE_H_
+
+#include "baselines/builder.h"
+
+namespace f2db {
+
+/// Optimal-combination (OLS reconciliation) baseline.
+class CombineBuilder final : public ConfigurationBuilder {
+ public:
+  /// `max_base_series` bounds the dense (B x B) normal-equation solve.
+  explicit CombineBuilder(std::size_t max_base_series = 2000)
+      : max_base_series_(max_base_series) {}
+
+  std::string name() const override { return "combine"; }
+  Result<BuildOutcome> Build(const ConfigurationEvaluator& evaluator,
+                             const ModelFactory& factory) override;
+
+  /// Reconciled test-horizon forecasts per node from the last Build
+  /// (empty before). Reconciliation projects onto the aggregation-
+  /// coherent subspace, so these satisfy parent = sum(children) exactly —
+  /// exposed so tests can verify that property.
+  const std::vector<std::vector<double>>& last_reconciled() const {
+    return last_reconciled_;
+  }
+
+ private:
+  std::size_t max_base_series_;
+  std::vector<std::vector<double>> last_reconciled_;
+};
+
+}  // namespace f2db
+
+#endif  // F2DB_BASELINES_COMBINE_H_

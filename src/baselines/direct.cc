@@ -1,0 +1,32 @@
+#include "baselines/direct.h"
+
+#include "common/stopwatch.h"
+
+namespace f2db {
+
+Result<BuildOutcome> DirectBuilder::Build(
+    const ConfigurationEvaluator& evaluator, const ModelFactory& factory) {
+  StopWatch watch;
+  const TimeSeriesGraph& graph = evaluator.graph();
+  BuildOutcome outcome{ModelConfiguration(graph.num_nodes())};
+
+  std::vector<NodeId> all_nodes(graph.num_nodes());
+  for (NodeId node = 0; node < graph.num_nodes(); ++node) all_nodes[node] = node;
+
+  auto entries =
+      baselines_internal::FitModels(evaluator, factory, all_nodes);
+  outcome.models_created = entries.size();
+  for (auto& [node, entry] : entries) {
+    const DerivationScheme scheme = DerivationScheme::Direct(node);
+    NodeAssignment assignment;
+    assignment.error = evaluator.SchemeError(scheme, {&entry.test_forecast},
+                                             node);
+    assignment.scheme = scheme;
+    outcome.configuration.AddModel(node, std::move(entry));
+    outcome.configuration.set_assignment(node, std::move(assignment));
+  }
+  outcome.build_seconds = watch.ElapsedSeconds();
+  return outcome;
+}
+
+}  // namespace f2db

@@ -1,0 +1,22 @@
+// Direct approach (Section VI-B): "creates a model for each node in the
+// time series graph and uses the model to directly calculate the forecasts
+// of the corresponding node." Maximum model costs, no derivation.
+
+#ifndef F2DB_BASELINES_DIRECT_H_
+#define F2DB_BASELINES_DIRECT_H_
+
+#include "baselines/builder.h"
+
+namespace f2db {
+
+/// One model per node; every node forecasts itself.
+class DirectBuilder final : public ConfigurationBuilder {
+ public:
+  std::string name() const override { return "direct"; }
+  Result<BuildOutcome> Build(const ConfigurationEvaluator& evaluator,
+                             const ModelFactory& factory) override;
+};
+
+}  // namespace f2db
+
+#endif  // F2DB_BASELINES_DIRECT_H_

@@ -1,0 +1,198 @@
+#include "baselines/greedy.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/stopwatch.h"
+
+namespace f2db {
+namespace {
+
+/// All proper descendants of `node` (every node below it in any mix of
+/// dimensions), deduplicated.
+std::vector<NodeId> AllDescendants(const TimeSeriesGraph& graph, NodeId node) {
+  std::vector<NodeId> out;
+  std::unordered_set<NodeId> seen{node};
+  std::vector<NodeId> stack{node};
+  while (!stack.empty()) {
+    const NodeId current = stack.back();
+    stack.pop_back();
+    for (std::size_t dim = 0; dim < graph.schema().num_dimensions(); ++dim) {
+      for (NodeId child : graph.Children(current, dim)) {
+        if (seen.insert(child).second) {
+          out.push_back(child);
+          stack.push_back(child);
+        }
+      }
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace
+
+Result<BuildOutcome> GreedyBuilder::Build(
+    const ConfigurationEvaluator& evaluator, const ModelFactory& factory) {
+  StopWatch watch;
+  const TimeSeriesGraph& graph = evaluator.graph();
+  const std::size_t n = graph.num_nodes();
+  BuildOutcome outcome{ModelConfiguration(n)};
+
+  // Step 1: build ALL models (this is what makes Greedy expensive).
+  std::vector<NodeId> all_nodes(n);
+  for (NodeId node = 0; node < n; ++node) all_nodes[node] = node;
+  auto pool = baselines_internal::FitModels(evaluator, factory, all_nodes);
+  outcome.models_created = pool.size();
+
+  // Step 2: precompute the static per-pair errors of the traditional
+  // schemes. A scheme's error never changes while the selection grows, so
+  // each (model, target) pair is evaluated exactly once.
+  //   direct_err[m]        : m -> m
+  //   disagg[m]            : list of (descendant t, error of m -> t)
+  //   agg_err[t][dim]      : children(t, dim) -> t (needs all children)
+  std::vector<double> direct_err(n, 1.0);
+  std::vector<std::vector<std::pair<NodeId, double>>> disagg(n);
+  for (auto& [node, entry] : pool) {
+    const std::vector<const std::vector<double>*> forecast{
+        &entry.test_forecast};
+    direct_err[node] = evaluator.SchemeError(DerivationScheme::Direct(node),
+                                             forecast, node);
+    for (NodeId target : AllDescendants(graph, node)) {
+      disagg[node].emplace_back(
+          target, evaluator.SchemeError(DerivationScheme::Single(node),
+                                        forecast, target));
+    }
+  }
+
+  // Current per-node best error/scheme under the selected model set.
+  std::vector<double> best_err(n, 1.0);
+  std::vector<DerivationScheme> best_scheme(n);
+  std::vector<bool> selected(n, false);
+
+  // Aggregation bookkeeping: per (parent, dim) the number of children not
+  // yet selected; when it reaches zero the aggregation scheme activates.
+  struct AggState {
+    NodeId parent;
+    std::size_t dim;
+    std::size_t missing;
+    std::vector<NodeId> children;
+  };
+  std::vector<AggState> agg_states;
+  std::vector<std::vector<std::size_t>> agg_of_child(n);  // child -> states
+  for (NodeId node = 0; node < n; ++node) {
+    for (auto& [dim, children] : graph.ChildSets(node)) {
+      AggState state;
+      state.parent = node;
+      state.dim = dim;
+      state.missing = children.size();
+      state.children = children;
+      for (NodeId child : children) {
+        agg_of_child[child].push_back(agg_states.size());
+      }
+      agg_states.push_back(std::move(state));
+    }
+  }
+
+  auto try_improve = [&](NodeId target, double error,
+                         const DerivationScheme& scheme) {
+    if (error < best_err[target]) {
+      best_err[target] = error;
+      best_scheme[target] = scheme;
+    }
+  };
+
+  // Step 3: greedy forward selection.
+  for (;;) {
+    NodeId best_candidate = 0;
+    double best_benefit = 0.0;
+    bool found = false;
+    for (auto& [node, entry] : pool) {
+      if (selected[node]) continue;
+      double benefit = 0.0;
+      if (direct_err[node] < best_err[node]) {
+        benefit += best_err[node] - direct_err[node];
+      }
+      for (const auto& [target, error] : disagg[node]) {
+        if (error < best_err[target]) benefit += best_err[target] - error;
+      }
+      // Aggregations completed by this node.
+      for (std::size_t idx : agg_of_child[node]) {
+        const AggState& state = agg_states[idx];
+        if (state.missing != 1) continue;
+        const DerivationScheme scheme = DerivationScheme::Multi(state.children);
+        // Evaluate with the pool's forecasts (selection is hypothetical).
+        std::vector<const std::vector<double>*> forecasts;
+        forecasts.reserve(state.children.size());
+        bool ok = true;
+        for (NodeId child : state.children) {
+          const auto it = pool.find(child);
+          if (it == pool.end()) {
+            ok = false;
+            break;
+          }
+          forecasts.push_back(&it->second.test_forecast);
+        }
+        if (!ok) continue;
+        const double error =
+            evaluator.SchemeError(scheme, forecasts, state.parent);
+        if (error < best_err[state.parent]) {
+          benefit += best_err[state.parent] - error;
+        }
+      }
+      if (benefit > best_benefit + 1e-12) {
+        best_benefit = benefit;
+        best_candidate = node;
+        found = true;
+      }
+    }
+    if (!found) break;
+
+    // Commit the best candidate.
+    const NodeId m = best_candidate;
+    selected[m] = true;
+    try_improve(m, direct_err[m], DerivationScheme::Direct(m));
+    for (const auto& [target, error] : disagg[m]) {
+      try_improve(target, error, DerivationScheme::Single(m));
+    }
+    for (std::size_t idx : agg_of_child[m]) {
+      AggState& state = agg_states[idx];
+      if (state.missing == 0) continue;
+      --state.missing;
+      if (state.missing == 0) {
+        const DerivationScheme scheme = DerivationScheme::Multi(state.children);
+        std::vector<const std::vector<double>*> forecasts;
+        bool ok = true;
+        for (NodeId child : state.children) {
+          const auto it = pool.find(child);
+          if (it == pool.end()) {
+            ok = false;
+            break;
+          }
+          forecasts.push_back(&it->second.test_forecast);
+        }
+        if (ok) {
+          try_improve(state.parent,
+                      evaluator.SchemeError(scheme, forecasts, state.parent),
+                      scheme);
+        }
+      }
+    }
+  }
+
+  // Step 4: materialize the configuration with the selected models only.
+  for (NodeId node = 0; node < n; ++node) {
+    if (selected[node]) {
+      auto it = pool.find(node);
+      outcome.configuration.AddModel(node, std::move(it->second));
+    }
+    NodeAssignment assignment;
+    assignment.error = best_err[node];
+    assignment.scheme = best_scheme[node];
+    outcome.configuration.set_assignment(node, std::move(assignment));
+  }
+  outcome.build_seconds = watch.ElapsedSeconds();
+  return outcome;
+}
+
+}  // namespace f2db

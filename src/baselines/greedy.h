@@ -1,0 +1,25 @@
+// Greedy approach (Section VI-B, after Fischer/Boehm/Lehner BTW 2011):
+// "initially builds all forecast models for all nodes in the graph and then
+// selects in each step the model with the highest benefit with respect to
+// forecast accuracy. It stops when there is no model left that improves the
+// accuracy. To calculate the forecasts, it only considers the traditional
+// derivation schemes aggregation, disaggregation and direct."
+
+#ifndef F2DB_BASELINES_GREEDY_H_
+#define F2DB_BASELINES_GREEDY_H_
+
+#include "baselines/builder.h"
+
+namespace f2db {
+
+/// Greedy forward selection over the all-models pool.
+class GreedyBuilder final : public ConfigurationBuilder {
+ public:
+  std::string name() const override { return "greedy"; }
+  Result<BuildOutcome> Build(const ConfigurationEvaluator& evaluator,
+                             const ModelFactory& factory) override;
+};
+
+}  // namespace f2db
+
+#endif  // F2DB_BASELINES_GREEDY_H_

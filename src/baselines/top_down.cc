@@ -1,0 +1,34 @@
+#include "baselines/top_down.h"
+
+#include "common/stopwatch.h"
+
+namespace f2db {
+
+Result<BuildOutcome> TopDownBuilder::Build(
+    const ConfigurationEvaluator& evaluator, const ModelFactory& factory) {
+  StopWatch watch;
+  const TimeSeriesGraph& graph = evaluator.graph();
+  BuildOutcome outcome{ModelConfiguration(graph.num_nodes())};
+  const NodeId top = graph.top_node();
+
+  auto entries = baselines_internal::FitModels(evaluator, factory, {top});
+  outcome.models_created = entries.size();
+  const auto it = entries.find(top);
+  if (it == entries.end()) {
+    return Status::Internal("top_down: could not fit the top-node model");
+  }
+  outcome.configuration.AddModel(top, std::move(it->second));
+
+  const DerivationScheme scheme = DerivationScheme::Single(top);
+  const auto forecasts = outcome.configuration.ForecastsFor(scheme);
+  for (NodeId node = 0; node < graph.num_nodes(); ++node) {
+    NodeAssignment assignment;
+    assignment.error = evaluator.SchemeError(scheme, forecasts, node);
+    assignment.scheme = scheme;
+    outcome.configuration.set_assignment(node, std::move(assignment));
+  }
+  outcome.build_seconds = watch.ElapsedSeconds();
+  return outcome;
+}
+
+}  // namespace f2db

@@ -1,0 +1,24 @@
+// Top-down approach (Section VI-B): a single model at the top node whose
+// forecasts are distributed down the hierarchy "based on the historical
+// proportions of the data"; Gross & Sohl (1990) found the proportions of
+// the historical averages to perform best, which is exactly the derivation
+// weight h_t / h_top of Eq. 2.
+
+#ifndef F2DB_BASELINES_TOP_DOWN_H_
+#define F2DB_BASELINES_TOP_DOWN_H_
+
+#include "baselines/builder.h"
+
+namespace f2db {
+
+/// One model at the top node; every node disaggregates from it.
+class TopDownBuilder final : public ConfigurationBuilder {
+ public:
+  std::string name() const override { return "top_down"; }
+  Result<BuildOutcome> Build(const ConfigurationEvaluator& evaluator,
+                             const ModelFactory& factory) override;
+};
+
+}  // namespace f2db
+
+#endif  // F2DB_BASELINES_TOP_DOWN_H_

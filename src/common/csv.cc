@@ -1,0 +1,145 @@
+#include "common/csv.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace f2db {
+namespace {
+
+// Parses one CSV record starting at `pos`; advances `pos` past the record's
+// trailing newline. Returns false at end of input.
+bool ParseRecord(const std::string& text, std::size_t& pos,
+                 std::vector<std::string>& fields, Status& status) {
+  fields.clear();
+  if (pos >= text.size()) return false;
+  std::string field;
+  bool in_quotes = false;
+  for (;;) {
+    if (pos >= text.size()) {
+      if (in_quotes) {
+        status = Status::InvalidArgument("unterminated quoted CSV field");
+        return false;
+      }
+      fields.push_back(std::move(field));
+      return true;
+    }
+    const char c = text[pos];
+    if (in_quotes) {
+      if (c == '"') {
+        if (pos + 1 < text.size() && text[pos + 1] == '"') {
+          field.push_back('"');
+          pos += 2;
+        } else {
+          in_quotes = false;
+          ++pos;
+        }
+      } else {
+        field.push_back(c);
+        ++pos;
+      }
+      continue;
+    }
+    switch (c) {
+      case '"':
+        in_quotes = true;
+        ++pos;
+        break;
+      case ',':
+        fields.push_back(std::move(field));
+        field.clear();
+        ++pos;
+        break;
+      case '\r':
+        ++pos;
+        break;
+      case '\n':
+        ++pos;
+        fields.push_back(std::move(field));
+        return true;
+      default:
+        field.push_back(c);
+        ++pos;
+        break;
+    }
+  }
+}
+
+bool NeedsQuoting(const std::string& field) {
+  return field.find_first_of(",\"\n\r") != std::string::npos;
+}
+
+void AppendField(std::string& out, const std::string& field) {
+  if (!NeedsQuoting(field)) {
+    out += field;
+    return;
+  }
+  out.push_back('"');
+  for (char c : field) {
+    if (c == '"') out.push_back('"');
+    out.push_back(c);
+  }
+  out.push_back('"');
+}
+
+}  // namespace
+
+Result<CsvDocument> ParseCsv(const std::string& text, bool has_header) {
+  CsvDocument doc;
+  std::size_t pos = 0;
+  Status status;
+  std::vector<std::string> fields;
+  std::size_t expected_width = 0;
+  bool first = true;
+  while (ParseRecord(text, pos, fields, status)) {
+    if (fields.size() == 1 && fields[0].empty()) continue;  // blank line
+    if (first) {
+      expected_width = fields.size();
+      first = false;
+      if (has_header) {
+        doc.header = std::move(fields);
+        continue;
+      }
+    } else if (fields.size() != expected_width) {
+      return Status::InvalidArgument("ragged CSV row: expected " +
+                                     std::to_string(expected_width) +
+                                     " fields, got " +
+                                     std::to_string(fields.size()));
+    }
+    doc.rows.push_back(std::move(fields));
+  }
+  if (!status.ok()) return status;
+  return doc;
+}
+
+Result<CsvDocument> ReadCsvFile(const std::string& path, bool has_header) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::NotFound("cannot open file: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return ParseCsv(buffer.str(), has_header);
+}
+
+std::string WriteCsv(const CsvDocument& doc) {
+  std::string out;
+  auto write_row = [&out](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) out.push_back(',');
+      AppendField(out, row[i]);
+    }
+    out.push_back('\n');
+  };
+  if (!doc.header.empty()) write_row(doc.header);
+  for (const auto& row : doc.rows) write_row(row);
+  return out;
+}
+
+Status WriteCsvFile(const std::string& path, const CsvDocument& doc) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::Internal("cannot open file for write: " + path);
+  const std::string text = WriteCsv(doc);
+  out.write(text.data(), static_cast<std::streamsize>(text.size()));
+  if (!out) return Status::Internal("write failed: " + path);
+  return Status::OK();
+}
+
+}  // namespace f2db

@@ -1,0 +1,37 @@
+// A minimal CSV reader/writer for cube data sets.
+//
+// Supports comma-separated files with an optional header row. Quoting is
+// supported for fields containing commas or quotes ("" escapes a quote).
+
+#ifndef F2DB_COMMON_CSV_H_
+#define F2DB_COMMON_CSV_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace f2db {
+
+/// One parsed CSV document: a header (possibly empty) and data rows.
+struct CsvDocument {
+  std::vector<std::string> header;
+  std::vector<std::vector<std::string>> rows;
+};
+
+/// Parses CSV text. When `has_header` is true the first record becomes
+/// `header`. Rejects rows whose field count differs from the first row.
+Result<CsvDocument> ParseCsv(const std::string& text, bool has_header);
+
+/// Reads and parses a CSV file from disk.
+Result<CsvDocument> ReadCsvFile(const std::string& path, bool has_header);
+
+/// Serializes rows (and an optional header) to CSV text.
+std::string WriteCsv(const CsvDocument& doc);
+
+/// Writes CSV text to a file, replacing existing contents.
+Status WriteCsvFile(const std::string& path, const CsvDocument& doc);
+
+}  // namespace f2db
+
+#endif  // F2DB_COMMON_CSV_H_

@@ -1,0 +1,67 @@
+// Minimal leveled logger used across the library.
+//
+// Logging is stderr-only, synchronized, and off by default above kWarning so
+// that benchmarks and tests stay quiet. The advisor raises verbosity when
+// AdvisorOptions::verbose is set.
+
+#ifndef F2DB_COMMON_LOGGING_H_
+#define F2DB_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace f2db {
+
+/// Severity of a log record; higher is more severe.
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+};
+
+/// Sets the minimum severity that is emitted. Thread-safe.
+void SetLogLevel(LogLevel level);
+
+/// Returns the current minimum severity.
+LogLevel GetLogLevel();
+
+namespace internal_logging {
+
+/// Builds one log record and emits it on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// Discards everything streamed into it; used for disabled levels.
+class NullStream {
+ public:
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace internal_logging
+}  // namespace f2db
+
+#define F2DB_LOG(level)                                             \
+  if (::f2db::LogLevel::level < ::f2db::GetLogLevel())              \
+    ;                                                               \
+  else                                                              \
+    ::f2db::internal_logging::LogMessage(::f2db::LogLevel::level,   \
+                                         __FILE__, __LINE__)        \
+        .stream()
+
+#endif  // F2DB_COMMON_LOGGING_H_

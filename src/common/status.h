@@ -1,0 +1,153 @@
+// Status and Result<T>: exception-free error handling for the f2db library.
+//
+// Library code never throws. Fallible operations return a Status (when there
+// is no value to produce) or a Result<T> (a value or a Status). Both types
+// are cheap to move and carry a code plus a human-readable message.
+
+#ifndef F2DB_COMMON_STATUS_H_
+#define F2DB_COMMON_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace f2db {
+
+/// Error category of a Status.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kFailedPrecondition,
+  kInternal,
+  kUnimplemented,
+};
+
+/// Returns a stable human-readable name for a StatusCode.
+const char* StatusCodeName(StatusCode code);
+
+/// Outcome of a fallible operation without a return value.
+///
+/// A Status is either OK or carries an error code and message. Statuses are
+/// value types: copyable, movable, and comparable against OK via ok().
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  /// Constructs a status with the given code and message.
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  /// Factory helpers for the common error categories.
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+
+  /// True when the operation succeeded.
+  bool ok() const { return code_ == StatusCode::kOk; }
+
+  /// The error category (kOk when ok()).
+  StatusCode code() const { return code_; }
+
+  /// The error message (empty when ok()).
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CODE>: <message>"; for logs and test diagnostics.
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Outcome of a fallible operation that produces a T on success.
+///
+/// Holds either a value or a non-OK Status. Access to value() on an error
+/// Result is a programming bug and asserts in debug builds.
+template <typename T>
+class Result {
+ public:
+  /// Constructs a successful result holding `value`.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT: intentional
+  /// Constructs a failed result from a non-OK status.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT: intentional
+    assert(!status_.ok() && "Result constructed from OK status without value");
+  }
+
+  /// True when a value is present.
+  bool ok() const { return value_.has_value(); }
+
+  /// The status: OK when a value is present, the error otherwise.
+  const Status& status() const { return status_; }
+
+  /// The held value; only valid when ok().
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  /// Returns the value or `fallback` when this result is an error.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  std::optional<T> value_;
+  Status status_;  // OK iff value_ present.
+};
+
+}  // namespace f2db
+
+/// Propagates a non-OK Status from the current function.
+#define F2DB_RETURN_IF_ERROR(expr)            \
+  do {                                        \
+    ::f2db::Status _f2db_status = (expr);     \
+    if (!_f2db_status.ok()) return _f2db_status; \
+  } while (false)
+
+#define F2DB_MACRO_CONCAT_IMPL(a, b) a##b
+#define F2DB_MACRO_CONCAT(a, b) F2DB_MACRO_CONCAT_IMPL(a, b)
+
+/// Evaluates a Result<T> expression, assigns its value to `lhs` on success,
+/// and propagates the error Status otherwise.
+#define F2DB_ASSIGN_OR_RETURN(lhs, rexpr) \
+  F2DB_ASSIGN_OR_RETURN_IMPL(F2DB_MACRO_CONCAT(_f2db_result_, __LINE__), lhs, \
+                             rexpr)
+
+#define F2DB_ASSIGN_OR_RETURN_IMPL(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                               \
+  if (!tmp.ok()) return tmp.status();               \
+  lhs = std::move(tmp).value()
+
+#endif  // F2DB_COMMON_STATUS_H_

@@ -1,0 +1,36 @@
+// Wall-clock stopwatch used for model-cost accounting and the advisor's
+// control phase (which balances candidate-selection time against
+// evaluation time, Section IV-C1 of the paper).
+
+#ifndef F2DB_COMMON_STOPWATCH_H_
+#define F2DB_COMMON_STOPWATCH_H_
+
+#include <chrono>
+
+namespace f2db {
+
+/// Measures elapsed wall-clock time with sub-microsecond resolution.
+class StopWatch {
+ public:
+  /// Starts the watch at construction.
+  StopWatch() : start_(Clock::now()) {}
+
+  /// Restarts the measurement window.
+  void Restart() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last Restart().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Milliseconds elapsed since construction or the last Restart().
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace f2db
+
+#endif  // F2DB_COMMON_STOPWATCH_H_

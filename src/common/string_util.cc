@@ -1,0 +1,83 @@
+#include "common/string_util.h"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace f2db {
+
+std::vector<std::string> SplitString(std::string_view input, char delim) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= input.size(); ++i) {
+    if (i == input.size() || input[i] == delim) {
+      out.emplace_back(input.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+std::string_view TrimWhitespace(std::string_view input) {
+  std::size_t begin = 0;
+  std::size_t end = input.size();
+  while (begin < end &&
+         std::isspace(static_cast<unsigned char>(input[begin]))) {
+    ++begin;
+  }
+  while (end > begin &&
+         std::isspace(static_cast<unsigned char>(input[end - 1]))) {
+    --end;
+  }
+  return input.substr(begin, end - begin);
+}
+
+std::string ToLowerAscii(std::string_view input) {
+  std::string out(input);
+  for (char& c : out) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return out;
+}
+
+bool EqualsIgnoreCase(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(a[i])) !=
+        std::tolower(static_cast<unsigned char>(b[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string JoinStrings(const std::vector<std::string>& parts,
+                        std::string_view sep) {
+  std::string out;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out.append(sep);
+    out.append(parts[i]);
+  }
+  return out;
+}
+
+Result<double> ParseDouble(std::string_view input) {
+  const std::string text(TrimWhitespace(input));
+  if (text.empty()) return Status::InvalidArgument("empty number");
+  char* end = nullptr;
+  const double value = std::strtod(text.c_str(), &end);
+  if (end != text.c_str() + text.size()) {
+    return Status::InvalidArgument("not a number: '" + text + "'");
+  }
+  return value;
+}
+
+Result<std::int64_t> ParseInt(std::string_view input) {
+  const std::string text(TrimWhitespace(input));
+  if (text.empty()) return Status::InvalidArgument("empty integer");
+  char* end = nullptr;
+  const long long value = std::strtoll(text.c_str(), &end, 10);
+  if (end != text.c_str() + text.size()) {
+    return Status::InvalidArgument("not an integer: '" + text + "'");
+  }
+  return static_cast<std::int64_t>(value);
+}
+
+}  // namespace f2db

@@ -1,0 +1,38 @@
+// Small string helpers shared by the CSV reader and the query parser.
+
+#ifndef F2DB_COMMON_STRING_UTIL_H_
+#define F2DB_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace f2db {
+
+/// Splits `input` on `delim`; keeps empty fields.
+std::vector<std::string> SplitString(std::string_view input, char delim);
+
+/// Removes ASCII whitespace from both ends.
+std::string_view TrimWhitespace(std::string_view input);
+
+/// Lower-cases ASCII characters.
+std::string ToLowerAscii(std::string_view input);
+
+/// Case-insensitive ASCII equality.
+bool EqualsIgnoreCase(std::string_view a, std::string_view b);
+
+/// Joins `parts` with `sep`.
+std::string JoinStrings(const std::vector<std::string>& parts,
+                        std::string_view sep);
+
+/// Parses a double; rejects trailing garbage.
+Result<double> ParseDouble(std::string_view input);
+
+/// Parses a non-negative integer; rejects trailing garbage.
+Result<std::int64_t> ParseInt(std::string_view input);
+
+}  // namespace f2db
+
+#endif  // F2DB_COMMON_STRING_UTIL_H_

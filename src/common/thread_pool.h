@@ -1,0 +1,58 @@
+// Fixed-size worker pool used by the advisor's evaluation phase.
+//
+// The paper (Section IV-B1) creates models for the top-n ranked candidates
+// in parallel, where n equals the number of available processors; this pool
+// provides that parallelism. Tasks are arbitrary std::function<void()>;
+// completion is observed through the returned std::future.
+
+#ifndef F2DB_COMMON_THREAD_POOL_H_
+#define F2DB_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace f2db {
+
+/// A fixed-size pool of worker threads executing queued tasks FIFO.
+class ThreadPool {
+ public:
+  /// Creates a pool with `num_threads` workers (at least 1).
+  explicit ThreadPool(std::size_t num_threads);
+
+  /// Drains outstanding tasks and joins all workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues `task`; the future resolves when the task has run.
+  std::future<void> Submit(std::function<void()> task);
+
+  /// Runs `fn(i)` for i in [0, n) across the pool and blocks until done.
+  void ParallelFor(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+  /// Number of worker threads.
+  std::size_t size() const { return threads_.size(); }
+
+  /// A sensible default pool width for this machine.
+  static std::size_t DefaultConcurrency();
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<std::packaged_task<void()>> queue_;
+  std::vector<std::thread> threads_;
+  bool shutdown_ = false;
+};
+
+}  // namespace f2db
+
+#endif  // F2DB_COMMON_THREAD_POOL_H_

@@ -1,0 +1,18 @@
+#include "core/derivation.h"
+
+#include <sstream>
+
+namespace f2db {
+
+std::string DerivationScheme::ToString() const {
+  std::ostringstream out;
+  out << "{";
+  for (std::size_t i = 0; i < sources.size(); ++i) {
+    if (i > 0) out << ",";
+    out << sources[i];
+  }
+  out << "}";
+  return out.str();
+}
+
+}  // namespace f2db

@@ -1,0 +1,42 @@
+// Derivation schemes and derivation weights (Section II-C, Eqs. 1-3).
+//
+// A target node t can derive its forecasts from any set of source nodes S
+// that carry models:   forecast(t) = k_{S->t} * sum_{s in S} forecast(s)
+// with  k_{S->t} = h_t / sum_i h_{s_i}  where h_x is the sum over the
+// (training) history of node x. The three classical shapes fall out as
+// special cases: direct (S = {t}, k = 1), aggregation (S = children(t),
+// k = 1), and disaggregation (S = {parent(t)}, k = historical share).
+
+#ifndef F2DB_CORE_DERIVATION_H_
+#define F2DB_CORE_DERIVATION_H_
+
+#include <string>
+#include <vector>
+
+#include "cube/graph.h"
+
+namespace f2db {
+
+/// A derivation scheme: the source nodes a target derives from.
+/// An empty source set means "uncovered" (no forecast available).
+struct DerivationScheme {
+  std::vector<NodeId> sources;
+
+  bool IsEmpty() const { return sources.empty(); }
+  bool IsDirect(NodeId target) const {
+    return sources.size() == 1 && sources[0] == target;
+  }
+
+  static DerivationScheme Direct(NodeId target) { return {{target}}; }
+  static DerivationScheme Single(NodeId source) { return {{source}}; }
+  static DerivationScheme Multi(std::vector<NodeId> sources) {
+    return {std::move(sources)};
+  }
+
+  std::string ToString() const;
+  bool operator==(const DerivationScheme&) const = default;
+};
+
+}  // namespace f2db
+
+#endif  // F2DB_CORE_DERIVATION_H_

@@ -1,0 +1,49 @@
+#include "core/indicators.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "math/stats.h"
+
+namespace f2db {
+
+double IndicatorComputer::Indicate(NodeId source, NodeId target) const {
+  if (source == target) return 0.0;
+  const double historical =
+      options_.historical_weight * evaluator_->HistoricalError(source, target);
+  const double instability = std::min(
+      1.0, evaluator_->WeightInstability(source, target));
+  return historical + options_.similarity_weight * instability;
+}
+
+LocalIndicator IndicatorComputer::ComputeLocal(NodeId source,
+                                               std::size_t size) const {
+  LocalIndicator local;
+  local.source = source;
+  const std::vector<NodeId> targets =
+      evaluator_->graph().NearestNodes(source, size);
+  local.entries.reserve(targets.size() + 1);
+  local.entries.emplace_back(source, 0.0);
+  for (NodeId target : targets) {
+    local.entries.emplace_back(target, Indicate(source, target));
+  }
+  std::sort(local.entries.begin(), local.entries.end());
+  return local;
+}
+
+void GlobalIndicator::Merge(const LocalIndicator& local) {
+  for (const auto& [target, value] : local.entries) {
+    values_[target] = std::min(values_[target], value);
+  }
+}
+
+void GlobalIndicator::Rebuild(const std::vector<const LocalIndicator*>& locals) {
+  std::fill(values_.begin(), values_.end(), kUncoveredIndicator);
+  for (const LocalIndicator* local : locals) Merge(*local);
+}
+
+double GlobalIndicator::Mean() const { return f2db::Mean(values_); }
+
+double GlobalIndicator::StdDev() const { return f2db::StdDev(values_); }
+
+}  // namespace f2db

@@ -1,0 +1,91 @@
+// Indicators: cheap heuristics for the expected benefit of a model
+// (Section III-B).
+//
+// A local indicator of a source node s holds, for each target t in its
+// coverage, a combined estimate of how accurately t could be derived from a
+// model at s — computed WITHOUT building any model, from (1) the historical
+// error of the scheme s -> t under a perfect model assumption and (2) the
+// stability of the per-step derivation weights. The indicator of a node
+// with itself is 0. The global indicator is the element-wise minimum over
+// the local indicators of all nodes currently carrying models; entries not
+// covered by any local indicator default to the maximum.
+
+#ifndef F2DB_CORE_INDICATORS_H_
+#define F2DB_CORE_INDICATORS_H_
+
+#include <vector>
+
+#include "core/evaluator.h"
+#include "cube/graph.h"
+
+namespace f2db {
+
+/// Indicator value assigned to nodes not covered by any local indicator.
+/// Historical SMAPE is bounded by 1 and the similarity term by
+/// `similarity_weight`, so this dominates every computed value.
+inline constexpr double kUncoveredIndicator = 2.0;
+
+/// Tuning of the indicator combination.
+struct IndicatorOptions {
+  /// Weight of the similarity (weight-stability) term; the historical
+  /// error term has weight 1. Setting 0 ablates similarity.
+  double similarity_weight = 0.5;
+  /// Weight of the historical-error term; setting 0 ablates it.
+  double historical_weight = 1.0;
+};
+
+/// The local indicator array of one source node.
+struct LocalIndicator {
+  NodeId source = 0;
+  /// (target, indicator value); includes (source, 0.0); sorted by target.
+  std::vector<std::pair<NodeId, double>> entries;
+};
+
+/// Computes local indicators over a fixed evaluation context.
+class IndicatorComputer {
+ public:
+  IndicatorComputer(const ConfigurationEvaluator& evaluator,
+                    IndicatorOptions options)
+      : evaluator_(&evaluator), options_(options) {}
+
+  /// Combined indicator of the scheme source -> target; 0 when equal.
+  double Indicate(NodeId source, NodeId target) const;
+
+  /// Builds the local indicator of `source` covering itself and its
+  /// `size` nearest nodes in the graph (Section IV-C1: "the local
+  /// indicator of a node s is constructed by including those nodes which
+  /// are closest to s in the time series graph").
+  LocalIndicator ComputeLocal(NodeId source, std::size_t size) const;
+
+ private:
+  const ConfigurationEvaluator* evaluator_;
+  IndicatorOptions options_;
+};
+
+/// Element-wise minimum over local indicators; one entry per graph node.
+class GlobalIndicator {
+ public:
+  explicit GlobalIndicator(std::size_t num_nodes)
+      : values_(num_nodes, kUncoveredIndicator) {}
+
+  /// Merges one local indicator (element-wise min).
+  void Merge(const LocalIndicator& local);
+
+  /// Resets to "uncovered" and merges all given locals.
+  void Rebuild(const std::vector<const LocalIndicator*>& locals);
+
+  double value(NodeId node) const { return values_[node]; }
+  const std::vector<double>& values() const { return values_; }
+  std::size_t size() const { return values_.size(); }
+
+  /// Mean / standard deviation over all entries (Eq. 5's E(I), sigma(I)).
+  double Mean() const;
+  double StdDev() const;
+
+ private:
+  std::vector<double> values_;
+};
+
+}  // namespace f2db
+
+#endif  // F2DB_CORE_INDICATORS_H_

@@ -1,0 +1,129 @@
+#include "core/multi_source.h"
+
+#include <algorithm>
+#include <chrono>
+
+namespace f2db {
+
+MultiSourceOptimizer::MultiSourceOptimizer(
+    const ConfigurationEvaluator& evaluator, MultiSourceOptions options,
+    std::uint64_t seed)
+    : evaluator_(&evaluator), options_(options), rng_(seed) {}
+
+MultiSourceOptimizer::~MultiSourceOptimizer() { StopAsync(); }
+
+std::optional<std::pair<NodeId, DerivationScheme>>
+MultiSourceOptimizer::SampleProbe(const std::vector<NodeId>& model_nodes,
+                                  Rng& rng) const {
+  if (model_nodes.size() < 2) return std::nullopt;
+  const TimeSeriesGraph& graph = evaluator_->graph();
+
+  // Random target node.
+  const NodeId target = static_cast<NodeId>(
+      rng.UniformInt(0, static_cast<std::int64_t>(graph.num_nodes()) - 1));
+
+  // Candidate sources: model nodes near the target, selection probability
+  // decreasing with graph distance (Section IV-C2).
+  std::vector<NodeId> pool;
+  std::vector<double> weights;
+  for (NodeId m : model_nodes) {
+    if (m == target) continue;
+    const std::size_t distance = graph.Distance(target, m);
+    if (distance > options_.neighborhood) continue;
+    pool.push_back(m);
+    weights.push_back(1.0 / (1.0 + static_cast<double>(distance)));
+  }
+  if (pool.size() < 2) return std::nullopt;
+
+  // Random number of sources in [2, max_sources].
+  const std::size_t want = static_cast<std::size_t>(rng.UniformInt(
+      2, static_cast<std::int64_t>(
+             std::min(options_.max_sources, pool.size()))));
+  std::vector<NodeId> sources;
+  std::vector<double> w = weights;
+  std::vector<NodeId> p = pool;
+  for (std::size_t i = 0; i < want && !p.empty(); ++i) {
+    const std::size_t pick = rng.SampleDiscrete(w);
+    sources.push_back(p[pick]);
+    p.erase(p.begin() + static_cast<std::ptrdiff_t>(pick));
+    w.erase(w.begin() + static_cast<std::ptrdiff_t>(pick));
+  }
+  if (sources.size() < 2) return std::nullopt;
+  std::sort(sources.begin(), sources.end());
+
+  // Cheap pre-screen on historical data only.
+  const double historical =
+      evaluator_->HistoricalErrorMulti(sources, target);
+  if (historical > options_.prescreen_threshold) return std::nullopt;
+  return std::make_pair(target, DerivationScheme::Multi(std::move(sources)));
+}
+
+std::size_t MultiSourceOptimizer::RunProbes(ModelConfiguration& config,
+                                            std::size_t budget) {
+  const std::vector<NodeId> model_nodes = config.model_nodes();
+  std::size_t adopted = 0;
+  for (std::size_t i = 0; i < budget; ++i) {
+    auto probe = SampleProbe(model_nodes, rng_);
+    if (!probe.has_value()) continue;
+    if (config.TryMultiSourceScheme(*evaluator_, probe->first,
+                                    std::move(probe->second))) {
+      ++adopted;
+    }
+  }
+  return adopted;
+}
+
+void MultiSourceOptimizer::StartAsync() {
+  if (async_running_.exchange(true)) return;
+  // Split the generator before the thread starts so the member generator is
+  // never touched concurrently.
+  Rng child = rng_.Split();
+  async_thread_ = std::thread([this, child]() mutable { AsyncLoop(child); });
+}
+
+void MultiSourceOptimizer::StopAsync() {
+  if (!async_running_.exchange(false)) return;
+  if (async_thread_.joinable()) async_thread_.join();
+}
+
+void MultiSourceOptimizer::PublishModelNodes(std::vector<NodeId> model_nodes) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  shared_model_nodes_ = std::move(model_nodes);
+}
+
+std::size_t MultiSourceOptimizer::DrainSuggestions(ModelConfiguration& config) {
+  std::vector<std::pair<NodeId, DerivationScheme>> batch;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    batch.swap(suggestions_);
+  }
+  std::size_t adopted = 0;
+  for (auto& [target, scheme] : batch) {
+    if (config.TryMultiSourceScheme(*evaluator_, target, std::move(scheme))) {
+      ++adopted;
+    }
+  }
+  return adopted;
+}
+
+void MultiSourceOptimizer::AsyncLoop(Rng& rng) {
+  while (async_running_.load(std::memory_order_relaxed)) {
+    std::vector<NodeId> model_nodes;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      model_nodes = shared_model_nodes_;
+    }
+    auto probe = SampleProbe(model_nodes, rng);
+    if (probe.has_value()) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (suggestions_.size() < 1024) {
+        suggestions_.push_back(std::move(*probe));
+      }
+    } else {
+      // Back off briefly when samples are not viable to avoid spinning.
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+  }
+}
+
+}  // namespace f2db

@@ -1,0 +1,92 @@
+// Multi-source derivation-scheme optimizer (Section IV-C2).
+//
+// The advisor's indicators only consider derivation schemes from single
+// source nodes. This component samples schemes with multiple sources:
+// "It iteratively selects a target node and a random number of source
+// nodes from the time series graph, where the possibility of selecting a
+// source node decreases with increasing distance from the target node."
+// Probes whose historical accuracy looks promising are applied to the
+// configuration when they improve the real error.
+//
+// Two execution modes: in-iteration (a budget of probes per advisor
+// iteration; deterministic) or asynchronous (a background thread
+// pre-screens probes on historical data only, the advisor applies the
+// suggestions during its control phase).
+
+#ifndef F2DB_CORE_MULTI_SOURCE_H_
+#define F2DB_CORE_MULTI_SOURCE_H_
+
+#include <atomic>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/configuration.h"
+#include "core/evaluator.h"
+
+namespace f2db {
+
+/// Tuning of the multi-source sampler.
+struct MultiSourceOptions {
+  std::size_t max_sources = 4;      ///< Maximum sources per scheme.
+  std::size_t neighborhood = 24;    ///< Sampling pool around the target.
+  /// A probe is suggested only when its historical error undercuts this
+  /// fraction of the uncovered default (cheap pre-screen).
+  double prescreen_threshold = 0.5;
+};
+
+/// Samples and applies multi-source derivation schemes.
+class MultiSourceOptimizer {
+ public:
+  MultiSourceOptimizer(const ConfigurationEvaluator& evaluator,
+                       MultiSourceOptions options, std::uint64_t seed);
+
+  ~MultiSourceOptimizer();
+
+  MultiSourceOptimizer(const MultiSourceOptimizer&) = delete;
+  MultiSourceOptimizer& operator=(const MultiSourceOptimizer&) = delete;
+
+  /// Samples one probe against the current model set; returns a scheme
+  /// suggestion (target + sources, all carrying models) or nullopt when
+  /// the sample was not viable.
+  std::optional<std::pair<NodeId, DerivationScheme>> SampleProbe(
+      const std::vector<NodeId>& model_nodes, Rng& rng) const;
+
+  /// Runs `budget` probes and applies improving ones to `config`.
+  /// Returns the number of adopted schemes.
+  std::size_t RunProbes(ModelConfiguration& config, std::size_t budget);
+
+  // ---------------------------------------------------------------- async
+
+  /// Starts the background pre-screening thread.
+  void StartAsync();
+
+  /// Stops the background thread (joined).
+  void StopAsync();
+
+  /// Publishes the current model-node set to the background thread.
+  void PublishModelNodes(std::vector<NodeId> model_nodes);
+
+  /// Applies queued asynchronous suggestions to `config`; returns the
+  /// number adopted.
+  std::size_t DrainSuggestions(ModelConfiguration& config);
+
+ private:
+  void AsyncLoop(Rng& rng);
+
+  const ConfigurationEvaluator* evaluator_;
+  MultiSourceOptions options_;
+  Rng rng_;
+
+  std::mutex mutex_;
+  std::vector<NodeId> shared_model_nodes_;
+  std::vector<std::pair<NodeId, DerivationScheme>> suggestions_;
+  std::atomic<bool> async_running_{false};
+  std::thread async_thread_;
+};
+
+}  // namespace f2db
+
+#endif  // F2DB_CORE_MULTI_SOURCE_H_

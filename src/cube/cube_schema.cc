@@ -1,0 +1,56 @@
+#include "cube/cube_schema.h"
+
+namespace f2db {
+
+Status CubeSchema::AddHierarchy(Hierarchy hierarchy) {
+  if (!hierarchy.finalized()) {
+    return Status::FailedPrecondition("hierarchy '" + hierarchy.name() +
+                                      "' must be finalized first");
+  }
+  for (const Hierarchy& existing : hierarchies_) {
+    if (existing.name() == hierarchy.name()) {
+      return Status::AlreadyExists("dimension '" + hierarchy.name() +
+                                   "' already present");
+    }
+  }
+  hierarchies_.push_back(std::move(hierarchy));
+  return Status::OK();
+}
+
+Result<std::size_t> CubeSchema::FindDimension(std::string_view name) const {
+  for (std::size_t i = 0; i < hierarchies_.size(); ++i) {
+    if (hierarchies_[i].name() == name) return i;
+  }
+  return Status::NotFound("no dimension '" + std::string(name) + "'");
+}
+
+Result<std::pair<std::size_t, LevelIndex>> CubeSchema::FindLevelAnywhere(
+    std::string_view level_name) const {
+  bool found = false;
+  std::pair<std::size_t, LevelIndex> hit{0, 0};
+  for (std::size_t dim = 0; dim < hierarchies_.size(); ++dim) {
+    const auto level = hierarchies_[dim].FindLevel(level_name);
+    if (level.ok()) {
+      if (found) {
+        return Status::InvalidArgument("level name '" +
+                                       std::string(level_name) +
+                                       "' is ambiguous across dimensions");
+      }
+      found = true;
+      hit = {dim, level.value()};
+    }
+  }
+  if (!found) {
+    return Status::NotFound("no level '" + std::string(level_name) +
+                            "' in any dimension");
+  }
+  return hit;
+}
+
+std::size_t CubeSchema::NumBaseCells() const {
+  std::size_t product = 1;
+  for (const Hierarchy& h : hierarchies_) product *= h.num_values(0);
+  return product;
+}
+
+}  // namespace f2db

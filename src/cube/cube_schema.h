@@ -1,0 +1,53 @@
+// CubeSchema: the categorical dimensions of a multi-dimensional data set.
+//
+// Together with the time dimension and the measure, the schema defines the
+// paper's data model (Section II-A). Each categorical dimension is a
+// Hierarchy; a combination of one value per dimension at the finest levels
+// identifies a base time series.
+
+#ifndef F2DB_CUBE_CUBE_SCHEMA_H_
+#define F2DB_CUBE_CUBE_SCHEMA_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "cube/hierarchy.h"
+
+namespace f2db {
+
+/// An ordered collection of finalized dimension hierarchies.
+class CubeSchema {
+ public:
+  CubeSchema() = default;
+
+  /// Adds a finalized hierarchy; fails when it is not finalized or its
+  /// name collides with an existing dimension.
+  Status AddHierarchy(Hierarchy hierarchy);
+
+  std::size_t num_dimensions() const { return hierarchies_.size(); }
+
+  const Hierarchy& hierarchy(std::size_t dim) const {
+    return hierarchies_[dim];
+  }
+
+  /// Finds a dimension by hierarchy name.
+  Result<std::size_t> FindDimension(std::string_view name) const;
+
+  /// Finds the dimension owning a level with the given name (e.g. "city"
+  /// resolves to the location dimension). Level names must be unique
+  /// across dimensions for this lookup; duplicated names fail.
+  Result<std::pair<std::size_t, LevelIndex>> FindLevelAnywhere(
+      std::string_view level_name) const;
+
+  /// Total number of base cells = product of level-0 cardinalities.
+  std::size_t NumBaseCells() const;
+
+ private:
+  std::vector<Hierarchy> hierarchies_;
+};
+
+}  // namespace f2db
+
+#endif  // F2DB_CUBE_CUBE_SCHEMA_H_

@@ -1,0 +1,138 @@
+// The time series hyper graph (Section II-A, Figure 2).
+//
+// Nodes represent time series at the instance level of the data cube: one
+// node per combination of (level, value) across all dimension hierarchies.
+// Level-0-everywhere nodes are base time series; every other node is an
+// aggregated series obtained by SUM. The graph is complete (every
+// aggregation possibility according to the categorical values exists),
+// a series can contribute to several aggregated series, and functional
+// dependencies are encoded by the hierarchies (C1*P2 does not exist when
+// city determines region).
+
+#ifndef F2DB_CUBE_GRAPH_H_
+#define F2DB_CUBE_GRAPH_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "cube/cube_schema.h"
+#include "ts/time_series.h"
+
+namespace f2db {
+
+/// Dense node identifier in [0, num_nodes()).
+using NodeId = std::uint32_t;
+
+/// Coordinate of a node: one (level, value) pair per dimension.
+struct NodeAddress {
+  struct Coordinate {
+    LevelIndex level = 0;
+    ValueIndex value = 0;
+    bool operator==(const Coordinate&) const = default;
+  };
+  std::vector<Coordinate> coords;
+  bool operator==(const NodeAddress&) const = default;
+};
+
+/// The complete instance-level aggregation graph with per-node series data.
+class TimeSeriesGraph {
+ public:
+  /// Builds the (empty-data) graph for a schema. Fails when the node count
+  /// would overflow NodeId.
+  static Result<TimeSeriesGraph> Create(CubeSchema schema);
+
+  const CubeSchema& schema() const { return schema_; }
+
+  std::size_t num_nodes() const { return num_nodes_; }
+  std::size_t num_base_nodes() const { return base_nodes_.size(); }
+
+  /// All base nodes (level 0 in every dimension) in deterministic order.
+  const std::vector<NodeId>& base_nodes() const { return base_nodes_; }
+
+  /// The single node aggregated over everything (ALL in every dimension).
+  NodeId top_node() const { return top_node_; }
+
+  /// True when every coordinate is at level 0.
+  bool IsBaseNode(NodeId node) const;
+
+  /// Decodes a node id into its address.
+  NodeAddress AddressOf(NodeId node) const;
+
+  /// Encodes an address into its node id; validates ranges.
+  Result<NodeId> NodeFor(const NodeAddress& address) const;
+
+  /// Human-readable name, e.g. "C1.R1*.P2" -> "city=C1,product=P2".
+  std::string NodeName(NodeId node) const;
+
+  /// Sum of levels across dimensions; 0 for base nodes. Nodes can be
+  /// aggregated strictly bottom-up in increasing level-sum order.
+  std::size_t LevelSum(NodeId node) const;
+
+  /// Children of `node` along dimension `dim` (one aggregation step down).
+  /// Empty when the node is at level 0 in that dimension.
+  std::vector<NodeId> Children(NodeId node, std::size_t dim) const;
+
+  /// All children across all dimensions (each set disjoint by dimension).
+  std::vector<std::pair<std::size_t, std::vector<NodeId>>> ChildSets(
+      NodeId node) const;
+
+  /// Parent of `node` along dimension `dim` (one aggregation step up).
+  /// Fails when the node is already at ALL in that dimension.
+  Result<NodeId> Parent(NodeId node, std::size_t dim) const;
+
+  /// Symmetric graph distance: the number of single-level roll-up /
+  /// drill-down steps to get from `a` to `b` (summed over dimensions,
+  /// through the lowest common ancestor per dimension).
+  std::size_t Distance(NodeId a, NodeId b) const;
+
+  /// Up to `k` nearest other nodes by breadth-first search over
+  /// parent/child edges; deterministic order (distance, then id).
+  std::vector<NodeId> NearestNodes(NodeId node, std::size_t k) const;
+
+  // ------------------------------------------------------------------ data
+
+  /// Installs the history of a base series. All base series must share
+  /// start time and length.
+  Status SetBaseSeries(NodeId node, TimeSeries series);
+
+  /// Computes every aggregated series bottom-up. Requires all base series
+  /// to be set and aligned.
+  Status BuildAggregates();
+
+  /// Series of a node (base or aggregated). Aggregates are valid only
+  /// after BuildAggregates / AdvanceTime.
+  const TimeSeries& series(NodeId node) const { return series_[node]; }
+
+  /// Appends one new observation per base node (ordered as base_nodes())
+  /// and incrementally updates every aggregate — the engine's batched
+  /// time-advance (Section V, Maintenance Processor).
+  Status AdvanceTime(const std::vector<double>& base_values);
+
+  /// Length of the (aligned) series; 0 before data is loaded.
+  std::size_t series_length() const;
+
+ private:
+  TimeSeriesGraph() = default;
+
+  /// Per-dimension mixed-radix slot of a coordinate.
+  std::size_t SlotOf(std::size_t dim, LevelIndex level, ValueIndex value) const;
+
+  CubeSchema schema_;
+  std::size_t num_nodes_ = 0;
+  /// slots_per_dim_[d] = number of (level, value) combinations in dim d.
+  std::vector<std::size_t> slots_per_dim_;
+  /// level_offsets_[d][l] = first slot of level l in dimension d.
+  std::vector<std::vector<std::size_t>> level_offsets_;
+  std::vector<NodeId> base_nodes_;
+  NodeId top_node_ = 0;
+  std::vector<TimeSeries> series_;
+  bool aggregates_built_ = false;
+  /// Non-base nodes ordered by increasing level sum (aggregation order).
+  std::vector<NodeId> aggregation_order_;
+};
+
+}  // namespace f2db
+
+#endif  // F2DB_CUBE_GRAPH_H_

@@ -1,0 +1,95 @@
+#include "data/cube_io.h"
+
+#include <map>
+
+#include "common/csv.h"
+#include "common/string_util.h"
+
+namespace f2db {
+
+Status SaveFactsCsv(const TimeSeriesGraph& graph, const std::string& path) {
+  const CubeSchema& schema = graph.schema();
+  CsvDocument doc;
+  for (std::size_t d = 0; d < schema.num_dimensions(); ++d) {
+    doc.header.push_back(schema.hierarchy(d).level_name(0));
+  }
+  doc.header.push_back("time");
+  doc.header.push_back("value");
+
+  for (NodeId node : graph.base_nodes()) {
+    const NodeAddress address = graph.AddressOf(node);
+    const TimeSeries& series = graph.series(node);
+    for (std::size_t i = 0; i < series.size(); ++i) {
+      std::vector<std::string> row;
+      for (std::size_t d = 0; d < schema.num_dimensions(); ++d) {
+        row.push_back(schema.hierarchy(d).value_name(
+            address.coords[d].level, address.coords[d].value));
+      }
+      row.push_back(std::to_string(series.start_time() +
+                                   static_cast<std::int64_t>(i)));
+      char buffer[64];
+      std::snprintf(buffer, sizeof(buffer), "%.10g", series[i]);
+      row.emplace_back(buffer);
+      doc.rows.push_back(std::move(row));
+    }
+  }
+  return WriteCsvFile(path, doc);
+}
+
+Result<TimeSeriesGraph> LoadFactsCsv(CubeSchema schema,
+                                     const std::string& path) {
+  F2DB_ASSIGN_OR_RETURN(CsvDocument doc, ReadCsvFile(path, /*has_header=*/true));
+  const std::size_t dims = schema.num_dimensions();
+  if (doc.header.size() != dims + 2) {
+    return Status::InvalidArgument(
+        "facts CSV must have one column per dimension plus time and value");
+  }
+  F2DB_ASSIGN_OR_RETURN(TimeSeriesGraph graph,
+                        TimeSeriesGraph::Create(std::move(schema)));
+
+  // Collect (node, time) -> value; then check the range is contiguous and
+  // complete per base cell.
+  std::map<NodeId, std::map<std::int64_t, double>> cells;
+  for (const auto& row : doc.rows) {
+    NodeAddress address;
+    address.coords.resize(dims);
+    for (std::size_t d = 0; d < dims; ++d) {
+      F2DB_ASSIGN_OR_RETURN(ValueIndex value,
+                            graph.schema().hierarchy(d).FindValue(0, row[d]));
+      address.coords[d] = {0, value};
+    }
+    F2DB_ASSIGN_OR_RETURN(NodeId node, graph.NodeFor(address));
+    F2DB_ASSIGN_OR_RETURN(std::int64_t time, ParseInt(row[dims]));
+    F2DB_ASSIGN_OR_RETURN(double value, ParseDouble(row[dims + 1]));
+    if (!cells[node].emplace(time, value).second) {
+      return Status::InvalidArgument("duplicate fact for node " +
+                                     graph.NodeName(node) + " at time " +
+                                     std::to_string(time));
+    }
+  }
+  if (cells.size() != graph.num_base_nodes()) {
+    return Status::InvalidArgument(
+        "facts CSV covers " + std::to_string(cells.size()) + " of " +
+        std::to_string(graph.num_base_nodes()) + " base cells");
+  }
+
+  std::int64_t start = cells.begin()->second.begin()->first;
+  std::size_t length = cells.begin()->second.size();
+  for (const auto& [node, points] : cells) {
+    if (points.begin()->first != start || points.size() != length ||
+        points.rbegin()->first != start + static_cast<std::int64_t>(length) - 1) {
+      return Status::InvalidArgument(
+          "base cell " + graph.NodeName(node) +
+          " does not cover the common contiguous time range");
+    }
+    std::vector<double> values;
+    values.reserve(length);
+    for (const auto& [time, value] : points) values.push_back(value);
+    F2DB_RETURN_IF_ERROR(
+        graph.SetBaseSeries(node, TimeSeries(std::move(values), start)));
+  }
+  F2DB_RETURN_IF_ERROR(graph.BuildAggregates());
+  return graph;
+}
+
+}  // namespace f2db

@@ -1,0 +1,30 @@
+// CSV import/export of cube fact data.
+//
+// The fact format is one row per (base cell, time): the level-0 value name
+// of every dimension, the integer time index, and the measure, e.g.
+//     product,city,time,sales
+//     P1,C1,0,12.5
+// Import resolves value names against the schema, checks completeness
+// (every base cell must cover the same contiguous time range), loads base
+// series, and builds the aggregates.
+
+#ifndef F2DB_DATA_CUBE_IO_H_
+#define F2DB_DATA_CUBE_IO_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "cube/graph.h"
+
+namespace f2db {
+
+/// Writes the base facts of `graph` to a CSV file.
+Status SaveFactsCsv(const TimeSeriesGraph& graph, const std::string& path);
+
+/// Loads a fact CSV into a fresh graph over `schema` (aggregates built).
+Result<TimeSeriesGraph> LoadFactsCsv(CubeSchema schema,
+                                     const std::string& path);
+
+}  // namespace f2db
+
+#endif  // F2DB_DATA_CUBE_IO_H_

@@ -1,0 +1,241 @@
+#include "data/datasets.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/rng.h"
+#include "data/sarima_generator.h"
+
+namespace f2db {
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+/// Guards against non-positive measures (SMAPE assumes magnitudes).
+double ClampPositive(double v) { return std::max(v, 0.1); }
+
+Result<TimeSeriesGraph> GraphFor(CubeSchema schema) {
+  return TimeSeriesGraph::Create(std::move(schema));
+}
+
+}  // namespace
+
+Result<DataSet> MakeTourism(std::uint64_t seed) {
+  Rng rng(seed);
+  const std::vector<std::string> purposes{"holiday", "business", "visiting",
+                                          "other"};
+  std::vector<std::string> states;
+  for (int i = 1; i <= 8; ++i) states.push_back("S" + std::to_string(i));
+
+  CubeSchema schema;
+  F2DB_RETURN_IF_ERROR(
+      schema.AddHierarchy(Hierarchy::Flat("purpose", purposes)));
+  F2DB_RETURN_IF_ERROR(schema.AddHierarchy(Hierarchy::Flat("state", states)));
+  F2DB_ASSIGN_OR_RETURN(TimeSeriesGraph graph, GraphFor(std::move(schema)));
+
+  const std::size_t length = 32;  // quarterly 2004-2011
+  // National quarterly pattern shared by all series (drives TD quality).
+  std::vector<double> national(length);
+  for (std::size_t t = 0; t < length; ++t) {
+    const double season = 1.0 + 0.35 * std::sin(2.0 * kPi *
+                                                static_cast<double>(t) / 4.0 +
+                                                0.7);
+    const double trend = 1.0 + 0.004 * static_cast<double>(t);
+    national[t] = season * trend;
+  }
+  const std::vector<double> purpose_share{0.45, 0.25, 0.2, 0.1};
+  std::vector<double> state_scale(8);
+  for (auto& s : state_scale) s = rng.Uniform(40.0, 220.0);
+
+  for (NodeId node : graph.base_nodes()) {
+    const NodeAddress address = graph.AddressOf(node);
+    const std::size_t purpose = address.coords[0].value;
+    const std::size_t state = address.coords[1].value;
+    const double phase = rng.Uniform(-0.15, 0.15);
+    std::vector<double> values(length);
+    for (std::size_t t = 0; t < length; ++t) {
+      const double base =
+          state_scale[state] * purpose_share[purpose] * national[t];
+      const double wobble =
+          1.0 + 0.08 * std::sin(2.0 * kPi * static_cast<double>(t) / 4.0 + phase);
+      values[t] = ClampPositive(base * wobble *
+                                (1.0 + rng.Gaussian(0.0, 0.05)));
+    }
+    F2DB_RETURN_IF_ERROR(graph.SetBaseSeries(node, TimeSeries(values)));
+  }
+  F2DB_RETURN_IF_ERROR(graph.BuildAggregates());
+  return DataSet{"tourism", std::move(graph), 4};
+}
+
+Result<DataSet> MakeSales(std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::string> products;
+  for (int i = 1; i <= 9; ++i) products.push_back("P" + std::to_string(i));
+  const std::vector<std::string> countries{"DE", "FR", "US"};
+
+  CubeSchema schema;
+  F2DB_RETURN_IF_ERROR(
+      schema.AddHierarchy(Hierarchy::Flat("product", products)));
+  F2DB_RETURN_IF_ERROR(
+      schema.AddHierarchy(Hierarchy::Flat("country", countries)));
+  F2DB_ASSIGN_OR_RETURN(TimeSeriesGraph graph, GraphFor(std::move(schema)));
+
+  const std::size_t length = 72;  // monthly 2004-2009
+  // Per-product idiosyncratic seasonal patterns and trends: aggregation
+  // washes them out, so direct/bottom-up beat top-down (Figure 7(b)).
+  std::vector<double> product_phase(9), product_amp(9), product_trend(9),
+      product_scale(9);
+  for (std::size_t p = 0; p < 9; ++p) {
+    product_phase[p] = rng.Uniform(0.0, 2.0 * kPi);
+    product_amp[p] = rng.Uniform(0.15, 0.55);
+    product_trend[p] = rng.Uniform(-0.004, 0.008);
+    product_scale[p] = rng.Uniform(50.0, 400.0);
+  }
+  const std::vector<double> country_scale{1.0, 0.7, 1.6};
+
+  for (NodeId node : graph.base_nodes()) {
+    const NodeAddress address = graph.AddressOf(node);
+    const std::size_t product = address.coords[0].value;
+    const std::size_t country = address.coords[1].value;
+    std::vector<double> values(length);
+    for (std::size_t t = 0; t < length; ++t) {
+      const double season =
+          1.0 + product_amp[product] *
+                    std::sin(2.0 * kPi * static_cast<double>(t) / 12.0 +
+                             product_phase[product]);
+      const double trend =
+          1.0 + product_trend[product] * static_cast<double>(t);
+      const double base =
+          product_scale[product] * country_scale[country] * season * trend;
+      values[t] = ClampPositive(base * (1.0 + rng.Gaussian(0.0, 0.07)));
+    }
+    F2DB_RETURN_IF_ERROR(graph.SetBaseSeries(node, TimeSeries(values)));
+  }
+  F2DB_RETURN_IF_ERROR(graph.BuildAggregates());
+  return DataSet{"sales", std::move(graph), 12};
+}
+
+Result<DataSet> MakeEnergy(std::uint64_t seed, std::size_t length) {
+  Rng rng(seed);
+  std::vector<std::string> customers;
+  for (int i = 1; i <= 86; ++i) customers.push_back("cust" + std::to_string(i));
+
+  CubeSchema schema;
+  F2DB_RETURN_IF_ERROR(
+      schema.AddHierarchy(Hierarchy::Flat("customer", customers)));
+  F2DB_ASSIGN_OR_RETURN(TimeSeriesGraph graph, GraphFor(std::move(schema)));
+
+  // Shared daily demand profile (period 24) plus a weekly modulation;
+  // base-level noise dominates, flattening approach differences (Fig 7(c)).
+  std::vector<double> daily(24);
+  for (std::size_t h = 0; h < 24; ++h) {
+    const double morning = std::exp(-0.5 * std::pow((static_cast<double>(h) - 8.0) / 2.5, 2));
+    const double evening = std::exp(-0.5 * std::pow((static_cast<double>(h) - 19.0) / 3.0, 2));
+    daily[h] = 0.4 + 0.8 * morning + 1.0 * evening;
+  }
+
+  for (NodeId node : graph.base_nodes()) {
+    const double scale = rng.Uniform(0.5, 4.0);
+    const double noise = rng.Uniform(0.25, 0.5);
+    std::vector<double> values(length);
+    for (std::size_t t = 0; t < length; ++t) {
+      const double weekly =
+          1.0 + 0.1 * std::sin(2.0 * kPi * static_cast<double>(t) / 168.0);
+      const double base = scale * daily[t % 24] * weekly;
+      values[t] = ClampPositive(base * (1.0 + rng.Gaussian(0.0, noise)));
+    }
+    F2DB_RETURN_IF_ERROR(graph.SetBaseSeries(node, TimeSeries(values)));
+  }
+  F2DB_RETURN_IF_ERROR(graph.BuildAggregates());
+  return DataSet{"energy", std::move(graph), 24};
+}
+
+std::size_t GenXLevels(std::size_t num_base) {
+  if (num_base < 1000) return 3;
+  if (num_base < 10000) return 4;
+  if (num_base < 100000) return 5;
+  return 6;
+}
+
+Result<DataSet> MakeGenX(std::size_t num_base, std::uint64_t seed,
+                         std::size_t length) {
+  if (num_base < 2) return Status::InvalidArgument("GenX: need >= 2 series");
+  Rng rng(seed);
+  const std::size_t levels = GenXLevels(num_base);
+  const std::size_t declared = levels - 1;  // graph levels include ALL
+
+  // Fanout so that fanout^(declared-1) roughly covers num_base below the
+  // single coarsest declared level.
+  std::size_t fanout = 2;
+  if (declared >= 2) {
+    fanout = static_cast<std::size_t>(std::ceil(std::pow(
+        static_cast<double>(num_base), 1.0 / static_cast<double>(declared - 1))));
+    fanout = std::max<std::size_t>(fanout, 2);
+  }
+
+  // Level sizes bottom-up: L0 = num_base, L_{k+1} = ceil(L_k / fanout).
+  std::vector<std::size_t> level_sizes{num_base};
+  for (std::size_t k = 1; k < declared; ++k) {
+    level_sizes.push_back((level_sizes.back() + fanout - 1) / fanout);
+  }
+
+  Hierarchy hierarchy("genx");
+  for (std::size_t k = 0; k < declared; ++k) {
+    std::vector<std::string> names;
+    names.reserve(level_sizes[k]);
+    for (std::size_t i = 0; i < level_sizes[k]; ++i) {
+      names.push_back("L" + std::to_string(k) + "_" + std::to_string(i));
+    }
+    F2DB_RETURN_IF_ERROR(
+        hierarchy.AddLevel("level" + std::to_string(k), std::move(names)));
+  }
+  for (std::size_t k = 0; k + 1 < declared; ++k) {
+    for (std::size_t v = 0; v < level_sizes[k]; ++v) {
+      F2DB_RETURN_IF_ERROR(hierarchy.SetParent(
+          static_cast<LevelIndex>(k), static_cast<ValueIndex>(v),
+          static_cast<ValueIndex>(
+              std::min(v / fanout, level_sizes[k + 1] - 1))));
+    }
+  }
+  F2DB_RETURN_IF_ERROR(hierarchy.Finalize());
+
+  CubeSchema schema;
+  F2DB_RETURN_IF_ERROR(schema.AddHierarchy(std::move(hierarchy)));
+  F2DB_ASSIGN_OR_RETURN(TimeSeriesGraph graph, GraphFor(std::move(schema)));
+
+  // Independent SARIMA base series (the paper's Figure 8(b) notes GenX has
+  // no cross-series correlation by construction).
+  SarimaProcess process;
+  process.order.p = 1;
+  process.order.d = 0;
+  process.order.q = 1;
+  process.order.sp = 0;
+  process.order.sd = 1;
+  process.order.sq = 1;
+  process.order.season = 12;
+  process.phi = {0.55};
+  process.theta = {0.3};
+  process.seasonal_theta = {0.4};
+  process.noise_stddev = 1.0;
+  process.burn_in = 60;
+
+  for (NodeId node : graph.base_nodes()) {
+    Rng child = rng.Split();
+    TimeSeries series = SimulateSarima(process, length, child);
+    // Shift positive: SMAPE-friendly magnitudes.
+    double min_value = series[0];
+    for (std::size_t i = 0; i < series.size(); ++i) {
+      min_value = std::min(min_value, series[i]);
+    }
+    const double offset = 20.0 - std::min(0.0, min_value);
+    for (std::size_t i = 0; i < series.size(); ++i) {
+      series[i] = ClampPositive(series[i] + offset);
+    }
+    F2DB_RETURN_IF_ERROR(graph.SetBaseSeries(node, std::move(series)));
+  }
+  F2DB_RETURN_IF_ERROR(graph.BuildAggregates());
+  return DataSet{"gen" + std::to_string(num_base), std::move(graph), 12};
+}
+
+}  // namespace f2db

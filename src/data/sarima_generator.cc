@@ -1,0 +1,79 @@
+#include "data/sarima_generator.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace f2db {
+namespace {
+
+// Expands (1 - sum a_i B^i)(1 - sum A_j B^{js}) so that
+// w_t = sum_k out[k-1] w_{t-k} + ...; mirrors ArimaModel's expansion for
+// the AR side. For the MA side call with ma = true (signs flip).
+std::vector<double> ExpandPolynomial(const std::vector<double>& regular,
+                                     const std::vector<double>& seasonal,
+                                     std::size_t season, bool ma) {
+  const std::size_t len = regular.size() + seasonal.size() * season;
+  std::vector<double> out(len, 0.0);
+  for (std::size_t i = 1; i <= regular.size(); ++i) {
+    out[i - 1] += regular[i - 1];
+  }
+  for (std::size_t j = 1; j <= seasonal.size(); ++j) {
+    out[j * season - 1] += seasonal[j - 1];
+    for (std::size_t i = 1; i <= regular.size(); ++i) {
+      const double cross = seasonal[j - 1] * regular[i - 1];
+      out[j * season + i - 1] += ma ? cross : -cross;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+TimeSeries SimulateSarima(const SarimaProcess& process, std::size_t length,
+                          Rng& rng) {
+  const ArimaOrder& order = process.order;
+  assert(process.phi.size() == order.p);
+  assert(process.theta.size() == order.q);
+  assert(process.seasonal_phi.size() == order.sp);
+  assert(process.seasonal_theta.size() == order.sq);
+  const std::size_t s = std::max<std::size_t>(order.season, 1);
+
+  const std::vector<double> ar =
+      ExpandPolynomial(process.phi, process.seasonal_phi, s, /*ma=*/false);
+  const std::vector<double> ma =
+      ExpandPolynomial(process.theta, process.seasonal_theta, s, /*ma=*/true);
+
+  // Stationary ARMA on the differenced scale.
+  const std::size_t total = length + process.burn_in;
+  std::vector<double> w(total, 0.0);
+  std::vector<double> e(total, 0.0);
+  for (std::size_t t = 0; t < total; ++t) {
+    e[t] = rng.Gaussian(0.0, process.noise_stddev);
+    double value = process.mean + e[t];
+    for (std::size_t i = 1; i <= ar.size() && i <= t; ++i) {
+      value += ar[i - 1] * (w[t - i] - process.mean);
+    }
+    for (std::size_t j = 1; j <= ma.size() && j <= t; ++j) {
+      value += ma[j - 1] * e[t - j];
+    }
+    w[t] = value;
+  }
+  w.erase(w.begin(), w.begin() + static_cast<std::ptrdiff_t>(process.burn_in));
+
+  // Integrate: first d regular sums, then D seasonal sums.
+  for (std::size_t k = 0; k < order.d; ++k) {
+    double acc = 0.0;
+    for (double& v : w) {
+      acc += v;
+      v = acc;
+    }
+  }
+  for (std::size_t k = 0; k < order.sd; ++k) {
+    for (std::size_t t = s; t < w.size(); ++t) w[t] += w[t - s];
+  }
+
+  for (double& v : w) v += process.level_offset;
+  return TimeSeries(std::move(w), 0);
+}
+
+}  // namespace f2db

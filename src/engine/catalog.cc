@@ -1,0 +1,76 @@
+#include "engine/catalog.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace f2db {
+
+void ConfigurationCatalog::Clear() {
+  scheme_table_.clear();
+  model_table_.clear();
+}
+
+Status ConfigurationCatalog::Save(const std::string& path) const {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return Status::Internal("cannot open catalog file: " + path);
+  out.precision(17);
+  out << "f2db-catalog v1\n";
+  out << "schemes " << scheme_table_.size() << "\n";
+  for (const SchemeRow& row : scheme_table_) {
+    out << row.target << " " << row.weight << " " << row.sources.size();
+    for (NodeId s : row.sources) out << " " << s;
+    out << "\n";
+  }
+  out << "models " << model_table_.size() << "\n";
+  for (const ModelRow& row : model_table_) {
+    out << row.node << " " << row.creation_seconds << " " << row.payload
+        << "\n";
+  }
+  if (!out) return Status::Internal("catalog write failed: " + path);
+  return Status::OK();
+}
+
+Status ConfigurationCatalog::Load(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open catalog file: " + path);
+  std::string line;
+  if (!std::getline(in, line) || line != "f2db-catalog v1") {
+    return Status::InvalidArgument("not an f2db catalog file: " + path);
+  }
+  Clear();
+
+  std::size_t count = 0;
+  std::string tag;
+  in >> tag >> count;
+  if (tag != "schemes") return Status::InvalidArgument("missing schemes table");
+  scheme_table_.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    SchemeRow row;
+    std::size_t num_sources = 0;
+    in >> row.target >> row.weight >> num_sources;
+    row.sources.resize(num_sources);
+    for (std::size_t j = 0; j < num_sources; ++j) in >> row.sources[j];
+    if (!in) return Status::InvalidArgument("truncated scheme table");
+    scheme_table_.push_back(std::move(row));
+  }
+
+  in >> tag >> count;
+  if (tag != "models") return Status::InvalidArgument("missing models table");
+  std::getline(in, line);  // consume rest of the header line
+  model_table_.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    if (!std::getline(in, line)) {
+      return Status::InvalidArgument("truncated model table");
+    }
+    std::istringstream row_in(line);
+    ModelRow row;
+    row_in >> row.node >> row.creation_seconds >> row.payload;
+    if (!row_in) return Status::InvalidArgument("bad model row: " + line);
+    model_table_.push_back(std::move(row));
+  }
+  return Status::OK();
+}
+
+}  // namespace f2db

@@ -1,0 +1,62 @@
+// Configuration storage (Section V, "Configuration Storage").
+//
+// The paper stores a model configuration in two relational tables inside
+// PostgreSQL: one for the time series graph / configuration (node, scheme
+// sources, derivation weight, model assignment) and one for the forecast
+// models themselves (state and parameter values). This catalog is the
+// embedded equivalent with the same two-table layout and a plain-text disk
+// format, so configurations survive process restarts.
+
+#ifndef F2DB_ENGINE_CATALOG_H_
+#define F2DB_ENGINE_CATALOG_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "cube/graph.h"
+
+namespace f2db {
+
+/// One row of the scheme (graph/configuration) table.
+struct SchemeRow {
+  NodeId target = 0;
+  std::vector<NodeId> sources;  ///< Empty = node is uncovered.
+  double weight = 0.0;          ///< Derivation weight at load time.
+};
+
+/// One row of the model table.
+struct ModelRow {
+  NodeId node = 0;
+  /// Serialized model (ModelFactory::SerializeModel format).
+  std::string payload;
+  double creation_seconds = 0.0;
+};
+
+/// The two configuration tables plus persistence.
+class ConfigurationCatalog {
+ public:
+  ConfigurationCatalog() = default;
+
+  std::vector<SchemeRow>& scheme_table() { return scheme_table_; }
+  const std::vector<SchemeRow>& scheme_table() const { return scheme_table_; }
+  std::vector<ModelRow>& model_table() { return model_table_; }
+  const std::vector<ModelRow>& model_table() const { return model_table_; }
+
+  void Clear();
+
+  /// Writes both tables to a text file.
+  Status Save(const std::string& path) const;
+
+  /// Replaces the catalog contents from a file written by Save.
+  Status Load(const std::string& path);
+
+ private:
+  std::vector<SchemeRow> scheme_table_;
+  std::vector<ModelRow> model_table_;
+};
+
+}  // namespace f2db
+
+#endif  // F2DB_ENGINE_CATALOG_H_

@@ -1,0 +1,456 @@
+#include "engine/engine.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <limits>
+
+#include "common/logging.h"
+#include "common/stopwatch.h"
+#include "ts/model_factory.h"
+
+namespace f2db {
+
+F2dbEngine::F2dbEngine(TimeSeriesGraph graph, EngineOptions options)
+    : graph_(std::move(graph)), options_(options) {
+  schemes_.resize(graph_.num_nodes());
+  history_sums_.resize(graph_.num_nodes(), 0.0);
+  for (NodeId node = 0; node < graph_.num_nodes(); ++node) {
+    history_sums_[node] = graph_.series(node).Sum();
+  }
+  for (std::size_t i = 0; i < graph_.base_nodes().size(); ++i) {
+    base_slot_[graph_.base_nodes()[i]] = i;
+  }
+}
+
+Status F2dbEngine::LoadConfiguration(const ModelConfiguration& config,
+                                     const ConfigurationEvaluator& evaluator) {
+  if (config.num_nodes() != graph_.num_nodes()) {
+    return Status::InvalidArgument(
+        "configuration and engine graph have different node counts");
+  }
+  models_.clear();
+  const std::vector<NodeId> model_nodes = config.model_nodes();
+  if (model_nodes.empty()) {
+    return Status::FailedPrecondition("configuration contains no models");
+  }
+
+  // Install models: clone the advisor's fitted model (trained on the
+  // training prefix) and catch it up to the full stored history through
+  // incremental updates — exactly the maintenance path.
+  const std::size_t train_length = evaluator.train_length();
+  for (NodeId node : model_nodes) {
+    const ModelEntry* entry = config.entry(node);
+    LiveModel live;
+    live.model = entry->model->Clone();
+    live.creation_seconds = entry->creation_seconds;
+    const TimeSeries& series = graph_.series(node);
+    for (std::size_t t = train_length; t < series.size(); ++t) {
+      live.model->Update(series[t]);
+    }
+    models_[node] = std::move(live);
+  }
+
+  // Install schemes; uncovered nodes fall back to their nearest model node.
+  for (NodeId node = 0; node < graph_.num_nodes(); ++node) {
+    const NodeAssignment& assignment = config.assignment(node);
+    if (!assignment.scheme.IsEmpty()) {
+      schemes_[node] = assignment.scheme.sources;
+      continue;
+    }
+    NodeId best = model_nodes.front();
+    std::size_t best_distance = std::numeric_limits<std::size_t>::max();
+    for (NodeId m : model_nodes) {
+      const std::size_t distance = graph_.Distance(node, m);
+      if (distance < best_distance) {
+        best_distance = distance;
+        best = m;
+      }
+    }
+    schemes_[node] = {best};
+  }
+  return Status::OK();
+}
+
+Status F2dbEngine::LoadCatalog(const ConfigurationCatalog& catalog) {
+  models_.clear();
+  for (auto& scheme : schemes_) scheme.clear();
+  for (const ModelRow& row : catalog.model_table()) {
+    if (row.node >= graph_.num_nodes()) {
+      return Status::OutOfRange("model row references unknown node");
+    }
+    F2DB_ASSIGN_OR_RETURN(std::unique_ptr<ForecastModel> model,
+                          ModelFactory::DeserializeModel(row.payload));
+    LiveModel live;
+    live.model = std::move(model);
+    live.creation_seconds = row.creation_seconds;
+    models_[row.node] = std::move(live);
+  }
+  for (const SchemeRow& row : catalog.scheme_table()) {
+    if (row.target >= graph_.num_nodes()) {
+      return Status::OutOfRange("scheme row references unknown node");
+    }
+    for (NodeId s : row.sources) {
+      if (models_.count(s) == 0) {
+        return Status::InvalidArgument(
+            "scheme source " + std::to_string(s) + " has no stored model");
+      }
+    }
+    schemes_[row.target] = row.sources;
+  }
+  return Status::OK();
+}
+
+Result<ConfigurationCatalog> F2dbEngine::ExportCatalog() const {
+  ConfigurationCatalog catalog;
+  for (NodeId node = 0; node < graph_.num_nodes(); ++node) {
+    if (schemes_[node].empty()) continue;
+    SchemeRow row;
+    row.target = node;
+    row.sources = schemes_[node];
+    row.weight = CurrentWeight(row.sources, node);
+    catalog.scheme_table().push_back(std::move(row));
+  }
+  for (const auto& [node, live] : models_) {
+    ModelRow row;
+    row.node = node;
+    row.payload = ModelFactory::SerializeModel(*live.model);
+    row.creation_seconds = live.creation_seconds;
+    catalog.model_table().push_back(std::move(row));
+  }
+  std::sort(catalog.model_table().begin(), catalog.model_table().end(),
+            [](const ModelRow& a, const ModelRow& b) { return a.node < b.node; });
+  return catalog;
+}
+
+Result<QueryResult> F2dbEngine::ExecuteSql(const std::string& sql) {
+  F2DB_ASSIGN_OR_RETURN(ForecastQuery query, ParseForecastQuery(sql));
+  return Execute(query);
+}
+
+Result<QueryResult> F2dbEngine::Execute(const ForecastQuery& query) {
+  StopWatch watch;
+  F2DB_ASSIGN_OR_RETURN(NodeId node, ResolveNode(query.filters));
+  QueryResult result;
+  result.node = node;
+  const std::int64_t now = graph_.series(node).end_time();
+  if (query.with_intervals) {
+    F2DB_ASSIGN_OR_RETURN(
+        std::vector<ForecastInterval> intervals,
+        ForecastNodeWithIntervals(node, query.horizon, query.confidence));
+    result.rows.reserve(intervals.size());
+    for (std::size_t h = 0; h < intervals.size(); ++h) {
+      ForecastRow row;
+      row.time = now + static_cast<std::int64_t>(h);
+      row.value = intervals[h].point;
+      row.lower = intervals[h].lower;
+      row.upper = intervals[h].upper;
+      row.has_interval = true;
+      result.rows.push_back(row);
+    }
+    // ForecastNodeWithIntervals already accounted for the query.
+    return result;
+  }
+  F2DB_ASSIGN_OR_RETURN(std::vector<double> forecast,
+                        ForecastNodeInternal(node, query.horizon));
+  result.rows.reserve(forecast.size());
+  for (std::size_t h = 0; h < forecast.size(); ++h) {
+    ForecastRow row;
+    row.time = now + static_cast<std::int64_t>(h);
+    row.value = forecast[h];
+    result.rows.push_back(row);
+  }
+  ++stats_.queries;
+  stats_.total_query_seconds += watch.ElapsedSeconds();
+  return result;
+}
+
+Result<ExplainResult> F2dbEngine::Explain(const ForecastQuery& query) const {
+  F2DB_ASSIGN_OR_RETURN(NodeId node, ResolveNode(query.filters));
+  ExplainResult out;
+  out.node = node;
+  out.node_name = graph_.NodeName(node);
+  out.sources = schemes_[node];
+  out.weight = CurrentWeight(out.sources, node);
+  out.horizon = query.horizon;
+  for (NodeId source : out.sources) {
+    const auto it = models_.find(source);
+    std::string description = "node " + std::to_string(source) + " (" +
+                              graph_.NodeName(source) + "): ";
+    if (it == models_.end()) {
+      description += "<missing model>";
+    } else {
+      description += ModelTypeName(it->second.model->type());
+      description += ", " +
+                     std::to_string(it->second.model->num_parameters()) +
+                     " params";
+      if (it->second.invalid) description += ", INVALID (lazy re-estimate)";
+    }
+    out.source_models.push_back(std::move(description));
+  }
+  return out;
+}
+
+Result<std::string> F2dbEngine::ExecuteStatementText(const std::string& sql) {
+  F2DB_ASSIGN_OR_RETURN(Statement statement, ParseStatement(sql));
+  std::string out;
+  char buffer[160];
+  switch (statement.kind) {
+    case Statement::Kind::kForecast: {
+      F2DB_ASSIGN_OR_RETURN(QueryResult result, Execute(statement.forecast));
+      out = "-- node: " + graph_.NodeName(result.node) + "\n";
+      for (const ForecastRow& row : result.rows) {
+        if (row.has_interval) {
+          std::snprintf(buffer, sizeof(buffer), "%lld | %.4f  [%.4f, %.4f]\n",
+                        static_cast<long long>(row.time), row.value, row.lower,
+                        row.upper);
+        } else {
+          std::snprintf(buffer, sizeof(buffer), "%lld | %.4f\n",
+                        static_cast<long long>(row.time), row.value);
+        }
+        out += buffer;
+      }
+      break;
+    }
+    case Statement::Kind::kInsert: {
+      F2DB_RETURN_IF_ERROR(InsertFact(statement.insert.base_values,
+                                      statement.insert.time,
+                                      statement.insert.value));
+      std::snprintf(buffer, sizeof(buffer),
+                    "INSERT ok (%zu buffered, %zu advances)\n",
+                    pending_inserts(), stats_.time_advances);
+      out = buffer;
+      break;
+    }
+    case Statement::Kind::kExplain: {
+      F2DB_ASSIGN_OR_RETURN(ExplainResult plan, Explain(statement.forecast));
+      out = "Forecast Query Plan\n";
+      out += "  node:    " + plan.node_name + " (#" +
+             std::to_string(plan.node) + ")\n";
+      out += "  horizon: " + std::to_string(plan.horizon) + "\n";
+      std::snprintf(buffer, sizeof(buffer), "  weight:  %.6f\n", plan.weight);
+      out += buffer;
+      out += "  scheme:  " +
+             std::string(plan.sources.size() == 1 &&
+                                 plan.sources[0] == plan.node
+                             ? "direct"
+                             : (plan.sources.size() == 1 ? "derivation"
+                                                         : "multi-source")) +
+             " from " + std::to_string(plan.sources.size()) + " model(s)\n";
+      for (const std::string& m : plan.source_models) {
+        out += "    " + m + "\n";
+      }
+      break;
+    }
+  }
+  return out;
+}
+
+Result<NodeId> F2dbEngine::ResolveNode(
+    const std::vector<DimensionFilter>& filters) const {
+  const CubeSchema& schema = graph_.schema();
+  NodeAddress address;
+  address.coords.resize(schema.num_dimensions());
+  for (std::size_t d = 0; d < schema.num_dimensions(); ++d) {
+    address.coords[d] = {
+        static_cast<LevelIndex>(schema.hierarchy(d).num_levels()), 0};  // ALL
+  }
+  for (const DimensionFilter& filter : filters) {
+    F2DB_ASSIGN_OR_RETURN(auto hit, schema.FindLevelAnywhere(filter.level));
+    const auto [dim, level] = hit;
+    F2DB_ASSIGN_OR_RETURN(ValueIndex value,
+                          schema.hierarchy(dim).FindValue(level, filter.value));
+    address.coords[dim] = {level, value};
+  }
+  return graph_.NodeFor(address);
+}
+
+Result<std::vector<double>> F2dbEngine::ForecastNode(NodeId node,
+                                                     std::size_t horizon) {
+  StopWatch watch;
+  F2DB_ASSIGN_OR_RETURN(std::vector<double> forecast,
+                        ForecastNodeInternal(node, horizon));
+  ++stats_.queries;
+  stats_.total_query_seconds += watch.ElapsedSeconds();
+  return forecast;
+}
+
+Result<std::vector<ForecastInterval>> F2dbEngine::ForecastNodeWithIntervals(
+    NodeId node, std::size_t horizon, double confidence) {
+  StopWatch watch;
+  if (node >= graph_.num_nodes()) {
+    return Status::OutOfRange("node id out of range");
+  }
+  const std::vector<NodeId>& sources = schemes_[node];
+  if (sources.empty()) {
+    return Status::FailedPrecondition(
+        "no derivation scheme stored for node " + graph_.NodeName(node));
+  }
+  std::vector<double> points(horizon, 0.0);
+  std::vector<double> variances(horizon, 0.0);
+  for (NodeId source : sources) {
+    const auto it = models_.find(source);
+    if (it == models_.end()) {
+      return Status::Internal("scheme source " + std::to_string(source) +
+                              " lost its model");
+    }
+    F2DB_RETURN_IF_ERROR(EnsureValid(source, it->second));
+    const std::vector<double> forecast = it->second.model->Forecast(horizon);
+    const std::vector<double> variance =
+        it->second.model->ForecastVariance(horizon);
+    if (variance.size() != horizon) {
+      return Status::Unimplemented(
+          "model at node " + std::to_string(source) +
+          " does not support interval forecasts");
+    }
+    for (std::size_t h = 0; h < horizon; ++h) {
+      points[h] += forecast[h];
+      variances[h] += variance[h];
+    }
+  }
+  const double weight = CurrentWeight(sources, node);
+  for (std::size_t h = 0; h < horizon; ++h) {
+    points[h] *= weight;
+    variances[h] *= weight * weight;
+  }
+  ++stats_.queries;
+  stats_.total_query_seconds += watch.ElapsedSeconds();
+  return IntervalsFromMoments(points, variances, confidence);
+}
+
+Result<std::vector<double>> F2dbEngine::ForecastNodeInternal(
+    NodeId node, std::size_t horizon) {
+  if (node >= graph_.num_nodes()) {
+    return Status::OutOfRange("node id out of range");
+  }
+  const std::vector<NodeId>& sources = schemes_[node];
+  if (sources.empty()) {
+    return Status::FailedPrecondition(
+        "no derivation scheme stored for node " + graph_.NodeName(node));
+  }
+  std::vector<double> combined(horizon, 0.0);
+  for (NodeId source : sources) {
+    const auto it = models_.find(source);
+    if (it == models_.end()) {
+      return Status::Internal("scheme source " + std::to_string(source) +
+                              " lost its model");
+    }
+    F2DB_RETURN_IF_ERROR(EnsureValid(source, it->second));
+    const std::vector<double> forecast = it->second.model->Forecast(horizon);
+    for (std::size_t h = 0; h < horizon; ++h) combined[h] += forecast[h];
+  }
+  const double weight = CurrentWeight(sources, node);
+  for (double& v : combined) v *= weight;
+  return combined;
+}
+
+Status F2dbEngine::InsertFact(const std::vector<std::string>& base_values,
+                              std::int64_t time, double value) {
+  const CubeSchema& schema = graph_.schema();
+  if (base_values.size() != schema.num_dimensions()) {
+    return Status::InvalidArgument("need one level-0 value per dimension");
+  }
+  NodeAddress address;
+  address.coords.resize(schema.num_dimensions());
+  for (std::size_t d = 0; d < schema.num_dimensions(); ++d) {
+    F2DB_ASSIGN_OR_RETURN(ValueIndex v,
+                          schema.hierarchy(d).FindValue(0, base_values[d]));
+    address.coords[d] = {0, v};
+  }
+  F2DB_ASSIGN_OR_RETURN(NodeId node, graph_.NodeFor(address));
+  return InsertFact(node, time, value);
+}
+
+Status F2dbEngine::InsertFact(NodeId base_node, std::int64_t time,
+                              double value) {
+  StopWatch watch;
+  const auto slot = base_slot_.find(base_node);
+  if (slot == base_slot_.end()) {
+    return Status::InvalidArgument("not a base node: " +
+                                   std::to_string(base_node));
+  }
+  const std::int64_t frontier = graph_.series(graph_.base_nodes()[0]).end_time();
+  if (time < frontier) {
+    return Status::OutOfRange("insert at time " + std::to_string(time) +
+                              " is behind the stored frontier " +
+                              std::to_string(frontier));
+  }
+  auto& batch = pending_[time];
+  if (batch.empty()) batch.resize(graph_.num_base_nodes());
+  if (batch[slot->second].has_value()) {
+    return Status::AlreadyExists("duplicate insert for node " +
+                                 graph_.NodeName(base_node) + " at time " +
+                                 std::to_string(time));
+  }
+  batch[slot->second] = value;
+  ++stats_.inserts;
+  const Status advanced = AdvanceWhileComplete();
+  stats_.total_maintenance_seconds += watch.ElapsedSeconds();
+  return advanced;
+}
+
+std::size_t F2dbEngine::pending_inserts() const {
+  std::size_t count = 0;
+  for (const auto& [time, batch] : pending_) {
+    for (const auto& v : batch) {
+      if (v.has_value()) ++count;
+    }
+  }
+  return count;
+}
+
+Status F2dbEngine::AdvanceWhileComplete() {
+  for (;;) {
+    const std::int64_t frontier =
+        graph_.series(graph_.base_nodes()[0]).end_time();
+    const auto it = pending_.find(frontier);
+    if (it == pending_.end()) return Status::OK();
+    const auto& batch = it->second;
+    const bool complete =
+        std::all_of(batch.begin(), batch.end(),
+                    [](const std::optional<double>& v) { return v.has_value(); });
+    if (!complete) return Status::OK();
+
+    // Advance the whole graph by one period (batched inserts, Section V).
+    std::vector<double> values(batch.size());
+    for (std::size_t i = 0; i < batch.size(); ++i) values[i] = *batch[i];
+    pending_.erase(it);
+    F2DB_RETURN_IF_ERROR(graph_.AdvanceTime(values));
+    ++stats_.time_advances;
+
+    // Incremental maintenance: history sums and model states.
+    for (NodeId node = 0; node < graph_.num_nodes(); ++node) {
+      const TimeSeries& series = graph_.series(node);
+      history_sums_[node] += series[series.size() - 1];
+    }
+    for (auto& [node, live] : models_) {
+      const TimeSeries& series = graph_.series(node);
+      live.model->Update(series[series.size() - 1]);
+      ++live.updates_since_estimate;
+      if (options_.reestimate_after_updates > 0 &&
+          live.updates_since_estimate >= options_.reestimate_after_updates) {
+        live.invalid = true;  // re-estimated lazily on next query reference
+      }
+    }
+  }
+}
+
+Status F2dbEngine::EnsureValid(NodeId node, LiveModel& live) {
+  if (!live.invalid) return Status::OK();
+  StopWatch watch;
+  F2DB_RETURN_IF_ERROR(live.model->Fit(graph_.series(node)));
+  live.invalid = false;
+  live.updates_since_estimate = 0;
+  ++stats_.reestimates;
+  stats_.total_maintenance_seconds += watch.ElapsedSeconds();
+  return Status::OK();
+}
+
+double F2dbEngine::CurrentWeight(const std::vector<NodeId>& sources,
+                                 NodeId target) const {
+  double denom = 0.0;
+  for (NodeId s : sources) denom += history_sums_[s];
+  if (std::abs(denom) < 1e-12) return 0.0;
+  return history_sums_[target] / denom;
+}
+
+}  // namespace f2db

@@ -1,0 +1,199 @@
+// F2DB engine: forecast query processing and model maintenance over a
+// stored model configuration (Section V).
+//
+// This is the embedded stand-in for the paper's PostgreSQL extension. It
+// owns the time series data (the fact cube), the configuration (schemes +
+// live models), and implements:
+//   - the Forecast Query Processor: a query resolves its graph node, loads
+//     the node's derivation scheme and the required models, and computes
+//     forecasts WITHOUT touching the base fact data;
+//   - the Maintenance Processor: inserts are batched until a new value is
+//     available for every base series, then time advances through the whole
+//     graph at once; model states and derivation weights are updated
+//     incrementally; parameter re-estimation is delayed until an invalid
+//     model is actually referenced by a query (lazy re-estimation).
+
+#ifndef F2DB_ENGINE_ENGINE_H_
+#define F2DB_ENGINE_ENGINE_H_
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "core/configuration.h"
+#include "core/evaluator.h"
+#include "cube/graph.h"
+#include "engine/catalog.h"
+#include "engine/query.h"
+#include "ts/intervals.h"
+#include "ts/model.h"
+
+namespace f2db {
+
+/// Engine tuning knobs.
+struct EngineOptions {
+  /// Threshold-based invalidation: a model is marked invalid after this
+  /// many incremental updates and re-estimated on next use. 0 disables
+  /// re-estimation entirely.
+  std::size_t reestimate_after_updates = 0;
+};
+
+/// Counters exposed for benchmarking (Figure 9(b)).
+struct EngineStats {
+  std::size_t queries = 0;
+  std::size_t inserts = 0;
+  std::size_t time_advances = 0;
+  std::size_t reestimates = 0;
+  double total_query_seconds = 0.0;
+  double total_maintenance_seconds = 0.0;
+};
+
+/// One output row of a forecast query.
+struct ForecastRow {
+  std::int64_t time = 0;
+  double value = 0.0;
+  /// Prediction interval bounds; meaningful when has_interval is true
+  /// (WITH INTERVALS queries).
+  double lower = 0.0;
+  double upper = 0.0;
+  bool has_interval = false;
+};
+
+/// Result of a forecast query.
+struct QueryResult {
+  NodeId node = 0;          ///< The graph node the query resolved to.
+  std::vector<ForecastRow> rows;
+};
+
+/// Plan description produced by EXPLAIN (Section V: a forecast query is
+/// rewritten to access the stored time series graph and models).
+struct ExplainResult {
+  NodeId node = 0;
+  std::string node_name;
+  /// The stored derivation scheme sources and the current weight.
+  std::vector<NodeId> sources;
+  double weight = 0.0;
+  /// Human-readable model description per source ("node 7: arima, 5 params").
+  std::vector<std::string> source_models;
+  std::size_t horizon = 0;
+};
+
+/// The embedded forecast-enabled database engine.
+class F2dbEngine {
+ public:
+  /// Takes ownership of the loaded fact cube (aggregates built).
+  explicit F2dbEngine(TimeSeriesGraph graph, EngineOptions options = {});
+
+  const TimeSeriesGraph& graph() const { return graph_; }
+  const EngineStats& stats() const { return stats_; }
+  EngineOptions& options() { return options_; }
+
+  // -------------------------------------------------- configuration load
+
+  /// Installs an advisor/baseline configuration: schemes are copied, every
+  /// uncovered node receives a fallback scheme (nearest model node), and
+  /// the models are caught up from their training state to the full stored
+  /// history via incremental updates.
+  Status LoadConfiguration(const ModelConfiguration& config,
+                           const ConfigurationEvaluator& evaluator);
+
+  /// Restores a configuration from catalog tables (Save/Load round trip).
+  Status LoadCatalog(const ConfigurationCatalog& catalog);
+
+  /// Exports the current configuration as catalog tables.
+  Result<ConfigurationCatalog> ExportCatalog() const;
+
+  /// Number of live models.
+  std::size_t num_models() const { return models_.size(); }
+
+  // ------------------------------------------------------------- queries
+
+  /// Parses and executes a forecast query.
+  Result<QueryResult> ExecuteSql(const std::string& sql);
+
+  /// Executes a parsed forecast query.
+  Result<QueryResult> Execute(const ForecastQuery& query);
+
+  /// Describes the execution plan of a forecast query without computing
+  /// forecasts: the resolved node, its stored derivation scheme, the
+  /// current derivation weight, and the source models.
+  Result<ExplainResult> Explain(const ForecastQuery& query) const;
+
+  /// Parses and executes ANY statement of the dialect (SELECT / INSERT /
+  /// EXPLAIN SELECT) and renders the outcome as display text — the
+  /// interactive shell entry point.
+  Result<std::string> ExecuteStatementText(const std::string& sql);
+
+  /// Resolves WHERE filters to a graph node (unfiltered dimensions = ALL).
+  Result<NodeId> ResolveNode(const std::vector<DimensionFilter>& filters) const;
+
+  /// Computes the `horizon` forecasts of a node via its stored scheme.
+  /// Counts as a query in stats() (used by the Figure 9(b) bench to bypass
+  /// SQL parsing).
+  Result<std::vector<double>> ForecastNode(NodeId node, std::size_t horizon);
+
+  /// Interval forecasts for a node at the given confidence level. The
+  /// variance of a derived scheme is k^2 * sum of the source model
+  /// variances (sources treated as independent). Fails when some source
+  /// model does not support variances.
+  Result<std::vector<ForecastInterval>> ForecastNodeWithIntervals(
+      NodeId node, std::size_t horizon, double confidence = 0.95);
+
+  // --------------------------------------------------------- maintenance
+
+  /// Inserts one new fact for a base cell identified by its level-0 value
+  /// names (ordered by dimension). Values are buffered per time stamp; when
+  /// every base series has a value for the next period, time advances.
+  Status InsertFact(const std::vector<std::string>& base_values,
+                    std::int64_t time, double value);
+
+  /// Same, addressing the base node directly.
+  Status InsertFact(NodeId base_node, std::int64_t time, double value);
+
+  /// Number of buffered (not yet applied) inserts.
+  std::size_t pending_inserts() const;
+
+ private:
+  /// Scheme-based forecast without stats accounting (shared by Execute and
+  /// ForecastNode).
+  Result<std::vector<double>> ForecastNodeInternal(NodeId node,
+                                                   std::size_t horizon);
+
+  struct LiveModel {
+    std::unique_ptr<ForecastModel> model;
+    double creation_seconds = 0.0;
+    bool invalid = false;
+    std::size_t updates_since_estimate = 0;
+  };
+
+  /// Applies every complete buffered batch at the current frontier.
+  Status AdvanceWhileComplete();
+
+  /// Re-estimates an invalid model on the full stored history.
+  Status EnsureValid(NodeId node, LiveModel& live);
+
+  /// Current derivation weight from full-history sums.
+  double CurrentWeight(const std::vector<NodeId>& sources, NodeId target) const;
+
+  TimeSeriesGraph graph_;
+  EngineOptions options_;
+  EngineStats stats_;
+
+  /// scheme_[node] = source nodes (empty = uncovered).
+  std::vector<std::vector<NodeId>> schemes_;
+  std::unordered_map<NodeId, LiveModel> models_;
+  /// Full-history sum per node, maintained incrementally on time advance.
+  std::vector<double> history_sums_;
+
+  /// Insert buffer: time -> per-base-slot pending values.
+  std::map<std::int64_t, std::vector<std::optional<double>>> pending_;
+  std::unordered_map<NodeId, std::size_t> base_slot_;
+};
+
+}  // namespace f2db
+
+#endif  // F2DB_ENGINE_ENGINE_H_

@@ -1,0 +1,154 @@
+#include "engine/fact_table.h"
+
+#include <algorithm>
+#include <map>
+
+namespace f2db {
+
+FactTable::FactTable(CubeSchema schema) : schema_(std::move(schema)) {
+  dims_.resize(schema_.num_dimensions());
+}
+
+Status FactTable::Append(const FactRow& row) {
+  if (row.dims.size() != schema_.num_dimensions()) {
+    return Status::InvalidArgument("fact row has wrong dimensionality");
+  }
+  std::vector<ValueIndex> encoded(row.dims.size());
+  for (std::size_t d = 0; d < row.dims.size(); ++d) {
+    F2DB_ASSIGN_OR_RETURN(encoded[d],
+                          schema_.hierarchy(d).FindValue(0, row.dims[d]));
+  }
+  return AppendEncoded(encoded, row.time, row.value);
+}
+
+Status FactTable::AppendEncoded(const std::vector<ValueIndex>& dims,
+                                std::int64_t time, double value) {
+  if (dims.size() != schema_.num_dimensions()) {
+    return Status::InvalidArgument("fact row has wrong dimensionality");
+  }
+  for (std::size_t d = 0; d < dims.size(); ++d) {
+    if (dims[d] >= schema_.hierarchy(d).num_values(0)) {
+      return Status::OutOfRange("dimension value id out of range");
+    }
+  }
+  for (std::size_t d = 0; d < dims.size(); ++d) dims_[d].push_back(dims[d]);
+  if (times_.empty()) {
+    min_time_ = time;
+    max_time_ = time;
+  } else {
+    min_time_ = std::min(min_time_, time);
+    max_time_ = std::max(max_time_, time);
+  }
+  times_.push_back(time);
+  values_.push_back(value);
+  return Status::OK();
+}
+
+Result<FactRow> FactTable::Row(std::size_t index) const {
+  if (index >= num_rows()) return Status::OutOfRange("row index out of range");
+  FactRow row;
+  row.dims.resize(schema_.num_dimensions());
+  for (std::size_t d = 0; d < schema_.num_dimensions(); ++d) {
+    row.dims[d] = schema_.hierarchy(d).value_name(0, dims_[d][index]);
+  }
+  row.time = times_[index];
+  row.value = values_[index];
+  return row;
+}
+
+bool FactTable::Matches(const FactPredicate& predicate,
+                        ValueIndex base) const {
+  const Hierarchy& h = schema_.hierarchy(predicate.dim);
+  LevelIndex level = 0;
+  ValueIndex value = base;
+  while (level < predicate.level) {
+    if (level >= h.num_levels()) return predicate.value == 0;  // ALL
+    value = h.parent_value(level, value);
+    ++level;
+  }
+  return value == predicate.value;
+}
+
+std::vector<std::size_t> FactTable::Scan(
+    const std::vector<FactPredicate>& predicates) const {
+  std::vector<std::size_t> out;
+  for (std::size_t row = 0; row < num_rows(); ++row) {
+    bool match = true;
+    for (const FactPredicate& predicate : predicates) {
+      if (predicate.dim >= dims_.size() ||
+          !Matches(predicate, dims_[predicate.dim][row])) {
+        match = false;
+        break;
+      }
+    }
+    if (match) out.push_back(row);
+  }
+  return out;
+}
+
+TimeSeries FactTable::AggregateByTime(
+    const std::vector<FactPredicate>& predicates) const {
+  if (times_.empty()) return TimeSeries();
+  const std::size_t length =
+      static_cast<std::size_t>(max_time_ - min_time_) + 1;
+  std::vector<double> buckets(length, 0.0);
+  for (std::size_t row : Scan(predicates)) {
+    buckets[static_cast<std::size_t>(times_[row] - min_time_)] += values_[row];
+  }
+  return TimeSeries(std::move(buckets), min_time_);
+}
+
+Result<TimeSeriesGraph> FactTable::BuildGraph() const {
+  if (times_.empty()) return Status::FailedPrecondition("fact table is empty");
+  F2DB_ASSIGN_OR_RETURN(TimeSeriesGraph graph,
+                        TimeSeriesGraph::Create(schema_));
+
+  const std::size_t length =
+      static_cast<std::size_t>(max_time_ - min_time_) + 1;
+  // One dense accumulation pass: row -> base node -> time bucket. A seen
+  // bitmap enforces exactly-one-fact-per-(cell, time).
+  std::vector<std::vector<double>> series(graph.num_base_nodes(),
+                                          std::vector<double>(length, 0.0));
+  std::vector<std::vector<bool>> seen(graph.num_base_nodes(),
+                                      std::vector<bool>(length, false));
+  // Base-node lookup per row via NodeFor on the level-0 address.
+  std::vector<NodeId> base_index_of(graph.num_nodes(),
+                                    static_cast<NodeId>(-1));
+  for (std::size_t i = 0; i < graph.base_nodes().size(); ++i) {
+    base_index_of[graph.base_nodes()[i]] = static_cast<NodeId>(i);
+  }
+  NodeAddress address;
+  address.coords.resize(schema_.num_dimensions());
+  for (std::size_t row = 0; row < num_rows(); ++row) {
+    for (std::size_t d = 0; d < schema_.num_dimensions(); ++d) {
+      address.coords[d] = {0, dims_[d][row]};
+    }
+    F2DB_ASSIGN_OR_RETURN(NodeId node, graph.NodeFor(address));
+    const NodeId slot = base_index_of[node];
+    const std::size_t bucket =
+        static_cast<std::size_t>(times_[row] - min_time_);
+    if (seen[slot][bucket]) {
+      return Status::InvalidArgument(
+          "duplicate fact for cell " + graph.NodeName(node) + " at time " +
+          std::to_string(times_[row]));
+    }
+    seen[slot][bucket] = true;
+    series[slot][bucket] = values_[row];
+  }
+  for (std::size_t i = 0; i < graph.base_nodes().size(); ++i) {
+    for (std::size_t t = 0; t < length; ++t) {
+      if (!seen[i][t]) {
+        return Status::InvalidArgument(
+            "cell " + graph.NodeName(graph.base_nodes()[i]) +
+            " is missing time " + std::to_string(min_time_ +
+                                                 static_cast<std::int64_t>(t)));
+      }
+    }
+    F2DB_RETURN_IF_ERROR(graph.SetBaseSeries(
+        graph.base_nodes()[i], TimeSeries(std::move(series[i]), min_time_)));
+  }
+  F2DB_RETURN_IF_ERROR(graph.BuildAggregates());
+  return graph;
+}
+
+}  // namespace f2db

@@ -1,0 +1,325 @@
+#include "engine/query.h"
+
+#include <cctype>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace f2db {
+namespace {
+
+enum class TokenKind { kIdent, kString, kNumber, kSymbol, kEnd };
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;
+};
+
+/// Splits the query text into tokens; quoted strings keep their content.
+class Lexer {
+ public:
+  explicit Lexer(const std::string& input) : input_(input) {}
+
+  Result<std::vector<Token>> Tokenize() {
+    std::vector<Token> out;
+    std::size_t pos = 0;
+    while (pos < input_.size()) {
+      const char c = input_[pos];
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        ++pos;
+        continue;
+      }
+      if (c == '\'') {
+        std::string value;
+        ++pos;
+        while (pos < input_.size() && input_[pos] != '\'') {
+          value.push_back(input_[pos++]);
+        }
+        if (pos >= input_.size()) {
+          return Status::InvalidArgument("unterminated string literal");
+        }
+        ++pos;  // closing quote
+        out.push_back({TokenKind::kString, std::move(value)});
+        continue;
+      }
+      if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+        std::string ident;
+        while (pos < input_.size() &&
+               (std::isalnum(static_cast<unsigned char>(input_[pos])) ||
+                input_[pos] == '_')) {
+          ident.push_back(input_[pos++]);
+        }
+        out.push_back({TokenKind::kIdent, std::move(ident)});
+        continue;
+      }
+      if (std::isdigit(static_cast<unsigned char>(c))) {
+        std::string number;
+        while (pos < input_.size() &&
+               (std::isdigit(static_cast<unsigned char>(input_[pos])) ||
+                input_[pos] == '.')) {
+          number.push_back(input_[pos++]);
+        }
+        out.push_back({TokenKind::kNumber, std::move(number)});
+        continue;
+      }
+      if (c == '(' || c == ')' || c == '=' || c == '+' || c == ',' ||
+          c == '*' || c == ';' || c == '-') {
+        out.push_back({TokenKind::kSymbol, std::string(1, c)});
+        ++pos;
+        continue;
+      }
+      return Status::InvalidArgument(std::string("unexpected character '") +
+                                     c + "' in query");
+    }
+    out.push_back({TokenKind::kEnd, ""});
+    return out;
+  }
+
+ private:
+  const std::string& input_;
+};
+
+/// Recursive-descent parser over the token stream.
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<Statement> ParseAny() {
+    Statement statement;
+    if (PeekKeyword("EXPLAIN")) {
+      Advance();
+      statement.kind = Statement::Kind::kExplain;
+      F2DB_ASSIGN_OR_RETURN(statement.forecast, Parse());
+      return statement;
+    }
+    if (PeekKeyword("INSERT")) {
+      statement.kind = Statement::Kind::kInsert;
+      F2DB_ASSIGN_OR_RETURN(statement.insert, ParseInsert());
+      return statement;
+    }
+    statement.kind = Statement::Kind::kForecast;
+    F2DB_ASSIGN_OR_RETURN(statement.forecast, Parse());
+    return statement;
+  }
+
+  Result<InsertStatement> ParseInsert() {
+    InsertStatement insert;
+    F2DB_RETURN_IF_ERROR(ExpectKeyword("INSERT"));
+    F2DB_RETURN_IF_ERROR(ExpectKeyword("INTO"));
+    F2DB_ASSIGN_OR_RETURN(std::string table, ExpectIdent());
+    (void)table;
+    F2DB_RETURN_IF_ERROR(ExpectKeyword("VALUES"));
+    F2DB_RETURN_IF_ERROR(ExpectSymbol("("));
+    // Quoted dimension values, then the time index, then the measure.
+    while (Peek().kind == TokenKind::kString) {
+      insert.base_values.push_back(Peek().text);
+      Advance();
+      F2DB_RETURN_IF_ERROR(ExpectSymbol(","));
+    }
+    if (insert.base_values.empty()) {
+      return Status::InvalidArgument(
+          "INSERT needs at least one quoted dimension value");
+    }
+    F2DB_ASSIGN_OR_RETURN(std::string time_text, ExpectNumber());
+    F2DB_ASSIGN_OR_RETURN(insert.time, ParseInt(time_text));
+    F2DB_RETURN_IF_ERROR(ExpectSymbol(","));
+    F2DB_ASSIGN_OR_RETURN(std::string value_text, ExpectNumber());
+    F2DB_ASSIGN_OR_RETURN(insert.value, ParseDouble(value_text));
+    F2DB_RETURN_IF_ERROR(ExpectSymbol(")"));
+    if (Peek().kind == TokenKind::kSymbol && Peek().text == ";") Advance();
+    if (Peek().kind != TokenKind::kEnd) {
+      return Status::InvalidArgument("unexpected trailing tokens after INSERT");
+    }
+    return insert;
+  }
+
+  Result<ForecastQuery> Parse() {
+    ForecastQuery query;
+    F2DB_RETURN_IF_ERROR(ExpectKeyword("SELECT"));
+    F2DB_RETURN_IF_ERROR(ExpectKeyword("time"));
+    F2DB_RETURN_IF_ERROR(ExpectSymbol(","));
+
+    if (PeekKeyword("SUM")) {
+      Advance();
+      query.aggregate = true;
+      F2DB_RETURN_IF_ERROR(ExpectSymbol("("));
+      F2DB_ASSIGN_OR_RETURN(query.measure, ExpectIdent());
+      F2DB_RETURN_IF_ERROR(ExpectSymbol(")"));
+    } else {
+      F2DB_ASSIGN_OR_RETURN(query.measure, ExpectIdent());
+    }
+
+    F2DB_RETURN_IF_ERROR(ExpectKeyword("FROM"));
+    F2DB_ASSIGN_OR_RETURN(std::string table, ExpectIdent());
+    (void)table;  // single fact table; name is informational
+
+    if (PeekKeyword("WHERE")) {
+      Advance();
+      for (;;) {
+        DimensionFilter filter;
+        F2DB_ASSIGN_OR_RETURN(filter.level, ExpectIdent());
+        F2DB_RETURN_IF_ERROR(ExpectSymbol("="));
+        F2DB_ASSIGN_OR_RETURN(filter.value, ExpectString());
+        query.filters.push_back(std::move(filter));
+        if (!PeekKeyword("AND")) break;
+        Advance();
+      }
+    }
+
+    if (PeekKeyword("GROUP")) {
+      Advance();
+      F2DB_RETURN_IF_ERROR(ExpectKeyword("BY"));
+      F2DB_RETURN_IF_ERROR(ExpectKeyword("time"));
+    }
+
+    F2DB_RETURN_IF_ERROR(ExpectKeyword("AS"));
+    F2DB_RETURN_IF_ERROR(ExpectKeyword("OF"));
+    F2DB_RETURN_IF_ERROR(ExpectKeyword("now"));
+    F2DB_RETURN_IF_ERROR(ExpectSymbol("("));
+    F2DB_RETURN_IF_ERROR(ExpectSymbol(")"));
+    F2DB_RETURN_IF_ERROR(ExpectSymbol("+"));
+    F2DB_ASSIGN_OR_RETURN(std::string horizon_text, ExpectString());
+    F2DB_ASSIGN_OR_RETURN(query.horizon, ParseHorizon(horizon_text));
+
+    if (PeekKeyword("WITH")) {
+      Advance();
+      F2DB_RETURN_IF_ERROR(ExpectKeyword("INTERVALS"));
+      query.with_intervals = true;
+      if (Peek().kind == TokenKind::kNumber) {
+        F2DB_ASSIGN_OR_RETURN(query.confidence, ParseDouble(Peek().text));
+        Advance();
+        if (query.confidence <= 0.0 || query.confidence >= 1.0) {
+          return Status::InvalidArgument(
+              "WITH INTERVALS confidence must be in (0, 1)");
+        }
+      }
+    }
+
+    if (Peek().kind == TokenKind::kSymbol && Peek().text == ";") Advance();
+    if (Peek().kind != TokenKind::kEnd) {
+      return Status::InvalidArgument("unexpected trailing tokens after AS OF");
+    }
+    return query;
+  }
+
+ private:
+  const Token& Peek() const { return tokens_[pos_]; }
+  void Advance() { ++pos_; }
+
+  bool PeekKeyword(std::string_view keyword) const {
+    return Peek().kind == TokenKind::kIdent &&
+           EqualsIgnoreCase(Peek().text, keyword);
+  }
+
+  Status ExpectKeyword(std::string_view keyword) {
+    if (!PeekKeyword(keyword)) {
+      return Status::InvalidArgument("expected '" + std::string(keyword) +
+                                     "', got '" + Peek().text + "'");
+    }
+    Advance();
+    return Status::OK();
+  }
+
+  Status ExpectSymbol(std::string_view symbol) {
+    if (Peek().kind != TokenKind::kSymbol || Peek().text != symbol) {
+      return Status::InvalidArgument("expected '" + std::string(symbol) +
+                                     "', got '" + Peek().text + "'");
+    }
+    Advance();
+    return Status::OK();
+  }
+
+  Result<std::string> ExpectIdent() {
+    if (Peek().kind != TokenKind::kIdent) {
+      return Status::InvalidArgument("expected identifier, got '" +
+                                     Peek().text + "'");
+    }
+    std::string out = Peek().text;
+    Advance();
+    return out;
+  }
+
+  Result<std::string> ExpectString() {
+    if (Peek().kind != TokenKind::kString) {
+      return Status::InvalidArgument("expected quoted literal, got '" +
+                                     Peek().text + "'");
+    }
+    std::string out = Peek().text;
+    Advance();
+    return out;
+  }
+
+  Result<std::string> ExpectNumber() {
+    // Accepts an optional leading minus for measure values.
+    std::string sign;
+    if (Peek().kind == TokenKind::kSymbol && Peek().text == "-") {
+      sign = "-";
+      Advance();
+    }
+    if (Peek().kind != TokenKind::kNumber) {
+      return Status::InvalidArgument("expected number, got '" + Peek().text +
+                                     "'");
+    }
+    std::string out = sign + Peek().text;
+    Advance();
+    return out;
+  }
+
+  /// "3", "1 day", "12 hours" -> the leading integer.
+  static Result<std::size_t> ParseHorizon(const std::string& text) {
+    std::size_t digits = 0;
+    while (digits < text.size() &&
+           std::isdigit(static_cast<unsigned char>(text[digits]))) {
+      ++digits;
+    }
+    if (digits == 0) {
+      return Status::InvalidArgument("AS OF literal must start with a number");
+    }
+    F2DB_ASSIGN_OR_RETURN(std::int64_t value,
+                          ParseInt(text.substr(0, digits)));
+    if (value <= 0) {
+      return Status::InvalidArgument("forecast horizon must be positive");
+    }
+    return static_cast<std::size_t>(value);
+  }
+
+  std::vector<Token> tokens_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::string ForecastQuery::ToString() const {
+  std::ostringstream out;
+  out << "SELECT time, ";
+  if (aggregate) {
+    out << "SUM(" << measure << ")";
+  } else {
+    out << measure;
+  }
+  out << " FROM facts";
+  for (std::size_t i = 0; i < filters.size(); ++i) {
+    out << (i == 0 ? " WHERE " : " AND ") << filters[i].level << " = '"
+        << filters[i].value << "'";
+  }
+  if (aggregate) out << " GROUP BY time";
+  out << " AS OF now() + '" << horizon << "'";
+  if (with_intervals) out << " WITH INTERVALS " << confidence;
+  return out.str();
+}
+
+Result<ForecastQuery> ParseForecastQuery(const std::string& sql) {
+  Lexer lexer(sql);
+  F2DB_ASSIGN_OR_RETURN(std::vector<Token> tokens, lexer.Tokenize());
+  Parser parser(std::move(tokens));
+  return parser.Parse();
+}
+
+Result<Statement> ParseStatement(const std::string& sql) {
+  Lexer lexer(sql);
+  F2DB_ASSIGN_OR_RETURN(std::vector<Token> tokens, lexer.Tokenize());
+  Parser parser(std::move(tokens));
+  return parser.ParseAny();
+}
+
+}  // namespace f2db

@@ -1,0 +1,85 @@
+// Forecast query AST and SQL-ish parser.
+//
+// F2DB extends SQL with an AS OF clause for forecast queries (Section I,
+// Figure 1):
+//
+//   SELECT time, sales        FROM facts
+//   WHERE product = 'P4' AND city = 'C4'
+//   AS OF now() + '1'
+//
+//   SELECT time, SUM(sales)   FROM facts
+//   WHERE product = 'P4' AND region = 'R2'
+//   GROUP BY time
+//   AS OF now() + '3'
+//
+// WHERE predicates name a hierarchy LEVEL (city, region, product, ...) and
+// a member value; dimensions without a predicate default to ALL (full
+// aggregation). The AS OF literal is the forecast horizon in periods.
+
+#ifndef F2DB_ENGINE_QUERY_H_
+#define F2DB_ENGINE_QUERY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace f2db {
+
+/// One WHERE predicate: <level> = '<value>'.
+struct DimensionFilter {
+  std::string level;
+  std::string value;
+  bool operator==(const DimensionFilter&) const = default;
+};
+
+/// A parsed forecast query.
+struct ForecastQuery {
+  /// Projected measure column ("sales"); informational.
+  std::string measure;
+  /// True when the measure was wrapped in SUM(...) (aggregate query).
+  bool aggregate = false;
+  std::vector<DimensionFilter> filters;
+  /// Forecast horizon in periods (the AS OF now() + 'h' literal).
+  std::size_t horizon = 1;
+  /// WITH INTERVALS [<confidence>] clause: request prediction intervals.
+  bool with_intervals = false;
+  double confidence = 0.95;
+
+  std::string ToString() const;
+};
+
+/// Parses the SQL-ish forecast query dialect above. Keywords are
+/// case-insensitive; identifiers and quoted values are case-sensitive.
+Result<ForecastQuery> ParseForecastQuery(const std::string& sql);
+
+/// An insert of one new fact:
+///   INSERT INTO facts VALUES ('C1', 'P1', 60, 12.5)
+/// with one quoted level-0 value per dimension (in schema order), the
+/// integer time index, and the measure value.
+struct InsertStatement {
+  std::vector<std::string> base_values;
+  std::int64_t time = 0;
+  double value = 0.0;
+};
+
+/// EXPLAIN <forecast query>: resolve the plan without computing forecasts.
+struct ExplainStatement {
+  ForecastQuery query;
+};
+
+/// Any statement of the dialect.
+struct Statement {
+  enum class Kind { kForecast, kInsert, kExplain };
+  Kind kind = Kind::kForecast;
+  ForecastQuery forecast;  ///< kForecast / kExplain.
+  InsertStatement insert;  ///< kInsert.
+};
+
+/// Parses a full statement (SELECT / INSERT / EXPLAIN SELECT).
+Result<Statement> ParseStatement(const std::string& sql);
+
+}  // namespace f2db
+
+#endif  // F2DB_ENGINE_QUERY_H_

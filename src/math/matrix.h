@@ -1,0 +1,66 @@
+// Dense row-major matrix used by the Combine baseline's OLS reconciliation
+// (Hyndman et al. 2011) and by internal least-squares fits.
+
+#ifndef F2DB_MATH_MATRIX_H_
+#define F2DB_MATH_MATRIX_H_
+
+#include <cassert>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace f2db {
+
+/// A dense, row-major matrix of doubles.
+class Matrix {
+ public:
+  /// Empty 0x0 matrix.
+  Matrix() : rows_(0), cols_(0) {}
+
+  /// rows x cols matrix initialized to `fill`.
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  /// Identity matrix of size n.
+  static Matrix Identity(std::size_t n);
+
+  /// Matrix from nested initializer data (rows of equal width).
+  static Matrix FromRows(const std::vector<std::vector<double>>& rows);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+
+  /// Element access; bounds are asserted in debug builds.
+  double& operator()(std::size_t r, std::size_t c) {
+    assert(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+  double operator()(std::size_t r, std::size_t c) const {
+    assert(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+
+  /// Transposed copy.
+  Matrix Transposed() const;
+
+  /// Matrix product; requires cols() == other.rows().
+  Matrix Multiply(const Matrix& other) const;
+
+  /// Matrix-vector product; requires cols() == x.size().
+  std::vector<double> MultiplyVector(const std::vector<double>& x) const;
+
+  /// Frobenius-norm of (this - other); requires equal shape.
+  double Distance(const Matrix& other) const;
+
+  /// Human-readable rendering for diagnostics.
+  std::string ToString() const;
+
+ private:
+  std::size_t rows_;
+  std::size_t cols_;
+  std::vector<double> data_;
+};
+
+}  // namespace f2db
+
+#endif  // F2DB_MATH_MATRIX_H_

@@ -1,0 +1,280 @@
+#include "math/optimizer.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace f2db {
+
+void Bounds::Clamp(std::vector<double>& x) const {
+  if (!IsValidFor(x.size())) return;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x[i] = std::clamp(x[i], lower[i], upper[i]);
+  }
+}
+
+namespace {
+
+// Evaluates the objective with clamping applied first.
+double EvalClamped(const Objective& objective, const Bounds& bounds,
+                   std::vector<double> x, std::size_t& evals) {
+  bounds.Clamp(x);
+  ++evals;
+  const double v = objective(x);
+  return std::isfinite(v) ? v : std::numeric_limits<double>::max();
+}
+
+}  // namespace
+
+OptimizationResult NelderMead(const Objective& objective,
+                              const std::vector<double>& x0,
+                              const Bounds& bounds,
+                              const OptimizerOptions& options) {
+  const std::size_t d = x0.size();
+  OptimizationResult result;
+  if (d == 0) {
+    result.x = x0;
+    result.value = objective(x0);
+    result.evaluations = 1;
+    result.converged = true;
+    return result;
+  }
+
+  // Standard NM coefficients.
+  const double kReflect = 1.0, kExpand = 2.0, kContract = 0.5, kShrink = 0.5;
+
+  std::size_t evals = 0;
+  // Initial simplex: x0 plus perturbations along each axis.
+  std::vector<std::vector<double>> simplex(d + 1, x0);
+  for (std::size_t i = 0; i < d; ++i) {
+    const double step = (x0[i] != 0.0) ? 0.1 * std::abs(x0[i]) : 0.1;
+    simplex[i + 1][i] += step;
+    bounds.Clamp(simplex[i + 1]);
+  }
+  std::vector<double> values(d + 1);
+  for (std::size_t i = 0; i <= d; ++i) {
+    values[i] = EvalClamped(objective, bounds, simplex[i], evals);
+  }
+
+  while (evals < options.max_evaluations) {
+    // Order the simplex: best first.
+    std::vector<std::size_t> order(d + 1);
+    for (std::size_t i = 0; i <= d; ++i) order[i] = i;
+    std::sort(order.begin(), order.end(),
+              [&](std::size_t a, std::size_t b) { return values[a] < values[b]; });
+    const std::size_t best = order[0];
+    const std::size_t worst = order[d];
+    const std::size_t second_worst = order[d - 1];
+
+    if (std::abs(values[worst] - values[best]) <
+        options.tolerance * (std::abs(values[best]) + options.tolerance)) {
+      result.converged = true;
+      break;
+    }
+
+    // Centroid of all but the worst vertex.
+    std::vector<double> centroid(d, 0.0);
+    for (std::size_t i = 0; i <= d; ++i) {
+      if (i == worst) continue;
+      for (std::size_t j = 0; j < d; ++j) centroid[j] += simplex[i][j];
+    }
+    for (double& c : centroid) c /= static_cast<double>(d);
+
+    auto point_along = [&](double coeff) {
+      std::vector<double> p(d);
+      for (std::size_t j = 0; j < d; ++j) {
+        p[j] = centroid[j] + coeff * (centroid[j] - simplex[worst][j]);
+      }
+      bounds.Clamp(p);
+      return p;
+    };
+
+    std::vector<double> reflected = point_along(kReflect);
+    const double fr = EvalClamped(objective, bounds, reflected, evals);
+    if (fr < values[best]) {
+      std::vector<double> expanded = point_along(kExpand);
+      const double fe = EvalClamped(objective, bounds, expanded, evals);
+      if (fe < fr) {
+        simplex[worst] = std::move(expanded);
+        values[worst] = fe;
+      } else {
+        simplex[worst] = std::move(reflected);
+        values[worst] = fr;
+      }
+    } else if (fr < values[second_worst]) {
+      simplex[worst] = std::move(reflected);
+      values[worst] = fr;
+    } else {
+      std::vector<double> contracted = point_along(-kContract);
+      const double fc = EvalClamped(objective, bounds, contracted, evals);
+      if (fc < values[worst]) {
+        simplex[worst] = std::move(contracted);
+        values[worst] = fc;
+      } else {
+        // Shrink towards the best vertex.
+        for (std::size_t i = 0; i <= d; ++i) {
+          if (i == best) continue;
+          for (std::size_t j = 0; j < d; ++j) {
+            simplex[i][j] =
+                simplex[best][j] + kShrink * (simplex[i][j] - simplex[best][j]);
+          }
+          values[i] = EvalClamped(objective, bounds, simplex[i], evals);
+        }
+      }
+    }
+  }
+
+  std::size_t best = 0;
+  for (std::size_t i = 1; i <= d; ++i) {
+    if (values[i] < values[best]) best = i;
+  }
+  result.x = simplex[best];
+  bounds.Clamp(result.x);
+  result.value = values[best];
+  result.evaluations = evals;
+  return result;
+}
+
+OptimizationResult HillClimb(const Objective& objective,
+                             const std::vector<double>& x0,
+                             const Bounds& bounds,
+                             const OptimizerOptions& options) {
+  const std::size_t d = x0.size();
+  OptimizationResult result;
+  std::size_t evals = 0;
+  std::vector<double> x = x0;
+  bounds.Clamp(x);
+  double fx = EvalClamped(objective, bounds, x, evals);
+
+  std::vector<double> steps(d);
+  for (std::size_t i = 0; i < d; ++i) {
+    if (bounds.IsValidFor(d)) {
+      steps[i] = 0.25 * (bounds.upper[i] - bounds.lower[i]);
+    } else {
+      steps[i] = (x[i] != 0.0) ? 0.25 * std::abs(x[i]) : 0.25;
+    }
+    if (steps[i] <= 0.0) steps[i] = 0.25;
+  }
+
+  while (evals < options.max_evaluations) {
+    bool improved = false;
+    for (std::size_t i = 0; i < d && evals < options.max_evaluations; ++i) {
+      for (const double direction : {+1.0, -1.0}) {
+        std::vector<double> candidate = x;
+        candidate[i] += direction * steps[i];
+        const double fc = EvalClamped(objective, bounds, candidate, evals);
+        if (fc < fx) {
+          bounds.Clamp(candidate);
+          x = std::move(candidate);
+          fx = fc;
+          improved = true;
+          break;
+        }
+      }
+    }
+    if (!improved) {
+      double max_step = 0.0;
+      for (double& s : steps) {
+        s *= 0.5;
+        max_step = std::max(max_step, s);
+      }
+      if (max_step < options.tolerance) {
+        result.converged = true;
+        break;
+      }
+    }
+  }
+
+  result.x = std::move(x);
+  result.value = fx;
+  result.evaluations = evals;
+  return result;
+}
+
+OptimizationResult SimulatedAnnealing(const Objective& objective,
+                                      const std::vector<double>& x0,
+                                      const Bounds& bounds, Rng& rng,
+                                      const AnnealingOptions& options) {
+  const std::size_t d = x0.size();
+  assert(bounds.IsValidFor(d) && "SimulatedAnnealing requires box bounds");
+  OptimizationResult result;
+  std::size_t evals = 0;
+
+  std::vector<double> current = x0;
+  bounds.Clamp(current);
+  double f_current = EvalClamped(objective, bounds, current, evals);
+  std::vector<double> best = current;
+  double f_best = f_current;
+
+  double temperature = options.initial_temperature;
+  while (evals < options.base.max_evaluations &&
+         temperature > options.base.tolerance) {
+    for (std::size_t move = 0;
+         move < options.moves_per_epoch && evals < options.base.max_evaluations;
+         ++move) {
+      std::vector<double> candidate = current;
+      for (std::size_t i = 0; i < d; ++i) {
+        const double width = bounds.upper[i] - bounds.lower[i];
+        candidate[i] += rng.Gaussian(0.0, options.step_scale * width);
+      }
+      bounds.Clamp(candidate);
+      const double fc = EvalClamped(objective, bounds, candidate, evals);
+      const double delta = fc - f_current;
+      if (delta <= 0.0 || rng.NextDouble() < std::exp(-delta / temperature)) {
+        current = std::move(candidate);
+        f_current = fc;
+        if (f_current < f_best) {
+          best = current;
+          f_best = f_current;
+        }
+      }
+    }
+    temperature *= options.cooling_rate;
+  }
+
+  result.x = std::move(best);
+  result.value = f_best;
+  result.evaluations = evals;
+  result.converged = temperature <= options.base.tolerance;
+  return result;
+}
+
+OptimizationResult GridSearch(const Objective& objective, const Bounds& bounds,
+                              std::size_t steps) {
+  const std::size_t d = bounds.lower.size();
+  assert(bounds.IsValidFor(d) && "GridSearch requires box bounds");
+  assert(steps >= 2);
+  OptimizationResult result;
+  result.value = std::numeric_limits<double>::max();
+
+  std::vector<std::size_t> index(d, 0);
+  std::vector<double> x(d, 0.0);
+  std::size_t evals = 0;
+  for (;;) {
+    for (std::size_t i = 0; i < d; ++i) {
+      const double frac =
+          static_cast<double>(index[i]) / static_cast<double>(steps - 1);
+      x[i] = bounds.lower[i] + frac * (bounds.upper[i] - bounds.lower[i]);
+    }
+    ++evals;
+    const double v = objective(x);
+    if (std::isfinite(v) && v < result.value) {
+      result.value = v;
+      result.x = x;
+    }
+    // Odometer increment over the grid indices.
+    std::size_t pos = 0;
+    while (pos < d) {
+      if (++index[pos] < steps) break;
+      index[pos] = 0;
+      ++pos;
+    }
+    if (pos == d) break;
+  }
+  result.evaluations = evals;
+  result.converged = true;
+  return result;
+}
+
+}  // namespace f2db

@@ -1,0 +1,87 @@
+// Numerical optimizers for forecast-model parameter estimation.
+//
+// The paper (Section IV-B1): "Creating a forecast model requires estimating
+// its parameters using standard local (e.g., Hill-Climbing) or global
+// (e.g., Simulated Annealing) optimization algorithms." This module provides
+// those two plus Nelder–Mead (the default used by the exponential-smoothing
+// and ARIMA fitters) and an exhaustive grid search for tests.
+
+#ifndef F2DB_MATH_OPTIMIZER_H_
+#define F2DB_MATH_OPTIMIZER_H_
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace f2db {
+
+/// A scalar objective over a parameter vector; lower is better.
+using Objective = std::function<double(const std::vector<double>&)>;
+
+/// Box constraints for an optimization; empty means unconstrained.
+struct Bounds {
+  std::vector<double> lower;
+  std::vector<double> upper;
+
+  /// True when the bounds are populated and consistent for dimension d.
+  bool IsValidFor(std::size_t d) const {
+    return lower.size() == d && upper.size() == d;
+  }
+
+  /// Clamps x in place to the box (no-op when unconstrained).
+  void Clamp(std::vector<double>& x) const;
+};
+
+/// Shared knobs across all optimizers.
+struct OptimizerOptions {
+  std::size_t max_evaluations = 2000;
+  /// Convergence tolerance on the objective spread / step size.
+  double tolerance = 1e-7;
+};
+
+/// Outcome of an optimization run.
+struct OptimizationResult {
+  std::vector<double> x;          ///< Best parameter vector found.
+  double value = 0.0;             ///< Objective at x.
+  std::size_t evaluations = 0;    ///< Number of objective evaluations.
+  bool converged = false;         ///< True when tolerance was reached.
+};
+
+/// Derivative-free simplex search (Nelder–Mead 1965). Robust default for
+/// the 1–6 dimensional smoothing / ARMA objectives in this library.
+OptimizationResult NelderMead(const Objective& objective,
+                              const std::vector<double>& x0,
+                              const Bounds& bounds = {},
+                              const OptimizerOptions& options = {});
+
+/// Local coordinate-descent hill climbing with step halving.
+OptimizationResult HillClimb(const Objective& objective,
+                             const std::vector<double>& x0,
+                             const Bounds& bounds = {},
+                             const OptimizerOptions& options = {});
+
+/// Knobs specific to simulated annealing.
+struct AnnealingOptions {
+  OptimizerOptions base;
+  double initial_temperature = 1.0;
+  double cooling_rate = 0.95;        ///< Temperature multiplier per epoch.
+  std::size_t moves_per_epoch = 20;  ///< Proposals at each temperature.
+  double step_scale = 0.25;          ///< Proposal stddev relative to box width.
+};
+
+/// Global stochastic search; requires box bounds.
+OptimizationResult SimulatedAnnealing(const Objective& objective,
+                                      const std::vector<double>& x0,
+                                      const Bounds& bounds, Rng& rng,
+                                      const AnnealingOptions& options = {});
+
+/// Exhaustive grid search with `steps` points per dimension; requires
+/// box bounds. Intended for low-dimensional tests and calibration.
+OptimizationResult GridSearch(const Objective& objective, const Bounds& bounds,
+                              std::size_t steps);
+
+}  // namespace f2db
+
+#endif  // F2DB_MATH_OPTIMIZER_H_

@@ -1,0 +1,153 @@
+#include "math/solve.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace f2db {
+
+Result<CholeskyFactorization> CholeskyFactorization::Compute(const Matrix& a) {
+  const std::size_t n = a.rows();
+  if (a.cols() != n) return Status::InvalidArgument("Cholesky: A not square");
+
+  // Factor A = L Lᵀ with L lower triangular.
+  Matrix l(n, n, 0.0);
+  for (std::size_t j = 0; j < n; ++j) {
+    double diag = a(j, j);
+    for (std::size_t k = 0; k < j; ++k) diag -= l(j, k) * l(j, k);
+    if (diag <= 1e-12) {
+      return Status::InvalidArgument("Cholesky: matrix not positive definite");
+    }
+    l(j, j) = std::sqrt(diag);
+    for (std::size_t i = j + 1; i < n; ++i) {
+      double v = a(i, j);
+      for (std::size_t k = 0; k < j; ++k) v -= l(i, k) * l(j, k);
+      l(i, j) = v / l(j, j);
+    }
+  }
+  return CholeskyFactorization(std::move(l));
+}
+
+std::vector<double> CholeskyFactorization::Solve(
+    const std::vector<double>& b) const {
+  const std::size_t n = l_.rows();
+  assert(b.size() == n);
+  // Forward substitution: L y = b.
+  std::vector<double> y(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    double v = b[i];
+    for (std::size_t k = 0; k < i; ++k) v -= l_(i, k) * y[k];
+    y[i] = v / l_(i, i);
+  }
+  // Back substitution: Lᵀ x = y.
+  std::vector<double> x(n, 0.0);
+  for (std::size_t ii = n; ii-- > 0;) {
+    double v = y[ii];
+    for (std::size_t k = ii + 1; k < n; ++k) v -= l_(k, ii) * x[k];
+    x[ii] = v / l_(ii, ii);
+  }
+  return x;
+}
+
+Result<std::vector<double>> CholeskySolve(const Matrix& a,
+                                          const std::vector<double>& b) {
+  if (b.size() != a.rows()) {
+    return Status::InvalidArgument("Cholesky: size mismatch");
+  }
+  F2DB_ASSIGN_OR_RETURN(CholeskyFactorization factor,
+                        CholeskyFactorization::Compute(a));
+  return factor.Solve(b);
+}
+
+Result<std::vector<double>> LeastSquares(const Matrix& a,
+                                         const std::vector<double>& b) {
+  const std::size_t m = a.rows();
+  const std::size_t n = a.cols();
+  if (m < n) return Status::InvalidArgument("LeastSquares: rows < cols");
+  if (b.size() != m) return Status::InvalidArgument("LeastSquares: size mismatch");
+
+  // Householder QR applied in place to a working copy of [A | b].
+  Matrix r = a;
+  std::vector<double> rhs = b;
+  for (std::size_t k = 0; k < n; ++k) {
+    // Build the Householder reflector for column k.
+    double norm = 0.0;
+    for (std::size_t i = k; i < m; ++i) norm += r(i, k) * r(i, k);
+    norm = std::sqrt(norm);
+    if (norm < 1e-12) {
+      return Status::InvalidArgument("LeastSquares: rank deficient matrix");
+    }
+    if (r(k, k) > 0) norm = -norm;
+    std::vector<double> v(m - k, 0.0);
+    for (std::size_t i = k; i < m; ++i) v[i - k] = r(i, k);
+    v[0] -= norm;
+    double vnorm2 = 0.0;
+    for (double vi : v) vnorm2 += vi * vi;
+    if (vnorm2 < 1e-24) continue;
+
+    // Apply reflector to remaining columns of R and to the RHS.
+    for (std::size_t c = k; c < n; ++c) {
+      double dot = 0.0;
+      for (std::size_t i = k; i < m; ++i) dot += v[i - k] * r(i, c);
+      const double scale = 2.0 * dot / vnorm2;
+      for (std::size_t i = k; i < m; ++i) r(i, c) -= scale * v[i - k];
+    }
+    double dot = 0.0;
+    for (std::size_t i = k; i < m; ++i) dot += v[i - k] * rhs[i];
+    const double scale = 2.0 * dot / vnorm2;
+    for (std::size_t i = k; i < m; ++i) rhs[i] -= scale * v[i - k];
+  }
+
+  // Back substitution on the upper triangle.
+  std::vector<double> x(n, 0.0);
+  for (std::size_t ii = n; ii-- > 0;) {
+    double v = rhs[ii];
+    for (std::size_t c = ii + 1; c < n; ++c) v -= r(ii, c) * x[c];
+    if (std::abs(r(ii, ii)) < 1e-12) {
+      return Status::InvalidArgument("LeastSquares: singular R");
+    }
+    x[ii] = v / r(ii, ii);
+  }
+  return x;
+}
+
+Result<std::vector<double>> GaussianSolve(Matrix a, std::vector<double> b) {
+  const std::size_t n = a.rows();
+  if (a.cols() != n) return Status::InvalidArgument("Gaussian: A not square");
+  if (b.size() != n) return Status::InvalidArgument("Gaussian: size mismatch");
+
+  std::vector<std::size_t> perm(n);
+  for (std::size_t i = 0; i < n; ++i) perm[i] = i;
+
+  for (std::size_t k = 0; k < n; ++k) {
+    // Partial pivoting.
+    std::size_t pivot = k;
+    double best = std::abs(a(k, k));
+    for (std::size_t i = k + 1; i < n; ++i) {
+      if (std::abs(a(i, k)) > best) {
+        best = std::abs(a(i, k));
+        pivot = i;
+      }
+    }
+    if (best < 1e-12) return Status::InvalidArgument("Gaussian: singular matrix");
+    if (pivot != k) {
+      for (std::size_t c = 0; c < n; ++c) std::swap(a(k, c), a(pivot, c));
+      std::swap(b[k], b[pivot]);
+    }
+    for (std::size_t i = k + 1; i < n; ++i) {
+      const double factor = a(i, k) / a(k, k);
+      if (factor == 0.0) continue;
+      for (std::size_t c = k; c < n; ++c) a(i, c) -= factor * a(k, c);
+      b[i] -= factor * b[k];
+    }
+  }
+
+  std::vector<double> x(n, 0.0);
+  for (std::size_t ii = n; ii-- > 0;) {
+    double v = b[ii];
+    for (std::size_t c = ii + 1; c < n; ++c) v -= a(ii, c) * x[c];
+    x[ii] = v / a(ii, ii);
+  }
+  return x;
+}
+
+}  // namespace f2db

@@ -1,0 +1,52 @@
+// Linear solvers: Cholesky factorization for symmetric positive definite
+// systems and Householder QR for general least squares.
+//
+// The Combine baseline solves (SᵀS) beta = Sᵀ yhat where S is the
+// aggregation ("summing") matrix of the time series graph; SᵀS is SPD, so
+// Cholesky is the workhorse. QR backs arbitrary least-squares fits.
+
+#ifndef F2DB_MATH_SOLVE_H_
+#define F2DB_MATH_SOLVE_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "math/matrix.h"
+
+namespace f2db {
+
+/// Solves A x = b for symmetric positive definite A via Cholesky.
+/// Fails with InvalidArgument when A is not SPD (within tolerance).
+Result<std::vector<double>> CholeskySolve(const Matrix& a,
+                                          const std::vector<double>& b);
+
+/// Reusable Cholesky factorization A = L L^T for repeated solves against
+/// the same SPD matrix (the Combine baseline reconciles one right-hand
+/// side per forecast horizon step).
+class CholeskyFactorization {
+ public:
+  /// Factors `a`; fails when it is not SPD (within tolerance).
+  static Result<CholeskyFactorization> Compute(const Matrix& a);
+
+  /// Solves A x = b using the stored factor. Requires matching size.
+  std::vector<double> Solve(const std::vector<double>& b) const;
+
+  std::size_t size() const { return l_.rows(); }
+
+ private:
+  explicit CholeskyFactorization(Matrix l) : l_(std::move(l)) {}
+  Matrix l_;  ///< Lower-triangular factor.
+};
+
+/// Solves the least squares problem min ||A x - b||_2 via Householder QR.
+/// Requires rows >= cols and full column rank.
+Result<std::vector<double>> LeastSquares(const Matrix& a,
+                                         const std::vector<double>& b);
+
+/// Solves A x = b for square A by Gaussian elimination with partial
+/// pivoting. Fails when A is (numerically) singular.
+Result<std::vector<double>> GaussianSolve(Matrix a, std::vector<double> b);
+
+}  // namespace f2db
+
+#endif  // F2DB_MATH_SOLVE_H_

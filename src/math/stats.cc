@@ -1,0 +1,170 @@
+#include "math/stats.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace f2db {
+
+double Mean(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  double sum = 0.0;
+  for (double x : xs) sum += x;
+  return sum / static_cast<double>(xs.size());
+}
+
+double Variance(const std::vector<double>& xs) {
+  if (xs.size() < 2) return 0.0;
+  const double mean = Mean(xs);
+  double sum = 0.0;
+  for (double x : xs) {
+    const double d = x - mean;
+    sum += d * d;
+  }
+  return sum / static_cast<double>(xs.size());
+}
+
+double SampleVariance(const std::vector<double>& xs) {
+  if (xs.size() < 2) return 0.0;
+  return Variance(xs) * static_cast<double>(xs.size()) /
+         static_cast<double>(xs.size() - 1);
+}
+
+double StdDev(const std::vector<double>& xs) { return std::sqrt(Variance(xs)); }
+
+double CoefficientOfVariation(const std::vector<double>& xs) {
+  const double mean = Mean(xs);
+  if (std::abs(mean) < 1e-12) return 0.0;
+  return StdDev(xs) / std::abs(mean);
+}
+
+double Covariance(const std::vector<double>& xs,
+                  const std::vector<double>& ys) {
+  assert(xs.size() == ys.size());
+  if (xs.size() < 2) return 0.0;
+  const double mx = Mean(xs);
+  const double my = Mean(ys);
+  double sum = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    sum += (xs[i] - mx) * (ys[i] - my);
+  }
+  return sum / static_cast<double>(xs.size());
+}
+
+double PearsonCorrelation(const std::vector<double>& xs,
+                          const std::vector<double>& ys) {
+  const double sx = StdDev(xs);
+  const double sy = StdDev(ys);
+  if (sx < 1e-12 || sy < 1e-12) return 0.0;
+  return Covariance(xs, ys) / (sx * sy);
+}
+
+std::vector<double> Autocorrelation(const std::vector<double>& xs,
+                                    std::size_t max_lag) {
+  const std::size_t n = xs.size();
+  std::vector<double> acf(max_lag + 1, 0.0);
+  if (n == 0) return acf;
+  const double mean = Mean(xs);
+  double denom = 0.0;
+  for (double x : xs) {
+    const double d = x - mean;
+    denom += d * d;
+  }
+  acf[0] = 1.0;
+  if (denom < 1e-12) return acf;
+  for (std::size_t lag = 1; lag <= max_lag && lag < n; ++lag) {
+    double num = 0.0;
+    for (std::size_t t = lag; t < n; ++t) {
+      num += (xs[t] - mean) * (xs[t - lag] - mean);
+    }
+    acf[lag] = num / denom;
+  }
+  return acf;
+}
+
+std::vector<double> PartialAutocorrelation(const std::vector<double>& xs,
+                                           std::size_t max_lag) {
+  // Durbin–Levinson recursion on the sample ACF.
+  const std::vector<double> rho = Autocorrelation(xs, max_lag);
+  std::vector<double> pacf(max_lag, 0.0);
+  if (max_lag == 0) return pacf;
+  std::vector<double> phi_prev(max_lag + 1, 0.0);
+  std::vector<double> phi(max_lag + 1, 0.0);
+  phi[1] = rho.size() > 1 ? rho[1] : 0.0;
+  pacf[0] = phi[1];
+  double v = 1.0 - phi[1] * phi[1];
+  for (std::size_t k = 2; k <= max_lag; ++k) {
+    phi_prev = phi;
+    double num = (k < rho.size() ? rho[k] : 0.0);
+    for (std::size_t j = 1; j < k; ++j) {
+      num -= phi_prev[j] * (k - j < rho.size() ? rho[k - j] : 0.0);
+    }
+    const double alpha = (std::abs(v) < 1e-12) ? 0.0 : num / v;
+    phi[k] = alpha;
+    for (std::size_t j = 1; j < k; ++j) {
+      phi[j] = phi_prev[j] - alpha * phi_prev[k - j];
+    }
+    v *= (1.0 - alpha * alpha);
+    pacf[k - 1] = alpha;
+  }
+  return pacf;
+}
+
+double Quantile(std::vector<double> xs, double q) {
+  if (xs.empty()) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  std::sort(xs.begin(), xs.end());
+  const double pos = q * static_cast<double>(xs.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, xs.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return xs[lo] * (1.0 - frac) + xs[hi] * frac;
+}
+
+double Min(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  return *std::min_element(xs.begin(), xs.end());
+}
+
+double Max(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  return *std::max_element(xs.begin(), xs.end());
+}
+
+double InverseNormalCdf(double p) {
+  assert(p > 0.0 && p < 1.0);
+  // Coefficients of Acklam's rational approximation.
+  static constexpr double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                                 -2.759285104469687e+02, 1.383577518672690e+02,
+                                 -3.066479806614716e+01, 2.506628277459239e+00};
+  static constexpr double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                                 -1.556989798598866e+02, 6.680131188771972e+01,
+                                 -1.328068155288572e+01};
+  static constexpr double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                                 -2.400758277161838e+00, -2.549732539343734e+00,
+                                 4.374664141464968e+00,  2.938163982698783e+00};
+  static constexpr double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                                 2.445134137142996e+00, 3.754408661907416e+00};
+  constexpr double p_low = 0.02425;
+  constexpr double p_high = 1.0 - p_low;
+
+  if (p < p_low) {
+    const double q = std::sqrt(-2.0 * std::log(p));
+    return (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q +
+            c[5]) /
+           ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  }
+  if (p > p_high) {
+    const double q = std::sqrt(-2.0 * std::log(1.0 - p));
+    return -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q +
+             c[5]) /
+           ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  }
+  const double q = p - 0.5;
+  const double r = q * q;
+  return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r + a[5]) *
+         q /
+         (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1.0);
+}
+
+}  // namespace f2db

@@ -1,0 +1,61 @@
+// Descriptive statistics and time-series diagnostics.
+//
+// Used by the indicators (variance of derivation weights, Section III-B),
+// the Box–Jenkins ARIMA fitting pipeline (ACF/PACF), and the data
+// generators.
+
+#ifndef F2DB_MATH_STATS_H_
+#define F2DB_MATH_STATS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace f2db {
+
+/// Arithmetic mean; 0 for empty input.
+double Mean(const std::vector<double>& xs);
+
+/// Population variance (divides by n); 0 for n < 2.
+double Variance(const std::vector<double>& xs);
+
+/// Sample variance (divides by n-1); 0 for n < 2.
+double SampleVariance(const std::vector<double>& xs);
+
+/// Population standard deviation.
+double StdDev(const std::vector<double>& xs);
+
+/// Coefficient of variation: stddev / |mean|; 0 when the mean is ~0.
+double CoefficientOfVariation(const std::vector<double>& xs);
+
+/// Population covariance of two equally long vectors.
+double Covariance(const std::vector<double>& xs, const std::vector<double>& ys);
+
+/// Pearson correlation; 0 when either side is constant.
+double PearsonCorrelation(const std::vector<double>& xs,
+                          const std::vector<double>& ys);
+
+/// Autocorrelation function for lags 0..max_lag (acf[0] == 1).
+std::vector<double> Autocorrelation(const std::vector<double>& xs,
+                                    std::size_t max_lag);
+
+/// Partial autocorrelation for lags 1..max_lag via Durbin–Levinson.
+std::vector<double> PartialAutocorrelation(const std::vector<double>& xs,
+                                           std::size_t max_lag);
+
+/// The q-quantile (0<=q<=1) using linear interpolation on sorted data.
+double Quantile(std::vector<double> xs, double q);
+
+/// Minimum / maximum; 0 for empty input.
+double Min(const std::vector<double>& xs);
+double Max(const std::vector<double>& xs);
+
+/// Inverse of the standard normal CDF (Acklam's rational approximation,
+/// relative error < 1.15e-9). Used to initialize the advisor's candidate
+/// threshold gamma so that roughly n of N nodes exceed mean + gamma*sigma
+/// under a normality assumption (paper Section IV-C1).
+/// Requires 0 < p < 1.
+double InverseNormalCdf(double p);
+
+}  // namespace f2db
+
+#endif  // F2DB_MATH_STATS_H_

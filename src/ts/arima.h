@@ -1,0 +1,102 @@
+// (Seasonal) ARIMA models estimated by conditional sum of squares.
+//
+// ARIMA(p,d,q)(P,D,Q)_s in the Box–Jenkins sense (the paper cites Box,
+// Jenkins & Reinsel for its model-creation pipeline and generates its
+// synthetic data from a SARIMA process). Estimation minimizes the
+// conditional sum of squares of the innovations with Nelder–Mead; AR and MA
+// coefficients are reparametrized through partial autocorrelations
+// (Monahan's transform) so that every optimizer iterate is stationary and
+// invertible.
+
+#ifndef F2DB_TS_ARIMA_H_
+#define F2DB_TS_ARIMA_H_
+
+#include <memory>
+#include <vector>
+
+#include "ts/model.h"
+
+namespace f2db {
+
+/// Orders of a seasonal ARIMA model.
+struct ArimaOrder {
+  std::size_t p = 1;  ///< Non-seasonal AR order.
+  std::size_t d = 0;  ///< Non-seasonal differencing.
+  std::size_t q = 1;  ///< Non-seasonal MA order.
+  std::size_t sp = 0;      ///< Seasonal AR order (P).
+  std::size_t sd = 0;      ///< Seasonal differencing (D).
+  std::size_t sq = 0;      ///< Seasonal MA order (Q).
+  std::size_t season = 1;  ///< Season length s (>= 2 when seasonal parts set).
+
+  /// Total number of estimated coefficients (excluding the mean).
+  std::size_t NumCoefficients() const { return p + q + sp + sq; }
+};
+
+/// Maps partial autocorrelations in (-1, 1) to the coefficients of a
+/// stationary AR polynomial (Durbin–Levinson step of Monahan's transform).
+/// Exposed for tests.
+std::vector<double> PacfToArCoefficients(const std::vector<double>& pacf);
+
+/// Seasonal ARIMA forecast model.
+class ArimaModel final : public ForecastModel {
+ public:
+  explicit ArimaModel(ArimaOrder order);
+
+  Status Fit(const TimeSeries& history) override;
+  std::vector<double> Forecast(std::size_t horizon) const override;
+  void Update(double value) override;
+  std::unique_ptr<ForecastModel> Clone() const override;
+  ModelType type() const override { return ModelType::kArima; }
+  std::size_t num_parameters() const override {
+    return order_.NumCoefficients() + 1;  // + mean
+  }
+  std::vector<double> parameters() const override;
+  bool is_fitted() const override { return fitted_; }
+  std::vector<double> SaveState() const override;
+  Status RestoreState(const std::vector<double>& state) override;
+  std::vector<double> FittedValues() const override { return fitted_values_; }
+  std::vector<double> ForecastVariance(std::size_t horizon) const override;
+  double residual_variance() const override { return sigma2_; }
+
+  const ArimaOrder& order() const { return order_; }
+  /// Estimated mean of the differenced series.
+  double mu() const { return mu_; }
+  /// Non-seasonal AR / MA and seasonal AR / MA coefficients.
+  const std::vector<double>& phi() const { return phi_; }
+  const std::vector<double>& theta() const { return theta_; }
+  const std::vector<double>& seasonal_phi() const { return seasonal_phi_; }
+  const std::vector<double>& seasonal_theta() const { return seasonal_theta_; }
+  /// Akaike information criterion of the CSS fit.
+  double aic() const { return aic_; }
+
+ private:
+  /// Rebuilds the expanded AR/MA polynomials from the coefficient groups.
+  void ExpandPolynomials();
+
+  /// Applies d regular and D seasonal differences to `raw`.
+  std::vector<double> Difference(const std::vector<double>& raw) const;
+
+  /// Computes innovations over a demeaned differenced series.
+  /// Returns the conditional sum of squares; fills `errors` when non-null.
+  double ConditionalSse(const std::vector<double>& z,
+                        std::vector<double>* errors) const;
+
+  ArimaOrder order_;
+  bool fitted_ = false;
+  double mu_ = 0.0;
+  std::vector<double> phi_, theta_, seasonal_phi_, seasonal_theta_;
+  std::vector<double> expanded_ar_, expanded_ma_;  ///< Multiplied polynomials.
+  double aic_ = 0.0;
+  double sigma2_ = 0.0;  ///< CSS innovation variance.
+
+  // State advanced by Update(): recent raw values, demeaned differenced
+  // values, and innovations. Bounded lags only are ever read.
+  std::vector<double> raw_;
+  std::vector<double> z_;
+  std::vector<double> errors_;
+  std::vector<double> fitted_values_;
+};
+
+}  // namespace f2db
+
+#endif  // F2DB_TS_ARIMA_H_

@@ -1,0 +1,56 @@
+// Automatic ARIMA order selection (Box–Jenkins automated).
+//
+// Chooses the differencing orders by variance-reduction / seasonal-strength
+// heuristics, then grid-searches the AR/MA orders minimizing the corrected
+// Akaike criterion (AICc) of the CSS fit — the automated counterpart of the
+// manual Box–Jenkins identification step the paper's model-creation
+// pipeline references (Box, Jenkins & Reinsel).
+
+#ifndef F2DB_TS_AUTO_ARIMA_H_
+#define F2DB_TS_AUTO_ARIMA_H_
+
+#include <memory>
+
+#include "common/status.h"
+#include "ts/arima.h"
+
+namespace f2db {
+
+/// Search space of AutoArima.
+struct AutoArimaOptions {
+  std::size_t max_p = 3;
+  std::size_t max_q = 3;
+  std::size_t max_d = 2;
+  /// Season length; >= 2 enables the seasonal component search.
+  std::size_t season = 1;
+  std::size_t max_seasonal_p = 1;
+  std::size_t max_seasonal_q = 1;
+  std::size_t max_seasonal_d = 1;
+};
+
+/// Outcome of the order search.
+struct AutoArimaResult {
+  std::unique_ptr<ArimaModel> model;  ///< Fitted on the full history.
+  ArimaOrder order;
+  double aicc = 0.0;
+  std::size_t models_tried = 0;
+};
+
+/// Selects and fits the best ARIMA order for `history`.
+Result<AutoArimaResult> AutoArima(const TimeSeries& history,
+                                  const AutoArimaOptions& options = {});
+
+/// Heuristic regular differencing order: difference while the standard
+/// deviation halves (near-unit-root criterion), up to max_d. Exposed for
+/// tests.
+std::size_t SelectDifferencingOrder(const std::vector<double>& values,
+                                    std::size_t max_d);
+
+/// Heuristic seasonal differencing: 1 when the ACF at the seasonal lag of
+/// the d-differenced series exceeds 0.5 (and max_sd > 0). Exposed for tests.
+std::size_t SelectSeasonalDifferencing(const std::vector<double>& values,
+                                       std::size_t season, std::size_t max_sd);
+
+}  // namespace f2db
+
+#endif  // F2DB_TS_AUTO_ARIMA_H_

@@ -1,0 +1,44 @@
+// Automatic forecast-model selection on a holdout split.
+//
+// Fits a candidate set (naive baselines, smoothing family, ARIMA) on the
+// first part of the history, scores one-step-matched SMAPE on the held-out
+// tail, and refits the winner on the full history. The paper performs this
+// kind of empirical model analysis once per data set (Section VI-A); this
+// module makes it available per series.
+
+#ifndef F2DB_TS_AUTO_SELECT_H_
+#define F2DB_TS_AUTO_SELECT_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+#include "ts/model.h"
+
+namespace f2db {
+
+/// Options for automatic model selection.
+struct AutoSelectOptions {
+  /// Season length hint (>= 2 enables the seasonal candidates).
+  std::size_t period = 1;
+  /// Fraction of the history used for fitting candidates.
+  double train_fraction = 0.8;
+  /// Include ARIMA candidates (more expensive).
+  bool include_arima = true;
+};
+
+/// Result of automatic selection: the chosen model fitted on the whole
+/// history plus the holdout error that selected it.
+struct AutoSelection {
+  std::unique_ptr<ForecastModel> model;
+  double holdout_smape = 1.0;
+  ModelType chosen_type = ModelType::kMean;
+};
+
+/// Selects and fits the best model for `history`.
+Result<AutoSelection> AutoSelectModel(const TimeSeries& history,
+                                      const AutoSelectOptions& options = {});
+
+}  // namespace f2db
+
+#endif  // F2DB_TS_AUTO_SELECT_H_

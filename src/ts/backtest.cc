@@ -1,0 +1,109 @@
+#include "ts/backtest.h"
+
+#include <cmath>
+
+#include "ts/accuracy.h"
+
+namespace f2db {
+namespace {
+
+/// Collects per-origin forecasts into the aggregate result.
+class BacktestAccumulator {
+ public:
+  void Add(const std::vector<double>& actual,
+           const std::vector<double>& forecast) {
+    result_.per_origin_smape.push_back(Smape(actual, forecast));
+    for (std::size_t i = 0; i < actual.size(); ++i) {
+      const double err = actual[i] - forecast[i];
+      abs_sum_ += std::abs(err);
+      sq_sum_ += err * err;
+      ++count_;
+    }
+    ++result_.origins;
+  }
+
+  BacktestResult Finish() {
+    if (result_.origins > 0) {
+      double total = 0.0;
+      for (double v : result_.per_origin_smape) total += v;
+      result_.smape = total / static_cast<double>(result_.origins);
+    }
+    if (count_ > 0) {
+      result_.mae = abs_sum_ / static_cast<double>(count_);
+      result_.rmse = std::sqrt(sq_sum_ / static_cast<double>(count_));
+    }
+    return std::move(result_);
+  }
+
+ private:
+  BacktestResult result_;
+  double abs_sum_ = 0.0;
+  double sq_sum_ = 0.0;
+  std::size_t count_ = 0;
+};
+
+Status ValidateOptions(const TimeSeries& series,
+                       const BacktestOptions& options) {
+  if (options.horizon == 0 || options.stride == 0) {
+    return Status::InvalidArgument("backtest: horizon/stride must be >= 1");
+  }
+  if (series.size() < options.min_train + options.horizon) {
+    return Status::InvalidArgument("backtest: series too short for protocol");
+  }
+  return Status::OK();
+}
+
+std::vector<double> ActualWindow(const TimeSeries& series, std::size_t origin,
+                                 std::size_t horizon) {
+  std::vector<double> out(horizon);
+  for (std::size_t h = 0; h < horizon; ++h) out[h] = series[origin + h];
+  return out;
+}
+
+}  // namespace
+
+Result<BacktestResult> RollingOriginBacktest(const TimeSeries& series,
+                                             const ModelFactory& factory,
+                                             const BacktestOptions& options) {
+  F2DB_RETURN_IF_ERROR(ValidateOptions(series, options));
+  BacktestAccumulator accumulator;
+  for (std::size_t origin = options.min_train;
+       origin + options.horizon <= series.size(); origin += options.stride) {
+    auto model = factory.CreateAndFit(series.Head(origin));
+    if (!model.ok()) continue;  // window too short for this family: skip
+    accumulator.Add(ActualWindow(series, origin, options.horizon),
+                    model.value()->Forecast(options.horizon));
+  }
+  BacktestResult result = accumulator.Finish();
+  if (result.origins == 0) {
+    return Status::Internal("backtest: no origin could be fitted");
+  }
+  return result;
+}
+
+Result<BacktestResult> IncrementalBacktest(const TimeSeries& series,
+                                           const ModelFactory& factory,
+                                           const BacktestOptions& options) {
+  F2DB_RETURN_IF_ERROR(ValidateOptions(series, options));
+  F2DB_ASSIGN_OR_RETURN(std::unique_ptr<ForecastModel> model,
+                        factory.CreateAndFit(series.Head(options.min_train)));
+  BacktestAccumulator accumulator;
+  std::size_t consumed = options.min_train;  // observations seen by the model
+  for (std::size_t origin = options.min_train;
+       origin + options.horizon <= series.size(); origin += options.stride) {
+    // Catch the state up to this origin (parameters frozen).
+    while (consumed < origin) {
+      model->Update(series[consumed]);
+      ++consumed;
+    }
+    accumulator.Add(ActualWindow(series, origin, options.horizon),
+                    model->Forecast(options.horizon));
+  }
+  BacktestResult result = accumulator.Finish();
+  if (result.origins == 0) {
+    return Status::Internal("backtest: no origins scored");
+  }
+  return result;
+}
+
+}  // namespace f2db

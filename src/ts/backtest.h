@@ -1,0 +1,56 @@
+// Rolling-origin backtesting.
+//
+// The standard protocol for judging forecast quality: refit (or
+// incrementally update) a model at successive origins and score the
+// h-step-ahead forecasts against the actuals. The incremental variant
+// measures exactly what the engine's maintenance processor does between
+// re-estimations (Section V): parameters frozen, state advanced by
+// Update() — its gap to the refit variant quantifies how quickly model
+// parameters go stale, which is what the paper's invalidation strategies
+// trade off.
+
+#ifndef F2DB_TS_BACKTEST_H_
+#define F2DB_TS_BACKTEST_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "ts/model_factory.h"
+#include "ts/time_series.h"
+
+namespace f2db {
+
+/// Protocol parameters.
+struct BacktestOptions {
+  /// Observations in the first training window.
+  std::size_t min_train = 16;
+  /// Forecast horizon scored at every origin.
+  std::size_t horizon = 1;
+  /// Origins advance by this many observations.
+  std::size_t stride = 1;
+};
+
+/// Aggregated backtest scores.
+struct BacktestResult {
+  double smape = 1.0;
+  double mae = 0.0;
+  double rmse = 0.0;
+  std::size_t origins = 0;
+  /// SMAPE per origin (time-ordered) for drift diagnostics.
+  std::vector<double> per_origin_smape;
+};
+
+/// Refits the factory's model at every origin ("gold standard").
+Result<BacktestResult> RollingOriginBacktest(const TimeSeries& series,
+                                             const ModelFactory& factory,
+                                             const BacktestOptions& options = {});
+
+/// Fits once on the first window, then only advances the model state with
+/// Update() between origins — the engine's between-re-estimations path.
+Result<BacktestResult> IncrementalBacktest(const TimeSeries& series,
+                                           const ModelFactory& factory,
+                                           const BacktestOptions& options = {});
+
+}  // namespace f2db
+
+#endif  // F2DB_TS_BACKTEST_H_

@@ -1,0 +1,58 @@
+// Classical seasonal decomposition and the Box–Cox transform.
+//
+// Supporting tools for time series diagnostics: moving-average based
+// decomposition into trend + seasonal + remainder (additive or
+// multiplicative), and the variance-stabilizing Box–Cox transform with its
+// inverse. The Theta method (ts/theta.h) and the data-set generators use
+// these; they are also part of the public toolkit a forecasting library is
+// expected to ship.
+
+#ifndef F2DB_TS_DECOMPOSITION_H_
+#define F2DB_TS_DECOMPOSITION_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "ts/time_series.h"
+
+namespace f2db {
+
+/// Decomposition flavor.
+enum class DecompositionType { kAdditive, kMultiplicative };
+
+/// y = trend + seasonal + remainder (additive) or
+/// y = trend * seasonal * remainder (multiplicative).
+struct Decomposition {
+  std::vector<double> trend;      ///< Centered moving average (NaN-free:
+                                  ///< ends are extrapolated linearly).
+  std::vector<double> seasonal;   ///< Period-repeating indices.
+  std::vector<double> remainder;  ///< What is left.
+  std::size_t period = 1;
+  DecompositionType type = DecompositionType::kAdditive;
+};
+
+/// Classical decomposition with the given season length (>= 2).
+/// Requires at least two full seasons. Multiplicative requires strictly
+/// positive data.
+Result<Decomposition> Decompose(const TimeSeries& series, std::size_t period,
+                                DecompositionType type =
+                                    DecompositionType::kAdditive);
+
+/// Box-Cox transform: lambda == 0 -> log(x), else (x^lambda - 1) / lambda.
+/// Requires strictly positive data.
+Result<std::vector<double>> BoxCox(const std::vector<double>& xs,
+                                   double lambda);
+
+/// Inverse Box-Cox transform.
+std::vector<double> InverseBoxCox(const std::vector<double>& xs,
+                                  double lambda);
+
+/// Chooses the Box-Cox lambda from {-1, -0.5, 0, 0.5, 1} minimizing the
+/// coefficient of variation of seasonal-block standard deviations (Guerrero
+/// style profile on a coarse grid). Requires positive data and >= 2 blocks.
+Result<double> SelectBoxCoxLambda(const std::vector<double>& xs,
+                                  std::size_t period);
+
+}  // namespace f2db
+
+#endif  // F2DB_TS_DECOMPOSITION_H_

@@ -1,0 +1,49 @@
+// Training-history length selection.
+//
+// Long histories are not always better: after level or regime shifts, a
+// recent window can beat the full history. Ge & Zdonik's skip-list approach
+// (cited in the paper's related work, VLDB'08) addresses exactly this for
+// very long series; this module provides the holdout-based equivalent:
+// candidate suffix lengths are scored by one-step rolling error on a
+// validation tail, and the best window is returned for model fitting (used
+// e.g. before the engine's lazy re-estimation).
+
+#ifndef F2DB_TS_HISTORY_SELECTION_H_
+#define F2DB_TS_HISTORY_SELECTION_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "ts/model_factory.h"
+#include "ts/time_series.h"
+
+namespace f2db {
+
+/// Options for history-length selection.
+struct HistorySelectionOptions {
+  /// Candidate suffix lengths; empty = geometric ladder {n, n/2, n/4, ...}
+  /// down to min_length.
+  std::vector<std::size_t> candidate_lengths;
+  /// Smallest window considered (and the ladder floor).
+  std::size_t min_length = 16;
+  /// Observations held out (from the very end) for scoring.
+  std::size_t validation_length = 8;
+};
+
+/// Chosen window plus its validation score.
+struct HistorySelection {
+  /// Suffix length to train on (includes the validation part).
+  std::size_t length = 0;
+  double validation_smape = 1.0;
+  std::size_t candidates_tried = 0;
+};
+
+/// Scores each candidate suffix by fitting on suffix-minus-validation and
+/// forecasting the validation tail; returns the best suffix length.
+Result<HistorySelection> SelectHistoryLength(
+    const TimeSeries& series, const ModelFactory& factory,
+    const HistorySelectionOptions& options = {});
+
+}  // namespace f2db
+
+#endif  // F2DB_TS_HISTORY_SELECTION_H_

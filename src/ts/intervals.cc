@@ -1,0 +1,40 @@
+#include "ts/intervals.h"
+
+#include <cmath>
+
+#include "math/stats.h"
+
+namespace f2db {
+
+Result<std::vector<ForecastInterval>> IntervalsFromMoments(
+    const std::vector<double>& points, const std::vector<double>& variances,
+    double confidence) {
+  if (confidence <= 0.0 || confidence >= 1.0) {
+    return Status::InvalidArgument("confidence must be in (0, 1)");
+  }
+  if (points.size() != variances.size()) {
+    return Status::InvalidArgument("points/variances size mismatch");
+  }
+  const double z = InverseNormalCdf(0.5 * (1.0 + confidence));
+  std::vector<ForecastInterval> out(points.size());
+  for (std::size_t h = 0; h < points.size(); ++h) {
+    const double spread = z * std::sqrt(std::max(variances[h], 0.0));
+    out[h] = {points[h] - spread, points[h], points[h] + spread};
+  }
+  return out;
+}
+
+Result<std::vector<ForecastInterval>> ForecastWithIntervals(
+    const ForecastModel& model, std::size_t horizon, double confidence) {
+  if (!model.is_fitted()) {
+    return Status::FailedPrecondition("model is not fitted");
+  }
+  const std::vector<double> variances = model.ForecastVariance(horizon);
+  if (variances.size() != horizon) {
+    return Status::Unimplemented(
+        "model does not provide forecast variances");
+  }
+  return IntervalsFromMoments(model.Forecast(horizon), variances, confidence);
+}
+
+}  // namespace f2db

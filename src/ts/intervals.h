@@ -1,0 +1,41 @@
+// Prediction intervals for forecast models.
+//
+// Point forecasts answer the paper's forecast queries; production users of
+// a forecast-enabled DBMS additionally want uncertainty bands. This module
+// turns a model's ForecastVariance into symmetric normal-theory intervals:
+//   point +/- z_{(1+c)/2} * sqrt(var_h).
+// The engine exposes the same through derived schemes (sources assumed
+// independent, variance scales with the squared derivation weight).
+
+#ifndef F2DB_TS_INTERVALS_H_
+#define F2DB_TS_INTERVALS_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "ts/model.h"
+
+namespace f2db {
+
+/// One interval forecast step.
+struct ForecastInterval {
+  double lower = 0.0;
+  double point = 0.0;
+  double upper = 0.0;
+};
+
+/// Interval forecasts for `horizon` steps at the given confidence level
+/// (e.g. 0.95). Fails when the model does not provide forecast variances
+/// or the confidence is outside (0, 1).
+Result<std::vector<ForecastInterval>> ForecastWithIntervals(
+    const ForecastModel& model, std::size_t horizon, double confidence = 0.95);
+
+/// Builds intervals from externally computed points and variances (used by
+/// the engine for derived schemes). Sizes must match.
+Result<std::vector<ForecastInterval>> IntervalsFromMoments(
+    const std::vector<double>& points, const std::vector<double>& variances,
+    double confidence);
+
+}  // namespace f2db
+
+#endif  // F2DB_TS_INTERVALS_H_

@@ -1,0 +1,106 @@
+// The forecast-model abstraction.
+//
+// Every node of the time series hyper graph may carry one forecast model
+// (Section II-B). The advisor is agnostic to the model family; the engine
+// additionally needs incremental state maintenance (Update) and
+// serialization for the configuration storage tables (Section V).
+
+#ifndef F2DB_TS_MODEL_H_
+#define F2DB_TS_MODEL_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "ts/time_series.h"
+
+namespace f2db {
+
+/// Model families available in this library.
+enum class ModelType {
+  kMean,               ///< Constant mean of the history.
+  kNaive,              ///< Random walk: last observation.
+  kSeasonalNaive,      ///< Last observed value of the same season.
+  kDrift,              ///< Random walk with drift.
+  kSes,                ///< Simple exponential smoothing.
+  kHolt,               ///< Double exponential smoothing (trend).
+  kHoltWintersAdd,     ///< Triple ES, additive seasonality (paper default).
+  kHoltWintersMul,     ///< Triple ES, multiplicative seasonality.
+  kArima,              ///< (Seasonal) ARIMA via CSS + Nelder–Mead.
+  kTheta,              ///< Theta method (M3 winner; SES + half trend drift).
+  kAuto,               ///< Holdout-based automatic selection.
+};
+
+/// Stable lower-case name for a model type ("holt_winters_add", ...).
+const char* ModelTypeName(ModelType type);
+
+/// Parses a ModelTypeName back to the enum.
+Result<ModelType> ParseModelType(const std::string& name);
+
+/// Interface implemented by all forecast models.
+///
+/// Lifecycle: construct -> Fit(history) -> Forecast(h) any number of times;
+/// as new observations arrive, Update(y) advances the internal state by one
+/// period without re-estimating parameters (the paper's incremental
+/// maintenance). Re-estimation is a fresh Fit on the extended history,
+/// triggered lazily by the engine's invalidation strategy.
+class ForecastModel {
+ public:
+  virtual ~ForecastModel() = default;
+
+  /// Estimates parameters and initializes state from `history`.
+  virtual Status Fit(const TimeSeries& history) = 0;
+
+  /// Forecasts the next `horizon` values after the end of the history seen
+  /// so far (Fit plus Updates). Requires a successful Fit.
+  virtual std::vector<double> Forecast(std::size_t horizon) const = 0;
+
+  /// Advances the model state by one new observation without changing the
+  /// estimated parameters.
+  virtual void Update(double value) = 0;
+
+  /// Deep copy (used when evaluating tentative configurations).
+  virtual std::unique_ptr<ForecastModel> Clone() const = 0;
+
+  /// The model family.
+  virtual ModelType type() const = 0;
+
+  /// Number of free parameters estimated by Fit (for AIC-style criteria).
+  virtual std::size_t num_parameters() const = 0;
+
+  /// Flat view of the estimated parameters (empty before Fit).
+  virtual std::vector<double> parameters() const = 0;
+
+  /// True after a successful Fit.
+  virtual bool is_fitted() const = 0;
+
+  /// Serializes parameters + state into a flat vector for the engine's
+  /// model table. RestoreState must accept exactly this output.
+  virtual std::vector<double> SaveState() const = 0;
+
+  /// Restores a model previously saved with SaveState. The model is usable
+  /// for Forecast/Update afterwards.
+  virtual Status RestoreState(const std::vector<double>& state) = 0;
+
+  /// One-step-ahead in-sample forecasts for the fitted history; used for
+  /// accuracy diagnostics and AIC computation. Empty when unsupported.
+  virtual std::vector<double> FittedValues() const { return {}; }
+
+  /// Variance of the h-step-ahead forecast errors for h = 1..horizon,
+  /// based on the in-sample residual variance and the model's error
+  /// propagation structure. Empty when the model does not support
+  /// interval forecasts.
+  virtual std::vector<double> ForecastVariance(std::size_t horizon) const {
+    (void)horizon;
+    return {};
+  }
+
+  /// In-sample one-step residual variance estimated at Fit time; 0 when
+  /// unsupported or before Fit.
+  virtual double residual_variance() const { return 0.0; }
+};
+
+}  // namespace f2db
+
+#endif  // F2DB_TS_MODEL_H_

@@ -1,0 +1,113 @@
+// Baseline forecast models: mean, naive (random walk), seasonal naive, and
+// drift. These serve as sanity baselines in tests and as cheap fallbacks in
+// automatic model selection.
+
+#ifndef F2DB_TS_NAIVE_MODELS_H_
+#define F2DB_TS_NAIVE_MODELS_H_
+
+#include <memory>
+#include <vector>
+
+#include "ts/model.h"
+
+namespace f2db {
+
+/// Forecasts the running mean of all observations seen so far.
+class MeanModel final : public ForecastModel {
+ public:
+  Status Fit(const TimeSeries& history) override;
+  std::vector<double> Forecast(std::size_t horizon) const override;
+  void Update(double value) override;
+  std::unique_ptr<ForecastModel> Clone() const override;
+  ModelType type() const override { return ModelType::kMean; }
+  std::size_t num_parameters() const override { return 1; }
+  std::vector<double> parameters() const override { return {mean_}; }
+  bool is_fitted() const override { return fitted_; }
+  std::vector<double> SaveState() const override;
+  Status RestoreState(const std::vector<double>& state) override;
+  std::vector<double> ForecastVariance(std::size_t horizon) const override;
+  double residual_variance() const override { return sigma2_; }
+
+ private:
+  bool fitted_ = false;
+  double mean_ = 0.0;
+  double count_ = 0.0;
+  double sigma2_ = 0.0;  ///< Residual variance around the mean.
+};
+
+/// Random walk forecast: every horizon gets the last observation.
+class NaiveModel final : public ForecastModel {
+ public:
+  Status Fit(const TimeSeries& history) override;
+  std::vector<double> Forecast(std::size_t horizon) const override;
+  void Update(double value) override;
+  std::unique_ptr<ForecastModel> Clone() const override;
+  ModelType type() const override { return ModelType::kNaive; }
+  std::size_t num_parameters() const override { return 0; }
+  std::vector<double> parameters() const override { return {}; }
+  bool is_fitted() const override { return fitted_; }
+  std::vector<double> SaveState() const override;
+  Status RestoreState(const std::vector<double>& state) override;
+  std::vector<double> ForecastVariance(std::size_t horizon) const override;
+  double residual_variance() const override { return sigma2_; }
+
+ private:
+  bool fitted_ = false;
+  double last_ = 0.0;
+  double sigma2_ = 0.0;  ///< Variance of one-step differences.
+};
+
+/// Repeats the most recent full season.
+class SeasonalNaiveModel final : public ForecastModel {
+ public:
+  /// `period` is the season length (>= 1; 1 degenerates to NaiveModel).
+  explicit SeasonalNaiveModel(std::size_t period) : period_(period) {}
+
+  Status Fit(const TimeSeries& history) override;
+  std::vector<double> Forecast(std::size_t horizon) const override;
+  void Update(double value) override;
+  std::unique_ptr<ForecastModel> Clone() const override;
+  ModelType type() const override { return ModelType::kSeasonalNaive; }
+  std::size_t num_parameters() const override { return 0; }
+  std::vector<double> parameters() const override { return {}; }
+  bool is_fitted() const override { return fitted_; }
+  std::vector<double> SaveState() const override;
+  Status RestoreState(const std::vector<double>& state) override;
+  std::vector<double> ForecastVariance(std::size_t horizon) const override;
+  double residual_variance() const override { return sigma2_; }
+
+ private:
+  std::size_t period_;
+  bool fitted_ = false;
+  std::vector<double> season_;  ///< Ring buffer of the last `period_` values.
+  std::size_t pos_ = 0;         ///< Index of the oldest value in the ring.
+  double sigma2_ = 0.0;         ///< Variance of seasonal differences.
+};
+
+/// Random walk with drift: extrapolates the average historical step.
+class DriftModel final : public ForecastModel {
+ public:
+  Status Fit(const TimeSeries& history) override;
+  std::vector<double> Forecast(std::size_t horizon) const override;
+  void Update(double value) override;
+  std::unique_ptr<ForecastModel> Clone() const override;
+  ModelType type() const override { return ModelType::kDrift; }
+  std::size_t num_parameters() const override { return 1; }
+  std::vector<double> parameters() const override;
+  bool is_fitted() const override { return fitted_; }
+  std::vector<double> SaveState() const override;
+  Status RestoreState(const std::vector<double>& state) override;
+  std::vector<double> ForecastVariance(std::size_t horizon) const override;
+  double residual_variance() const override { return sigma2_; }
+
+ private:
+  bool fitted_ = false;
+  double first_ = 0.0;
+  double last_ = 0.0;
+  double count_ = 0.0;
+  double sigma2_ = 0.0;  ///< Variance of drift-adjusted differences.
+};
+
+}  // namespace f2db
+
+#endif  // F2DB_TS_NAIVE_MODELS_H_

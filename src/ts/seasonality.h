@@ -1,0 +1,47 @@
+// Season length detection.
+//
+// The paper sets the smoothing seasonality "according to the granularity
+// of the data" (Section VI-A) — a human decision. This module automates it
+// for unlabeled series: candidate periods are scored by the autocorrelation
+// at the seasonal lag, with local-maximum and significance checks, so
+// AutoSelectModel / the advisor can run without a season hint.
+
+#ifndef F2DB_TS_SEASONALITY_H_
+#define F2DB_TS_SEASONALITY_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "ts/time_series.h"
+
+namespace f2db {
+
+/// Options for season detection.
+struct SeasonalityOptions {
+  /// Candidate periods to test; empty = all of 2..max_period.
+  std::vector<std::size_t> candidates;
+  /// Upper bound when candidates is empty (also bounded by size/3).
+  std::size_t max_period = 52;
+  /// Minimum ACF value at the seasonal lag to call it significant; the
+  /// classical 1.96/sqrt(n) white-noise band is applied on top.
+  double min_acf = 0.3;
+  /// Remove a linear trend before computing the ACF (recommended; trends
+  /// inflate all autocorrelations).
+  bool detrend = true;
+};
+
+/// Detected season: the best period and its diagnostic score.
+struct SeasonalityResult {
+  /// 1 when no significant seasonality was found.
+  std::size_t period = 1;
+  /// ACF value at the detected seasonal lag (0 when period == 1).
+  double strength = 0.0;
+};
+
+/// Detects the dominant season length of `series`.
+SeasonalityResult DetectSeasonality(const TimeSeries& series,
+                                    const SeasonalityOptions& options = {});
+
+}  // namespace f2db
+
+#endif  // F2DB_TS_SEASONALITY_H_

@@ -1,0 +1,81 @@
+#include "ts/time_series.h"
+
+#include <algorithm>
+#include <cassert>
+#include <sstream>
+
+namespace f2db {
+
+double TimeSeries::Sum() const {
+  double sum = 0.0;
+  for (double v : values_) sum += v;
+  return sum;
+}
+
+double TimeSeries::Mean() const {
+  if (values_.empty()) return 0.0;
+  return Sum() / static_cast<double>(values_.size());
+}
+
+TimeSeries TimeSeries::Slice(std::size_t begin, std::size_t count) const {
+  assert(begin <= values_.size());
+  count = std::min(count, values_.size() - begin);
+  std::vector<double> out(values_.begin() + static_cast<std::ptrdiff_t>(begin),
+                          values_.begin() +
+                              static_cast<std::ptrdiff_t>(begin + count));
+  return TimeSeries(std::move(out),
+                    start_time_ + static_cast<std::int64_t>(begin));
+}
+
+TimeSeries TimeSeries::Tail(std::size_t count) const {
+  count = std::min(count, values_.size());
+  return Slice(values_.size() - count, count);
+}
+
+std::pair<TimeSeries, TimeSeries> TimeSeries::TrainTestSplit(
+    double train_fraction) const {
+  train_fraction = std::clamp(train_fraction, 0.0, 1.0);
+  std::size_t train_count = static_cast<std::size_t>(
+      train_fraction * static_cast<double>(values_.size()));
+  if (values_.size() >= 2) {
+    train_count = std::clamp<std::size_t>(train_count, 1, values_.size() - 1);
+  }
+  return {Head(train_count), Slice(train_count, values_.size() - train_count)};
+}
+
+Result<TimeSeries> TimeSeries::SumOf(
+    const std::vector<const TimeSeries*>& series) {
+  if (series.empty()) return Status::InvalidArgument("SumOf: no inputs");
+  TimeSeries out = *series[0];
+  for (std::size_t i = 1; i < series.size(); ++i) {
+    F2DB_RETURN_IF_ERROR(out.AddInPlace(*series[i]));
+  }
+  return out;
+}
+
+Status TimeSeries::AddInPlace(const TimeSeries& other) {
+  if (other.size() != size() || other.start_time() != start_time()) {
+    return Status::InvalidArgument(
+        "AddInPlace: series are not aligned (size " + std::to_string(size()) +
+        " vs " + std::to_string(other.size()) + ")");
+  }
+  for (std::size_t i = 0; i < values_.size(); ++i) {
+    values_[i] += other.values_[i];
+  }
+  return Status::OK();
+}
+
+std::string TimeSeries::ToString() const {
+  std::ostringstream out;
+  out << "TimeSeries(t0=" << start_time_ << ", n=" << values_.size() << ", [";
+  const std::size_t show = std::min<std::size_t>(values_.size(), 8);
+  for (std::size_t i = 0; i < show; ++i) {
+    if (i > 0) out << ", ";
+    out << values_[i];
+  }
+  if (values_.size() > show) out << ", ...";
+  out << "])";
+  return out.str();
+}
+
+}  // namespace f2db

@@ -1,0 +1,92 @@
+// TimeSeries: an equidistant sequence of measure values.
+//
+// In the paper's data model (Section II-A) a base time series is the ordered
+// sequence of measure values sharing identical values in all categorical
+// dimensions; aggregated time series arise from SUM aggregation over
+// categorical dimensions. Both are represented by this container. The time
+// axis is a dense integer index (period number); calendar mapping is the
+// caller's concern.
+
+#ifndef F2DB_TS_TIME_SERIES_H_
+#define F2DB_TS_TIME_SERIES_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace f2db {
+
+/// An equidistant univariate time series with a dense integer time axis.
+class TimeSeries {
+ public:
+  /// Empty series starting at time 0.
+  TimeSeries() = default;
+
+  /// Series over `values` with the first observation at `start_time`.
+  explicit TimeSeries(std::vector<double> values, std::int64_t start_time = 0)
+      : start_time_(start_time), values_(std::move(values)) {}
+
+  /// Number of observations.
+  std::size_t size() const { return values_.size(); }
+  bool empty() const { return values_.empty(); }
+
+  /// Time index of the first observation.
+  std::int64_t start_time() const { return start_time_; }
+  /// Time index one past the last observation.
+  std::int64_t end_time() const {
+    return start_time_ + static_cast<std::int64_t>(values_.size());
+  }
+
+  /// Observation by position (0-based), not by time index.
+  double operator[](std::size_t i) const { return values_[i]; }
+  double& operator[](std::size_t i) { return values_[i]; }
+
+  /// Observation at absolute time index t; requires t in range.
+  double AtTime(std::int64_t t) const {
+    return values_[static_cast<std::size_t>(t - start_time_)];
+  }
+
+  const std::vector<double>& values() const { return values_; }
+
+  /// Appends one observation at the next time index.
+  void Append(double value) { values_.push_back(value); }
+
+  /// Sum over the whole history (the h_s of Eq. 2 in the paper).
+  double Sum() const;
+
+  /// Arithmetic mean of the history.
+  double Mean() const;
+
+  /// Sub-series of `count` observations starting at position `begin`.
+  TimeSeries Slice(std::size_t begin, std::size_t count) const;
+
+  /// First `count` observations.
+  TimeSeries Head(std::size_t count) const { return Slice(0, count); }
+
+  /// Last `count` observations.
+  TimeSeries Tail(std::size_t count) const;
+
+  /// Splits into (train, test) where train holds `train_fraction` of the
+  /// observations (at least one observation in each part when size >= 2).
+  std::pair<TimeSeries, TimeSeries> TrainTestSplit(double train_fraction) const;
+
+  /// Element-wise sum of `series` (all equal length & start). Implements the
+  /// SUM aggregation function of the paper's data model.
+  static Result<TimeSeries> SumOf(const std::vector<const TimeSeries*>& series);
+
+  /// Element-wise in-place addition; requires matching length & start.
+  Status AddInPlace(const TimeSeries& other);
+
+  /// Compact rendering for diagnostics.
+  std::string ToString() const;
+
+ private:
+  std::int64_t start_time_ = 0;
+  std::vector<double> values_;
+};
+
+}  // namespace f2db
+
+#endif  // F2DB_TS_TIME_SERIES_H_

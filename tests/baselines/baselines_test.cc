@@ -1,0 +1,189 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "baselines/advisor_builder.h"
+#include "baselines/bottom_up.h"
+#include "baselines/combine.h"
+#include "baselines/direct.h"
+#include "baselines/greedy.h"
+#include "baselines/top_down.h"
+#include "testing/test_cubes.h"
+
+namespace f2db {
+namespace {
+
+class BaselinesTest : public ::testing::Test {
+ protected:
+  BaselinesTest()
+      : graph_(testing::MakeFigure2Cube(60, 0.05)),
+        evaluator_(graph_, 0.8),
+        factory_(ModelSpec::TripleExponentialSmoothing(12)) {}
+
+  TimeSeriesGraph graph_;
+  ConfigurationEvaluator evaluator_;
+  ModelFactory factory_;
+};
+
+TEST_F(BaselinesTest, DirectModelsEveryNode) {
+  DirectBuilder builder;
+  auto outcome = builder.Build(evaluator_, factory_);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(outcome.value().configuration.num_models(), graph_.num_nodes());
+  for (NodeId node = 0; node < graph_.num_nodes(); ++node) {
+    EXPECT_TRUE(
+        outcome.value().configuration.assignment(node).scheme.IsDirect(node));
+    EXPECT_LT(outcome.value().configuration.assignment(node).error, 1.0);
+  }
+}
+
+TEST_F(BaselinesTest, BottomUpModelsBaseNodesOnly) {
+  BottomUpBuilder builder;
+  auto outcome = builder.Build(evaluator_, factory_);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(outcome.value().configuration.num_models(),
+            graph_.num_base_nodes());
+  // Aggregate nodes use multi-source schemes over base descendants.
+  const auto& top = outcome.value().configuration.assignment(graph_.top_node());
+  EXPECT_EQ(top.scheme.sources.size(), graph_.num_base_nodes());
+  // Base nodes effectively forecast themselves.
+  const NodeId base = graph_.base_nodes()[0];
+  const auto& base_assignment = outcome.value().configuration.assignment(base);
+  EXPECT_EQ(base_assignment.scheme, DerivationScheme::Direct(base));
+}
+
+TEST_F(BaselinesTest, TopDownSingleModel) {
+  TopDownBuilder builder;
+  auto outcome = builder.Build(evaluator_, factory_);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(outcome.value().configuration.num_models(), 1u);
+  EXPECT_TRUE(outcome.value().configuration.HasModel(graph_.top_node()));
+  for (NodeId node = 0; node < graph_.num_nodes(); ++node) {
+    EXPECT_EQ(outcome.value().configuration.assignment(node).scheme,
+              DerivationScheme::Single(graph_.top_node()));
+  }
+}
+
+TEST_F(BaselinesTest, GreedySelectsSubsetWithLowError) {
+  GreedyBuilder builder;
+  auto outcome = builder.Build(evaluator_, factory_);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_GT(outcome.value().configuration.num_models(), 0u);
+  EXPECT_LE(outcome.value().configuration.num_models(), graph_.num_nodes());
+  EXPECT_EQ(outcome.value().models_created, graph_.num_nodes());
+
+  DirectBuilder direct;
+  auto direct_outcome = direct.Build(evaluator_, factory_);
+  ASSERT_TRUE(direct_outcome.ok());
+  // Greedy has direct + derivation schemes available, so it cannot be
+  // (meaningfully) worse than direct.
+  EXPECT_LE(outcome.value().configuration.MeanError(),
+            direct_outcome.value().configuration.MeanError() + 1e-6);
+}
+
+TEST_F(BaselinesTest, GreedyUsesTraditionalSchemesOnly) {
+  GreedyBuilder builder;
+  auto outcome = builder.Build(evaluator_, factory_);
+  ASSERT_TRUE(outcome.ok());
+  const ModelConfiguration& config = outcome.value().configuration;
+  for (NodeId node = 0; node < graph_.num_nodes(); ++node) {
+    const DerivationScheme& scheme = config.assignment(node).scheme;
+    if (scheme.IsEmpty()) continue;
+    if (scheme.sources.size() == 1) {
+      // Direct or disaggregation from an ancestor: source must be the node
+      // itself or a node with smaller or equal distance to the root.
+      continue;
+    }
+    // Aggregation: sources must be exactly the children along a dimension.
+    bool matches_child_set = false;
+    for (const auto& [dim, children] : graph_.ChildSets(node)) {
+      std::vector<NodeId> sorted_children = children;
+      std::sort(sorted_children.begin(), sorted_children.end());
+      std::vector<NodeId> sources = scheme.sources;
+      std::sort(sources.begin(), sources.end());
+      if (sources == sorted_children) matches_child_set = true;
+    }
+    EXPECT_TRUE(matches_child_set) << graph_.NodeName(node);
+  }
+}
+
+TEST_F(BaselinesTest, CombineKeepsAllModelsAndReconciles) {
+  CombineBuilder builder;
+  auto outcome = builder.Build(evaluator_, factory_);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(outcome.value().configuration.num_models(), graph_.num_nodes());
+  EXPECT_LT(outcome.value().configuration.MeanError(), 0.5);
+}
+
+TEST_F(BaselinesTest, CombineRefusesOversizedGraphs) {
+  CombineBuilder builder(/*max_base_series=*/4);
+  auto outcome = builder.Build(evaluator_, factory_);
+  EXPECT_FALSE(outcome.ok());
+  EXPECT_EQ(outcome.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(BaselinesTest, AdvisorBuilderExposesRunStats) {
+  AdvisorOptions options;
+  options.models_per_iteration = 4;
+  options.stop.max_iterations = 10;
+  AdvisorBuilder builder(options);
+  EXPECT_EQ(builder.last_result(), nullptr);
+  auto outcome = builder.Build(evaluator_, factory_);
+  ASSERT_TRUE(outcome.ok());
+  ASSERT_NE(builder.last_result(), nullptr);
+  EXPECT_GT(builder.last_result()->iterations, 0u);
+}
+
+TEST_F(BaselinesTest, AllBuildersReportBuildSeconds) {
+  DirectBuilder direct;
+  TopDownBuilder top_down;
+  BottomUpBuilder bottom_up;
+  for (ConfigurationBuilder* builder :
+       std::vector<ConfigurationBuilder*>{&direct, &top_down, &bottom_up}) {
+    auto outcome = builder->Build(evaluator_, factory_);
+    ASSERT_TRUE(outcome.ok()) << builder->name();
+    EXPECT_GE(outcome.value().build_seconds, 0.0);
+    EXPECT_GT(outcome.value().models_created, 0u);
+  }
+}
+
+TEST_F(BaselinesTest, BaseDescendantsOfTopAreAllBaseNodes) {
+  const auto leaves =
+      baselines_internal::BaseDescendants(graph_, graph_.top_node());
+  EXPECT_EQ(leaves.size(), graph_.num_base_nodes());
+  const NodeId base = graph_.base_nodes()[0];
+  EXPECT_EQ(baselines_internal::BaseDescendants(graph_, base),
+            std::vector<NodeId>{base});
+}
+
+TEST_F(BaselinesTest, BaseDescendantsNoDuplicatesOnMultiDimNode) {
+  // A node aggregated in BOTH dimensions reaches each leaf through several
+  // paths; the helper must deduplicate.
+  NodeAddress address;
+  address.coords = {{1, 0}, {1, 0}};  // region R1, ALL products
+  const NodeId node = graph_.NodeFor(address).value();
+  const auto leaves = baselines_internal::BaseDescendants(graph_, node);
+  EXPECT_EQ(leaves.size(), 4u);  // 2 cities x 2 products
+  std::set<NodeId> unique(leaves.begin(), leaves.end());
+  EXPECT_EQ(unique.size(), leaves.size());
+}
+
+TEST_F(BaselinesTest, TopDownErrorWorstOnHeterogeneousData) {
+  // In the Figure-2 cube base series differ only by scale (shared shape),
+  // so TD is fine; with strong per-series noise direct wins.
+  const TimeSeriesGraph noisy = testing::MakeFigure2Cube(60, 0.5);
+  ConfigurationEvaluator evaluator(noisy, 0.8);
+  DirectBuilder direct;
+  TopDownBuilder top_down;
+  auto d = direct.Build(evaluator, factory_);
+  auto t = top_down.Build(evaluator, factory_);
+  ASSERT_TRUE(d.ok());
+  ASSERT_TRUE(t.ok());
+  // Direct models every node and is at least competitive.
+  EXPECT_LE(d.value().configuration.MeanError(),
+            t.value().configuration.MeanError() + 0.05);
+}
+
+}  // namespace
+}  // namespace f2db

@@ -1,0 +1,89 @@
+// Properties of the Combine (optimal combination) reconciliation and of
+// scheme coherence in the other baselines.
+
+#include <gtest/gtest.h>
+
+#include "baselines/bottom_up.h"
+#include "baselines/combine.h"
+#include "baselines/direct.h"
+#include "testing/test_cubes.h"
+#include "ts/accuracy.h"
+
+namespace f2db {
+namespace {
+
+class ReconciliationTest : public ::testing::Test {
+ protected:
+  ReconciliationTest()
+      : graph_(testing::MakeFigure2Cube(60, 0.1)),
+        evaluator_(graph_, 0.8),
+        factory_(ModelSpec::TripleExponentialSmoothing(12)) {}
+
+  TimeSeriesGraph graph_;
+  ConfigurationEvaluator evaluator_;
+  ModelFactory factory_;
+};
+
+TEST_F(ReconciliationTest, ReconciledForecastsAreCoherent) {
+  CombineBuilder combine;
+  auto outcome = combine.Build(evaluator_, factory_);
+  ASSERT_TRUE(outcome.ok());
+  const auto& reconciled = combine.last_reconciled();
+  ASSERT_EQ(reconciled.size(), graph_.num_nodes());
+
+  // OLS reconciliation projects onto the coherent subspace: every parent's
+  // reconciled forecast equals the sum of its children's, along EVERY
+  // dimension, at every horizon step.
+  for (NodeId node = 0; node < graph_.num_nodes(); ++node) {
+    for (const auto& [dim, children] : graph_.ChildSets(node)) {
+      for (std::size_t h = 0; h < evaluator_.test_length(); ++h) {
+        double sum = 0.0;
+        for (NodeId child : children) sum += reconciled[child][h];
+        EXPECT_NEAR(reconciled[node][h], sum,
+                    1e-6 * (1.0 + std::abs(sum)))
+            << graph_.NodeName(node) << " dim " << dim << " h " << h;
+      }
+    }
+  }
+}
+
+TEST_F(ReconciliationTest, ReconciliationBeatsWorstIndependentForecast) {
+  // Reconciliation averages information across levels; its mean error
+  // should not exceed the unreconciled direct approach by much (typically
+  // it improves it).
+  CombineBuilder combine;
+  DirectBuilder direct;
+  auto combined = combine.Build(evaluator_, factory_);
+  auto independent = direct.Build(evaluator_, factory_);
+  ASSERT_TRUE(combined.ok());
+  ASSERT_TRUE(independent.ok());
+  EXPECT_LE(combined.value().configuration.MeanError(),
+            independent.value().configuration.MeanError() + 0.01);
+}
+
+TEST_F(ReconciliationTest, BottomUpForecastsAreCoherentByConstruction) {
+  BottomUpBuilder bottom_up;
+  auto outcome = bottom_up.Build(evaluator_, factory_);
+  ASSERT_TRUE(outcome.ok());
+  const ModelConfiguration& config = outcome.value().configuration;
+
+  // Derived forecast of a parent = k * sum of base forecasts with k = 1;
+  // summing children's derived forecasts gives the same value because the
+  // base-descendant multisets partition.
+  for (NodeId node = 0; node < graph_.num_nodes(); ++node) {
+    const auto& scheme = config.assignment(node).scheme;
+    if (scheme.IsEmpty()) continue;
+    const auto forecasts = config.ForecastsFor(scheme);
+    ASSERT_FALSE(forecasts.empty());
+    const double k = evaluator_.Weight(scheme.sources, node);
+    EXPECT_NEAR(k, 1.0, 1e-9) << graph_.NodeName(node);
+  }
+}
+
+TEST_F(ReconciliationTest, LastReconciledEmptyBeforeBuild) {
+  CombineBuilder combine;
+  EXPECT_TRUE(combine.last_reconciled().empty());
+}
+
+}  // namespace
+}  // namespace f2db

@@ -1,0 +1,92 @@
+#include "common/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+namespace f2db {
+namespace {
+
+TEST(ParseCsv, BasicWithHeader) {
+  auto doc = ParseCsv("a,b\n1,2\n3,4\n", /*has_header=*/true);
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc.value().header, (std::vector<std::string>{"a", "b"}));
+  ASSERT_EQ(doc.value().rows.size(), 2u);
+  EXPECT_EQ(doc.value().rows[1][1], "4");
+}
+
+TEST(ParseCsv, NoHeader) {
+  auto doc = ParseCsv("1,2\n3,4\n", /*has_header=*/false);
+  ASSERT_TRUE(doc.ok());
+  EXPECT_TRUE(doc.value().header.empty());
+  EXPECT_EQ(doc.value().rows.size(), 2u);
+}
+
+TEST(ParseCsv, QuotedFieldsWithCommasAndQuotes) {
+  auto doc = ParseCsv("\"a,b\",\"say \"\"hi\"\"\"\nx,y\n", false);
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc.value().rows[0][0], "a,b");
+  EXPECT_EQ(doc.value().rows[0][1], "say \"hi\"");
+}
+
+TEST(ParseCsv, CrLfLineEndings) {
+  auto doc = ParseCsv("a,b\r\n1,2\r\n", true);
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc.value().rows[0][0], "1");
+}
+
+TEST(ParseCsv, SkipsBlankLines) {
+  auto doc = ParseCsv("1,2\n\n3,4\n", false);
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc.value().rows.size(), 2u);
+}
+
+TEST(ParseCsv, MissingTrailingNewlineOk) {
+  auto doc = ParseCsv("1,2\n3,4", false);
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc.value().rows.size(), 2u);
+}
+
+TEST(ParseCsv, RejectsRaggedRows) {
+  auto doc = ParseCsv("1,2\n3\n", false);
+  EXPECT_FALSE(doc.ok());
+}
+
+TEST(ParseCsv, RejectsUnterminatedQuote) {
+  auto doc = ParseCsv("\"abc\n", false);
+  EXPECT_FALSE(doc.ok());
+}
+
+TEST(WriteCsv, RoundTrip) {
+  CsvDocument doc;
+  doc.header = {"x", "y"};
+  doc.rows = {{"1", "hello, world"}, {"2", "quote\"d"}};
+  const std::string text = WriteCsv(doc);
+  auto parsed = ParseCsv(text, true);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().header, doc.header);
+  EXPECT_EQ(parsed.value().rows, doc.rows);
+}
+
+TEST(CsvFile, WriteAndReadBack) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "f2db_csv_test.csv").string();
+  CsvDocument doc;
+  doc.header = {"k", "v"};
+  doc.rows = {{"a", "1"}, {"b", "2"}};
+  ASSERT_TRUE(WriteCsvFile(path, doc).ok());
+  auto read = ReadCsvFile(path, true);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(read.value().rows, doc.rows);
+  std::remove(path.c_str());
+}
+
+TEST(CsvFile, MissingFileIsNotFound) {
+  auto read = ReadCsvFile("/nonexistent/definitely/missing.csv", true);
+  EXPECT_FALSE(read.ok());
+  EXPECT_EQ(read.status().code(), StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace f2db

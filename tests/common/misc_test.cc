@@ -1,0 +1,63 @@
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "common/logging.h"
+#include "common/stopwatch.h"
+
+namespace f2db {
+namespace {
+
+TEST(StopWatch, MeasuresElapsedTime) {
+  StopWatch watch;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_GE(watch.ElapsedSeconds(), 0.015);
+  EXPECT_GE(watch.ElapsedMillis(), 15.0);
+}
+
+TEST(StopWatch, RestartResets) {
+  StopWatch watch;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  watch.Restart();
+  EXPECT_LT(watch.ElapsedSeconds(), 0.015);
+}
+
+TEST(Logging, LevelFilteringRoundTrip) {
+  const LogLevel before = GetLogLevel();
+  SetLogLevel(LogLevel::kError);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+  // Below-threshold records must not be evaluated at all: the side effect
+  // in the stream expression is skipped.
+  int evaluations = 0;
+  auto touch = [&evaluations]() {
+    ++evaluations;
+    return "x";
+  };
+  F2DB_LOG(kDebug) << touch();
+  EXPECT_EQ(evaluations, 0);
+  SetLogLevel(LogLevel::kDebug);
+  // Emit to stderr (visible in failure logs only); must evaluate now.
+  F2DB_LOG(kDebug) << "logging test record " << touch();
+  EXPECT_EQ(evaluations, 1);
+  SetLogLevel(before);
+}
+
+TEST(Logging, ConcurrentLoggingDoesNotCrash) {
+  const LogLevel before = GetLogLevel();
+  SetLogLevel(LogLevel::kError);
+  std::vector<std::thread> threads;
+  for (int i = 0; i < 4; ++i) {
+    threads.emplace_back([] {
+      for (int j = 0; j < 500; ++j) {
+        // Filtered records: the level check must be safe under concurrency.
+        F2DB_LOG(kDebug) << "suppressed " << j;
+      }
+      F2DB_LOG(kError) << "one emitted record per thread";
+    });
+  }
+  for (auto& t : threads) t.join();
+  SetLogLevel(before);
+}
+
+}  // namespace
+}  // namespace f2db

@@ -1,0 +1,124 @@
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace f2db {
+namespace {
+
+TEST(Rng, Deterministic) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.NextUint64(), b.NextUint64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  bool any_diff = false;
+  for (int i = 0; i < 10; ++i) {
+    if (a.NextUint64() != b.NextUint64()) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.NextDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Rng, UniformRespectsRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.Uniform(-3.0, 5.0);
+    EXPECT_GE(v, -3.0);
+    EXPECT_LT(v, 5.0);
+  }
+}
+
+TEST(Rng, UniformIntInclusiveBounds) {
+  Rng rng(9);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    const std::int64_t v = rng.UniformInt(0, 5);
+    EXPECT_GE(v, 0);
+    EXPECT_LE(v, 5);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 6u);  // all values hit
+}
+
+TEST(Rng, UniformIntSingleton) {
+  Rng rng(1);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.UniformInt(3, 3), 3);
+}
+
+TEST(Rng, GaussianMomentsApproximatelyStandard) {
+  Rng rng(11);
+  const int n = 100000;
+  double sum = 0.0, sum_sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.NextGaussian();
+    sum += v;
+    sum_sq += v * v;
+  }
+  const double mean = sum / n;
+  const double var = sum_sq / n - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.02);
+  EXPECT_NEAR(var, 1.0, 0.03);
+}
+
+TEST(Rng, GaussianScaling) {
+  Rng rng(12);
+  double sum = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) sum += rng.Gaussian(10.0, 2.0);
+  EXPECT_NEAR(sum / n, 10.0, 0.1);
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(13);
+  int hits = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.NextBernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(Rng, SampleDiscreteRespectsWeights) {
+  Rng rng(14);
+  std::vector<double> weights{1.0, 0.0, 3.0};
+  int counts[3] = {0, 0, 0};
+  const int n = 40000;
+  for (int i = 0; i < n; ++i) ++counts[rng.SampleDiscrete(weights)];
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / n, 0.75, 0.02);
+}
+
+TEST(Rng, SplitProducesIndependentStream) {
+  Rng parent(15);
+  Rng child = parent.Split();
+  // Child stream differs from continued parent stream.
+  bool any_diff = false;
+  for (int i = 0; i < 10; ++i) {
+    if (parent.NextUint64() != child.NextUint64()) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Rng, SplitIsDeterministic) {
+  Rng a(15), b(15);
+  Rng ca = a.Split();
+  Rng cb = b.Split();
+  EXPECT_EQ(ca.NextUint64(), cb.NextUint64());
+}
+
+}  // namespace
+}  // namespace f2db

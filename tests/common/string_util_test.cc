@@ -1,0 +1,82 @@
+#include "common/string_util.h"
+
+#include <gtest/gtest.h>
+
+namespace f2db {
+namespace {
+
+TEST(SplitString, Basic) {
+  const auto parts = SplitString("a,b,c", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(SplitString, KeepsEmptyFields) {
+  const auto parts = SplitString("a,,c,", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[3], "");
+}
+
+TEST(SplitString, EmptyInputYieldsOneEmptyField) {
+  const auto parts = SplitString("", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "");
+}
+
+TEST(TrimWhitespace, TrimsBothEnds) {
+  EXPECT_EQ(TrimWhitespace("  hi \t\n"), "hi");
+  EXPECT_EQ(TrimWhitespace("hi"), "hi");
+  EXPECT_EQ(TrimWhitespace("   "), "");
+  EXPECT_EQ(TrimWhitespace(""), "");
+}
+
+TEST(TrimWhitespace, KeepsInteriorSpace) {
+  EXPECT_EQ(TrimWhitespace(" a b "), "a b");
+}
+
+TEST(ToLowerAscii, Basic) {
+  EXPECT_EQ(ToLowerAscii("SeLeCt"), "select");
+  EXPECT_EQ(ToLowerAscii("abc123"), "abc123");
+}
+
+TEST(EqualsIgnoreCase, Basic) {
+  EXPECT_TRUE(EqualsIgnoreCase("SELECT", "select"));
+  EXPECT_TRUE(EqualsIgnoreCase("", ""));
+  EXPECT_FALSE(EqualsIgnoreCase("a", "ab"));
+  EXPECT_FALSE(EqualsIgnoreCase("abc", "abd"));
+}
+
+TEST(JoinStrings, Basic) {
+  EXPECT_EQ(JoinStrings({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(JoinStrings({}, ","), "");
+  EXPECT_EQ(JoinStrings({"x"}, ","), "x");
+}
+
+TEST(ParseDouble, ValidInputs) {
+  EXPECT_DOUBLE_EQ(ParseDouble("3.5").value(), 3.5);
+  EXPECT_DOUBLE_EQ(ParseDouble(" -2e3 ").value(), -2000.0);
+  EXPECT_DOUBLE_EQ(ParseDouble("0").value(), 0.0);
+}
+
+TEST(ParseDouble, RejectsGarbage) {
+  EXPECT_FALSE(ParseDouble("abc").ok());
+  EXPECT_FALSE(ParseDouble("1.5x").ok());
+  EXPECT_FALSE(ParseDouble("").ok());
+  EXPECT_FALSE(ParseDouble("   ").ok());
+}
+
+TEST(ParseInt, ValidInputs) {
+  EXPECT_EQ(ParseInt("42").value(), 42);
+  EXPECT_EQ(ParseInt(" -7 ").value(), -7);
+}
+
+TEST(ParseInt, RejectsGarbage) {
+  EXPECT_FALSE(ParseInt("4.2").ok());
+  EXPECT_FALSE(ParseInt("x").ok());
+  EXPECT_FALSE(ParseInt("").ok());
+}
+
+}  // namespace
+}  // namespace f2db

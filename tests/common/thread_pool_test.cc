@@ -1,0 +1,71 @@
+#include "common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+namespace f2db {
+namespace {
+
+TEST(ThreadPool, RunsSubmittedTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 100; ++i) {
+    futures.push_back(pool.Submit([&counter] { ++counter; }));
+  }
+  for (auto& f : futures) f.wait();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, ParallelForCoversAllIndices) {
+  ThreadPool pool(3);
+  std::vector<int> hits(257, 0);
+  pool.ParallelFor(hits.size(), [&](std::size_t i) { hits[i] = 1; });
+  EXPECT_EQ(std::accumulate(hits.begin(), hits.end(), 0),
+            static_cast<int>(hits.size()));
+}
+
+TEST(ThreadPool, ParallelForZeroIsNoop) {
+  ThreadPool pool(2);
+  pool.ParallelFor(0, [](std::size_t) { FAIL() << "must not run"; });
+}
+
+TEST(ThreadPool, AtLeastOneThread) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.size(), 1u);
+  std::atomic<bool> ran{false};
+  pool.Submit([&ran] { ran = true; }).wait();
+  EXPECT_TRUE(ran.load());
+}
+
+TEST(ThreadPool, DrainsQueueOnDestruction) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 50; ++i) {
+      pool.Submit([&counter] { ++counter; });
+    }
+  }  // destructor joins after draining
+  EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ThreadPool, DefaultConcurrencyPositive) {
+  EXPECT_GE(ThreadPool::DefaultConcurrency(), 1u);
+}
+
+TEST(ThreadPool, ExceptionsAreContainedByPackagedTask) {
+  // Library code does not throw, but tasks from tests might; the future
+  // carries the exception instead of tearing down the pool.
+  ThreadPool pool(1);
+  auto f = pool.Submit([] { throw std::runtime_error("boom"); });
+  EXPECT_THROW(f.get(), std::runtime_error);
+  std::atomic<bool> ran{false};
+  pool.Submit([&ran] { ran = true; }).wait();
+  EXPECT_TRUE(ran.load());
+}
+
+}  // namespace
+}  // namespace f2db

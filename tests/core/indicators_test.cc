@@ -1,0 +1,130 @@
+#include "core/indicators.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/test_cubes.h"
+
+namespace f2db {
+namespace {
+
+TEST(Indicators, SelfIndicatorIsZero) {
+  const TimeSeriesGraph graph = testing::MakeRegionCube(40, 1.0);
+  ConfigurationEvaluator evaluator(graph, 0.8);
+  IndicatorComputer computer(evaluator, IndicatorOptions{});
+  EXPECT_DOUBLE_EQ(computer.Indicate(0, 0), 0.0);
+}
+
+TEST(Indicators, LowForDerivableHighForNot) {
+  const TimeSeriesGraph graph = testing::MakeRegionCube(40, 0.0);
+  ConfigurationEvaluator evaluator(graph, 0.8);
+  IndicatorComputer computer(evaluator, IndicatorOptions{});
+  // Proportional series: derivation is near perfect.
+  EXPECT_LT(computer.Indicate(graph.top_node(), graph.base_nodes()[0]), 0.05);
+}
+
+TEST(Indicators, AblationWeightsRespected) {
+  const TimeSeriesGraph graph = testing::MakeRegionCube(40, 2.0);
+  ConfigurationEvaluator evaluator(graph, 0.8);
+  IndicatorOptions history_only;
+  history_only.similarity_weight = 0.0;
+  IndicatorOptions similarity_only;
+  similarity_only.historical_weight = 0.0;
+  similarity_only.similarity_weight = 1.0;
+  IndicatorComputer hist(evaluator, history_only);
+  IndicatorComputer sim(evaluator, similarity_only);
+  IndicatorComputer both(evaluator, IndicatorOptions{});
+
+  const NodeId s = graph.top_node();
+  const NodeId t = graph.base_nodes()[1];
+  EXPECT_NEAR(both.Indicate(s, t),
+              hist.Indicate(s, t) + 0.5 * sim.Indicate(s, t), 1e-12);
+}
+
+TEST(Indicators, LocalIncludesSelfAtZero) {
+  const TimeSeriesGraph graph = testing::MakeRegionCube(40, 1.0);
+  ConfigurationEvaluator evaluator(graph, 0.8);
+  IndicatorComputer computer(evaluator, IndicatorOptions{});
+  const LocalIndicator local = computer.ComputeLocal(graph.top_node(), 3);
+  ASSERT_EQ(local.entries.size(), 4u);  // self + 3 nearest
+  bool found_self = false;
+  for (const auto& [target, value] : local.entries) {
+    if (target == graph.top_node()) {
+      found_self = true;
+      EXPECT_DOUBLE_EQ(value, 0.0);
+    }
+  }
+  EXPECT_TRUE(found_self);
+}
+
+TEST(Indicators, LocalSizeClampedToGraph) {
+  const TimeSeriesGraph graph = testing::MakeRegionCube(40, 1.0);
+  ConfigurationEvaluator evaluator(graph, 0.8);
+  IndicatorComputer computer(evaluator, IndicatorOptions{});
+  const LocalIndicator local = computer.ComputeLocal(0, 1000);
+  EXPECT_EQ(local.entries.size(), graph.num_nodes());
+}
+
+TEST(GlobalIndicator, DefaultsToUncovered) {
+  GlobalIndicator global(4);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_DOUBLE_EQ(global.value(static_cast<NodeId>(i)),
+                     kUncoveredIndicator);
+  }
+  EXPECT_DOUBLE_EQ(global.Mean(), kUncoveredIndicator);
+  EXPECT_DOUBLE_EQ(global.StdDev(), 0.0);
+}
+
+TEST(GlobalIndicator, MergeTakesElementwiseMin) {
+  GlobalIndicator global(3);
+  LocalIndicator a;
+  a.source = 0;
+  a.entries = {{0, 0.0}, {1, 0.5}};
+  global.Merge(a);
+  LocalIndicator b;
+  b.source = 1;
+  b.entries = {{1, 0.2}, {2, 0.9}};
+  global.Merge(b);
+  EXPECT_DOUBLE_EQ(global.value(0), 0.0);
+  EXPECT_DOUBLE_EQ(global.value(1), 0.2);
+  EXPECT_DOUBLE_EQ(global.value(2), 0.9);
+}
+
+TEST(GlobalIndicator, RebuildResetsFirst) {
+  GlobalIndicator global(2);
+  LocalIndicator a;
+  a.source = 0;
+  a.entries = {{0, 0.1}, {1, 0.1}};
+  global.Merge(a);
+  LocalIndicator b;
+  b.source = 1;
+  b.entries = {{1, 0.3}};
+  global.Rebuild({&b});
+  EXPECT_DOUBLE_EQ(global.value(0), kUncoveredIndicator);  // a gone
+  EXPECT_DOUBLE_EQ(global.value(1), 0.3);
+}
+
+TEST(GlobalIndicator, MeanAndStdDev) {
+  GlobalIndicator global(2);
+  LocalIndicator a;
+  a.source = 0;
+  a.entries = {{0, 0.0}, {1, 1.0}};
+  global.Merge(a);
+  EXPECT_DOUBLE_EQ(global.Mean(), 0.5);
+  EXPECT_DOUBLE_EQ(global.StdDev(), 0.5);
+}
+
+TEST(Indicators, UncoveredDominatesAnyComputedValue) {
+  // historical <= 1 and similarity term <= similarity_weight, so any
+  // computed indicator stays below the uncovered default.
+  const TimeSeriesGraph graph = testing::MakeRegionCube(40, 5.0);
+  ConfigurationEvaluator evaluator(graph, 0.8);
+  IndicatorComputer computer(evaluator, IndicatorOptions{});
+  for (NodeId s = 0; s < graph.num_nodes(); ++s) {
+    for (NodeId t = 0; t < graph.num_nodes(); ++t) {
+      EXPECT_LT(computer.Indicate(s, t), kUncoveredIndicator);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace f2db

@@ -1,0 +1,92 @@
+#include "core/multi_source.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/test_cubes.h"
+#include "ts/exponential_smoothing.h"
+
+namespace f2db {
+namespace {
+
+ModelEntry MakeEntry(const ConfigurationEvaluator& evaluator, NodeId node) {
+  ModelEntry entry;
+  auto model = ExponentialSmoothingModel::HoltWintersAdditive(4);
+  EXPECT_TRUE(model->Fit(evaluator.TrainSeries(node)).ok());
+  entry.test_forecast = model->Forecast(evaluator.test_length());
+  entry.model = std::move(model);
+  return entry;
+}
+
+class MultiSourceTest : public ::testing::Test {
+ protected:
+  MultiSourceTest()
+      : graph_(testing::MakeFigure2Cube(60, 0.05)), evaluator_(graph_, 0.8) {}
+
+  ModelConfiguration ConfigWithBaseModels() {
+    ModelConfiguration config(graph_.num_nodes());
+    for (NodeId base : graph_.base_nodes()) {
+      config.AddModel(base, MakeEntry(evaluator_, base));
+      config.ApplyModelSchemes(evaluator_, base);
+    }
+    return config;
+  }
+
+  TimeSeriesGraph graph_;
+  ConfigurationEvaluator evaluator_;
+};
+
+TEST_F(MultiSourceTest, SampleProbeNeedsAtLeastTwoModels) {
+  MultiSourceOptimizer optimizer(evaluator_, MultiSourceOptions{}, 1);
+  Rng rng(2);
+  EXPECT_FALSE(optimizer.SampleProbe({}, rng).has_value());
+  EXPECT_FALSE(optimizer.SampleProbe({graph_.base_nodes()[0]}, rng)
+                   .has_value());
+}
+
+TEST_F(MultiSourceTest, ProbeSourcesCarryModelsAndExcludeTarget) {
+  MultiSourceOptimizer optimizer(evaluator_, MultiSourceOptions{}, 1);
+  Rng rng(3);
+  const std::vector<NodeId> model_nodes(graph_.base_nodes());
+  for (int i = 0; i < 200; ++i) {
+    auto probe = optimizer.SampleProbe(model_nodes, rng);
+    if (!probe.has_value()) continue;
+    EXPECT_GE(probe->second.sources.size(), 2u);
+    for (NodeId s : probe->second.sources) {
+      EXPECT_NE(s, probe->first);
+      EXPECT_NE(std::find(model_nodes.begin(), model_nodes.end(), s),
+                model_nodes.end());
+    }
+  }
+}
+
+TEST_F(MultiSourceTest, RunProbesImprovesAggregateNodes) {
+  ModelConfiguration config = ConfigWithBaseModels();
+  const double before = config.MeanError();
+  MultiSourceOptimizer optimizer(evaluator_, MultiSourceOptions{}, 99);
+  const std::size_t adopted = optimizer.RunProbes(config, 400);
+  EXPECT_GT(adopted, 0u);
+  EXPECT_LT(config.MeanError(), before);
+}
+
+TEST_F(MultiSourceTest, AsyncLifecycle) {
+  ModelConfiguration config = ConfigWithBaseModels();
+  MultiSourceOptimizer optimizer(evaluator_, MultiSourceOptions{}, 5);
+  optimizer.StartAsync();
+  optimizer.PublishModelNodes(config.model_nodes());
+  // Give the background thread a moment to produce suggestions.
+  std::size_t adopted = 0;
+  for (int i = 0; i < 50 && adopted == 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    adopted += optimizer.DrainSuggestions(config);
+  }
+  optimizer.StopAsync();
+  EXPECT_GT(adopted, 0u);
+}
+
+TEST_F(MultiSourceTest, StopWithoutStartIsNoop) {
+  MultiSourceOptimizer optimizer(evaluator_, MultiSourceOptions{}, 5);
+  optimizer.StopAsync();  // must not crash or hang
+}
+
+}  // namespace
+}  // namespace f2db

@@ -1,0 +1,254 @@
+#include "cube/graph.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "testing/test_cubes.h"
+
+namespace f2db {
+namespace {
+
+TEST(CubeSchema, AddAndFind) {
+  CubeSchema schema;
+  ASSERT_TRUE(schema.AddHierarchy(Hierarchy::Flat("a", {"x", "y"})).ok());
+  ASSERT_TRUE(schema.AddHierarchy(Hierarchy::Flat("b", {"p"})).ok());
+  EXPECT_EQ(schema.num_dimensions(), 2u);
+  EXPECT_EQ(schema.FindDimension("b").value(), 1u);
+  EXPECT_FALSE(schema.FindDimension("c").ok());
+  EXPECT_EQ(schema.NumBaseCells(), 2u);
+}
+
+TEST(CubeSchema, RejectsDuplicateAndUnfinalized) {
+  CubeSchema schema;
+  ASSERT_TRUE(schema.AddHierarchy(Hierarchy::Flat("a", {"x"})).ok());
+  EXPECT_FALSE(schema.AddHierarchy(Hierarchy::Flat("a", {"y"})).ok());
+  Hierarchy unfinalized("u");
+  ASSERT_TRUE(unfinalized.AddLevel("l", {"v"}).ok());
+  EXPECT_FALSE(schema.AddHierarchy(std::move(unfinalized)).ok());
+}
+
+TEST(CubeSchema, FindLevelAnywhere) {
+  CubeSchema schema;
+  ASSERT_TRUE(schema.AddHierarchy(Hierarchy::Flat("prod", {"p1"})).ok());
+  ASSERT_TRUE(schema.AddHierarchy(Hierarchy::Flat("city", {"c1"})).ok());
+  auto hit = schema.FindLevelAnywhere("city");
+  ASSERT_TRUE(hit.ok());
+  EXPECT_EQ(hit.value().first, 1u);
+  EXPECT_EQ(hit.value().second, 0u);
+  EXPECT_FALSE(schema.FindLevelAnywhere("nope").ok());
+}
+
+TEST(Graph, NodeCountMatchesSlotProduct) {
+  // Figure 2 cube: location slots = 4 cities + 2 regions + ALL = 7;
+  // product slots = 2 + ALL = 3; total 21 nodes, 8 base.
+  const TimeSeriesGraph graph = testing::MakeFigure2Cube();
+  EXPECT_EQ(graph.num_nodes(), 21u);
+  EXPECT_EQ(graph.num_base_nodes(), 8u);
+}
+
+TEST(Graph, AddressRoundTrip) {
+  const TimeSeriesGraph graph = testing::MakeFigure2Cube();
+  for (NodeId node = 0; node < graph.num_nodes(); ++node) {
+    const NodeAddress address = graph.AddressOf(node);
+    const auto back = graph.NodeFor(address);
+    ASSERT_TRUE(back.ok());
+    EXPECT_EQ(back.value(), node);
+  }
+}
+
+TEST(Graph, NodeForValidatesRanges) {
+  const TimeSeriesGraph graph = testing::MakeFigure2Cube();
+  NodeAddress bad;
+  bad.coords = {{9, 0}, {0, 0}};
+  EXPECT_FALSE(graph.NodeFor(bad).ok());
+  bad.coords = {{0, 99}, {0, 0}};
+  EXPECT_FALSE(graph.NodeFor(bad).ok());
+  bad.coords = {{0, 0}};
+  EXPECT_FALSE(graph.NodeFor(bad).ok());  // wrong dimensionality
+}
+
+TEST(Graph, TopNodeIsAllEverywhere) {
+  const TimeSeriesGraph graph = testing::MakeFigure2Cube();
+  const NodeAddress top = graph.AddressOf(graph.top_node());
+  EXPECT_EQ(top.coords[0].level, 2u);  // ALL of location
+  EXPECT_EQ(top.coords[1].level, 1u);  // ALL of product
+  EXPECT_FALSE(graph.IsBaseNode(graph.top_node()));
+}
+
+TEST(Graph, BaseNodesAreLevelZero) {
+  const TimeSeriesGraph graph = testing::MakeFigure2Cube();
+  for (NodeId node : graph.base_nodes()) {
+    EXPECT_TRUE(graph.IsBaseNode(node));
+    EXPECT_EQ(graph.LevelSum(node), 0u);
+  }
+}
+
+TEST(Graph, ChildrenRespectFunctionalDependency) {
+  // Children of (region=R2, product=P2) along location are exactly
+  // (C3, P2) and (C4, P2) — C1/C2 belong to R1 (paper property 3).
+  const TimeSeriesGraph graph = testing::MakeFigure2Cube();
+  NodeAddress address;
+  address.coords = {{1, 1}, {0, 1}};  // R2, P2
+  const NodeId node = graph.NodeFor(address).value();
+  const auto children = graph.Children(node, 0);
+  ASSERT_EQ(children.size(), 2u);
+  for (NodeId child : children) {
+    const NodeAddress ca = graph.AddressOf(child);
+    EXPECT_EQ(ca.coords[0].level, 0u);
+    EXPECT_GE(ca.coords[0].value, 2u);  // C3 or C4
+    EXPECT_EQ(ca.coords[1].value, 1u);  // product preserved
+  }
+}
+
+TEST(Graph, ParentRoundTrip) {
+  const TimeSeriesGraph graph = testing::MakeFigure2Cube();
+  const NodeId base = graph.base_nodes()[0];
+  const auto parent = graph.Parent(base, 0);
+  ASSERT_TRUE(parent.ok());
+  const auto children = graph.Children(parent.value(), 0);
+  EXPECT_NE(std::find(children.begin(), children.end(), base), children.end());
+}
+
+TEST(Graph, ParentOfAllFails) {
+  const TimeSeriesGraph graph = testing::MakeFigure2Cube();
+  EXPECT_FALSE(graph.Parent(graph.top_node(), 0).ok());
+  EXPECT_FALSE(graph.Parent(graph.top_node(), 1).ok());
+}
+
+TEST(Graph, ANodeContributesToMultipleAggregates) {
+  // Paper property 2: C1R1P2 can aggregate to C1*P2-style nodes along
+  // either dimension.
+  const TimeSeriesGraph graph = testing::MakeFigure2Cube();
+  NodeAddress address;
+  address.coords = {{0, 0}, {0, 1}};  // C1, P2
+  const NodeId node = graph.NodeFor(address).value();
+  const auto p0 = graph.Parent(node, 0);
+  const auto p1 = graph.Parent(node, 1);
+  ASSERT_TRUE(p0.ok());
+  ASSERT_TRUE(p1.ok());
+  EXPECT_NE(p0.value(), p1.value());
+}
+
+TEST(Graph, ChildSetsCoverAllAggregatedDimensions) {
+  const TimeSeriesGraph graph = testing::MakeFigure2Cube();
+  const auto sets = graph.ChildSets(graph.top_node());
+  EXPECT_EQ(sets.size(), 2u);
+  const NodeId base = graph.base_nodes()[0];
+  EXPECT_TRUE(graph.ChildSets(base).empty());
+}
+
+TEST(Graph, AggregationIsExactSum) {
+  const TimeSeriesGraph graph = testing::MakeFigure2Cube();
+  // Every non-base node equals the sum of its children along any dimension.
+  for (NodeId node = 0; node < graph.num_nodes(); ++node) {
+    for (const auto& [dim, children] : graph.ChildSets(node)) {
+      for (std::size_t t = 0; t < graph.series_length(); ++t) {
+        double sum = 0.0;
+        for (NodeId child : children) sum += graph.series(child)[t];
+        EXPECT_NEAR(graph.series(node)[t], sum, 1e-9)
+            << graph.NodeName(node) << " dim " << dim << " t=" << t;
+      }
+    }
+  }
+}
+
+TEST(Graph, TopEqualsSumOfAllBase) {
+  const TimeSeriesGraph graph = testing::MakeFigure2Cube();
+  for (std::size_t t = 0; t < graph.series_length(); ++t) {
+    double sum = 0.0;
+    for (NodeId base : graph.base_nodes()) sum += graph.series(base)[t];
+    EXPECT_NEAR(graph.series(graph.top_node())[t], sum, 1e-9);
+  }
+}
+
+TEST(Graph, DistanceProperties) {
+  const TimeSeriesGraph graph = testing::MakeFigure2Cube();
+  const NodeId a = graph.base_nodes()[0];
+  const NodeId b = graph.base_nodes()[1];
+  EXPECT_EQ(graph.Distance(a, a), 0u);
+  EXPECT_EQ(graph.Distance(a, b), graph.Distance(b, a));
+  // Base to its location-parent: one step.
+  EXPECT_EQ(graph.Distance(a, graph.Parent(a, 0).value()), 1u);
+  // Top is location-levels + product-levels away from any base: 2 + 1.
+  EXPECT_EQ(graph.Distance(a, graph.top_node()), 3u);
+}
+
+TEST(Graph, DistanceThroughCommonAncestor) {
+  const TimeSeriesGraph graph = testing::MakeFigure2Cube();
+  // C1P1 and C2P1 share region R1: distance 2 (up + down).
+  NodeAddress a1{{{0, 0}, {0, 0}}};
+  NodeAddress a2{{{0, 1}, {0, 0}}};
+  EXPECT_EQ(graph.Distance(graph.NodeFor(a1).value(),
+                           graph.NodeFor(a2).value()),
+            2u);
+  // C1P1 and C3P1 only share ALL: distance 4.
+  NodeAddress a3{{{0, 2}, {0, 0}}};
+  EXPECT_EQ(graph.Distance(graph.NodeFor(a1).value(),
+                           graph.NodeFor(a3).value()),
+            4u);
+}
+
+TEST(Graph, NearestNodesBfsOrder) {
+  const TimeSeriesGraph graph = testing::MakeFigure2Cube();
+  const NodeId base = graph.base_nodes()[0];
+  const auto near = graph.NearestNodes(base, 5);
+  ASSERT_EQ(near.size(), 5u);
+  // No duplicates, does not include the start node.
+  std::set<NodeId> unique(near.begin(), near.end());
+  EXPECT_EQ(unique.size(), near.size());
+  EXPECT_EQ(unique.count(base), 0u);
+  // Distances are non-decreasing along the result.
+  for (std::size_t i = 1; i < near.size(); ++i) {
+    EXPECT_LE(graph.Distance(base, near[i - 1]),
+              graph.Distance(base, near[i]));
+  }
+}
+
+TEST(Graph, NearestNodesCoversWholeGraph) {
+  const TimeSeriesGraph graph = testing::MakeFigure2Cube();
+  const auto all = graph.NearestNodes(graph.top_node(), 1000);
+  EXPECT_EQ(all.size(), graph.num_nodes() - 1);
+}
+
+TEST(Graph, SetBaseSeriesValidation) {
+  TimeSeriesGraph graph = testing::MakeFigure2Cube();
+  EXPECT_FALSE(graph.SetBaseSeries(graph.top_node(), TimeSeries({1})).ok());
+  EXPECT_FALSE(graph.SetBaseSeries(999999, TimeSeries({1})).ok());
+}
+
+TEST(Graph, BuildAggregatesRejectsMisalignedBase) {
+  TimeSeriesGraph graph = testing::MakeFigure2Cube();
+  ASSERT_TRUE(
+      graph.SetBaseSeries(graph.base_nodes()[0], TimeSeries({1, 2})).ok());
+  EXPECT_FALSE(graph.BuildAggregates().ok());
+}
+
+TEST(Graph, AdvanceTimeAppendsEverywhere) {
+  TimeSeriesGraph graph = testing::MakeFigure2Cube(24);
+  const std::size_t before = graph.series_length();
+  std::vector<double> values(graph.num_base_nodes(), 2.0);
+  ASSERT_TRUE(graph.AdvanceTime(values).ok());
+  EXPECT_EQ(graph.series_length(), before + 1);
+  const TimeSeries& top = graph.series(graph.top_node());
+  EXPECT_NEAR(top[top.size() - 1], 2.0 * graph.num_base_nodes(), 1e-9);
+}
+
+TEST(Graph, AdvanceTimeValidatesInput) {
+  TimeSeriesGraph graph = testing::MakeFigure2Cube(24);
+  EXPECT_FALSE(graph.AdvanceTime({1.0}).ok());
+}
+
+TEST(Graph, NodeNameIsHumanReadable) {
+  const TimeSeriesGraph graph = testing::MakeFigure2Cube();
+  const std::string name = graph.NodeName(graph.base_nodes()[0]);
+  EXPECT_NE(name.find("city="), std::string::npos);
+  EXPECT_NE(name.find("product="), std::string::npos);
+}
+
+TEST(Graph, RejectsEmptySchema) {
+  EXPECT_FALSE(TimeSeriesGraph::Create(CubeSchema()).ok());
+}
+
+}  // namespace
+}  // namespace f2db

@@ -1,0 +1,121 @@
+#include "cube/hierarchy.h"
+
+#include <gtest/gtest.h>
+
+namespace f2db {
+namespace {
+
+Hierarchy MakeLocation() {
+  Hierarchy h("location");
+  EXPECT_TRUE(h.AddLevel("city", {"C1", "C2", "C3", "C4"}).ok());
+  EXPECT_TRUE(h.AddLevel("region", {"R1", "R2"}).ok());
+  EXPECT_TRUE(h.SetParent(0, 0, 0).ok());
+  EXPECT_TRUE(h.SetParent(0, 1, 0).ok());
+  EXPECT_TRUE(h.SetParent(0, 2, 1).ok());
+  EXPECT_TRUE(h.SetParent(0, 3, 1).ok());
+  EXPECT_TRUE(h.Finalize().ok());
+  return h;
+}
+
+TEST(Hierarchy, LevelAndValueCounts) {
+  const Hierarchy h = MakeLocation();
+  EXPECT_EQ(h.num_levels(), 2u);
+  EXPECT_EQ(h.num_values(0), 4u);
+  EXPECT_EQ(h.num_values(1), 2u);
+  EXPECT_EQ(h.num_values(2), 1u);  // ALL
+}
+
+TEST(Hierarchy, Names) {
+  const Hierarchy h = MakeLocation();
+  EXPECT_EQ(h.level_name(0), "city");
+  EXPECT_EQ(h.level_name(2), "ALL");
+  EXPECT_EQ(h.value_name(0, 2), "C3");
+  EXPECT_EQ(h.value_name(2, 0), "*");
+}
+
+TEST(Hierarchy, ParentsEncodeFunctionalDependency) {
+  const Hierarchy h = MakeLocation();
+  EXPECT_EQ(h.parent_value(0, 0), 0u);  // C1 -> R1
+  EXPECT_EQ(h.parent_value(0, 3), 1u);  // C4 -> R2
+  EXPECT_EQ(h.parent_value(1, 1), 0u);  // R2 -> ALL
+}
+
+TEST(Hierarchy, ChildValues) {
+  const Hierarchy h = MakeLocation();
+  EXPECT_EQ(h.child_values(1, 0), (std::vector<ValueIndex>{0, 1}));
+  EXPECT_EQ(h.child_values(1, 1), (std::vector<ValueIndex>{2, 3}));
+  EXPECT_EQ(h.child_values(2, 0), (std::vector<ValueIndex>{0, 1}));  // ALL
+}
+
+TEST(Hierarchy, FindLevelAndValue) {
+  const Hierarchy h = MakeLocation();
+  EXPECT_EQ(h.FindLevel("region").value(), 1u);
+  EXPECT_EQ(h.FindLevel("ALL").value(), 2u);
+  EXPECT_FALSE(h.FindLevel("country").ok());
+  EXPECT_EQ(h.FindValue(0, "C2").value(), 1u);
+  EXPECT_EQ(h.FindValue(2, "*").value(), 0u);
+  EXPECT_FALSE(h.FindValue(0, "C9").ok());
+  EXPECT_FALSE(h.FindValue(2, "C9").ok());
+}
+
+TEST(Hierarchy, FlatFactory) {
+  const Hierarchy h = Hierarchy::Flat("product", {"P1", "P2"});
+  EXPECT_TRUE(h.finalized());
+  EXPECT_EQ(h.num_levels(), 1u);
+  EXPECT_EQ(h.child_values(1, 0).size(), 2u);
+  EXPECT_EQ(h.parent_value(0, 1), 0u);  // directly under ALL
+}
+
+TEST(Hierarchy, RejectsEmptyLevel) {
+  Hierarchy h("x");
+  EXPECT_FALSE(h.AddLevel("lvl", {}).ok());
+}
+
+TEST(Hierarchy, RejectsFinalizeWithoutLevels) {
+  Hierarchy h("x");
+  EXPECT_FALSE(h.Finalize().ok());
+}
+
+TEST(Hierarchy, SetParentValidatesRanges) {
+  Hierarchy h("x");
+  ASSERT_TRUE(h.AddLevel("a", {"a1", "a2"}).ok());
+  ASSERT_TRUE(h.AddLevel("b", {"b1"}).ok());
+  EXPECT_FALSE(h.SetParent(1, 0, 0).ok());  // topmost level has no parent level
+  EXPECT_FALSE(h.SetParent(0, 5, 0).ok());  // child out of range
+  EXPECT_FALSE(h.SetParent(0, 0, 5).ok());  // parent out of range
+}
+
+TEST(Hierarchy, FinalizeRejectsChildlessParent) {
+  Hierarchy h("x");
+  ASSERT_TRUE(h.AddLevel("a", {"a1", "a2"}).ok());
+  ASSERT_TRUE(h.AddLevel("b", {"b1", "b2"}).ok());
+  // Both children map to b1; b2 ends up childless.
+  ASSERT_TRUE(h.SetParent(0, 0, 0).ok());
+  ASSERT_TRUE(h.SetParent(0, 1, 0).ok());
+  EXPECT_FALSE(h.Finalize().ok());
+}
+
+TEST(Hierarchy, MutationAfterFinalizeRejected) {
+  Hierarchy h = MakeLocation();
+  EXPECT_FALSE(h.AddLevel("country", {"X"}).ok());
+  EXPECT_FALSE(h.SetParent(0, 0, 1).ok());
+}
+
+TEST(Hierarchy, ThreeLevelChain) {
+  Hierarchy h("geo");
+  ASSERT_TRUE(h.AddLevel("city", {"c1", "c2", "c3", "c4"}).ok());
+  ASSERT_TRUE(h.AddLevel("state", {"s1", "s2"}).ok());
+  ASSERT_TRUE(h.AddLevel("country", {"x"}).ok());
+  for (ValueIndex v = 0; v < 4; ++v) {
+    ASSERT_TRUE(h.SetParent(0, v, v / 2).ok());
+  }
+  ASSERT_TRUE(h.SetParent(1, 0, 0).ok());
+  ASSERT_TRUE(h.SetParent(1, 1, 0).ok());
+  ASSERT_TRUE(h.Finalize().ok());
+  EXPECT_EQ(h.num_levels(), 3u);
+  EXPECT_EQ(h.child_values(2, 0).size(), 2u);
+  EXPECT_EQ(h.child_values(3, 0).size(), 1u);  // ALL covers one country
+}
+
+}  // namespace
+}  // namespace f2db

@@ -1,0 +1,159 @@
+#include "engine/fact_table.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/test_cubes.h"
+
+namespace f2db {
+namespace {
+
+CubeSchema Figure2Schema() {
+  return testing::MakeFigure2Cube(4, 0.0).schema();
+}
+
+FactTable SmallTable() {
+  FactTable table(Figure2Schema());
+  // 8 base cells x 3 time steps; value = (cell index + 1) * 10 + t.
+  const TimeSeriesGraph graph = testing::MakeFigure2Cube(4, 0.0);
+  std::size_t cell = 0;
+  for (NodeId base : graph.base_nodes()) {
+    const NodeAddress address = graph.AddressOf(base);
+    FactRow row;
+    row.dims = {
+        graph.schema().hierarchy(0).value_name(0, address.coords[0].value),
+        graph.schema().hierarchy(1).value_name(0, address.coords[1].value)};
+    for (std::int64_t t = 0; t < 3; ++t) {
+      row.time = t;
+      row.value = static_cast<double>((cell + 1) * 10 + t);
+      EXPECT_TRUE(table.Append(row).ok());
+    }
+    ++cell;
+  }
+  return table;
+}
+
+TEST(FactTable, AppendAndDecode) {
+  FactTable table = SmallTable();
+  EXPECT_EQ(table.num_rows(), 24u);
+  EXPECT_EQ(table.min_time(), 0);
+  EXPECT_EQ(table.max_time(), 2);
+  auto row = table.Row(0);
+  ASSERT_TRUE(row.ok());
+  EXPECT_EQ(row.value().dims.size(), 2u);
+  EXPECT_FALSE(table.Row(999).ok());
+}
+
+TEST(FactTable, AppendValidation) {
+  FactTable table(Figure2Schema());
+  FactRow bad;
+  bad.dims = {"C1"};  // missing product
+  EXPECT_FALSE(table.Append(bad).ok());
+  bad.dims = {"C1", "NOPE"};
+  EXPECT_FALSE(table.Append(bad).ok());
+  EXPECT_FALSE(table.AppendEncoded({99, 0}, 0, 1.0).ok());
+}
+
+TEST(FactTable, ScanLevelZeroPredicate) {
+  FactTable table = SmallTable();
+  // city == C1 (dim 0, level 0, value 0): 2 products x 3 times = 6 rows.
+  const auto rows = table.Scan({{0, 0, 0}});
+  EXPECT_EQ(rows.size(), 6u);
+}
+
+TEST(FactTable, ScanRollupPredicate) {
+  FactTable table = SmallTable();
+  // region == R2 (dim 0, level 1, value 1): cities C3, C4 -> 12 rows.
+  const auto rows = table.Scan({{0, 1, 1}});
+  EXPECT_EQ(rows.size(), 12u);
+  // ALL predicate matches everything.
+  EXPECT_EQ(table.Scan({{0, 2, 0}}).size(), 24u);
+}
+
+TEST(FactTable, ScanConjunction) {
+  FactTable table = SmallTable();
+  // region R1 AND product P2: cities C1, C2 -> 6 rows.
+  const auto rows = table.Scan({{0, 1, 0}, {1, 0, 1}});
+  EXPECT_EQ(rows.size(), 6u);
+}
+
+TEST(FactTable, AggregateByTimeMatchesGraphAggregates) {
+  FactTable table = SmallTable();
+  const TimeSeries total = table.AggregateByTime({});
+  ASSERT_EQ(total.size(), 3u);
+  // Sum over all 24 rows at t = 0: sum_{cell=1..8} cell*10 = 360.
+  EXPECT_NEAR(total[0], 360.0, 1e-9);
+  EXPECT_NEAR(total[1], 368.0, 1e-9);  // +1 per cell
+}
+
+TEST(FactTable, BuildGraphRoundTripsSeries) {
+  FactTable table = SmallTable();
+  auto graph = table.BuildGraph();
+  ASSERT_TRUE(graph.ok()) << graph.status().ToString();
+  EXPECT_EQ(graph.value().series_length(), 3u);
+  // Top node equals the table-wide aggregation.
+  const TimeSeries total = table.AggregateByTime({});
+  const TimeSeries& top = graph.value().series(graph.value().top_node());
+  for (std::size_t t = 0; t < 3; ++t) {
+    EXPECT_NEAR(top[t], total[t], 1e-9);
+  }
+  // A region-product aggregate equals the corresponding rollup scan.
+  NodeAddress address;
+  address.coords = {{1, 1}, {0, 0}};  // R2, P1
+  const NodeId node = graph.value().NodeFor(address).value();
+  const TimeSeries scanned = table.AggregateByTime({{0, 1, 1}, {1, 0, 0}});
+  for (std::size_t t = 0; t < 3; ++t) {
+    EXPECT_NEAR(graph.value().series(node)[t], scanned[t], 1e-9);
+  }
+}
+
+TEST(FactTable, BuildGraphRejectsDuplicates) {
+  FactTable table = SmallTable();
+  FactRow duplicate;
+  duplicate.dims = {"C1", "P1"};
+  duplicate.time = 0;
+  duplicate.value = 1.0;
+  ASSERT_TRUE(table.Append(duplicate).ok());
+  EXPECT_FALSE(table.BuildGraph().ok());
+}
+
+TEST(FactTable, BuildGraphRejectsGaps) {
+  FactTable table(Figure2Schema());
+  FactRow row;
+  row.dims = {"C1", "P1"};
+  row.time = 0;
+  row.value = 1.0;
+  ASSERT_TRUE(table.Append(row).ok());
+  row.time = 2;  // gap at t = 1 for this cell; other cells missing entirely
+  ASSERT_TRUE(table.Append(row).ok());
+  EXPECT_FALSE(table.BuildGraph().ok());
+}
+
+TEST(FactTable, EmptyTableBehaviour) {
+  FactTable table(Figure2Schema());
+  EXPECT_TRUE(table.AggregateByTime({}).empty());
+  EXPECT_FALSE(table.BuildGraph().ok());
+}
+
+TEST(FactTable, OutOfOrderTimesSupported) {
+  FactTable table(Figure2Schema());
+  const TimeSeriesGraph graph = testing::MakeFigure2Cube(4, 0.0);
+  // Insert times in reverse order; BuildGraph normalizes by min_time.
+  for (std::int64_t t = 2; t >= 0; --t) {
+    for (NodeId base : graph.base_nodes()) {
+      const NodeAddress address = graph.AddressOf(base);
+      FactRow row;
+      row.dims = {
+          graph.schema().hierarchy(0).value_name(0, address.coords[0].value),
+          graph.schema().hierarchy(1).value_name(0, address.coords[1].value)};
+      row.time = t + 100;  // non-zero start time
+      row.value = 1.0;
+      ASSERT_TRUE(table.Append(row).ok());
+    }
+  }
+  auto built = table.BuildGraph();
+  ASSERT_TRUE(built.ok()) << built.status().ToString();
+  EXPECT_EQ(built.value().series(0).start_time(), 100);
+}
+
+}  // namespace
+}  // namespace f2db

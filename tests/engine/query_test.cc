@@ -1,0 +1,129 @@
+#include "engine/query.h"
+
+#include <gtest/gtest.h>
+
+namespace f2db {
+namespace {
+
+TEST(QueryParser, Figure1Query1) {
+  auto q = ParseForecastQuery(
+      "SELECT time, sales FROM facts WHERE product = 'P4' AND city = 'C4' "
+      "AS OF now() + '1 day'");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ(q.value().measure, "sales");
+  EXPECT_FALSE(q.value().aggregate);
+  ASSERT_EQ(q.value().filters.size(), 2u);
+  EXPECT_EQ(q.value().filters[0], (DimensionFilter{"product", "P4"}));
+  EXPECT_EQ(q.value().filters[1], (DimensionFilter{"city", "C4"}));
+  EXPECT_EQ(q.value().horizon, 1u);
+}
+
+TEST(QueryParser, Figure1Query2WithGroupBy) {
+  auto q = ParseForecastQuery(
+      "SELECT time, SUM(sales) FROM facts WHERE product = 'P4' AND region = "
+      "'R2' GROUP BY time AS OF now() + '1 day'");
+  ASSERT_TRUE(q.ok());
+  EXPECT_TRUE(q.value().aggregate);
+  EXPECT_EQ(q.value().measure, "sales");
+  EXPECT_EQ(q.value().filters.size(), 2u);
+}
+
+TEST(QueryParser, NoWhereClause) {
+  auto q = ParseForecastQuery(
+      "SELECT time, SUM(m) FROM facts AS OF now() + '5'");
+  ASSERT_TRUE(q.ok());
+  EXPECT_TRUE(q.value().filters.empty());
+  EXPECT_EQ(q.value().horizon, 5u);
+}
+
+TEST(QueryParser, KeywordsCaseInsensitive) {
+  auto q = ParseForecastQuery(
+      "select TIME, sum(sales) from FACTS where city = 'C1' group by time "
+      "as of NOW() + '2'");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q.value().horizon, 2u);
+}
+
+TEST(QueryParser, ValuesCaseSensitive) {
+  auto q = ParseForecastQuery(
+      "SELECT time, x FROM facts WHERE city = 'c1' AS OF now() + '1'");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q.value().filters[0].value, "c1");
+}
+
+TEST(QueryParser, TrailingSemicolonAllowed) {
+  EXPECT_TRUE(
+      ParseForecastQuery("SELECT time, x FROM f AS OF now() + '3';").ok());
+}
+
+TEST(QueryParser, HorizonWithUnitText) {
+  auto q = ParseForecastQuery(
+      "SELECT time, x FROM f AS OF now() + '12 hours'");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q.value().horizon, 12u);
+}
+
+TEST(QueryParser, RejectsZeroOrNegativeHorizon) {
+  EXPECT_FALSE(
+      ParseForecastQuery("SELECT time, x FROM f AS OF now() + '0'").ok());
+  EXPECT_FALSE(
+      ParseForecastQuery("SELECT time, x FROM f AS OF now() + 'abc'").ok());
+}
+
+TEST(QueryParser, RejectsMissingAsOf) {
+  EXPECT_FALSE(ParseForecastQuery("SELECT time, x FROM f").ok());
+}
+
+TEST(QueryParser, RejectsMissingTimeColumn) {
+  EXPECT_FALSE(
+      ParseForecastQuery("SELECT x FROM f AS OF now() + '1'").ok());
+}
+
+TEST(QueryParser, RejectsUnterminatedString) {
+  EXPECT_FALSE(ParseForecastQuery(
+                   "SELECT time, x FROM f WHERE a = 'b AS OF now() + '1'")
+                   .ok());
+}
+
+TEST(QueryParser, RejectsTrailingGarbage) {
+  EXPECT_FALSE(ParseForecastQuery(
+                   "SELECT time, x FROM f AS OF now() + '1' extra")
+                   .ok());
+}
+
+TEST(QueryParser, RejectsBadCharacters) {
+  EXPECT_FALSE(ParseForecastQuery(
+                   "SELECT time, x FROM f WHERE a # 'b' AS OF now() + '1'")
+                   .ok());
+}
+
+TEST(QueryParser, RejectsMalformedPredicate) {
+  EXPECT_FALSE(ParseForecastQuery(
+                   "SELECT time, x FROM f WHERE a = b AS OF now() + '1'")
+                   .ok());
+}
+
+TEST(QueryToString, RoundTripsThroughParser) {
+  ForecastQuery q;
+  q.measure = "sales";
+  q.aggregate = true;
+  q.filters = {{"region", "R2"}, {"product", "P4"}};
+  q.horizon = 7;
+  auto reparsed = ParseForecastQuery(q.ToString());
+  ASSERT_TRUE(reparsed.ok()) << q.ToString();
+  EXPECT_EQ(reparsed.value().measure, q.measure);
+  EXPECT_EQ(reparsed.value().aggregate, q.aggregate);
+  EXPECT_EQ(reparsed.value().filters, q.filters);
+  EXPECT_EQ(reparsed.value().horizon, q.horizon);
+}
+
+TEST(QueryParser, QuotedValueWithSpaces) {
+  auto q = ParseForecastQuery(
+      "SELECT time, x FROM f WHERE state = 'New South Wales' AS OF now() + "
+      "'4'");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q.value().filters[0].value, "New South Wales");
+}
+
+}  // namespace
+}  // namespace f2db

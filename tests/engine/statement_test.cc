@@ -1,0 +1,270 @@
+// Tests for the statement dialect extensions (INSERT / EXPLAIN), the plan
+// inspection API, workload-aware weights, and engine interval forecasts.
+
+#include <gtest/gtest.h>
+
+#include "baselines/advisor_builder.h"
+#include "engine/engine.h"
+#include "testing/test_cubes.h"
+
+namespace f2db {
+namespace {
+
+TEST(StatementParser, SelectStatement) {
+  auto s = ParseStatement(
+      "SELECT time, sales FROM facts WHERE city = 'C1' AS OF now() + '2'");
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s.value().kind, Statement::Kind::kForecast);
+  EXPECT_EQ(s.value().forecast.horizon, 2u);
+}
+
+TEST(StatementParser, ExplainStatement) {
+  auto s = ParseStatement(
+      "EXPLAIN SELECT time, SUM(sales) FROM facts GROUP BY time AS OF now() "
+      "+ '3'");
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s.value().kind, Statement::Kind::kExplain);
+  EXPECT_TRUE(s.value().forecast.aggregate);
+}
+
+TEST(StatementParser, InsertStatement) {
+  auto s = ParseStatement("INSERT INTO facts VALUES ('C1', 'P2', 60, 12.5)");
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s.value().kind, Statement::Kind::kInsert);
+  EXPECT_EQ(s.value().insert.base_values,
+            (std::vector<std::string>{"C1", "P2"}));
+  EXPECT_EQ(s.value().insert.time, 60);
+  EXPECT_DOUBLE_EQ(s.value().insert.value, 12.5);
+}
+
+TEST(StatementParser, InsertNegativeValue) {
+  auto s = ParseStatement("INSERT INTO facts VALUES ('C1', 10, -3.25)");
+  ASSERT_TRUE(s.ok());
+  EXPECT_DOUBLE_EQ(s.value().insert.value, -3.25);
+}
+
+TEST(StatementParser, InsertRejectsMalformed) {
+  EXPECT_FALSE(ParseStatement("INSERT INTO facts VALUES (10, 12.5)").ok());
+  EXPECT_FALSE(
+      ParseStatement("INSERT INTO facts VALUES ('C1', 10)").ok());
+  EXPECT_FALSE(
+      ParseStatement("INSERT INTO facts VALUES ('C1', 10, 1.5) extra").ok());
+  EXPECT_FALSE(ParseStatement("INSERT facts VALUES ('C1', 10, 1.5)").ok());
+}
+
+TEST(StatementParser, KeywordsCaseInsensitive) {
+  EXPECT_TRUE(
+      ParseStatement("insert into facts values ('C1', 'P1', 5, 1.0)").ok());
+  EXPECT_TRUE(ParseStatement(
+                  "explain select time, x from f as of now() + '1'")
+                  .ok());
+}
+
+class StatementEngineTest : public ::testing::Test {
+ protected:
+  StatementEngineTest()
+      : evaluator_graph_(testing::MakeFigure2Cube(60, 0.05)),
+        evaluator_(evaluator_graph_, 0.8),
+        factory_(ModelSpec::TripleExponentialSmoothing(12)),
+        engine_(testing::MakeFigure2Cube(60, 0.05)) {
+    AdvisorOptions options;
+    options.models_per_iteration = 4;
+    options.stop.max_iterations = 12;
+    AdvisorBuilder builder(options);
+    auto outcome = builder.Build(evaluator_, factory_);
+    EXPECT_TRUE(outcome.ok());
+    EXPECT_TRUE(
+        engine_.LoadConfiguration(outcome.value().configuration, evaluator_)
+            .ok());
+  }
+
+  TimeSeriesGraph evaluator_graph_;
+  ConfigurationEvaluator evaluator_;
+  ModelFactory factory_;
+  F2dbEngine engine_;
+};
+
+TEST_F(StatementEngineTest, ExplainDescribesPlan) {
+  auto query = ParseForecastQuery(
+      "SELECT time, SUM(sales) FROM facts WHERE region = 'R2' GROUP BY time "
+      "AS OF now() + '5'");
+  ASSERT_TRUE(query.ok());
+  auto plan = engine_.Explain(query.value());
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan.value().horizon, 5u);
+  EXPECT_FALSE(plan.value().sources.empty());
+  EXPECT_GT(plan.value().weight, 0.0);
+  EXPECT_EQ(plan.value().source_models.size(), plan.value().sources.size());
+  EXPECT_NE(plan.value().node_name.find("region=R2"), std::string::npos);
+}
+
+TEST_F(StatementEngineTest, ExecuteStatementTextSelect) {
+  auto text = engine_.ExecuteStatementText(
+      "SELECT time, sales FROM facts WHERE city = 'C1' AND product = 'P1' "
+      "AS OF now() + '2'");
+  ASSERT_TRUE(text.ok()) << text.status().ToString();
+  EXPECT_NE(text.value().find("-- node:"), std::string::npos);
+  EXPECT_NE(text.value().find("60 | "), std::string::npos);
+  EXPECT_NE(text.value().find("61 | "), std::string::npos);
+}
+
+TEST_F(StatementEngineTest, ExecuteStatementTextInsertAndExplain) {
+  auto insert = engine_.ExecuteStatementText(
+      "INSERT INTO facts VALUES ('C1', 'P1', 60, 9.5)");
+  ASSERT_TRUE(insert.ok()) << insert.status().ToString();
+  EXPECT_NE(insert.value().find("INSERT ok"), std::string::npos);
+  EXPECT_EQ(engine_.pending_inserts(), 1u);
+
+  auto explain = engine_.ExecuteStatementText(
+      "EXPLAIN SELECT time, sales FROM facts WHERE city = 'C1' AND product "
+      "= 'P1' AS OF now() + '1'");
+  ASSERT_TRUE(explain.ok());
+  EXPECT_NE(explain.value().find("Forecast Query Plan"), std::string::npos);
+}
+
+TEST_F(StatementEngineTest, ExecuteStatementTextReportsErrors) {
+  EXPECT_FALSE(engine_.ExecuteStatementText("garbage").ok());
+  EXPECT_FALSE(engine_
+                   .ExecuteStatementText(
+                       "INSERT INTO facts VALUES ('NOPE', 'P1', 60, 1.0)")
+                   .ok());
+}
+
+TEST_F(StatementEngineTest, IntervalForecastsBracketPointForecast) {
+  const NodeId top = engine_.graph().top_node();
+  auto intervals = engine_.ForecastNodeWithIntervals(top, 4, 0.9);
+  ASSERT_TRUE(intervals.ok()) << intervals.status().ToString();
+  auto points = engine_.ForecastNode(top, 4);
+  ASSERT_TRUE(points.ok());
+  for (std::size_t h = 0; h < 4; ++h) {
+    EXPECT_NEAR(intervals.value()[h].point, points.value()[h], 1e-9);
+    EXPECT_LT(intervals.value()[h].lower, intervals.value()[h].point);
+    EXPECT_GT(intervals.value()[h].upper, intervals.value()[h].point);
+  }
+  // Bands widen with the horizon.
+  EXPECT_GE(intervals.value()[3].upper - intervals.value()[3].lower,
+            intervals.value()[0].upper - intervals.value()[0].lower - 1e-9);
+}
+
+TEST_F(StatementEngineTest, WithIntervalsClause) {
+  auto result = engine_.ExecuteSql(
+      "SELECT time, SUM(sales) FROM facts GROUP BY time AS OF now() + '3' "
+      "WITH INTERVALS 0.9");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result.value().rows.size(), 3u);
+  for (const ForecastRow& row : result.value().rows) {
+    EXPECT_TRUE(row.has_interval);
+    EXPECT_LT(row.lower, row.value);
+    EXPECT_GT(row.upper, row.value);
+  }
+  // Without the clause, no interval fields are set.
+  auto plain = engine_.ExecuteSql(
+      "SELECT time, SUM(sales) FROM facts GROUP BY time AS OF now() + '1'");
+  ASSERT_TRUE(plain.ok());
+  EXPECT_FALSE(plain.value().rows[0].has_interval);
+}
+
+TEST_F(StatementEngineTest, WithIntervalsDefaultConfidence) {
+  auto query = ParseForecastQuery(
+      "SELECT time, sales FROM facts WHERE city = 'C1' AND product = 'P1' "
+      "AS OF now() + '2' WITH INTERVALS");
+  ASSERT_TRUE(query.ok());
+  EXPECT_TRUE(query.value().with_intervals);
+  EXPECT_DOUBLE_EQ(query.value().confidence, 0.95);
+}
+
+TEST(QueryParser, WithIntervalsValidation) {
+  EXPECT_FALSE(ParseForecastQuery(
+                   "SELECT time, x FROM f AS OF now() + '1' WITH INTERVALS "
+                   "1.5")
+                   .ok());
+  EXPECT_FALSE(ParseForecastQuery(
+                   "SELECT time, x FROM f AS OF now() + '1' WITH bogus")
+                   .ok());
+  // ToString round trip keeps the clause.
+  ForecastQuery q;
+  q.measure = "x";
+  q.with_intervals = true;
+  q.confidence = 0.8;
+  auto reparsed = ParseForecastQuery(q.ToString());
+  ASSERT_TRUE(reparsed.ok()) << q.ToString();
+  EXPECT_TRUE(reparsed.value().with_intervals);
+  EXPECT_DOUBLE_EQ(reparsed.value().confidence, 0.8);
+}
+
+TEST_F(StatementEngineTest, IntervalsSurviveCatalogRoundTrip) {
+  // The residual variances feeding the intervals must be part of the
+  // serialized model state.
+  auto catalog = engine_.ExportCatalog();
+  ASSERT_TRUE(catalog.ok());
+  F2dbEngine other(testing::MakeFigure2Cube(60, 0.05));
+  ASSERT_TRUE(other.LoadCatalog(catalog.value()).ok());
+  const NodeId top = engine_.graph().top_node();
+  auto before = engine_.ForecastNodeWithIntervals(top, 3);
+  auto after = other.ForecastNodeWithIntervals(top, 3);
+  ASSERT_TRUE(before.ok());
+  ASSERT_TRUE(after.ok()) << after.status().ToString();
+  for (std::size_t h = 0; h < 3; ++h) {
+    EXPECT_NEAR(before.value()[h].lower, after.value()[h].lower, 1e-6);
+    EXPECT_NEAR(before.value()[h].upper, after.value()[h].upper, 1e-6);
+  }
+}
+
+TEST(NodeWeights, WeightedErrorFavorsWeightedNodes) {
+  const TimeSeriesGraph graph = testing::MakeRegionCube(48, 0.5);
+  ModelConfiguration config(graph.num_nodes());
+  // Node 0 error 0.5, everything else perfect.
+  NodeAssignment bad;
+  bad.error = 0.5;
+  config.set_assignment(graph.base_nodes()[0], bad);
+  for (NodeId n = 0; n < graph.num_nodes(); ++n) {
+    if (n == graph.base_nodes()[0]) continue;
+    NodeAssignment good;
+    good.error = 0.0;
+    config.set_assignment(n, good);
+  }
+  const double uniform = config.MeanError();
+  std::vector<double> weights(graph.num_nodes(), 1.0);
+  weights[graph.base_nodes()[0]] = 10.0;
+  ASSERT_TRUE(config.SetNodeWeights(weights).ok());
+  EXPECT_GT(config.MeanError(), uniform);  // bad node counts more now
+  ASSERT_TRUE(config.SetNodeWeights({}).ok());
+  EXPECT_DOUBLE_EQ(config.MeanError(), uniform);
+}
+
+TEST(NodeWeights, Validation) {
+  ModelConfiguration config(3);
+  EXPECT_FALSE(config.SetNodeWeights({1.0}).ok());
+  EXPECT_FALSE(config.SetNodeWeights({1.0, -1.0, 1.0}).ok());
+  EXPECT_FALSE(config.SetNodeWeights({0.0, 0.0, 0.0}).ok());
+  EXPECT_TRUE(config.SetNodeWeights({1.0, 2.0, 3.0}).ok());
+}
+
+TEST(NodeWeights, AdvisorPrioritizesWeightedRegion) {
+  // Give all weight to the base nodes: the advisor should achieve a better
+  // weighted (base-node) error than a run that optimizes the uniform mean.
+  const TimeSeriesGraph graph = testing::MakeFigure2Cube(60, 0.3);
+  ModelFactory factory(ModelSpec::TripleExponentialSmoothing(12));
+
+  AdvisorOptions weighted_options;
+  weighted_options.models_per_iteration = 4;
+  weighted_options.stop.max_iterations = 10;
+  weighted_options.node_weights.assign(graph.num_nodes(), 0.01);
+  for (NodeId base : graph.base_nodes()) {
+    weighted_options.node_weights[base] = 1.0;
+  }
+  ModelConfigurationAdvisor advisor(graph, factory, weighted_options);
+  auto result = advisor.Run();
+  ASSERT_TRUE(result.ok());
+
+  // Weighted mean focuses on base nodes; verify they are mostly covered.
+  double base_error = 0.0;
+  for (NodeId base : graph.base_nodes()) {
+    base_error += result.value().configuration.assignment(base).error;
+  }
+  base_error /= static_cast<double>(graph.num_base_nodes());
+  EXPECT_LT(base_error, 0.2);
+}
+
+}  // namespace
+}  // namespace f2db

@@ -1,0 +1,122 @@
+// End-to-end integration: data set -> advisor -> engine -> forecast
+// queries + maintenance, mirroring the paper's full pipeline (Figure 6).
+
+#include <gtest/gtest.h>
+
+#include "baselines/advisor_builder.h"
+#include "baselines/bottom_up.h"
+#include "baselines/direct.h"
+#include "baselines/top_down.h"
+#include "core/advisor.h"
+#include "data/datasets.h"
+#include "engine/engine.h"
+#include "testing/test_cubes.h"
+
+namespace f2db {
+namespace {
+
+AdvisorOptions FastAdvisorOptions() {
+  AdvisorOptions options;
+  options.num_threads = 4;
+  options.stop.max_iterations = 12;
+  options.seed = 123;
+  return options;
+}
+
+TEST(EndToEnd, AdvisorOnRegionCubeProducesConfiguration) {
+  const TimeSeriesGraph graph = testing::MakeRegionCube(48, 0.5);
+  ModelFactory factory(ModelSpec::TripleExponentialSmoothing(4));
+  ModelConfigurationAdvisor advisor(graph, factory, FastAdvisorOptions());
+  auto result = advisor.Run();
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_GE(result.value().configuration.num_models(), 1u);
+  EXPECT_LT(result.value().final_error, 0.5);
+  EXPECT_FALSE(result.value().history.empty());
+}
+
+TEST(EndToEnd, AdvisorBeatsOrMatchesTopDownOnSales) {
+  auto data = MakeSales();
+  ASSERT_TRUE(data.ok());
+  ConfigurationEvaluator evaluator(data.value().graph, 0.8);
+  ModelFactory factory(
+      ModelSpec::TripleExponentialSmoothing(data.value().season));
+
+  TopDownBuilder top_down;
+  auto td = top_down.Build(evaluator, factory);
+  ASSERT_TRUE(td.ok()) << td.status().ToString();
+
+  AdvisorBuilder advisor(FastAdvisorOptions());
+  auto adv = advisor.Build(evaluator, factory);
+  ASSERT_TRUE(adv.ok()) << adv.status().ToString();
+
+  EXPECT_LE(adv.value().configuration.MeanError(),
+            td.value().configuration.MeanError() + 1e-9);
+}
+
+TEST(EndToEnd, FullPipelineThroughEngine) {
+  const TimeSeriesGraph graph = testing::MakeFigure2Cube(60);
+  ConfigurationEvaluator evaluator(graph, 0.8);
+  ModelFactory factory(ModelSpec::TripleExponentialSmoothing(12));
+
+  AdvisorBuilder advisor(FastAdvisorOptions());
+  auto built = advisor.Build(evaluator, factory);
+  ASSERT_TRUE(built.ok()) << built.status().ToString();
+
+  // Copy the graph into the engine (engine owns its data).
+  F2dbEngine engine(testing::MakeFigure2Cube(60));
+  ASSERT_TRUE(engine
+                  .LoadConfiguration(built.value().configuration, evaluator)
+                  .ok());
+
+  // Base-level query (Figure 1, Query 1).
+  auto q1 = engine.ExecuteSql(
+      "SELECT time, sales FROM facts WHERE city = 'C4' AND product = 'P2' "
+      "AS OF now() + '1'");
+  ASSERT_TRUE(q1.ok()) << q1.status().ToString();
+  EXPECT_EQ(q1.value().rows.size(), 1u);
+  EXPECT_GT(q1.value().rows[0].value, 0.0);
+
+  // Aggregate query (Figure 1, Query 2).
+  auto q2 = engine.ExecuteSql(
+      "SELECT time, SUM(sales) FROM facts WHERE product = 'P2' AND region = "
+      "'R2' GROUP BY time AS OF now() + '3'");
+  ASSERT_TRUE(q2.ok()) << q2.status().ToString();
+  EXPECT_EQ(q2.value().rows.size(), 3u);
+
+  // Maintenance: insert one full period of base facts -> time advances.
+  const std::int64_t t = engine.graph().series(engine.graph().top_node())
+                             .end_time();
+  const std::size_t before = engine.stats().time_advances;
+  for (NodeId base : std::vector<NodeId>(engine.graph().base_nodes())) {
+    ASSERT_TRUE(engine.InsertFact(base, t, 10.0).ok());
+  }
+  EXPECT_EQ(engine.stats().time_advances, before + 1);
+  EXPECT_EQ(engine.pending_inserts(), 0u);
+
+  // Queries still work after the advance.
+  auto q3 = engine.ExecuteSql(
+      "SELECT time, SUM(sales) FROM facts AS OF now() + '2'");
+  ASSERT_TRUE(q3.ok()) << q3.status().ToString();
+  EXPECT_EQ(q3.value().node, engine.graph().top_node());
+}
+
+TEST(EndToEnd, BaselinesProduceComparableConfigurations) {
+  const TimeSeriesGraph graph = testing::MakeRegionCube(48, 1.0);
+  ConfigurationEvaluator evaluator(graph, 0.8);
+  ModelFactory factory(ModelSpec::TripleExponentialSmoothing(4));
+
+  DirectBuilder direct;
+  BottomUpBuilder bottom_up;
+  TopDownBuilder top_down;
+  for (ConfigurationBuilder* builder :
+       std::vector<ConfigurationBuilder*>{&direct, &bottom_up, &top_down}) {
+    auto outcome = builder->Build(evaluator, factory);
+    ASSERT_TRUE(outcome.ok()) << builder->name() << ": "
+                              << outcome.status().ToString();
+    EXPECT_LT(outcome.value().configuration.MeanError(), 0.6)
+        << builder->name();
+  }
+}
+
+}  // namespace
+}  // namespace f2db

@@ -1,0 +1,78 @@
+#include "math/matrix.h"
+
+#include <gtest/gtest.h>
+
+namespace f2db {
+namespace {
+
+TEST(Matrix, ConstructAndAccess) {
+  Matrix m(2, 3, 1.5);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_DOUBLE_EQ(m(1, 2), 1.5);
+  m(0, 0) = 7.0;
+  EXPECT_DOUBLE_EQ(m(0, 0), 7.0);
+}
+
+TEST(Matrix, Identity) {
+  const Matrix id = Matrix::Identity(3);
+  for (std::size_t r = 0; r < 3; ++r) {
+    for (std::size_t c = 0; c < 3; ++c) {
+      EXPECT_DOUBLE_EQ(id(r, c), r == c ? 1.0 : 0.0);
+    }
+  }
+}
+
+TEST(Matrix, FromRows) {
+  const Matrix m = Matrix::FromRows({{1, 2}, {3, 4}, {5, 6}});
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 2u);
+  EXPECT_DOUBLE_EQ(m(2, 1), 6.0);
+}
+
+TEST(Matrix, Transposed) {
+  const Matrix m = Matrix::FromRows({{1, 2, 3}, {4, 5, 6}});
+  const Matrix t = m.Transposed();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 2u);
+  EXPECT_DOUBLE_EQ(t(2, 1), 6.0);
+  EXPECT_DOUBLE_EQ(t(0, 1), 4.0);
+}
+
+TEST(Matrix, Multiply) {
+  const Matrix a = Matrix::FromRows({{1, 2}, {3, 4}});
+  const Matrix b = Matrix::FromRows({{5, 6}, {7, 8}});
+  const Matrix c = a.Multiply(b);
+  EXPECT_DOUBLE_EQ(c(0, 0), 19.0);
+  EXPECT_DOUBLE_EQ(c(0, 1), 22.0);
+  EXPECT_DOUBLE_EQ(c(1, 0), 43.0);
+  EXPECT_DOUBLE_EQ(c(1, 1), 50.0);
+}
+
+TEST(Matrix, MultiplyByIdentityIsIdentityOp) {
+  const Matrix a = Matrix::FromRows({{1, 2}, {3, 4}});
+  const Matrix c = a.Multiply(Matrix::Identity(2));
+  EXPECT_NEAR(c.Distance(a), 0.0, 1e-12);
+}
+
+TEST(Matrix, MultiplyVector) {
+  const Matrix a = Matrix::FromRows({{1, 2}, {3, 4}});
+  const std::vector<double> v = a.MultiplyVector({1.0, 1.0});
+  EXPECT_DOUBLE_EQ(v[0], 3.0);
+  EXPECT_DOUBLE_EQ(v[1], 7.0);
+}
+
+TEST(Matrix, Distance) {
+  const Matrix a = Matrix::FromRows({{0, 0}, {0, 0}});
+  const Matrix b = Matrix::FromRows({{3, 0}, {0, 4}});
+  EXPECT_DOUBLE_EQ(a.Distance(b), 5.0);
+}
+
+TEST(Matrix, ToStringShowsRows) {
+  const Matrix a = Matrix::FromRows({{1, 2}});
+  EXPECT_NE(a.ToString().find("1"), std::string::npos);
+  EXPECT_NE(a.ToString().find("2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace f2db

@@ -1,0 +1,161 @@
+#include "math/optimizer.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+#include <limits>
+#include <string>
+#include <tuple>
+
+namespace f2db {
+namespace {
+
+double Sphere(const std::vector<double>& x) {
+  double sum = 0.0;
+  for (double v : x) sum += v * v;
+  return sum;
+}
+
+double Rosenbrock(const std::vector<double>& x) {
+  double sum = 0.0;
+  for (std::size_t i = 0; i + 1 < x.size(); ++i) {
+    sum += 100.0 * std::pow(x[i + 1] - x[i] * x[i], 2) +
+           std::pow(1.0 - x[i], 2);
+  }
+  return sum;
+}
+
+Bounds UnitBox(std::size_t d, double lo = -5.0, double hi = 5.0) {
+  Bounds b;
+  b.lower.assign(d, lo);
+  b.upper.assign(d, hi);
+  return b;
+}
+
+TEST(NelderMead, MinimizesSphere) {
+  const auto result = NelderMead(Sphere, {2.0, -3.0, 1.0});
+  EXPECT_LT(result.value, 1e-6);
+  for (double v : result.x) EXPECT_NEAR(v, 0.0, 1e-2);
+}
+
+TEST(NelderMead, MinimizesRosenbrock2d) {
+  OptimizerOptions options;
+  options.max_evaluations = 10000;
+  options.tolerance = 1e-12;
+  const auto result = NelderMead(Rosenbrock, {-1.2, 1.0}, {}, options);
+  EXPECT_LT(result.value, 1e-4);
+  EXPECT_NEAR(result.x[0], 1.0, 0.05);
+  EXPECT_NEAR(result.x[1], 1.0, 0.05);
+}
+
+TEST(NelderMead, RespectsBounds) {
+  // Unconstrained minimum at 3; box caps at 1.
+  Objective objective = [](const std::vector<double>& x) {
+    return (x[0] - 3.0) * (x[0] - 3.0);
+  };
+  Bounds b;
+  b.lower = {-1.0};
+  b.upper = {1.0};
+  const auto result = NelderMead(objective, {0.0}, b);
+  EXPECT_NEAR(result.x[0], 1.0, 1e-3);
+}
+
+TEST(NelderMead, ZeroDimensional) {
+  const auto result = NelderMead(Sphere, {});
+  EXPECT_TRUE(result.converged);
+  EXPECT_DOUBLE_EQ(result.value, 0.0);
+}
+
+TEST(NelderMead, NonFiniteObjectiveTreatedAsWorst) {
+  Objective objective = [](const std::vector<double>& x) {
+    if (x[0] < 0) return std::numeric_limits<double>::quiet_NaN();
+    return (x[0] - 1.0) * (x[0] - 1.0);
+  };
+  const auto result = NelderMead(objective, {0.5});
+  EXPECT_NEAR(result.x[0], 1.0, 0.1);
+  EXPECT_TRUE(std::isfinite(result.value));
+}
+
+TEST(HillClimb, MinimizesSphereWithinBounds) {
+  const auto result = HillClimb(Sphere, {3.0, -2.0}, UnitBox(2));
+  EXPECT_LT(result.value, 1e-6);
+}
+
+TEST(HillClimb, ConvergesFlagSet) {
+  OptimizerOptions options;
+  options.max_evaluations = 100000;
+  const auto result = HillClimb(Sphere, {0.5}, UnitBox(1), options);
+  EXPECT_TRUE(result.converged);
+}
+
+TEST(SimulatedAnnealing, FindsGlobalBasinOfMultimodal) {
+  // f(x) = x^4 - 3x^2 + x has a global minimum near x = -1.3.
+  Objective objective = [](const std::vector<double>& x) {
+    const double v = x[0];
+    return v * v * v * v - 3.0 * v * v + v;
+  };
+  Rng rng(99);
+  AnnealingOptions options;
+  options.base.max_evaluations = 5000;
+  const auto result =
+      SimulatedAnnealing(objective, {1.2}, UnitBox(1, -2.0, 2.0), rng, options);
+  EXPECT_NEAR(result.x[0], -1.3, 0.2);
+}
+
+TEST(GridSearch, FindsGridOptimum) {
+  Objective objective = [](const std::vector<double>& x) {
+    return std::abs(x[0] - 0.5) + std::abs(x[1] + 0.25);
+  };
+  Bounds b;
+  b.lower = {-1.0, -1.0};
+  b.upper = {1.0, 1.0};
+  const auto result = GridSearch(objective, b, 9);  // grid step 0.25
+  EXPECT_NEAR(result.x[0], 0.5, 1e-12);
+  EXPECT_NEAR(result.x[1], -0.25, 1e-12);
+  EXPECT_EQ(result.evaluations, 81u);
+}
+
+TEST(Bounds, ClampIsNoopWhenUnconstrained) {
+  Bounds b;
+  std::vector<double> x{100.0};
+  b.Clamp(x);
+  EXPECT_DOUBLE_EQ(x[0], 100.0);
+}
+
+// Property sweep: every optimizer drives the sphere below the value at the
+// start point, across dimensions.
+class OptimizerProperty
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(OptimizerProperty, ImprovesOnStartingPoint) {
+  const int which = std::get<0>(GetParam());
+  const int dim = std::get<1>(GetParam());
+  std::vector<double> x0(static_cast<std::size_t>(dim), 2.0);
+  const Bounds bounds = UnitBox(static_cast<std::size_t>(dim));
+  const double f0 = Sphere(x0);
+
+  OptimizationResult result;
+  switch (which) {
+    case 0:
+      result = NelderMead(Sphere, x0, bounds);
+      break;
+    case 1:
+      result = HillClimb(Sphere, x0, bounds);
+      break;
+    case 2: {
+      Rng rng(7);
+      result = SimulatedAnnealing(Sphere, x0, bounds, rng);
+      break;
+    }
+  }
+  EXPECT_LT(result.value, f0);
+  EXPECT_GT(result.evaluations, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllOptimizersAllDims, OptimizerProperty,
+                         ::testing::Combine(::testing::Values(0, 1, 2),
+                                            ::testing::Values(1, 2, 4)));
+
+}  // namespace
+}  // namespace f2db

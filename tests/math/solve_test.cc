@@ -1,0 +1,137 @@
+#include "math/solve.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace f2db {
+namespace {
+
+Matrix RandomSpd(std::size_t n, Rng& rng) {
+  // A = B^T B + n*I is SPD.
+  Matrix b(n, n);
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c < n; ++c) b(r, c) = rng.Gaussian(0, 1);
+  }
+  Matrix a = b.Transposed().Multiply(b);
+  for (std::size_t i = 0; i < n; ++i) a(i, i) += static_cast<double>(n);
+  return a;
+}
+
+TEST(CholeskySolve, SolvesKnownSystem) {
+  const Matrix a = Matrix::FromRows({{4, 2}, {2, 3}});
+  auto x = CholeskySolve(a, {10, 8});
+  ASSERT_TRUE(x.ok());
+  // Verify A x = b.
+  const auto ax = a.MultiplyVector(x.value());
+  EXPECT_NEAR(ax[0], 10.0, 1e-10);
+  EXPECT_NEAR(ax[1], 8.0, 1e-10);
+}
+
+TEST(CholeskySolve, RandomSpdResidualSmall) {
+  Rng rng(17);
+  for (int trial = 0; trial < 5; ++trial) {
+    const std::size_t n = 20;
+    const Matrix a = RandomSpd(n, rng);
+    std::vector<double> b(n);
+    for (double& v : b) v = rng.Gaussian(0, 1);
+    auto x = CholeskySolve(a, b);
+    ASSERT_TRUE(x.ok());
+    const auto ax = a.MultiplyVector(x.value());
+    for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(ax[i], b[i], 1e-8);
+  }
+}
+
+TEST(CholeskySolve, RejectsNonSpd) {
+  const Matrix a = Matrix::FromRows({{1, 2}, {2, 1}});  // indefinite
+  EXPECT_FALSE(CholeskySolve(a, {1, 1}).ok());
+}
+
+TEST(CholeskySolve, RejectsSizeMismatch) {
+  const Matrix a = Matrix::Identity(3);
+  EXPECT_FALSE(CholeskySolve(a, {1, 1}).ok());
+}
+
+TEST(CholeskyFactorization, ReusableAcrossRhs) {
+  Rng rng(23);
+  const Matrix a = RandomSpd(10, rng);
+  auto factor = CholeskyFactorization::Compute(a);
+  ASSERT_TRUE(factor.ok());
+  for (int trial = 0; trial < 3; ++trial) {
+    std::vector<double> b(10);
+    for (double& v : b) v = rng.Gaussian(0, 1);
+    const auto x = factor.value().Solve(b);
+    const auto ax = a.MultiplyVector(x);
+    for (std::size_t i = 0; i < 10; ++i) EXPECT_NEAR(ax[i], b[i], 1e-8);
+  }
+}
+
+TEST(LeastSquares, ExactSystem) {
+  const Matrix a = Matrix::FromRows({{1, 0}, {0, 1}, {1, 1}});
+  // b generated from x = (2, 3): residual zero.
+  auto x = LeastSquares(a, {2, 3, 5});
+  ASSERT_TRUE(x.ok());
+  EXPECT_NEAR(x.value()[0], 2.0, 1e-10);
+  EXPECT_NEAR(x.value()[1], 3.0, 1e-10);
+}
+
+TEST(LeastSquares, OverdeterminedRegression) {
+  // Fit y = 2x + 1 with noiseless data.
+  std::vector<std::vector<double>> rows;
+  std::vector<double> b;
+  for (int i = 0; i < 10; ++i) {
+    rows.push_back({static_cast<double>(i), 1.0});
+    b.push_back(2.0 * i + 1.0);
+  }
+  auto x = LeastSquares(Matrix::FromRows(rows), b);
+  ASSERT_TRUE(x.ok());
+  EXPECT_NEAR(x.value()[0], 2.0, 1e-9);
+  EXPECT_NEAR(x.value()[1], 1.0, 1e-9);
+}
+
+TEST(LeastSquares, MatchesNormalEquations) {
+  Rng rng(31);
+  Matrix a(30, 4);
+  std::vector<double> b(30);
+  for (std::size_t r = 0; r < 30; ++r) {
+    for (std::size_t c = 0; c < 4; ++c) a(r, c) = rng.Gaussian(0, 1);
+    b[r] = rng.Gaussian(0, 1);
+  }
+  auto qr = LeastSquares(a, b);
+  ASSERT_TRUE(qr.ok());
+  // Normal equations solution for cross-validation.
+  const Matrix at = a.Transposed();
+  const Matrix ata = at.Multiply(a);
+  auto ne = CholeskySolve(ata, at.MultiplyVector(b));
+  ASSERT_TRUE(ne.ok());
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_NEAR(qr.value()[i], ne.value()[i], 1e-8);
+  }
+}
+
+TEST(LeastSquares, RejectsUnderdetermined) {
+  EXPECT_FALSE(LeastSquares(Matrix(2, 3), {1, 2}).ok());
+}
+
+TEST(LeastSquares, RejectsRankDeficient) {
+  const Matrix a = Matrix::FromRows({{1, 1}, {2, 2}, {3, 3}});
+  EXPECT_FALSE(LeastSquares(a, {1, 2, 3}).ok());
+}
+
+TEST(GaussianSolve, SolvesGeneralSquareSystem) {
+  const Matrix a = Matrix::FromRows({{0, 2, 1}, {1, -2, -3}, {-1, 1, 2}});
+  auto x = GaussianSolve(a, {-8, 0, 3});
+  ASSERT_TRUE(x.ok());
+  const auto ax = a.MultiplyVector(x.value());
+  EXPECT_NEAR(ax[0], -8.0, 1e-10);
+  EXPECT_NEAR(ax[1], 0.0, 1e-10);
+  EXPECT_NEAR(ax[2], 3.0, 1e-10);
+}
+
+TEST(GaussianSolve, RejectsSingular) {
+  const Matrix a = Matrix::FromRows({{1, 2}, {2, 4}});
+  EXPECT_FALSE(GaussianSolve(a, {1, 2}).ok());
+}
+
+}  // namespace
+}  // namespace f2db

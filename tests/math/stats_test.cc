@@ -1,0 +1,122 @@
+#include "math/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace f2db {
+namespace {
+
+TEST(Stats, MeanBasic) {
+  EXPECT_DOUBLE_EQ(Mean({1, 2, 3, 4}), 2.5);
+  EXPECT_DOUBLE_EQ(Mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(Mean({7}), 7.0);
+}
+
+TEST(Stats, VarianceBasic) {
+  EXPECT_DOUBLE_EQ(Variance({2, 4, 4, 4, 5, 5, 7, 9}), 4.0);
+  EXPECT_DOUBLE_EQ(Variance({5}), 0.0);
+  EXPECT_DOUBLE_EQ(Variance({}), 0.0);
+}
+
+TEST(Stats, SampleVarianceUsesNMinusOne) {
+  // Population variance 4 over 8 values -> sample variance 4 * 8/7.
+  EXPECT_NEAR(SampleVariance({2, 4, 4, 4, 5, 5, 7, 9}), 4.0 * 8.0 / 7.0,
+              1e-12);
+}
+
+TEST(Stats, StdDevIsSqrtVariance) {
+  EXPECT_DOUBLE_EQ(StdDev({2, 4, 4, 4, 5, 5, 7, 9}), 2.0);
+}
+
+TEST(Stats, CoefficientOfVariation) {
+  EXPECT_DOUBLE_EQ(CoefficientOfVariation({10, 10, 10}), 0.0);
+  EXPECT_NEAR(CoefficientOfVariation({2, 4, 4, 4, 5, 5, 7, 9}), 2.0 / 5.0,
+              1e-12);
+  EXPECT_DOUBLE_EQ(CoefficientOfVariation({0, 0, 0}), 0.0);  // mean ~ 0
+}
+
+TEST(Stats, CovarianceAndCorrelation) {
+  const std::vector<double> x{1, 2, 3, 4, 5};
+  const std::vector<double> y{2, 4, 6, 8, 10};
+  EXPECT_GT(Covariance(x, y), 0.0);
+  EXPECT_NEAR(PearsonCorrelation(x, y), 1.0, 1e-12);
+  const std::vector<double> y_neg{10, 8, 6, 4, 2};
+  EXPECT_NEAR(PearsonCorrelation(x, y_neg), -1.0, 1e-12);
+}
+
+TEST(Stats, CorrelationOfConstantIsZero) {
+  EXPECT_DOUBLE_EQ(PearsonCorrelation({1, 1, 1}, {1, 2, 3}), 0.0);
+}
+
+TEST(Stats, AutocorrelationLagZeroIsOne) {
+  Rng rng(3);
+  std::vector<double> xs(200);
+  for (double& x : xs) x = rng.NextGaussian();
+  const auto acf = Autocorrelation(xs, 5);
+  EXPECT_DOUBLE_EQ(acf[0], 1.0);
+  for (std::size_t lag = 1; lag <= 5; ++lag) {
+    EXPECT_LT(std::abs(acf[lag]), 0.2) << "white noise should decorrelate";
+  }
+}
+
+TEST(Stats, AutocorrelationDetectsPeriodicity) {
+  std::vector<double> xs(120);
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    xs[i] = std::sin(2.0 * M_PI * static_cast<double>(i) / 12.0);
+  }
+  const auto acf = Autocorrelation(xs, 12);
+  EXPECT_GT(acf[12], 0.8);
+  EXPECT_LT(acf[6], -0.8);
+}
+
+TEST(Stats, PacfOfAr1MatchesPhi) {
+  // AR(1) with phi = 0.7: PACF lag 1 ~ 0.7, higher lags ~ 0.
+  Rng rng(5);
+  std::vector<double> xs(4000);
+  double prev = 0.0;
+  for (double& x : xs) {
+    prev = 0.7 * prev + rng.NextGaussian();
+    x = prev;
+  }
+  const auto pacf = PartialAutocorrelation(xs, 4);
+  EXPECT_NEAR(pacf[0], 0.7, 0.06);
+  for (std::size_t lag = 2; lag <= 4; ++lag) {
+    EXPECT_LT(std::abs(pacf[lag - 1]), 0.1);
+  }
+}
+
+TEST(Stats, QuantileInterpolates) {
+  const std::vector<double> xs{1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(Quantile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(Quantile(xs, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(Quantile(xs, 0.5), 2.5);
+}
+
+TEST(Stats, MinMax) {
+  EXPECT_DOUBLE_EQ(Min({3, 1, 2}), 1.0);
+  EXPECT_DOUBLE_EQ(Max({3, 1, 2}), 3.0);
+  EXPECT_DOUBLE_EQ(Min({}), 0.0);
+}
+
+TEST(Stats, InverseNormalCdfKnownValues) {
+  EXPECT_NEAR(InverseNormalCdf(0.5), 0.0, 1e-9);
+  EXPECT_NEAR(InverseNormalCdf(0.975), 1.959964, 1e-4);
+  EXPECT_NEAR(InverseNormalCdf(0.025), -1.959964, 1e-4);
+  EXPECT_NEAR(InverseNormalCdf(0.9999), 3.719016, 1e-3);
+  EXPECT_NEAR(InverseNormalCdf(0.0001), -3.719016, 1e-3);
+}
+
+TEST(Stats, InverseNormalCdfMonotonic) {
+  double prev = InverseNormalCdf(0.01);
+  for (double p = 0.05; p < 1.0; p += 0.05) {
+    const double v = InverseNormalCdf(p);
+    EXPECT_GT(v, prev);
+    prev = v;
+  }
+}
+
+}  // namespace
+}  // namespace f2db

@@ -1,0 +1,97 @@
+#include "ts/accuracy.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace f2db {
+namespace {
+
+TEST(Smape, PerfectForecastIsZero) {
+  EXPECT_DOUBLE_EQ(Smape({1, 2, 3}, {1, 2, 3}), 0.0);
+}
+
+TEST(Smape, BoundedByOne) {
+  // Opposite-sign or totally-off forecasts max out each term at 1.
+  EXPECT_DOUBLE_EQ(Smape({1, 1}, {0, 0}), 1.0);
+  Rng rng(3);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<double> a(10), f(10);
+    for (int i = 0; i < 10; ++i) {
+      a[i] = rng.Uniform(0, 100);
+      f[i] = rng.Uniform(0, 100);
+    }
+    const double value = Smape(a, f);
+    EXPECT_GE(value, 0.0);
+    EXPECT_LE(value, 1.0);
+  }
+}
+
+TEST(Smape, MatchesEquation4) {
+  // |x - xhat| / (x + xhat) for positive values, averaged.
+  const double expected = (std::abs(10.0 - 8.0) / 18.0 +
+                           std::abs(20.0 - 25.0) / 45.0) /
+                          2.0;
+  EXPECT_NEAR(Smape({10, 20}, {8, 25}), expected, 1e-12);
+}
+
+TEST(Smape, BothZeroContributesZero) {
+  EXPECT_DOUBLE_EQ(Smape({0, 10}, {0, 10}), 0.0);
+}
+
+TEST(Smape, MismatchedOrEmptyIsWorstCase) {
+  EXPECT_DOUBLE_EQ(Smape({1, 2}, {1}), 1.0);
+  EXPECT_DOUBLE_EQ(Smape({}, {}), 1.0);
+}
+
+TEST(Smape, ScaleIndependent) {
+  const std::vector<double> a{10, 20, 30};
+  const std::vector<double> f{12, 18, 33};
+  std::vector<double> a_scaled, f_scaled;
+  for (double v : a) a_scaled.push_back(v * 1000);
+  for (double v : f) f_scaled.push_back(v * 1000);
+  EXPECT_NEAR(Smape(a, f), Smape(a_scaled, f_scaled), 1e-12);
+}
+
+TEST(Mae, Basic) {
+  EXPECT_DOUBLE_EQ(MeanAbsoluteError({1, 2}, {2, 4}), 1.5);
+  EXPECT_TRUE(std::isinf(MeanAbsoluteError({1}, {})));
+}
+
+TEST(Rmse, Basic) {
+  EXPECT_DOUBLE_EQ(RootMeanSquaredError({0, 0}, {3, 4}), std::sqrt(12.5));
+  EXPECT_DOUBLE_EQ(RootMeanSquaredError({5}, {5}), 0.0);
+}
+
+TEST(Mape, SkipsZeroActuals) {
+  // Only the second term counts: |10-5|/10 = 0.5.
+  EXPECT_DOUBLE_EQ(Mape({0, 10}, {99, 5}), 0.5);
+  EXPECT_TRUE(std::isinf(Mape({0, 0}, {1, 1})));
+}
+
+TEST(Mase, ScaledByNaiveError) {
+  // Train naive MAE = 1 (steps of 1). Forecast MAE = 2 -> MASE 2.
+  EXPECT_DOUBLE_EQ(Mase({1, 2, 3, 4}, {5, 6}, {7, 8}), 2.0);
+}
+
+TEST(Mase, InfiniteForConstantTrain) {
+  EXPECT_TRUE(std::isinf(Mase({5, 5, 5}, {5}, {6})));
+  EXPECT_TRUE(std::isinf(Mase({5}, {5}, {6})));
+}
+
+TEST(Accuracy, RmseAtLeastMae) {
+  Rng rng(7);
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<double> a(20), f(20);
+    for (int i = 0; i < 20; ++i) {
+      a[i] = rng.Uniform(0, 10);
+      f[i] = rng.Uniform(0, 10);
+    }
+    EXPECT_GE(RootMeanSquaredError(a, f) + 1e-12, MeanAbsoluteError(a, f));
+  }
+}
+
+}  // namespace
+}  // namespace f2db

@@ -1,0 +1,169 @@
+#include "ts/intervals.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "ts/arima.h"
+#include "ts/exponential_smoothing.h"
+#include "ts/model_factory.h"
+#include "ts/naive_models.h"
+
+namespace f2db {
+namespace {
+
+TimeSeries NoisySeries(std::size_t n, double sd, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> out(n);
+  for (std::size_t t = 0; t < n; ++t) {
+    out[t] = 100.0 + rng.Gaussian(0.0, sd);
+  }
+  return TimeSeries(out);
+}
+
+TEST(Intervals, FromMomentsSymmetricAroundPoint) {
+  auto r = IntervalsFromMoments({10.0, 20.0}, {4.0, 9.0}, 0.95);
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(r.value()[0].point, 10.0, 1e-12);
+  EXPECT_NEAR(r.value()[0].upper - r.value()[0].point, 1.959964 * 2.0, 1e-3);
+  EXPECT_NEAR(r.value()[0].point - r.value()[0].lower, 1.959964 * 2.0, 1e-3);
+  EXPECT_NEAR(r.value()[1].upper - r.value()[1].lower, 2 * 1.959964 * 3.0,
+              1e-3);
+}
+
+TEST(Intervals, RejectsBadConfidenceAndSizes) {
+  EXPECT_FALSE(IntervalsFromMoments({1.0}, {1.0}, 0.0).ok());
+  EXPECT_FALSE(IntervalsFromMoments({1.0}, {1.0}, 1.0).ok());
+  EXPECT_FALSE(IntervalsFromMoments({1.0}, {1.0, 2.0}, 0.9).ok());
+}
+
+TEST(Intervals, HigherConfidenceWiderBand) {
+  MeanModel model;
+  ASSERT_TRUE(model.Fit(NoisySeries(100, 5.0, 1)).ok());
+  auto narrow = ForecastWithIntervals(model, 1, 0.5);
+  auto wide = ForecastWithIntervals(model, 1, 0.99);
+  ASSERT_TRUE(narrow.ok());
+  ASSERT_TRUE(wide.ok());
+  EXPECT_LT(narrow.value()[0].upper - narrow.value()[0].lower,
+            wide.value()[0].upper - wide.value()[0].lower);
+}
+
+TEST(Intervals, UnfittedModelRejected) {
+  MeanModel model;
+  EXPECT_FALSE(ForecastWithIntervals(model, 3).ok());
+}
+
+TEST(Intervals, NaiveVarianceGrowsLinearly) {
+  NaiveModel model;
+  ASSERT_TRUE(model.Fit(NoisySeries(200, 2.0, 2)).ok());
+  const auto var = model.ForecastVariance(4);
+  ASSERT_EQ(var.size(), 4u);
+  EXPECT_NEAR(var[1] / var[0], 2.0, 1e-9);
+  EXPECT_NEAR(var[3] / var[0], 4.0, 1e-9);
+}
+
+TEST(Intervals, SeasonalNaiveVarianceStepsPerCycle) {
+  SeasonalNaiveModel model(4);
+  ASSERT_TRUE(model.Fit(NoisySeries(60, 2.0, 3)).ok());
+  const auto var = model.ForecastVariance(9);
+  EXPECT_DOUBLE_EQ(var[0], var[3]);  // same first cycle
+  EXPECT_NEAR(var[4] / var[0], 2.0, 1e-9);
+  EXPECT_NEAR(var[8] / var[0], 3.0, 1e-9);
+}
+
+TEST(Intervals, SesVarianceFormula) {
+  auto model = ExponentialSmoothingModel::Ses();
+  ASSERT_TRUE(model->Fit(NoisySeries(200, 3.0, 4)).ok());
+  const double alpha = model->alpha();
+  const double sigma2 = model->residual_variance();
+  const auto var = model->ForecastVariance(3);
+  EXPECT_NEAR(var[0], sigma2, 1e-9);
+  EXPECT_NEAR(var[1], sigma2 * (1.0 + alpha * alpha), 1e-9);
+  EXPECT_NEAR(var[2], sigma2 * (1.0 + 2.0 * alpha * alpha), 1e-9);
+}
+
+TEST(Intervals, VarianceMonotoneInHorizonForAllFamilies) {
+  // Accumulating uncertainty: var_h must be non-decreasing.
+  const TimeSeries series = NoisySeries(120, 4.0, 5);
+  for (ModelType type : {ModelType::kMean, ModelType::kNaive,
+                         ModelType::kDrift, ModelType::kSes, ModelType::kHolt,
+                         ModelType::kTheta}) {
+    ModelSpec spec;
+    spec.type = type;
+    spec.period = 12;
+    ModelFactory factory(spec);
+    auto model = factory.CreateAndFit(series);
+    ASSERT_TRUE(model.ok()) << ModelTypeName(type);
+    const auto var = model.value()->ForecastVariance(10);
+    ASSERT_EQ(var.size(), 10u) << ModelTypeName(type);
+    for (std::size_t h = 1; h < var.size(); ++h) {
+      EXPECT_GE(var[h] + 1e-12, var[h - 1]) << ModelTypeName(type);
+    }
+    EXPECT_GT(var[0], 0.0) << ModelTypeName(type);
+  }
+}
+
+TEST(Intervals, ArimaPsiWeightsMatchAr1Theory) {
+  // AR(1): psi_k = phi^k, var_h = sigma2 * sum phi^{2k}.
+  Rng rng(6);
+  std::vector<double> xs(3000);
+  double prev = 0.0;
+  for (double& v : xs) {
+    prev = 0.6 * prev + rng.NextGaussian();
+    v = prev + 100.0;
+  }
+  ArimaModel model(ArimaOrder{1, 0, 0, 0, 0, 0, 1});
+  ASSERT_TRUE(model.Fit(TimeSeries(xs)).ok());
+  const double phi = model.phi()[0];
+  const double sigma2 = model.residual_variance();
+  const auto var = model.ForecastVariance(3);
+  EXPECT_NEAR(var[0], sigma2, 1e-9);
+  EXPECT_NEAR(var[1], sigma2 * (1.0 + phi * phi), 1e-9);
+  EXPECT_NEAR(var[2], sigma2 * (1.0 + phi * phi + std::pow(phi, 4)), 1e-9);
+}
+
+TEST(Intervals, IntegratedArimaVarianceDiverges) {
+  // Random walk: var_h = sigma2 * h (psi weights all 1 after integration).
+  Rng rng(7);
+  std::vector<double> xs(500);
+  double level = 100.0;
+  for (double& v : xs) {
+    level += rng.NextGaussian();
+    v = level;
+  }
+  ArimaModel model(ArimaOrder{0, 1, 0, 0, 0, 0, 1});
+  ASSERT_TRUE(model.Fit(TimeSeries(xs)).ok());
+  const auto var = model.ForecastVariance(5);
+  const double sigma2 = model.residual_variance();
+  for (std::size_t h = 0; h < 5; ++h) {
+    EXPECT_NEAR(var[h], sigma2 * static_cast<double>(h + 1), 1e-9);
+  }
+}
+
+TEST(Intervals, CoverageApproximatelyNominal) {
+  // Empirical check: ~95% of future values of white noise around a level
+  // fall inside the 95% interval of a MeanModel.
+  Rng rng(8);
+  std::size_t covered = 0;
+  const std::size_t trials = 400;
+  for (std::size_t trial = 0; trial < trials; ++trial) {
+    std::vector<double> xs(60);
+    for (double& v : xs) v = 50.0 + rng.Gaussian(0.0, 3.0);
+    MeanModel model;
+    ASSERT_TRUE(model.Fit(TimeSeries(xs)).ok());
+    auto interval = ForecastWithIntervals(model, 1, 0.95);
+    ASSERT_TRUE(interval.ok());
+    const double future = 50.0 + rng.Gaussian(0.0, 3.0);
+    if (future >= interval.value()[0].lower &&
+        future <= interval.value()[0].upper) {
+      ++covered;
+    }
+  }
+  const double coverage = static_cast<double>(covered) / trials;
+  EXPECT_GT(coverage, 0.90);
+  EXPECT_LE(coverage, 1.0);
+}
+
+}  // namespace
+}  // namespace f2db

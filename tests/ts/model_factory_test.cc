@@ -1,0 +1,154 @@
+#include "ts/model_factory.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/stopwatch.h"
+#include "ts/auto_select.h"
+
+namespace f2db {
+namespace {
+
+TimeSeries SeasonalSeries(std::size_t n = 60, std::size_t period = 12) {
+  std::vector<double> out(n);
+  for (std::size_t t = 0; t < n; ++t) {
+    out[t] = 50.0 + 0.3 * static_cast<double>(t) +
+             8.0 * std::sin(2.0 * M_PI * static_cast<double>(t) /
+                            static_cast<double>(period));
+  }
+  return TimeSeries(out);
+}
+
+TEST(ModelFactory, CreatesUnfittedModelOfSpec) {
+  ModelFactory factory(ModelSpec::TripleExponentialSmoothing(12));
+  auto model = factory.Create();
+  ASSERT_TRUE(model.ok());
+  EXPECT_EQ(model.value()->type(), ModelType::kHoltWintersAdd);
+  EXPECT_FALSE(model.value()->is_fitted());
+}
+
+TEST(ModelFactory, CreateAndFitFitsModel) {
+  ModelFactory factory(ModelSpec::TripleExponentialSmoothing(12));
+  auto model = factory.CreateAndFit(SeasonalSeries());
+  ASSERT_TRUE(model.ok());
+  EXPECT_TRUE(model.value()->is_fitted());
+}
+
+TEST(ModelFactory, AutoSpecSelectsSomething) {
+  ModelFactory factory(ModelSpec::Auto(12));
+  EXPECT_FALSE(factory.Create().ok());  // auto needs data
+  auto model = factory.CreateAndFit(SeasonalSeries());
+  ASSERT_TRUE(model.ok());
+  EXPECT_TRUE(model.value()->is_fitted());
+}
+
+TEST(ModelFactory, ArimaSpec) {
+  ArimaOrder order;
+  order.p = 1;
+  order.d = 1;
+  ModelFactory factory(ModelSpec::Arima(order));
+  auto model = factory.CreateAndFit(SeasonalSeries());
+  ASSERT_TRUE(model.ok());
+  EXPECT_EQ(model.value()->type(), ModelType::kArima);
+}
+
+TEST(ModelFactory, ArtificialDelayIsApplied) {
+  ModelFactory factory(ModelSpec::TripleExponentialSmoothing(12));
+  factory.set_artificial_delay_seconds(0.05);
+  StopWatch watch;
+  auto model = factory.CreateAndFit(SeasonalSeries());
+  ASSERT_TRUE(model.ok());
+  EXPECT_GE(watch.ElapsedSeconds(), 0.05);
+}
+
+TEST(ModelFactory, NegativeDelayClampedToZero) {
+  ModelFactory factory(ModelSpec::TripleExponentialSmoothing(12));
+  factory.set_artificial_delay_seconds(-5.0);
+  EXPECT_DOUBLE_EQ(factory.artificial_delay_seconds(), 0.0);
+}
+
+// Serialization round trip across every concrete model family.
+class SerializationSweep : public ::testing::TestWithParam<ModelType> {};
+
+TEST_P(SerializationSweep, SerializeDeserializeForecastsMatch) {
+  ModelSpec spec;
+  spec.type = GetParam();
+  spec.period = 12;
+  if (GetParam() == ModelType::kArima) {
+    spec.arima = ArimaOrder{1, 0, 1, 0, 0, 0, 1};
+  }
+  ModelFactory factory(spec);
+  auto model = factory.CreateAndFit(SeasonalSeries());
+  ASSERT_TRUE(model.ok());
+
+  const std::string text = ModelFactory::SerializeModel(*model.value());
+  auto restored = ModelFactory::DeserializeModel(text);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  EXPECT_EQ(restored.value()->type(), GetParam());
+
+  const auto f1 = model.value()->Forecast(8);
+  const auto f2 = restored.value()->Forecast(8);
+  ASSERT_EQ(f1.size(), f2.size());
+  for (std::size_t i = 0; i < f1.size(); ++i) {
+    EXPECT_NEAR(f1[i], f2[i], 1e-9) << ModelTypeName(GetParam());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllModelTypes, SerializationSweep,
+    ::testing::Values(ModelType::kMean, ModelType::kNaive,
+                      ModelType::kSeasonalNaive, ModelType::kDrift,
+                      ModelType::kSes, ModelType::kHolt,
+                      ModelType::kHoltWintersAdd, ModelType::kHoltWintersMul,
+                      ModelType::kArima),
+    [](const auto& info) { return ModelTypeName(info.param); });
+
+TEST(ModelFactory, DeserializeRejectsGarbage) {
+  EXPECT_FALSE(ModelFactory::DeserializeModel("").ok());
+  EXPECT_FALSE(ModelFactory::DeserializeModel("nosuchmodel;1;2").ok());
+  EXPECT_FALSE(ModelFactory::DeserializeModel("mean;abc").ok());
+  EXPECT_FALSE(ModelFactory::DeserializeModel("mean;1").ok());  // bad size
+}
+
+TEST(ModelTypeName, RoundTripsThroughParse) {
+  for (ModelType type :
+       {ModelType::kMean, ModelType::kSes, ModelType::kArima,
+        ModelType::kHoltWintersMul, ModelType::kAuto}) {
+    auto parsed = ParseModelType(ModelTypeName(type));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(parsed.value(), type);
+  }
+  EXPECT_FALSE(ParseModelType("bogus").ok());
+}
+
+TEST(AutoSelect, PrefersSeasonalModelOnSeasonalData) {
+  AutoSelectOptions options;
+  options.period = 12;
+  auto selection = AutoSelectModel(SeasonalSeries(96), options);
+  ASSERT_TRUE(selection.ok());
+  // The winner must handle seasonality (HW, seasonal naive, or sARIMA).
+  const ModelType t = selection.value().chosen_type;
+  EXPECT_TRUE(t == ModelType::kHoltWintersAdd ||
+              t == ModelType::kHoltWintersMul ||
+              t == ModelType::kSeasonalNaive || t == ModelType::kArima)
+      << ModelTypeName(t);
+  EXPECT_LT(selection.value().holdout_smape, 0.1);
+}
+
+TEST(AutoSelect, WorksWithoutSeasonHint) {
+  std::vector<double> trend(40);
+  for (std::size_t i = 0; i < trend.size(); ++i) {
+    trend[i] = 2.0 * static_cast<double>(i) + 5.0;
+  }
+  auto selection = AutoSelectModel(TimeSeries(trend));
+  ASSERT_TRUE(selection.ok());
+  EXPECT_TRUE(selection.value().model->is_fitted());
+}
+
+TEST(AutoSelect, RejectsTinySeries) {
+  EXPECT_FALSE(AutoSelectModel(TimeSeries({1, 2})).ok());
+}
+
+}  // namespace
+}  // namespace f2db

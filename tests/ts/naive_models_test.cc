@@ -1,0 +1,125 @@
+#include "ts/naive_models.h"
+
+#include <gtest/gtest.h>
+
+namespace f2db {
+namespace {
+
+TEST(MeanModel, ForecastsHistoricalMean) {
+  MeanModel model;
+  ASSERT_TRUE(model.Fit(TimeSeries({2, 4, 6})).ok());
+  const auto f = model.Forecast(3);
+  ASSERT_EQ(f.size(), 3u);
+  for (double v : f) EXPECT_DOUBLE_EQ(v, 4.0);
+}
+
+TEST(MeanModel, UpdateMaintainsRunningMean) {
+  MeanModel model;
+  ASSERT_TRUE(model.Fit(TimeSeries({2, 4})).ok());
+  model.Update(9);  // mean of {2,4,9} = 5
+  EXPECT_DOUBLE_EQ(model.Forecast(1)[0], 5.0);
+}
+
+TEST(MeanModel, RejectsEmpty) {
+  MeanModel model;
+  EXPECT_FALSE(model.Fit(TimeSeries()).ok());
+  EXPECT_FALSE(model.is_fitted());
+}
+
+TEST(NaiveModel, ForecastsLastValue) {
+  NaiveModel model;
+  ASSERT_TRUE(model.Fit(TimeSeries({1, 2, 7})).ok());
+  EXPECT_DOUBLE_EQ(model.Forecast(2)[1], 7.0);
+  model.Update(9);
+  EXPECT_DOUBLE_EQ(model.Forecast(1)[0], 9.0);
+}
+
+TEST(SeasonalNaive, RepeatsLastSeason) {
+  SeasonalNaiveModel model(4);
+  ASSERT_TRUE(model.Fit(TimeSeries({0, 0, 0, 0, 1, 2, 3, 4})).ok());
+  const auto f = model.Forecast(6);
+  EXPECT_DOUBLE_EQ(f[0], 1.0);
+  EXPECT_DOUBLE_EQ(f[3], 4.0);
+  EXPECT_DOUBLE_EQ(f[4], 1.0);  // wraps around
+}
+
+TEST(SeasonalNaive, UpdateRotatesSeason) {
+  SeasonalNaiveModel model(2);
+  ASSERT_TRUE(model.Fit(TimeSeries({1, 2})).ok());
+  model.Update(10);  // replaces the value for this season slot
+  const auto f = model.Forecast(2);
+  EXPECT_DOUBLE_EQ(f[0], 2.0);
+  EXPECT_DOUBLE_EQ(f[1], 10.0);
+}
+
+TEST(SeasonalNaive, RejectsTooShortOrZeroPeriod) {
+  SeasonalNaiveModel model(4);
+  EXPECT_FALSE(model.Fit(TimeSeries({1, 2, 3})).ok());
+  SeasonalNaiveModel zero(0);
+  EXPECT_FALSE(zero.Fit(TimeSeries({1, 2, 3})).ok());
+}
+
+TEST(DriftModel, ExtrapolatesAverageStep) {
+  DriftModel model;
+  ASSERT_TRUE(model.Fit(TimeSeries({0, 1, 2, 3})).ok());  // slope 1
+  const auto f = model.Forecast(2);
+  EXPECT_DOUBLE_EQ(f[0], 4.0);
+  EXPECT_DOUBLE_EQ(f[1], 5.0);
+}
+
+TEST(DriftModel, UpdateAdjustsSlope) {
+  DriftModel model;
+  ASSERT_TRUE(model.Fit(TimeSeries({0, 2})).ok());  // slope 2
+  model.Update(6);                                  // now slope (6-0)/2 = 3
+  EXPECT_DOUBLE_EQ(model.Forecast(1)[0], 9.0);
+}
+
+TEST(DriftModel, RejectsSingleton) {
+  DriftModel model;
+  EXPECT_FALSE(model.Fit(TimeSeries({5})).ok());
+}
+
+TEST(NaiveModels, CloneIsIndependent) {
+  MeanModel model;
+  ASSERT_TRUE(model.Fit(TimeSeries({1, 3})).ok());
+  auto clone = model.Clone();
+  model.Update(100);
+  EXPECT_DOUBLE_EQ(clone->Forecast(1)[0], 2.0);
+  EXPECT_NE(clone->Forecast(1)[0], model.Forecast(1)[0]);
+}
+
+TEST(NaiveModels, SaveRestoreRoundTrip) {
+  SeasonalNaiveModel model(3);
+  ASSERT_TRUE(model.Fit(TimeSeries({1, 2, 3, 4, 5, 6})).ok());
+  model.Update(7);
+  const auto state = model.SaveState();
+
+  SeasonalNaiveModel restored(1);  // period overwritten by state
+  ASSERT_TRUE(restored.RestoreState(state).ok());
+  EXPECT_EQ(restored.Forecast(5), model.Forecast(5));
+}
+
+TEST(NaiveModels, RestoreRejectsBadState) {
+  MeanModel mean;
+  EXPECT_FALSE(mean.RestoreState({1.0}).ok());
+  SeasonalNaiveModel sn(2);
+  EXPECT_FALSE(sn.RestoreState({2.0, 0.0}).ok());      // missing season
+  EXPECT_FALSE(sn.RestoreState({0.0, 0.0}).ok());      // zero period
+  DriftModel drift;
+  EXPECT_FALSE(drift.RestoreState({1.0, 2.0}).ok());
+}
+
+TEST(NaiveModels, TypeAndParameterMetadata) {
+  MeanModel mean;
+  EXPECT_EQ(mean.type(), ModelType::kMean);
+  EXPECT_EQ(mean.num_parameters(), 1u);
+  NaiveModel naive;
+  EXPECT_EQ(naive.type(), ModelType::kNaive);
+  EXPECT_EQ(naive.num_parameters(), 0u);
+  DriftModel drift;
+  ASSERT_TRUE(drift.Fit(TimeSeries({0, 2, 4})).ok());
+  EXPECT_DOUBLE_EQ(drift.parameters()[0], 2.0);  // slope
+}
+
+}  // namespace
+}  // namespace f2db

@@ -1,0 +1,107 @@
+#include "ts/time_series.h"
+
+#include <gtest/gtest.h>
+
+namespace f2db {
+namespace {
+
+TEST(TimeSeries, EmptyDefaults) {
+  TimeSeries ts;
+  EXPECT_TRUE(ts.empty());
+  EXPECT_EQ(ts.size(), 0u);
+  EXPECT_EQ(ts.start_time(), 0);
+  EXPECT_EQ(ts.end_time(), 0);
+  EXPECT_DOUBLE_EQ(ts.Sum(), 0.0);
+  EXPECT_DOUBLE_EQ(ts.Mean(), 0.0);
+}
+
+TEST(TimeSeries, BasicAccessors) {
+  TimeSeries ts({1, 2, 3}, 10);
+  EXPECT_EQ(ts.size(), 3u);
+  EXPECT_EQ(ts.start_time(), 10);
+  EXPECT_EQ(ts.end_time(), 13);
+  EXPECT_DOUBLE_EQ(ts[1], 2.0);
+  EXPECT_DOUBLE_EQ(ts.AtTime(12), 3.0);
+  EXPECT_DOUBLE_EQ(ts.Sum(), 6.0);
+  EXPECT_DOUBLE_EQ(ts.Mean(), 2.0);
+}
+
+TEST(TimeSeries, AppendExtendsEndTime) {
+  TimeSeries ts({1}, 5);
+  ts.Append(2);
+  EXPECT_EQ(ts.end_time(), 7);
+  EXPECT_DOUBLE_EQ(ts.AtTime(6), 2.0);
+}
+
+TEST(TimeSeries, SliceKeepsTimeAxis) {
+  TimeSeries ts({0, 1, 2, 3, 4}, 100);
+  const TimeSeries mid = ts.Slice(1, 3);
+  EXPECT_EQ(mid.size(), 3u);
+  EXPECT_EQ(mid.start_time(), 101);
+  EXPECT_DOUBLE_EQ(mid[0], 1.0);
+}
+
+TEST(TimeSeries, SliceClampsCount) {
+  TimeSeries ts({0, 1, 2}, 0);
+  EXPECT_EQ(ts.Slice(2, 100).size(), 1u);
+  EXPECT_EQ(ts.Slice(3, 1).size(), 0u);
+}
+
+TEST(TimeSeries, HeadTail) {
+  TimeSeries ts({0, 1, 2, 3}, 0);
+  EXPECT_EQ(ts.Head(2).size(), 2u);
+  EXPECT_DOUBLE_EQ(ts.Head(2)[1], 1.0);
+  const TimeSeries tail = ts.Tail(2);
+  EXPECT_DOUBLE_EQ(tail[0], 2.0);
+  EXPECT_EQ(tail.start_time(), 2);
+  EXPECT_EQ(ts.Tail(100).size(), 4u);
+}
+
+TEST(TimeSeries, TrainTestSplitFractions) {
+  TimeSeries ts(std::vector<double>(10, 1.0), 0);
+  const auto [train, test] = ts.TrainTestSplit(0.8);
+  EXPECT_EQ(train.size(), 8u);
+  EXPECT_EQ(test.size(), 2u);
+  EXPECT_EQ(test.start_time(), 8);
+}
+
+TEST(TimeSeries, TrainTestSplitAlwaysNonEmptyPartsWhenPossible) {
+  TimeSeries ts({1, 2}, 0);
+  const auto [train0, test0] = ts.TrainTestSplit(0.0);
+  EXPECT_EQ(train0.size(), 1u);
+  EXPECT_EQ(test0.size(), 1u);
+  const auto [train1, test1] = ts.TrainTestSplit(1.0);
+  EXPECT_EQ(train1.size(), 1u);
+  EXPECT_EQ(test1.size(), 1u);
+}
+
+TEST(TimeSeries, SumOfAlignedSeries) {
+  TimeSeries a({1, 2}, 0), b({10, 20}, 0);
+  auto sum = TimeSeries::SumOf({&a, &b});
+  ASSERT_TRUE(sum.ok());
+  EXPECT_DOUBLE_EQ(sum.value()[0], 11.0);
+  EXPECT_DOUBLE_EQ(sum.value()[1], 22.0);
+}
+
+TEST(TimeSeries, SumOfRejectsMisaligned) {
+  TimeSeries a({1, 2}, 0), b({10, 20}, 1);
+  EXPECT_FALSE(TimeSeries::SumOf({&a, &b}).ok());
+  TimeSeries c({1}, 0);
+  EXPECT_FALSE(TimeSeries::SumOf({&a, &c}).ok());
+  EXPECT_FALSE(TimeSeries::SumOf({}).ok());
+}
+
+TEST(TimeSeries, AddInPlace) {
+  TimeSeries a({1, 2}, 0), b({3, 4}, 0);
+  ASSERT_TRUE(a.AddInPlace(b).ok());
+  EXPECT_DOUBLE_EQ(a[0], 4.0);
+  EXPECT_DOUBLE_EQ(a[1], 6.0);
+}
+
+TEST(TimeSeries, ToStringTruncatesLongSeries) {
+  TimeSeries ts(std::vector<double>(20, 1.0), 0);
+  EXPECT_NE(ts.ToString().find("..."), std::string::npos);
+}
+
+}  // namespace
+}  // namespace f2db
