@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_accuracy.cc" "bench/CMakeFiles/bench_accuracy.dir/bench_accuracy.cc.o" "gcc" "bench/CMakeFiles/bench_accuracy.dir/bench_accuracy.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/baselines/CMakeFiles/f2db_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/f2db_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/f2db_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/f2db_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/cube/CMakeFiles/f2db_cube.dir/DependInfo.cmake"
+  "/root/repo/build/src/ts/CMakeFiles/f2db_ts.dir/DependInfo.cmake"
+  "/root/repo/build/src/math/CMakeFiles/f2db_math.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/f2db_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_gamma.dir/bench_gamma.cc.o"
+  "CMakeFiles/bench_gamma.dir/bench_gamma.cc.o.d"
+  "bench_gamma"
+  "bench_gamma.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_gamma.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_indicator_size.dir/bench_indicator_size.cc.o"
+  "CMakeFiles/bench_indicator_size.dir/bench_indicator_size.cc.o.d"
+  "bench_indicator_size"
+  "bench_indicator_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_indicator_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

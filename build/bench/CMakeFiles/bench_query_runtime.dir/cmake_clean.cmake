@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_query_runtime.dir/bench_query_runtime.cc.o"
+  "CMakeFiles/bench_query_runtime.dir/bench_query_runtime.cc.o.d"
+  "bench_query_runtime"
+  "bench_query_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_query_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/f2db_shell.dir/f2db_shell.cpp.o"
+  "CMakeFiles/f2db_shell.dir/f2db_shell.cpp.o.d"
+  "f2db_shell"
+  "f2db_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/f2db_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

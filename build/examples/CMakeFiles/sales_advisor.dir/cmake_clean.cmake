@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sales_advisor.dir/sales_advisor.cpp.o"
+  "CMakeFiles/sales_advisor.dir/sales_advisor.cpp.o.d"
+  "sales_advisor"
+  "sales_advisor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sales_advisor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smartgrid_streaming.dir/smartgrid_streaming.cpp.o"
+  "CMakeFiles/smartgrid_streaming.dir/smartgrid_streaming.cpp.o.d"
+  "smartgrid_streaming"
+  "smartgrid_streaming.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smartgrid_streaming.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/advisor_builder.cc" "src/baselines/CMakeFiles/f2db_baselines.dir/advisor_builder.cc.o" "gcc" "src/baselines/CMakeFiles/f2db_baselines.dir/advisor_builder.cc.o.d"
+  "/root/repo/src/baselines/bottom_up.cc" "src/baselines/CMakeFiles/f2db_baselines.dir/bottom_up.cc.o" "gcc" "src/baselines/CMakeFiles/f2db_baselines.dir/bottom_up.cc.o.d"
+  "/root/repo/src/baselines/builder.cc" "src/baselines/CMakeFiles/f2db_baselines.dir/builder.cc.o" "gcc" "src/baselines/CMakeFiles/f2db_baselines.dir/builder.cc.o.d"
+  "/root/repo/src/baselines/combine.cc" "src/baselines/CMakeFiles/f2db_baselines.dir/combine.cc.o" "gcc" "src/baselines/CMakeFiles/f2db_baselines.dir/combine.cc.o.d"
+  "/root/repo/src/baselines/direct.cc" "src/baselines/CMakeFiles/f2db_baselines.dir/direct.cc.o" "gcc" "src/baselines/CMakeFiles/f2db_baselines.dir/direct.cc.o.d"
+  "/root/repo/src/baselines/greedy.cc" "src/baselines/CMakeFiles/f2db_baselines.dir/greedy.cc.o" "gcc" "src/baselines/CMakeFiles/f2db_baselines.dir/greedy.cc.o.d"
+  "/root/repo/src/baselines/top_down.cc" "src/baselines/CMakeFiles/f2db_baselines.dir/top_down.cc.o" "gcc" "src/baselines/CMakeFiles/f2db_baselines.dir/top_down.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/f2db_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/cube/CMakeFiles/f2db_cube.dir/DependInfo.cmake"
+  "/root/repo/build/src/ts/CMakeFiles/f2db_ts.dir/DependInfo.cmake"
+  "/root/repo/build/src/math/CMakeFiles/f2db_math.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/f2db_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/f2db_baselines.dir/advisor_builder.cc.o"
+  "CMakeFiles/f2db_baselines.dir/advisor_builder.cc.o.d"
+  "CMakeFiles/f2db_baselines.dir/bottom_up.cc.o"
+  "CMakeFiles/f2db_baselines.dir/bottom_up.cc.o.d"
+  "CMakeFiles/f2db_baselines.dir/builder.cc.o"
+  "CMakeFiles/f2db_baselines.dir/builder.cc.o.d"
+  "CMakeFiles/f2db_baselines.dir/combine.cc.o"
+  "CMakeFiles/f2db_baselines.dir/combine.cc.o.d"
+  "CMakeFiles/f2db_baselines.dir/direct.cc.o"
+  "CMakeFiles/f2db_baselines.dir/direct.cc.o.d"
+  "CMakeFiles/f2db_baselines.dir/greedy.cc.o"
+  "CMakeFiles/f2db_baselines.dir/greedy.cc.o.d"
+  "CMakeFiles/f2db_baselines.dir/top_down.cc.o"
+  "CMakeFiles/f2db_baselines.dir/top_down.cc.o.d"
+  "libf2db_baselines.a"
+  "libf2db_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/f2db_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/f2db_common.dir/csv.cc.o"
+  "CMakeFiles/f2db_common.dir/csv.cc.o.d"
+  "CMakeFiles/f2db_common.dir/logging.cc.o"
+  "CMakeFiles/f2db_common.dir/logging.cc.o.d"
+  "CMakeFiles/f2db_common.dir/rng.cc.o"
+  "CMakeFiles/f2db_common.dir/rng.cc.o.d"
+  "CMakeFiles/f2db_common.dir/status.cc.o"
+  "CMakeFiles/f2db_common.dir/status.cc.o.d"
+  "CMakeFiles/f2db_common.dir/string_util.cc.o"
+  "CMakeFiles/f2db_common.dir/string_util.cc.o.d"
+  "CMakeFiles/f2db_common.dir/thread_pool.cc.o"
+  "CMakeFiles/f2db_common.dir/thread_pool.cc.o.d"
+  "libf2db_common.a"
+  "libf2db_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/f2db_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/advisor.cc" "src/core/CMakeFiles/f2db_core.dir/advisor.cc.o" "gcc" "src/core/CMakeFiles/f2db_core.dir/advisor.cc.o.d"
+  "/root/repo/src/core/configuration.cc" "src/core/CMakeFiles/f2db_core.dir/configuration.cc.o" "gcc" "src/core/CMakeFiles/f2db_core.dir/configuration.cc.o.d"
+  "/root/repo/src/core/derivation.cc" "src/core/CMakeFiles/f2db_core.dir/derivation.cc.o" "gcc" "src/core/CMakeFiles/f2db_core.dir/derivation.cc.o.d"
+  "/root/repo/src/core/evaluator.cc" "src/core/CMakeFiles/f2db_core.dir/evaluator.cc.o" "gcc" "src/core/CMakeFiles/f2db_core.dir/evaluator.cc.o.d"
+  "/root/repo/src/core/indicators.cc" "src/core/CMakeFiles/f2db_core.dir/indicators.cc.o" "gcc" "src/core/CMakeFiles/f2db_core.dir/indicators.cc.o.d"
+  "/root/repo/src/core/multi_source.cc" "src/core/CMakeFiles/f2db_core.dir/multi_source.cc.o" "gcc" "src/core/CMakeFiles/f2db_core.dir/multi_source.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/f2db_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/math/CMakeFiles/f2db_math.dir/DependInfo.cmake"
+  "/root/repo/build/src/ts/CMakeFiles/f2db_ts.dir/DependInfo.cmake"
+  "/root/repo/build/src/cube/CMakeFiles/f2db_cube.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/f2db_core.dir/advisor.cc.o"
+  "CMakeFiles/f2db_core.dir/advisor.cc.o.d"
+  "CMakeFiles/f2db_core.dir/configuration.cc.o"
+  "CMakeFiles/f2db_core.dir/configuration.cc.o.d"
+  "CMakeFiles/f2db_core.dir/derivation.cc.o"
+  "CMakeFiles/f2db_core.dir/derivation.cc.o.d"
+  "CMakeFiles/f2db_core.dir/evaluator.cc.o"
+  "CMakeFiles/f2db_core.dir/evaluator.cc.o.d"
+  "CMakeFiles/f2db_core.dir/indicators.cc.o"
+  "CMakeFiles/f2db_core.dir/indicators.cc.o.d"
+  "CMakeFiles/f2db_core.dir/multi_source.cc.o"
+  "CMakeFiles/f2db_core.dir/multi_source.cc.o.d"
+  "libf2db_core.a"
+  "libf2db_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/f2db_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libf2db_core.a"
+)

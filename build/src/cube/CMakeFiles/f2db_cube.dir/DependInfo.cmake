@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cube/cube_schema.cc" "src/cube/CMakeFiles/f2db_cube.dir/cube_schema.cc.o" "gcc" "src/cube/CMakeFiles/f2db_cube.dir/cube_schema.cc.o.d"
+  "/root/repo/src/cube/graph.cc" "src/cube/CMakeFiles/f2db_cube.dir/graph.cc.o" "gcc" "src/cube/CMakeFiles/f2db_cube.dir/graph.cc.o.d"
+  "/root/repo/src/cube/hierarchy.cc" "src/cube/CMakeFiles/f2db_cube.dir/hierarchy.cc.o" "gcc" "src/cube/CMakeFiles/f2db_cube.dir/hierarchy.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/f2db_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/ts/CMakeFiles/f2db_ts.dir/DependInfo.cmake"
+  "/root/repo/build/src/math/CMakeFiles/f2db_math.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/f2db_cube.dir/cube_schema.cc.o"
+  "CMakeFiles/f2db_cube.dir/cube_schema.cc.o.d"
+  "CMakeFiles/f2db_cube.dir/graph.cc.o"
+  "CMakeFiles/f2db_cube.dir/graph.cc.o.d"
+  "CMakeFiles/f2db_cube.dir/hierarchy.cc.o"
+  "CMakeFiles/f2db_cube.dir/hierarchy.cc.o.d"
+  "libf2db_cube.a"
+  "libf2db_cube.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/f2db_cube.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

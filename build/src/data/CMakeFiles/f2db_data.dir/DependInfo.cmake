@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/cube_io.cc" "src/data/CMakeFiles/f2db_data.dir/cube_io.cc.o" "gcc" "src/data/CMakeFiles/f2db_data.dir/cube_io.cc.o.d"
+  "/root/repo/src/data/datasets.cc" "src/data/CMakeFiles/f2db_data.dir/datasets.cc.o" "gcc" "src/data/CMakeFiles/f2db_data.dir/datasets.cc.o.d"
+  "/root/repo/src/data/sarima_generator.cc" "src/data/CMakeFiles/f2db_data.dir/sarima_generator.cc.o" "gcc" "src/data/CMakeFiles/f2db_data.dir/sarima_generator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/f2db_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/ts/CMakeFiles/f2db_ts.dir/DependInfo.cmake"
+  "/root/repo/build/src/cube/CMakeFiles/f2db_cube.dir/DependInfo.cmake"
+  "/root/repo/build/src/math/CMakeFiles/f2db_math.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

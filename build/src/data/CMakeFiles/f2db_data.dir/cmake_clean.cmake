@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/f2db_data.dir/cube_io.cc.o"
+  "CMakeFiles/f2db_data.dir/cube_io.cc.o.d"
+  "CMakeFiles/f2db_data.dir/datasets.cc.o"
+  "CMakeFiles/f2db_data.dir/datasets.cc.o.d"
+  "CMakeFiles/f2db_data.dir/sarima_generator.cc.o"
+  "CMakeFiles/f2db_data.dir/sarima_generator.cc.o.d"
+  "libf2db_data.a"
+  "libf2db_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/f2db_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

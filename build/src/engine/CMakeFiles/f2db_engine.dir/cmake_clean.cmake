@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/f2db_engine.dir/catalog.cc.o"
+  "CMakeFiles/f2db_engine.dir/catalog.cc.o.d"
+  "CMakeFiles/f2db_engine.dir/engine.cc.o"
+  "CMakeFiles/f2db_engine.dir/engine.cc.o.d"
+  "CMakeFiles/f2db_engine.dir/fact_table.cc.o"
+  "CMakeFiles/f2db_engine.dir/fact_table.cc.o.d"
+  "CMakeFiles/f2db_engine.dir/query.cc.o"
+  "CMakeFiles/f2db_engine.dir/query.cc.o.d"
+  "libf2db_engine.a"
+  "libf2db_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/f2db_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/math/matrix.cc" "src/math/CMakeFiles/f2db_math.dir/matrix.cc.o" "gcc" "src/math/CMakeFiles/f2db_math.dir/matrix.cc.o.d"
+  "/root/repo/src/math/optimizer.cc" "src/math/CMakeFiles/f2db_math.dir/optimizer.cc.o" "gcc" "src/math/CMakeFiles/f2db_math.dir/optimizer.cc.o.d"
+  "/root/repo/src/math/solve.cc" "src/math/CMakeFiles/f2db_math.dir/solve.cc.o" "gcc" "src/math/CMakeFiles/f2db_math.dir/solve.cc.o.d"
+  "/root/repo/src/math/stats.cc" "src/math/CMakeFiles/f2db_math.dir/stats.cc.o" "gcc" "src/math/CMakeFiles/f2db_math.dir/stats.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/f2db_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

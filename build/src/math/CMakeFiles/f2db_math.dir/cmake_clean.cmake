@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/f2db_math.dir/matrix.cc.o"
+  "CMakeFiles/f2db_math.dir/matrix.cc.o.d"
+  "CMakeFiles/f2db_math.dir/optimizer.cc.o"
+  "CMakeFiles/f2db_math.dir/optimizer.cc.o.d"
+  "CMakeFiles/f2db_math.dir/solve.cc.o"
+  "CMakeFiles/f2db_math.dir/solve.cc.o.d"
+  "CMakeFiles/f2db_math.dir/stats.cc.o"
+  "CMakeFiles/f2db_math.dir/stats.cc.o.d"
+  "libf2db_math.a"
+  "libf2db_math.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/f2db_math.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

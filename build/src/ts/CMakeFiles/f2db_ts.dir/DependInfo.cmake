@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ts/accuracy.cc" "src/ts/CMakeFiles/f2db_ts.dir/accuracy.cc.o" "gcc" "src/ts/CMakeFiles/f2db_ts.dir/accuracy.cc.o.d"
+  "/root/repo/src/ts/arima.cc" "src/ts/CMakeFiles/f2db_ts.dir/arima.cc.o" "gcc" "src/ts/CMakeFiles/f2db_ts.dir/arima.cc.o.d"
+  "/root/repo/src/ts/auto_arima.cc" "src/ts/CMakeFiles/f2db_ts.dir/auto_arima.cc.o" "gcc" "src/ts/CMakeFiles/f2db_ts.dir/auto_arima.cc.o.d"
+  "/root/repo/src/ts/auto_select.cc" "src/ts/CMakeFiles/f2db_ts.dir/auto_select.cc.o" "gcc" "src/ts/CMakeFiles/f2db_ts.dir/auto_select.cc.o.d"
+  "/root/repo/src/ts/backtest.cc" "src/ts/CMakeFiles/f2db_ts.dir/backtest.cc.o" "gcc" "src/ts/CMakeFiles/f2db_ts.dir/backtest.cc.o.d"
+  "/root/repo/src/ts/decomposition.cc" "src/ts/CMakeFiles/f2db_ts.dir/decomposition.cc.o" "gcc" "src/ts/CMakeFiles/f2db_ts.dir/decomposition.cc.o.d"
+  "/root/repo/src/ts/exponential_smoothing.cc" "src/ts/CMakeFiles/f2db_ts.dir/exponential_smoothing.cc.o" "gcc" "src/ts/CMakeFiles/f2db_ts.dir/exponential_smoothing.cc.o.d"
+  "/root/repo/src/ts/history_selection.cc" "src/ts/CMakeFiles/f2db_ts.dir/history_selection.cc.o" "gcc" "src/ts/CMakeFiles/f2db_ts.dir/history_selection.cc.o.d"
+  "/root/repo/src/ts/intervals.cc" "src/ts/CMakeFiles/f2db_ts.dir/intervals.cc.o" "gcc" "src/ts/CMakeFiles/f2db_ts.dir/intervals.cc.o.d"
+  "/root/repo/src/ts/model.cc" "src/ts/CMakeFiles/f2db_ts.dir/model.cc.o" "gcc" "src/ts/CMakeFiles/f2db_ts.dir/model.cc.o.d"
+  "/root/repo/src/ts/model_factory.cc" "src/ts/CMakeFiles/f2db_ts.dir/model_factory.cc.o" "gcc" "src/ts/CMakeFiles/f2db_ts.dir/model_factory.cc.o.d"
+  "/root/repo/src/ts/naive_models.cc" "src/ts/CMakeFiles/f2db_ts.dir/naive_models.cc.o" "gcc" "src/ts/CMakeFiles/f2db_ts.dir/naive_models.cc.o.d"
+  "/root/repo/src/ts/seasonality.cc" "src/ts/CMakeFiles/f2db_ts.dir/seasonality.cc.o" "gcc" "src/ts/CMakeFiles/f2db_ts.dir/seasonality.cc.o.d"
+  "/root/repo/src/ts/theta.cc" "src/ts/CMakeFiles/f2db_ts.dir/theta.cc.o" "gcc" "src/ts/CMakeFiles/f2db_ts.dir/theta.cc.o.d"
+  "/root/repo/src/ts/time_series.cc" "src/ts/CMakeFiles/f2db_ts.dir/time_series.cc.o" "gcc" "src/ts/CMakeFiles/f2db_ts.dir/time_series.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/f2db_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/math/CMakeFiles/f2db_math.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,39 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/f2db_ts.dir/accuracy.cc.o"
+  "CMakeFiles/f2db_ts.dir/accuracy.cc.o.d"
+  "CMakeFiles/f2db_ts.dir/arima.cc.o"
+  "CMakeFiles/f2db_ts.dir/arima.cc.o.d"
+  "CMakeFiles/f2db_ts.dir/auto_arima.cc.o"
+  "CMakeFiles/f2db_ts.dir/auto_arima.cc.o.d"
+  "CMakeFiles/f2db_ts.dir/auto_select.cc.o"
+  "CMakeFiles/f2db_ts.dir/auto_select.cc.o.d"
+  "CMakeFiles/f2db_ts.dir/backtest.cc.o"
+  "CMakeFiles/f2db_ts.dir/backtest.cc.o.d"
+  "CMakeFiles/f2db_ts.dir/decomposition.cc.o"
+  "CMakeFiles/f2db_ts.dir/decomposition.cc.o.d"
+  "CMakeFiles/f2db_ts.dir/exponential_smoothing.cc.o"
+  "CMakeFiles/f2db_ts.dir/exponential_smoothing.cc.o.d"
+  "CMakeFiles/f2db_ts.dir/history_selection.cc.o"
+  "CMakeFiles/f2db_ts.dir/history_selection.cc.o.d"
+  "CMakeFiles/f2db_ts.dir/intervals.cc.o"
+  "CMakeFiles/f2db_ts.dir/intervals.cc.o.d"
+  "CMakeFiles/f2db_ts.dir/model.cc.o"
+  "CMakeFiles/f2db_ts.dir/model.cc.o.d"
+  "CMakeFiles/f2db_ts.dir/model_factory.cc.o"
+  "CMakeFiles/f2db_ts.dir/model_factory.cc.o.d"
+  "CMakeFiles/f2db_ts.dir/naive_models.cc.o"
+  "CMakeFiles/f2db_ts.dir/naive_models.cc.o.d"
+  "CMakeFiles/f2db_ts.dir/seasonality.cc.o"
+  "CMakeFiles/f2db_ts.dir/seasonality.cc.o.d"
+  "CMakeFiles/f2db_ts.dir/theta.cc.o"
+  "CMakeFiles/f2db_ts.dir/theta.cc.o.d"
+  "CMakeFiles/f2db_ts.dir/time_series.cc.o"
+  "CMakeFiles/f2db_ts.dir/time_series.cc.o.d"
+  "libf2db_ts.a"
+  "libf2db_ts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/f2db_ts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

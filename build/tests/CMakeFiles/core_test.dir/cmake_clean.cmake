@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_test.dir/core/advisor_test.cc.o"
+  "CMakeFiles/core_test.dir/core/advisor_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/configuration_test.cc.o"
+  "CMakeFiles/core_test.dir/core/configuration_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/evaluator_test.cc.o"
+  "CMakeFiles/core_test.dir/core/evaluator_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/indicators_test.cc.o"
+  "CMakeFiles/core_test.dir/core/indicators_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/multi_source_test.cc.o"
+  "CMakeFiles/core_test.dir/core/multi_source_test.cc.o.d"
+  "core_test"
+  "core_test.pdb"
+  "core_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/math_test.dir/math/matrix_test.cc.o"
+  "CMakeFiles/math_test.dir/math/matrix_test.cc.o.d"
+  "CMakeFiles/math_test.dir/math/optimizer_test.cc.o"
+  "CMakeFiles/math_test.dir/math/optimizer_test.cc.o.d"
+  "CMakeFiles/math_test.dir/math/solve_test.cc.o"
+  "CMakeFiles/math_test.dir/math/solve_test.cc.o.d"
+  "CMakeFiles/math_test.dir/math/stats_test.cc.o"
+  "CMakeFiles/math_test.dir/math/stats_test.cc.o.d"
+  "math_test"
+  "math_test.pdb"
+  "math_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/math_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ts_test.dir/ts/accuracy_test.cc.o"
+  "CMakeFiles/ts_test.dir/ts/accuracy_test.cc.o.d"
+  "CMakeFiles/ts_test.dir/ts/analysis_test.cc.o"
+  "CMakeFiles/ts_test.dir/ts/analysis_test.cc.o.d"
+  "CMakeFiles/ts_test.dir/ts/arima_test.cc.o"
+  "CMakeFiles/ts_test.dir/ts/arima_test.cc.o.d"
+  "CMakeFiles/ts_test.dir/ts/backtest_test.cc.o"
+  "CMakeFiles/ts_test.dir/ts/backtest_test.cc.o.d"
+  "CMakeFiles/ts_test.dir/ts/exponential_smoothing_test.cc.o"
+  "CMakeFiles/ts_test.dir/ts/exponential_smoothing_test.cc.o.d"
+  "CMakeFiles/ts_test.dir/ts/intervals_test.cc.o"
+  "CMakeFiles/ts_test.dir/ts/intervals_test.cc.o.d"
+  "CMakeFiles/ts_test.dir/ts/model_contract_test.cc.o"
+  "CMakeFiles/ts_test.dir/ts/model_contract_test.cc.o.d"
+  "CMakeFiles/ts_test.dir/ts/model_factory_test.cc.o"
+  "CMakeFiles/ts_test.dir/ts/model_factory_test.cc.o.d"
+  "CMakeFiles/ts_test.dir/ts/naive_models_test.cc.o"
+  "CMakeFiles/ts_test.dir/ts/naive_models_test.cc.o.d"
+  "CMakeFiles/ts_test.dir/ts/time_series_test.cc.o"
+  "CMakeFiles/ts_test.dir/ts/time_series_test.cc.o.d"
+  "ts_test"
+  "ts_test.pdb"
+  "ts_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ts_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
