@@ -1,0 +1,150 @@
+// Multi-client forecast query throughput under concurrent maintenance.
+//
+// The snapshot-isolated engine core lets any number of query threads run
+// lock-free against the current published snapshot while one writer streams
+// InsertFact batches. This bench measures aggregate query throughput for
+// 1, 2, 4, and 8 reader threads, each point with and without a concurrent
+// writer, and reports the scaling factor relative to one reader.
+//
+// Expected shape: on a machine with >= 8 cores, throughput at 8 readers is
+// >= 3x the single-reader throughput, and the concurrent writer shifts the
+// curve down only marginally (readers never block on maintenance). On
+// fewer cores the curve saturates at the core count — the bench prints
+// the detected hardware concurrency so runs are interpretable.
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/rng.h"
+#include "engine/engine.h"
+
+namespace f2db::bench {
+namespace {
+
+constexpr std::size_t kNumBase = 200;
+constexpr double kSecondsPerPoint = 1.0;
+
+struct ThroughputPoint {
+  std::size_t readers = 0;
+  bool with_writer = false;
+  std::size_t queries = 0;
+  std::size_t inserts = 0;
+  double seconds = 0.0;
+  double qps = 0.0;
+};
+
+/// Runs `readers` query threads (plus an optional insert stream) for a
+/// fixed wall-clock budget against a freshly loaded engine.
+ThroughputPoint RunPoint(const ModelConfiguration& config,
+                         const ConfigurationEvaluator& evaluator,
+                         std::size_t readers, bool with_writer) {
+  auto data = MakeGenX(kNumBase, /*seed=*/4, /*length=*/48);
+  EngineOptions options;
+  options.reestimate_after_updates = 6;
+  F2dbEngine engine(std::move(data.value().graph), options);
+  if (!engine.LoadConfiguration(config, evaluator).ok()) return {};
+
+  const std::size_t num_nodes = engine.graph().num_nodes();
+  const std::vector<NodeId> base_nodes = engine.graph().base_nodes();
+
+  std::atomic<bool> stop{false};
+  std::atomic<std::size_t> total_queries{0};
+
+  std::thread writer;
+  if (with_writer) {
+    writer = std::thread([&] {
+      Rng rng(7);
+      while (!stop.load(std::memory_order_relaxed)) {
+        const SnapshotPtr snap = engine.snapshot();
+        const std::int64_t t =
+            snap->graph->series(base_nodes[0]).end_time();
+        for (NodeId base : base_nodes) {
+          const TimeSeries& series = snap->graph->series(base);
+          const double next =
+              series[series.size() - 1] * (1.0 + rng.Gaussian(0.0, 0.02));
+          (void)engine.InsertFact(base, t, next);
+          if (stop.load(std::memory_order_relaxed)) break;
+        }
+      }
+    });
+  }
+
+  std::vector<std::thread> clients;
+  clients.reserve(readers);
+  const auto begin = std::chrono::steady_clock::now();
+  for (std::size_t r = 0; r < readers; ++r) {
+    clients.emplace_back([&, r] {
+      Rng rng(100 + r);
+      std::size_t local = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        const NodeId node = static_cast<NodeId>(
+            rng.UniformInt(0, static_cast<std::int64_t>(num_nodes) - 1));
+        if (engine.ForecastNode(node, 1).ok()) ++local;
+      }
+      total_queries.fetch_add(local, std::memory_order_relaxed);
+    });
+  }
+  std::this_thread::sleep_for(
+      std::chrono::duration<double>(kSecondsPerPoint));
+  stop = true;
+  for (auto& t : clients) t.join();
+  if (writer.joinable()) writer.join();
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - begin)
+          .count();
+
+  ThroughputPoint point;
+  point.readers = readers;
+  point.with_writer = with_writer;
+  point.queries = total_queries.load();
+  point.inserts = engine.stats().inserts;
+  point.seconds = seconds;
+  point.qps = seconds > 0 ? static_cast<double>(point.queries) / seconds : 0;
+  return point;
+}
+
+}  // namespace
+}  // namespace f2db::bench
+
+int main() {
+  using namespace f2db::bench;
+  PrintHeader("concurrent query throughput", "snapshot-isolated engine",
+              "readers,writer,queries,inserts,seconds,qps,scaling_vs_1");
+
+  auto data = f2db::MakeGenX(kNumBase, /*seed=*/4, /*length=*/48);
+  if (!data.ok()) {
+    std::printf("data generation failed: %s\n",
+                data.status().ToString().c_str());
+    return 1;
+  }
+  f2db::ConfigurationEvaluator evaluator(data.value().graph, 0.8);
+  f2db::ModelFactory factory(
+      f2db::ModelSpec::TripleExponentialSmoothing(12));
+  f2db::AdvisorOptions options = BenchAdvisorOptions();
+  f2db::AdvisorBuilder advisor(options);
+  auto built = advisor.Build(evaluator, factory);
+  if (!built.ok()) {
+    std::printf("advisor failed: %s\n", built.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("# hardware_concurrency=%u\n",
+              std::thread::hardware_concurrency());
+  for (const bool with_writer : {false, true}) {
+    double base_qps = 0.0;
+    for (const std::size_t readers : {1u, 2u, 4u, 8u}) {
+      const ThroughputPoint point = RunPoint(
+          built.value().configuration, evaluator, readers, with_writer);
+      if (readers == 1) base_qps = point.qps;
+      const double scaling = base_qps > 0 ? point.qps / base_qps : 0.0;
+      std::printf("%zu,%s,%zu,%zu,%.3f,%.0f,%.2f\n", point.readers,
+                  point.with_writer ? "streaming" : "idle", point.queries,
+                  point.inserts, point.seconds, point.qps, scaling);
+    }
+  }
+  return 0;
+}

@@ -73,7 +73,7 @@ void RunConfig(double alpha) {
       }
     }
 
-    const EngineStats& stats = engine.stats();
+    const EngineStats stats = engine.stats();
     const double avg_micros =
         stats.queries == 0
             ? 0.0

@@ -69,13 +69,15 @@ void PrintModels(const F2dbEngine& engine) {
 }
 
 void PrintStats(const F2dbEngine& engine) {
-  const EngineStats& s = engine.stats();
+  const EngineStats s = engine.stats();
   std::printf(
       "queries=%zu inserts=%zu advances=%zu reestimates=%zu "
-      "query_time=%.3fms maintenance_time=%.3fms pending=%zu\n",
+      "query_time=%.3fms maintenance_time=%.3fms pending=%zu "
+      "snapshot_version=%llu\n",
       s.queries, s.inserts, s.time_advances, s.reestimates,
       1e3 * s.total_query_seconds, 1e3 * s.total_maintenance_seconds,
-      engine.pending_inserts());
+      engine.pending_inserts(),
+      static_cast<unsigned long long>(engine.snapshot()->version));
 }
 
 }  // namespace

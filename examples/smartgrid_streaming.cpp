@@ -51,7 +51,9 @@ int main() {
   // Stream 48 hours of new readings; after every hour, ask for the next-day
   // total grid load (top node, horizon 24).
   Rng rng(77);
-  const auto& customers = engine.graph().base_nodes();
+  // Copy: maintenance publishes a fresh snapshot on every time advance, so
+  // references into engine.graph() must not be held across inserts.
+  const std::vector<NodeId> customers = engine.graph().base_nodes();
   for (int hour = 0; hour < 48; ++hour) {
     const std::int64_t t = engine.graph().series(customers[0]).end_time();
     for (NodeId customer : customers) {
@@ -76,7 +78,7 @@ int main() {
     }
   }
 
-  const EngineStats& stats = engine.stats();
+  const EngineStats stats = engine.stats();
   std::printf(
       "\nmaintenance summary: %zu inserts, %zu time advances, %zu lazy "
       "re-estimations\n",

@@ -1,0 +1,54 @@
+// Small lock-free counter primitives for hot-path bookkeeping.
+//
+// The engine's query layer runs concurrently and lock-free; its statistics
+// must not reintroduce a shared mutex. These counters use relaxed atomics:
+// individual increments are never lost, but a reader observes each counter
+// independently (no cross-counter consistency) — exactly the guarantee
+// monitoring counters need and nothing more.
+
+#ifndef F2DB_COMMON_CONCURRENT_H_
+#define F2DB_COMMON_CONCURRENT_H_
+
+#include <atomic>
+#include <cstddef>
+
+namespace f2db {
+
+/// Monotone event counter with relaxed memory ordering.
+class RelaxedCounter {
+ public:
+  RelaxedCounter() = default;
+  RelaxedCounter(const RelaxedCounter&) = delete;
+  RelaxedCounter& operator=(const RelaxedCounter&) = delete;
+
+  void Add(std::size_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  std::size_t Load() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::size_t> value_{0};
+};
+
+/// Accumulating double with relaxed memory ordering (CAS loop — portable
+/// even where std::atomic<double>::fetch_add is unavailable).
+class RelaxedAccumulator {
+ public:
+  RelaxedAccumulator() = default;
+  RelaxedAccumulator(const RelaxedAccumulator&) = delete;
+  RelaxedAccumulator& operator=(const RelaxedAccumulator&) = delete;
+
+  void Add(double delta) {
+    double current = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(current, current + delta,
+                                         std::memory_order_relaxed,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+  double Load() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+}  // namespace f2db
+
+#endif  // F2DB_COMMON_CONCURRENT_H_

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdio>
 #include <limits>
+#include <utility>
 
 #include "common/logging.h"
 #include "common/stopwatch.h"
@@ -10,111 +11,194 @@
 
 namespace f2db {
 
+namespace {
+
+/// Resolves WHERE filters against a graph's schema (structure only; the
+/// schema is identical across snapshots of one engine).
+Result<NodeId> ResolveNodeIn(const TimeSeriesGraph& graph,
+                             const std::vector<DimensionFilter>& filters) {
+  const CubeSchema& schema = graph.schema();
+  NodeAddress address;
+  address.coords.resize(schema.num_dimensions());
+  for (std::size_t d = 0; d < schema.num_dimensions(); ++d) {
+    address.coords[d] = {
+        static_cast<LevelIndex>(schema.hierarchy(d).num_levels()), 0};  // ALL
+  }
+  for (const DimensionFilter& filter : filters) {
+    F2DB_ASSIGN_OR_RETURN(auto hit, schema.FindLevelAnywhere(filter.level));
+    const auto [dim, level] = hit;
+    F2DB_ASSIGN_OR_RETURN(ValueIndex value,
+                          schema.hierarchy(dim).FindValue(level, filter.value));
+    address.coords[dim] = {level, value};
+  }
+  return graph.NodeFor(address);
+}
+
+}  // namespace
+
 F2dbEngine::F2dbEngine(TimeSeriesGraph graph, EngineOptions options)
-    : graph_(std::move(graph)), options_(options) {
-  schemes_.resize(graph_.num_nodes());
-  history_sums_.resize(graph_.num_nodes(), 0.0);
-  for (NodeId node = 0; node < graph_.num_nodes(); ++node) {
-    history_sums_[node] = graph_.series(node).Sum();
+    : options_(options) {
+  auto owned = std::make_shared<TimeSeriesGraph>(std::move(graph));
+  for (std::size_t i = 0; i < owned->base_nodes().size(); ++i) {
+    base_slot_[owned->base_nodes()[i]] = i;
   }
-  for (std::size_t i = 0; i < graph_.base_nodes().size(); ++i) {
-    base_slot_[graph_.base_nodes()[i]] = i;
+  auto initial = std::make_shared<EngineSnapshot>();
+  initial->schemes.resize(owned->num_nodes());
+  initial->history_sums.resize(owned->num_nodes(), 0.0);
+  for (NodeId node = 0; node < owned->num_nodes(); ++node) {
+    initial->history_sums[node] = owned->series(node).Sum();
   }
+  initial->graph = std::move(owned);
+  snapshot_.store(std::move(initial), std::memory_order_release);
+}
+
+const TimeSeriesGraph& F2dbEngine::graph() const {
+  return *LoadSnapshot()->graph;
+}
+
+EngineStats F2dbEngine::stats() const {
+  EngineStats out;
+  out.queries = stats_.queries.Load();
+  out.inserts = stats_.inserts.Load();
+  out.time_advances = stats_.time_advances.Load();
+  out.reestimates = stats_.reestimates.Load();
+  out.total_query_seconds = stats_.query_seconds.Load();
+  out.total_maintenance_seconds = stats_.maintenance_seconds.Load();
+  return out;
+}
+
+void F2dbEngine::Publish(std::shared_ptr<EngineSnapshot> next) const {
+  snapshot_.store(std::move(next), std::memory_order_release);
+}
+
+ThreadPool* F2dbEngine::MaintenancePool() const {
+  if (options_.maintenance_threads == 1) return nullptr;
+  std::call_once(pool_once_, [this] {
+    const std::size_t threads = options_.maintenance_threads == 0
+                                    ? ThreadPool::DefaultConcurrency()
+                                    : options_.maintenance_threads;
+    pool_ = std::make_unique<ThreadPool>(threads);
+  });
+  return pool_.get();
 }
 
 Status F2dbEngine::LoadConfiguration(const ModelConfiguration& config,
                                      const ConfigurationEvaluator& evaluator) {
-  if (config.num_nodes() != graph_.num_nodes()) {
+  std::lock_guard<std::mutex> lock(writer_mutex_);
+  const SnapshotPtr cur = LoadSnapshot();
+  const TimeSeriesGraph& graph = *cur->graph;
+  if (config.num_nodes() != graph.num_nodes()) {
     return Status::InvalidArgument(
         "configuration and engine graph have different node counts");
   }
-  models_.clear();
   const std::vector<NodeId> model_nodes = config.model_nodes();
   if (model_nodes.empty()) {
     return Status::FailedPrecondition("configuration contains no models");
   }
 
+  auto next = cur->CopyForWrite();
+  next->models.clear();
+
   // Install models: clone the advisor's fitted model (trained on the
   // training prefix) and catch it up to the full stored history through
-  // incremental updates — exactly the maintenance path.
+  // incremental updates — exactly the maintenance path. Catch-up is
+  // per-model independent and fans out across the maintenance pool.
   const std::size_t train_length = evaluator.train_length();
-  for (NodeId node : model_nodes) {
+  std::vector<std::shared_ptr<const LiveModel>> built(model_nodes.size());
+  const auto catch_up = [&](std::size_t i) {
+    const NodeId node = model_nodes[i];
     const ModelEntry* entry = config.entry(node);
-    LiveModel live;
-    live.model = entry->model->Clone();
-    live.creation_seconds = entry->creation_seconds;
-    const TimeSeries& series = graph_.series(node);
+    std::unique_ptr<ForecastModel> model = entry->model->Clone();
+    const TimeSeries& series = graph.series(node);
     for (std::size_t t = train_length; t < series.size(); ++t) {
-      live.model->Update(series[t]);
+      model->Update(series[t]);
     }
-    models_[node] = std::move(live);
+    auto live = std::make_shared<LiveModel>();
+    live->model = std::shared_ptr<const ForecastModel>(std::move(model));
+    live->creation_seconds = entry->creation_seconds;
+    built[i] = std::move(live);
+  };
+  if (ThreadPool* pool = MaintenancePool()) {
+    pool->ParallelFor(model_nodes.size(), catch_up);
+  } else {
+    for (std::size_t i = 0; i < model_nodes.size(); ++i) catch_up(i);
+  }
+  for (std::size_t i = 0; i < model_nodes.size(); ++i) {
+    next->models[model_nodes[i]] = std::move(built[i]);
   }
 
   // Install schemes; uncovered nodes fall back to their nearest model node.
-  for (NodeId node = 0; node < graph_.num_nodes(); ++node) {
+  for (NodeId node = 0; node < graph.num_nodes(); ++node) {
     const NodeAssignment& assignment = config.assignment(node);
     if (!assignment.scheme.IsEmpty()) {
-      schemes_[node] = assignment.scheme.sources;
+      next->schemes[node] = assignment.scheme.sources;
       continue;
     }
     NodeId best = model_nodes.front();
     std::size_t best_distance = std::numeric_limits<std::size_t>::max();
     for (NodeId m : model_nodes) {
-      const std::size_t distance = graph_.Distance(node, m);
+      const std::size_t distance = graph.Distance(node, m);
       if (distance < best_distance) {
         best_distance = distance;
         best = m;
       }
     }
-    schemes_[node] = {best};
+    next->schemes[node] = {best};
   }
+  Publish(std::move(next));
   return Status::OK();
 }
 
 Status F2dbEngine::LoadCatalog(const ConfigurationCatalog& catalog) {
-  models_.clear();
-  for (auto& scheme : schemes_) scheme.clear();
+  std::lock_guard<std::mutex> lock(writer_mutex_);
+  const SnapshotPtr cur = LoadSnapshot();
+  auto next = cur->CopyForWrite();
+  next->models.clear();
+  for (auto& scheme : next->schemes) scheme.clear();
   for (const ModelRow& row : catalog.model_table()) {
-    if (row.node >= graph_.num_nodes()) {
+    if (row.node >= cur->graph->num_nodes()) {
       return Status::OutOfRange("model row references unknown node");
     }
     F2DB_ASSIGN_OR_RETURN(std::unique_ptr<ForecastModel> model,
                           ModelFactory::DeserializeModel(row.payload));
-    LiveModel live;
-    live.model = std::move(model);
-    live.creation_seconds = row.creation_seconds;
-    models_[row.node] = std::move(live);
+    auto live = std::make_shared<LiveModel>();
+    live->model = std::shared_ptr<const ForecastModel>(std::move(model));
+    live->creation_seconds = row.creation_seconds;
+    next->models[row.node] = std::move(live);
   }
   for (const SchemeRow& row : catalog.scheme_table()) {
-    if (row.target >= graph_.num_nodes()) {
+    if (row.target >= cur->graph->num_nodes()) {
       return Status::OutOfRange("scheme row references unknown node");
     }
     for (NodeId s : row.sources) {
-      if (models_.count(s) == 0) {
+      if (next->models.count(s) == 0) {
         return Status::InvalidArgument(
             "scheme source " + std::to_string(s) + " has no stored model");
       }
     }
-    schemes_[row.target] = row.sources;
+    next->schemes[row.target] = row.sources;
   }
+  // All rows validated — only now does the new state become visible.
+  Publish(std::move(next));
   return Status::OK();
 }
 
 Result<ConfigurationCatalog> F2dbEngine::ExportCatalog() const {
+  const SnapshotPtr snap = LoadSnapshot();
   ConfigurationCatalog catalog;
-  for (NodeId node = 0; node < graph_.num_nodes(); ++node) {
-    if (schemes_[node].empty()) continue;
+  for (NodeId node = 0; node < snap->graph->num_nodes(); ++node) {
+    if (snap->schemes[node].empty()) continue;
     SchemeRow row;
     row.target = node;
-    row.sources = schemes_[node];
-    row.weight = CurrentWeight(row.sources, node);
+    row.sources = snap->schemes[node];
+    row.weight = snap->Weight(row.sources, node);
     catalog.scheme_table().push_back(std::move(row));
   }
-  for (const auto& [node, live] : models_) {
+  for (const auto& [node, live] : snap->models) {
     ModelRow row;
     row.node = node;
-    row.payload = ModelFactory::SerializeModel(*live.model);
-    row.creation_seconds = live.creation_seconds;
+    row.payload = ModelFactory::SerializeModel(*live->model);
+    row.creation_seconds = live->creation_seconds;
     catalog.model_table().push_back(std::move(row));
   }
   std::sort(catalog.model_table().begin(), catalog.model_table().end(),
@@ -122,21 +206,22 @@ Result<ConfigurationCatalog> F2dbEngine::ExportCatalog() const {
   return catalog;
 }
 
-Result<QueryResult> F2dbEngine::ExecuteSql(const std::string& sql) {
+Result<QueryResult> F2dbEngine::ExecuteSql(const std::string& sql) const {
   F2DB_ASSIGN_OR_RETURN(ForecastQuery query, ParseForecastQuery(sql));
   return Execute(query);
 }
 
-Result<QueryResult> F2dbEngine::Execute(const ForecastQuery& query) {
+Result<QueryResult> F2dbEngine::Execute(const ForecastQuery& query) const {
   StopWatch watch;
-  F2DB_ASSIGN_OR_RETURN(NodeId node, ResolveNode(query.filters));
+  const SnapshotPtr snap = LoadSnapshot();
+  F2DB_ASSIGN_OR_RETURN(NodeId node, ResolveNodeIn(*snap->graph, query.filters));
   QueryResult result;
   result.node = node;
-  const std::int64_t now = graph_.series(node).end_time();
+  const std::int64_t now = snap->graph->series(node).end_time();
   if (query.with_intervals) {
-    F2DB_ASSIGN_OR_RETURN(
-        std::vector<ForecastInterval> intervals,
-        ForecastNodeWithIntervals(node, query.horizon, query.confidence));
+    F2DB_ASSIGN_OR_RETURN(std::vector<ForecastInterval> intervals,
+                          ForecastIntervalsInternal(snap, node, query.horizon,
+                                                    query.confidence));
     result.rows.reserve(intervals.size());
     for (std::size_t h = 0; h < intervals.size(); ++h) {
       ForecastRow row;
@@ -147,43 +232,42 @@ Result<QueryResult> F2dbEngine::Execute(const ForecastQuery& query) {
       row.has_interval = true;
       result.rows.push_back(row);
     }
-    // ForecastNodeWithIntervals already accounted for the query.
-    return result;
+  } else {
+    F2DB_ASSIGN_OR_RETURN(std::vector<double> forecast,
+                          ForecastInternal(snap, node, query.horizon));
+    result.rows.reserve(forecast.size());
+    for (std::size_t h = 0; h < forecast.size(); ++h) {
+      ForecastRow row;
+      row.time = now + static_cast<std::int64_t>(h);
+      row.value = forecast[h];
+      result.rows.push_back(row);
+    }
   }
-  F2DB_ASSIGN_OR_RETURN(std::vector<double> forecast,
-                        ForecastNodeInternal(node, query.horizon));
-  result.rows.reserve(forecast.size());
-  for (std::size_t h = 0; h < forecast.size(); ++h) {
-    ForecastRow row;
-    row.time = now + static_cast<std::int64_t>(h);
-    row.value = forecast[h];
-    result.rows.push_back(row);
-  }
-  ++stats_.queries;
-  stats_.total_query_seconds += watch.ElapsedSeconds();
+  stats_.queries.Add();
+  stats_.query_seconds.Add(watch.ElapsedSeconds());
   return result;
 }
 
 Result<ExplainResult> F2dbEngine::Explain(const ForecastQuery& query) const {
-  F2DB_ASSIGN_OR_RETURN(NodeId node, ResolveNode(query.filters));
+  const SnapshotPtr snap = LoadSnapshot();
+  F2DB_ASSIGN_OR_RETURN(NodeId node, ResolveNodeIn(*snap->graph, query.filters));
   ExplainResult out;
   out.node = node;
-  out.node_name = graph_.NodeName(node);
-  out.sources = schemes_[node];
-  out.weight = CurrentWeight(out.sources, node);
+  out.node_name = snap->graph->NodeName(node);
+  out.sources = snap->schemes[node];
+  out.weight = snap->Weight(out.sources, node);
   out.horizon = query.horizon;
   for (NodeId source : out.sources) {
-    const auto it = models_.find(source);
+    const std::shared_ptr<const LiveModel> live = snap->FindModel(source);
     std::string description = "node " + std::to_string(source) + " (" +
-                              graph_.NodeName(source) + "): ";
-    if (it == models_.end()) {
+                              snap->graph->NodeName(source) + "): ";
+    if (live == nullptr) {
       description += "<missing model>";
     } else {
-      description += ModelTypeName(it->second.model->type());
-      description += ", " +
-                     std::to_string(it->second.model->num_parameters()) +
-                     " params";
-      if (it->second.invalid) description += ", INVALID (lazy re-estimate)";
+      description += ModelTypeName(live->model->type());
+      description +=
+          ", " + std::to_string(live->model->num_parameters()) + " params";
+      if (live->invalid) description += ", INVALID (lazy re-estimate)";
     }
     out.source_models.push_back(std::move(description));
   }
@@ -197,7 +281,7 @@ Result<std::string> F2dbEngine::ExecuteStatementText(const std::string& sql) {
   switch (statement.kind) {
     case Statement::Kind::kForecast: {
       F2DB_ASSIGN_OR_RETURN(QueryResult result, Execute(statement.forecast));
-      out = "-- node: " + graph_.NodeName(result.node) + "\n";
+      out = "-- node: " + graph().NodeName(result.node) + "\n";
       for (const ForecastRow& row : result.rows) {
         if (row.has_interval) {
           std::snprintf(buffer, sizeof(buffer), "%lld | %.4f  [%.4f, %.4f]\n",
@@ -217,7 +301,7 @@ Result<std::string> F2dbEngine::ExecuteStatementText(const std::string& sql) {
                                       statement.insert.value));
       std::snprintf(buffer, sizeof(buffer),
                     "INSERT ok (%zu buffered, %zu advances)\n",
-                    pending_inserts(), stats_.time_advances);
+                    pending_inserts(), stats_.time_advances.Load());
       out = buffer;
       break;
     }
@@ -247,56 +331,55 @@ Result<std::string> F2dbEngine::ExecuteStatementText(const std::string& sql) {
 
 Result<NodeId> F2dbEngine::ResolveNode(
     const std::vector<DimensionFilter>& filters) const {
-  const CubeSchema& schema = graph_.schema();
-  NodeAddress address;
-  address.coords.resize(schema.num_dimensions());
-  for (std::size_t d = 0; d < schema.num_dimensions(); ++d) {
-    address.coords[d] = {
-        static_cast<LevelIndex>(schema.hierarchy(d).num_levels()), 0};  // ALL
-  }
-  for (const DimensionFilter& filter : filters) {
-    F2DB_ASSIGN_OR_RETURN(auto hit, schema.FindLevelAnywhere(filter.level));
-    const auto [dim, level] = hit;
-    F2DB_ASSIGN_OR_RETURN(ValueIndex value,
-                          schema.hierarchy(dim).FindValue(level, filter.value));
-    address.coords[dim] = {level, value};
-  }
-  return graph_.NodeFor(address);
+  const SnapshotPtr snap = LoadSnapshot();
+  return ResolveNodeIn(*snap->graph, filters);
 }
 
 Result<std::vector<double>> F2dbEngine::ForecastNode(NodeId node,
-                                                     std::size_t horizon) {
+                                                     std::size_t horizon) const {
+  return ForecastNode(LoadSnapshot(), node, horizon);
+}
+
+Result<std::vector<double>> F2dbEngine::ForecastNode(
+    const SnapshotPtr& snapshot, NodeId node, std::size_t horizon) const {
   StopWatch watch;
   F2DB_ASSIGN_OR_RETURN(std::vector<double> forecast,
-                        ForecastNodeInternal(node, horizon));
-  ++stats_.queries;
-  stats_.total_query_seconds += watch.ElapsedSeconds();
+                        ForecastInternal(snapshot, node, horizon));
+  stats_.queries.Add();
+  stats_.query_seconds.Add(watch.ElapsedSeconds());
   return forecast;
 }
 
 Result<std::vector<ForecastInterval>> F2dbEngine::ForecastNodeWithIntervals(
-    NodeId node, std::size_t horizon, double confidence) {
+    NodeId node, std::size_t horizon, double confidence) const {
   StopWatch watch;
-  if (node >= graph_.num_nodes()) {
+  const SnapshotPtr snap = LoadSnapshot();
+  F2DB_ASSIGN_OR_RETURN(
+      std::vector<ForecastInterval> intervals,
+      ForecastIntervalsInternal(snap, node, horizon, confidence));
+  stats_.queries.Add();
+  stats_.query_seconds.Add(watch.ElapsedSeconds());
+  return intervals;
+}
+
+Result<std::vector<ForecastInterval>> F2dbEngine::ForecastIntervalsInternal(
+    const SnapshotPtr& snapshot, NodeId node, std::size_t horizon,
+    double confidence) const {
+  if (node >= snapshot->graph->num_nodes()) {
     return Status::OutOfRange("node id out of range");
   }
-  const std::vector<NodeId>& sources = schemes_[node];
+  const std::vector<NodeId>& sources = snapshot->schemes[node];
   if (sources.empty()) {
-    return Status::FailedPrecondition(
-        "no derivation scheme stored for node " + graph_.NodeName(node));
+    return Status::FailedPrecondition("no derivation scheme stored for node " +
+                                      snapshot->graph->NodeName(node));
   }
   std::vector<double> points(horizon, 0.0);
   std::vector<double> variances(horizon, 0.0);
   for (NodeId source : sources) {
-    const auto it = models_.find(source);
-    if (it == models_.end()) {
-      return Status::Internal("scheme source " + std::to_string(source) +
-                              " lost its model");
-    }
-    F2DB_RETURN_IF_ERROR(EnsureValid(source, it->second));
-    const std::vector<double> forecast = it->second.model->Forecast(horizon);
-    const std::vector<double> variance =
-        it->second.model->ForecastVariance(horizon);
+    F2DB_ASSIGN_OR_RETURN(std::shared_ptr<const ForecastModel> model,
+                          ValidSourceModel(snapshot, source));
+    const std::vector<double> forecast = model->Forecast(horizon);
+    const std::vector<double> variance = model->ForecastVariance(horizon);
     if (variance.size() != horizon) {
       return Status::Unimplemented(
           "model at node " + std::to_string(source) +
@@ -307,45 +390,80 @@ Result<std::vector<ForecastInterval>> F2dbEngine::ForecastNodeWithIntervals(
       variances[h] += variance[h];
     }
   }
-  const double weight = CurrentWeight(sources, node);
+  const double weight = snapshot->Weight(sources, node);
   for (std::size_t h = 0; h < horizon; ++h) {
     points[h] *= weight;
     variances[h] *= weight * weight;
   }
-  ++stats_.queries;
-  stats_.total_query_seconds += watch.ElapsedSeconds();
   return IntervalsFromMoments(points, variances, confidence);
 }
 
-Result<std::vector<double>> F2dbEngine::ForecastNodeInternal(
-    NodeId node, std::size_t horizon) {
-  if (node >= graph_.num_nodes()) {
+Result<std::vector<double>> F2dbEngine::ForecastInternal(
+    const SnapshotPtr& snapshot, NodeId node, std::size_t horizon) const {
+  if (node >= snapshot->graph->num_nodes()) {
     return Status::OutOfRange("node id out of range");
   }
-  const std::vector<NodeId>& sources = schemes_[node];
+  const std::vector<NodeId>& sources = snapshot->schemes[node];
   if (sources.empty()) {
-    return Status::FailedPrecondition(
-        "no derivation scheme stored for node " + graph_.NodeName(node));
+    return Status::FailedPrecondition("no derivation scheme stored for node " +
+                                      snapshot->graph->NodeName(node));
   }
   std::vector<double> combined(horizon, 0.0);
   for (NodeId source : sources) {
-    const auto it = models_.find(source);
-    if (it == models_.end()) {
-      return Status::Internal("scheme source " + std::to_string(source) +
-                              " lost its model");
-    }
-    F2DB_RETURN_IF_ERROR(EnsureValid(source, it->second));
-    const std::vector<double> forecast = it->second.model->Forecast(horizon);
+    F2DB_ASSIGN_OR_RETURN(std::shared_ptr<const ForecastModel> model,
+                          ValidSourceModel(snapshot, source));
+    const std::vector<double> forecast = model->Forecast(horizon);
     for (std::size_t h = 0; h < horizon; ++h) combined[h] += forecast[h];
   }
-  const double weight = CurrentWeight(sources, node);
+  const double weight = snapshot->Weight(sources, node);
   for (double& v : combined) v *= weight;
   return combined;
 }
 
+Result<std::shared_ptr<const ForecastModel>> F2dbEngine::ValidSourceModel(
+    const SnapshotPtr& snapshot, NodeId source) const {
+  const std::shared_ptr<const LiveModel> live = snapshot->FindModel(source);
+  if (live == nullptr) {
+    return Status::Internal("scheme source " + std::to_string(source) +
+                            " lost its model");
+  }
+  if (!live->invalid) return live->model;
+
+  // Lazy re-estimation, copy-on-write: fit a fresh clone on this snapshot's
+  // full stored history. The published (invalid) entry is never mutated, so
+  // concurrent readers of `snapshot` are unaffected.
+  StopWatch watch;
+  std::unique_ptr<ForecastModel> refit = live->model->Clone();
+  F2DB_RETURN_IF_ERROR(refit->Fit(snapshot->graph->series(source)));
+  auto fresh = std::make_shared<LiveModel>();
+  fresh->model = std::shared_ptr<const ForecastModel>(std::move(refit));
+  fresh->creation_seconds = live->creation_seconds;
+  stats_.reestimates.Add();
+  stats_.maintenance_seconds.Add(watch.ElapsedSeconds());
+  const std::shared_ptr<const ForecastModel> model = fresh->model;
+  OfferReestimate(source, live, std::move(fresh));
+  return model;
+}
+
+void F2dbEngine::OfferReestimate(
+    NodeId node, const std::shared_ptr<const LiveModel>& expected,
+    std::shared_ptr<const LiveModel> fresh) const {
+  std::lock_guard<std::mutex> lock(writer_mutex_);
+  const SnapshotPtr cur = LoadSnapshot();
+  // Install only when the entry is still the one the refit started from;
+  // if maintenance advanced the model meanwhile, the refit is stale for
+  // the current state (but remains correct for the reader's snapshot).
+  const auto it = cur->models.find(node);
+  if (it == cur->models.end() || it->second != expected) return;
+  auto next = cur->CopyForWrite();
+  next->models[node] = std::move(fresh);
+  Publish(std::move(next));
+}
+
 Status F2dbEngine::InsertFact(const std::vector<std::string>& base_values,
                               std::int64_t time, double value) {
-  const CubeSchema& schema = graph_.schema();
+  const SnapshotPtr snap = LoadSnapshot();
+  const CubeSchema& schema = snap->graph->schema();
   if (base_values.size() != schema.num_dimensions()) {
     return Status::InvalidArgument("need one level-0 value per dimension");
   }
@@ -356,39 +474,43 @@ Status F2dbEngine::InsertFact(const std::vector<std::string>& base_values,
                           schema.hierarchy(d).FindValue(0, base_values[d]));
     address.coords[d] = {0, v};
   }
-  F2DB_ASSIGN_OR_RETURN(NodeId node, graph_.NodeFor(address));
+  F2DB_ASSIGN_OR_RETURN(NodeId node, snap->graph->NodeFor(address));
   return InsertFact(node, time, value);
 }
 
 Status F2dbEngine::InsertFact(NodeId base_node, std::int64_t time,
                               double value) {
   StopWatch watch;
+  std::lock_guard<std::mutex> lock(writer_mutex_);
+  const SnapshotPtr cur = LoadSnapshot();
   const auto slot = base_slot_.find(base_node);
   if (slot == base_slot_.end()) {
     return Status::InvalidArgument("not a base node: " +
                                    std::to_string(base_node));
   }
-  const std::int64_t frontier = graph_.series(graph_.base_nodes()[0]).end_time();
+  const std::int64_t frontier =
+      cur->graph->series(cur->graph->base_nodes()[0]).end_time();
   if (time < frontier) {
     return Status::OutOfRange("insert at time " + std::to_string(time) +
                               " is behind the stored frontier " +
                               std::to_string(frontier));
   }
   auto& batch = pending_[time];
-  if (batch.empty()) batch.resize(graph_.num_base_nodes());
+  if (batch.empty()) batch.resize(cur->graph->num_base_nodes());
   if (batch[slot->second].has_value()) {
     return Status::AlreadyExists("duplicate insert for node " +
-                                 graph_.NodeName(base_node) + " at time " +
-                                 std::to_string(time));
+                                 cur->graph->NodeName(base_node) +
+                                 " at time " + std::to_string(time));
   }
   batch[slot->second] = value;
-  ++stats_.inserts;
-  const Status advanced = AdvanceWhileComplete();
-  stats_.total_maintenance_seconds += watch.ElapsedSeconds();
+  stats_.inserts.Add();
+  const Status advanced = AdvanceWhileCompleteLocked();
+  stats_.maintenance_seconds.Add(watch.ElapsedSeconds());
   return advanced;
 }
 
 std::size_t F2dbEngine::pending_inserts() const {
+  std::lock_guard<std::mutex> lock(writer_mutex_);
   std::size_t count = 0;
   for (const auto& [time, batch] : pending_) {
     for (const auto& v : batch) {
@@ -398,59 +520,97 @@ std::size_t F2dbEngine::pending_inserts() const {
   return count;
 }
 
-Status F2dbEngine::AdvanceWhileComplete() {
+Status F2dbEngine::AdvanceWhileCompleteLocked() {
+  const SnapshotPtr cur = LoadSnapshot();
+
+  /// Writer-private clone of one model, advanced in place across the
+  /// batched advances of this call and frozen into the next snapshot.
+  struct PendingModel {
+    NodeId node = 0;
+    std::unique_ptr<ForecastModel> model;
+    double creation_seconds = 0.0;
+    bool invalid = false;
+    std::size_t updates_since_estimate = 0;
+  };
+
+  std::shared_ptr<EngineSnapshot> next;     // successor under construction
+  std::shared_ptr<TimeSeriesGraph> graph;   // writable copy of the data
+  std::vector<PendingModel> models;
+  std::size_t advances = 0;
+
   for (;;) {
+    const TimeSeriesGraph& view = graph ? *graph : *cur->graph;
     const std::int64_t frontier =
-        graph_.series(graph_.base_nodes()[0]).end_time();
+        view.series(view.base_nodes()[0]).end_time();
     const auto it = pending_.find(frontier);
-    if (it == pending_.end()) return Status::OK();
+    if (it == pending_.end()) break;
     const auto& batch = it->second;
     const bool complete =
         std::all_of(batch.begin(), batch.end(),
                     [](const std::optional<double>& v) { return v.has_value(); });
-    if (!complete) return Status::OK();
+    if (!complete) break;
+
+    if (!next) {
+      // First complete batch: start the copy-on-write successor. The graph
+      // data is deep-copied once per publication, models are cloned once
+      // and advanced privately.
+      next = cur->CopyForWrite();
+      graph = std::make_shared<TimeSeriesGraph>(*cur->graph);
+      models.reserve(cur->models.size());
+      for (const auto& [node, live] : cur->models) {
+        PendingModel pending;
+        pending.node = node;
+        pending.model = live->model->Clone();
+        pending.creation_seconds = live->creation_seconds;
+        pending.invalid = live->invalid;
+        pending.updates_since_estimate = live->updates_since_estimate;
+        models.push_back(std::move(pending));
+      }
+    }
 
     // Advance the whole graph by one period (batched inserts, Section V).
     std::vector<double> values(batch.size());
     for (std::size_t i = 0; i < batch.size(); ++i) values[i] = *batch[i];
     pending_.erase(it);
-    F2DB_RETURN_IF_ERROR(graph_.AdvanceTime(values));
-    ++stats_.time_advances;
+    F2DB_RETURN_IF_ERROR(graph->AdvanceTime(values));
+    ++advances;
 
-    // Incremental maintenance: history sums and model states.
-    for (NodeId node = 0; node < graph_.num_nodes(); ++node) {
-      const TimeSeries& series = graph_.series(node);
-      history_sums_[node] += series[series.size() - 1];
+    // Incremental maintenance: history sums and model states. The model
+    // updates are independent per model and fan out across the pool.
+    for (NodeId node = 0; node < graph->num_nodes(); ++node) {
+      const TimeSeries& series = graph->series(node);
+      next->history_sums[node] += series[series.size() - 1];
     }
-    for (auto& [node, live] : models_) {
-      const TimeSeries& series = graph_.series(node);
-      live.model->Update(series[series.size() - 1]);
-      ++live.updates_since_estimate;
+    const auto update_one = [&](std::size_t i) {
+      PendingModel& pending = models[i];
+      const TimeSeries& series = graph->series(pending.node);
+      pending.model->Update(series[series.size() - 1]);
+      ++pending.updates_since_estimate;
       if (options_.reestimate_after_updates > 0 &&
-          live.updates_since_estimate >= options_.reestimate_after_updates) {
-        live.invalid = true;  // re-estimated lazily on next query reference
+          pending.updates_since_estimate >= options_.reestimate_after_updates) {
+        pending.invalid = true;  // re-estimated lazily on next query reference
       }
+    };
+    if (ThreadPool* pool = MaintenancePool()) {
+      pool->ParallelFor(models.size(), update_one);
+    } else {
+      for (std::size_t i = 0; i < models.size(); ++i) update_one(i);
     }
   }
-}
 
-Status F2dbEngine::EnsureValid(NodeId node, LiveModel& live) {
-  if (!live.invalid) return Status::OK();
-  StopWatch watch;
-  F2DB_RETURN_IF_ERROR(live.model->Fit(graph_.series(node)));
-  live.invalid = false;
-  live.updates_since_estimate = 0;
-  ++stats_.reestimates;
-  stats_.total_maintenance_seconds += watch.ElapsedSeconds();
+  if (advances == 0) return Status::OK();
+  for (PendingModel& pending : models) {
+    auto live = std::make_shared<LiveModel>();
+    live->model = std::shared_ptr<const ForecastModel>(std::move(pending.model));
+    live->creation_seconds = pending.creation_seconds;
+    live->invalid = pending.invalid;
+    live->updates_since_estimate = pending.updates_since_estimate;
+    next->models[pending.node] = std::move(live);
+  }
+  next->graph = std::move(graph);
+  stats_.time_advances.Add(advances);
+  Publish(std::move(next));
   return Status::OK();
-}
-
-double F2dbEngine::CurrentWeight(const std::vector<NodeId>& sources,
-                                 NodeId target) const {
-  double denom = 0.0;
-  for (NodeId s : sources) denom += history_sums_[s];
-  if (std::abs(denom) < 1e-12) return 0.0;
-  return history_sums_[target] / denom;
 }
 
 }  // namespace f2db

@@ -12,37 +12,66 @@
 //     graph at once; model states and derivation weights are updated
 //     incrementally; parameter re-estimation is delayed until an invalid
 //     model is actually referenced by a query (lazy re-estimation).
+//
+// Concurrency model (see DESIGN.md, "Engine concurrency model"): the engine
+// is split into three layers.
+//   1. A const, lock-free QUERY layer (Execute, Explain, ForecastNode,
+//      ForecastNodeWithIntervals, ExportCatalog): each call pins the
+//      current EngineSnapshot with one atomic load and computes entirely
+//      against that immutable state. Any number of query threads may run
+//      concurrently with each other and with maintenance.
+//   2. A MAINTENANCE layer (InsertFact, LoadConfiguration, LoadCatalog)
+//      serialized behind a writer mutex: it builds the successor snapshot
+//      off to the side (copy-on-write) and installs it with one atomic
+//      store. Readers mid-query keep the old snapshot alive.
+//   3. A STATS layer of relaxed atomic counters, updated from both sides
+//      without locks.
+// Lazy re-estimation follows the same rule: a query that references an
+// invalid model fits a fresh clone against its snapshot's history and
+// publishes the result copy-on-write; the published entry never mutates.
 
 #ifndef F2DB_ENGINE_ENGINE_H_
 #define F2DB_ENGINE_ENGINE_H_
 
+#include <atomic>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "common/concurrent.h"
 #include "common/status.h"
+#include "common/thread_pool.h"
 #include "core/configuration.h"
 #include "core/evaluator.h"
 #include "cube/graph.h"
 #include "engine/catalog.h"
 #include "engine/query.h"
+#include "engine/snapshot.h"
 #include "ts/intervals.h"
 #include "ts/model.h"
 
 namespace f2db {
 
-/// Engine tuning knobs.
+/// Engine tuning knobs. Immutable once the engine is constructed — live
+/// mutation would race with the concurrent query path.
 struct EngineOptions {
   /// Threshold-based invalidation: a model is marked invalid after this
   /// many incremental updates and re-estimated on next use. 0 disables
   /// re-estimation entirely.
   std::size_t reestimate_after_updates = 0;
+  /// Worker threads for maintenance fan-out (model catch-up on
+  /// configuration load, per-advance incremental model updates).
+  /// 1 = serial, 0 = ThreadPool::DefaultConcurrency().
+  std::size_t maintenance_threads = 1;
 };
 
-/// Counters exposed for benchmarking (Figure 9(b)).
+/// Counter values exposed for benchmarking (Figure 9(b)). This is a plain
+/// value snapshot; the live counters are relaxed atomics, so the fields
+/// are individually exact but not mutually consistent while threads run.
 struct EngineStats {
   std::size_t queries = 0;
   std::size_t inserts = 0;
@@ -88,35 +117,49 @@ class F2dbEngine {
   /// Takes ownership of the loaded fact cube (aggregates built).
   explicit F2dbEngine(TimeSeriesGraph graph, EngineOptions options = {});
 
-  const TimeSeriesGraph& graph() const { return graph_; }
-  const EngineStats& stats() const { return stats_; }
-  EngineOptions& options() { return options_; }
+  /// The graph of the CURRENT snapshot. The reference stays valid until the
+  /// next maintenance publication — a single-threaded convenience. Code
+  /// that runs concurrently with maintenance must pin snapshot() instead.
+  const TimeSeriesGraph& graph() const;
+
+  /// Value snapshot of the engine counters (safe to call concurrently).
+  EngineStats stats() const;
+
+  const EngineOptions& options() const { return options_; }
+
+  /// Pins the current published state. All query entry points are
+  /// equivalent to pinning a snapshot and running against it; callers that
+  /// need repeatable reads across several queries pin one snapshot and use
+  /// the snapshot-taking overloads below.
+  SnapshotPtr snapshot() const { return LoadSnapshot(); }
 
   // -------------------------------------------------- configuration load
 
   /// Installs an advisor/baseline configuration: schemes are copied, every
   /// uncovered node receives a fallback scheme (nearest model node), and
   /// the models are caught up from their training state to the full stored
-  /// history via incremental updates.
+  /// history via incremental updates. Serialized with all maintenance; on
+  /// failure the previous state stays published untouched.
   Status LoadConfiguration(const ModelConfiguration& config,
                            const ConfigurationEvaluator& evaluator);
 
   /// Restores a configuration from catalog tables (Save/Load round trip).
+  /// Transactional like LoadConfiguration.
   Status LoadCatalog(const ConfigurationCatalog& catalog);
 
   /// Exports the current configuration as catalog tables.
   Result<ConfigurationCatalog> ExportCatalog() const;
 
   /// Number of live models.
-  std::size_t num_models() const { return models_.size(); }
+  std::size_t num_models() const { return LoadSnapshot()->models.size(); }
 
   // ------------------------------------------------------------- queries
 
   /// Parses and executes a forecast query.
-  Result<QueryResult> ExecuteSql(const std::string& sql);
+  Result<QueryResult> ExecuteSql(const std::string& sql) const;
 
-  /// Executes a parsed forecast query.
-  Result<QueryResult> Execute(const ForecastQuery& query);
+  /// Executes a parsed forecast query against the current snapshot.
+  Result<QueryResult> Execute(const ForecastQuery& query) const;
 
   /// Describes the execution plan of a forecast query without computing
   /// forecasts: the resolved node, its stored derivation scheme, the
@@ -125,7 +168,7 @@ class F2dbEngine {
 
   /// Parses and executes ANY statement of the dialect (SELECT / INSERT /
   /// EXPLAIN SELECT) and renders the outcome as display text — the
-  /// interactive shell entry point.
+  /// interactive shell entry point. Non-const: INSERT enters maintenance.
   Result<std::string> ExecuteStatementText(const std::string& sql);
 
   /// Resolves WHERE filters to a graph node (unfiltered dimensions = ALL).
@@ -134,14 +177,21 @@ class F2dbEngine {
   /// Computes the `horizon` forecasts of a node via its stored scheme.
   /// Counts as a query in stats() (used by the Figure 9(b) bench to bypass
   /// SQL parsing).
-  Result<std::vector<double>> ForecastNode(NodeId node, std::size_t horizon);
+  Result<std::vector<double>> ForecastNode(NodeId node,
+                                           std::size_t horizon) const;
+
+  /// Same, against an explicitly pinned snapshot (repeatable reads: the
+  /// same snapshot always yields the same forecast).
+  Result<std::vector<double>> ForecastNode(const SnapshotPtr& snapshot,
+                                           NodeId node,
+                                           std::size_t horizon) const;
 
   /// Interval forecasts for a node at the given confidence level. The
   /// variance of a derived scheme is k^2 * sum of the source model
   /// variances (sources treated as independent). Fails when some source
   /// model does not support variances.
   Result<std::vector<ForecastInterval>> ForecastNodeWithIntervals(
-      NodeId node, std::size_t horizon, double confidence = 0.95);
+      NodeId node, std::size_t horizon, double confidence = 0.95) const;
 
   // --------------------------------------------------------- maintenance
 
@@ -158,36 +208,72 @@ class F2dbEngine {
   std::size_t pending_inserts() const;
 
  private:
-  /// Scheme-based forecast without stats accounting (shared by Execute and
-  /// ForecastNode).
-  Result<std::vector<double>> ForecastNodeInternal(NodeId node,
-                                                   std::size_t horizon);
-
-  struct LiveModel {
-    std::unique_ptr<ForecastModel> model;
-    double creation_seconds = 0.0;
-    bool invalid = false;
-    std::size_t updates_since_estimate = 0;
+  /// Live counters behind stats(): relaxed atomics, lock-free on both the
+  /// query and the maintenance side.
+  struct StatsCounters {
+    RelaxedCounter queries;
+    RelaxedCounter inserts;
+    RelaxedCounter time_advances;
+    RelaxedCounter reestimates;
+    RelaxedAccumulator query_seconds;
+    RelaxedAccumulator maintenance_seconds;
   };
 
-  /// Applies every complete buffered batch at the current frontier.
-  Status AdvanceWhileComplete();
+  SnapshotPtr LoadSnapshot() const {
+    return snapshot_.load(std::memory_order_acquire);
+  }
 
-  /// Re-estimates an invalid model on the full stored history.
-  Status EnsureValid(NodeId node, LiveModel& live);
+  /// Installs `next` as the current snapshot. Caller holds writer_mutex_.
+  /// Const because query threads publish re-estimates too.
+  void Publish(std::shared_ptr<EngineSnapshot> next) const;
 
-  /// Current derivation weight from full-history sums.
-  double CurrentWeight(const std::vector<NodeId>& sources, NodeId target) const;
+  /// Scheme-based forecast against one snapshot (shared by Execute and
+  /// ForecastNode; no stats accounting).
+  Result<std::vector<double>> ForecastInternal(const SnapshotPtr& snapshot,
+                                               NodeId node,
+                                               std::size_t horizon) const;
 
-  TimeSeriesGraph graph_;
-  EngineOptions options_;
-  EngineStats stats_;
+  /// Interval variant of ForecastInternal.
+  Result<std::vector<ForecastInterval>> ForecastIntervalsInternal(
+      const SnapshotPtr& snapshot, NodeId node, std::size_t horizon,
+      double confidence) const;
 
-  /// scheme_[node] = source nodes (empty = uncovered).
-  std::vector<std::vector<NodeId>> schemes_;
-  std::unordered_map<NodeId, LiveModel> models_;
-  /// Full-history sum per node, maintained incrementally on time advance.
-  std::vector<double> history_sums_;
+  /// Returns a valid (estimated) model for a scheme source. When the
+  /// snapshot's entry is flagged invalid, fits a fresh clone on the
+  /// snapshot's history and offers it for publication (lazy re-estimation,
+  /// copy-on-write) — the returned model always matches `snapshot`'s data.
+  Result<std::shared_ptr<const ForecastModel>> ValidSourceModel(
+      const SnapshotPtr& snapshot, NodeId source) const;
+
+  /// Publishes a re-estimated model entry unless maintenance has replaced
+  /// the entry since `expected` was read (then the refit is discarded).
+  void OfferReestimate(NodeId node,
+                       const std::shared_ptr<const LiveModel>& expected,
+                       std::shared_ptr<const LiveModel> fresh) const;
+
+  /// Applies every complete buffered batch at the current frontier and
+  /// publishes one successor snapshot. Caller holds writer_mutex_.
+  Status AdvanceWhileCompleteLocked();
+
+  /// The maintenance fan-out pool (nullptr = serial maintenance).
+  ThreadPool* MaintenancePool() const;
+
+  const EngineOptions options_;
+  mutable StatsCounters stats_;
+
+  /// The published state; queries load it, maintenance (and the install
+  /// step of query-side re-estimation) stores it.
+  mutable std::atomic<SnapshotPtr> snapshot_;
+
+  /// Serializes every state publication: maintenance end-to-end, and the
+  /// (brief) install step of query-side re-estimation.
+  mutable std::mutex writer_mutex_;
+
+  /// Lazily created fan-out pool for maintenance work.
+  mutable std::unique_ptr<ThreadPool> pool_;
+  mutable std::once_flag pool_once_;
+
+  // ---- maintenance-only state below (guarded by writer_mutex_) ----
 
   /// Insert buffer: time -> per-base-slot pending values.
   std::map<std::int64_t, std::vector<std::optional<double>>> pending_;

@@ -1,0 +1,26 @@
+#include "engine/snapshot.h"
+
+#include <cmath>
+
+namespace f2db {
+
+double EngineSnapshot::Weight(const std::vector<NodeId>& sources,
+                              NodeId target) const {
+  double denom = 0.0;
+  for (NodeId s : sources) denom += history_sums[s];
+  if (std::abs(denom) < 1e-12) return 0.0;
+  return history_sums[target] / denom;
+}
+
+std::shared_ptr<const LiveModel> EngineSnapshot::FindModel(NodeId node) const {
+  const auto it = models.find(node);
+  return it == models.end() ? nullptr : it->second;
+}
+
+std::shared_ptr<EngineSnapshot> EngineSnapshot::CopyForWrite() const {
+  auto next = std::make_shared<EngineSnapshot>(*this);
+  ++next->version;
+  return next;
+}
+
+}  // namespace f2db

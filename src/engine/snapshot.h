@@ -1,0 +1,77 @@
+// Immutable engine state snapshots (the engine's concurrency substrate).
+//
+// The engine separates a lock-free read path from a serialized write path:
+// everything a forecast query touches — the time series graph (structure
+// and series data), the per-node derivation schemes, the full-history sums
+// behind the derivation weights, and the live model states — lives in one
+// immutable EngineSnapshot published through an atomic shared_ptr. A query
+// pins the current snapshot once and computes entirely against it, so it
+// never observes intermediate maintenance state; maintenance builds the
+// next snapshot off to the side and installs it with a single atomic store
+// (copy-on-write). Old snapshots stay alive for as long as some reader
+// still holds them.
+
+#ifndef F2DB_ENGINE_SNAPSHOT_H_
+#define F2DB_ENGINE_SNAPSHOT_H_
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "cube/graph.h"
+#include "ts/model.h"
+
+namespace f2db {
+
+/// One published model state. Frozen after publication: maintenance clones
+/// the model, advances the clone, and publishes a fresh entry; queries only
+/// call the const members (Forecast, ForecastVariance), which are safe to
+/// run concurrently on a shared model.
+struct LiveModel {
+  std::shared_ptr<const ForecastModel> model;
+  /// Wall-clock seconds spent fitting (the paper's maintenance-cost proxy).
+  double creation_seconds = 0.0;
+  /// Threshold invalidation: set by maintenance, resolved by the first
+  /// query that re-estimates the model (lazy re-estimation). A query that
+  /// sees this flag fits a fresh clone on the snapshot's history and
+  /// publishes it copy-on-write — the flagged entry itself never mutates.
+  bool invalid = false;
+  /// Incremental updates since the last parameter estimation.
+  std::size_t updates_since_estimate = 0;
+};
+
+/// The complete immutable engine state at one point in time.
+struct EngineSnapshot {
+  /// Graph structure plus series data as of this snapshot's frontier.
+  std::shared_ptr<const TimeSeriesGraph> graph;
+  /// schemes[node] = stored derivation sources (empty = uncovered).
+  std::vector<std::vector<NodeId>> schemes;
+  /// Full-history sum per node — numerator/denominator of the derivation
+  /// weight (Eq. 3), maintained incrementally on time advance.
+  std::vector<double> history_sums;
+  /// Published model state per model node.
+  std::unordered_map<NodeId, std::shared_ptr<const LiveModel>> models;
+  /// Monotone publication counter (diagnostics; successor snapshots have
+  /// strictly larger versions).
+  std::uint64_t version = 0;
+
+  /// Derivation weight k = h_target / sum h_sources over this snapshot's
+  /// history sums (Eq. 3); 0 when the denominator vanishes.
+  double Weight(const std::vector<NodeId>& sources, NodeId target) const;
+
+  /// The model entry stored for `node`, or nullptr.
+  std::shared_ptr<const LiveModel> FindModel(NodeId node) const;
+
+  /// Successor builder: shares the graph and every model entry with this
+  /// snapshot and bumps the version. The caller replaces what changed
+  /// (swap the graph, reassign model entries) before publishing.
+  std::shared_ptr<EngineSnapshot> CopyForWrite() const;
+};
+
+/// How queries and maintenance hold a published snapshot.
+using SnapshotPtr = std::shared_ptr<const EngineSnapshot>;
+
+}  // namespace f2db
+
+#endif  // F2DB_ENGINE_SNAPSHOT_H_

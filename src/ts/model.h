@@ -45,6 +45,13 @@ Result<ModelType> ParseModelType(const std::string& name);
 /// period without re-estimating parameters (the paper's incremental
 /// maintenance). Re-estimation is a fresh Fit on the extended history,
 /// triggered lazily by the engine's invalidation strategy.
+///
+/// Thread-safety contract: the const members (Forecast, ForecastVariance,
+/// FittedValues, parameters, ...) must be genuinely read-only — no mutable
+/// caches — so that a fitted model shared between threads can serve
+/// concurrent forecasts. The engine relies on this: published snapshots
+/// hold models as shared const objects, and every state transition goes
+/// through Clone() + Fit/Update on the private copy (copy-on-write).
 class ForecastModel {
  public:
   virtual ~ForecastModel() = default;
@@ -60,7 +67,10 @@ class ForecastModel {
   /// estimated parameters.
   virtual void Update(double value) = 0;
 
-  /// Deep copy (used when evaluating tentative configurations).
+  /// Deep copy. Used when evaluating tentative configurations, and by the
+  /// engine as the copy-on-write step of maintenance and lazy
+  /// re-estimation: the published model is never mutated, its clone is.
+  /// Must be cheap (parameters + O(season) state, no history).
   virtual std::unique_ptr<ForecastModel> Clone() const = 0;
 
   /// The model family.

@@ -4,6 +4,8 @@
 
 #include <atomic>
 #include <numeric>
+#include <stdexcept>
+#include <thread>
 #include <vector>
 
 namespace f2db {
@@ -65,6 +67,78 @@ TEST(ThreadPool, ExceptionsAreContainedByPackagedTask) {
   std::atomic<bool> ran{false};
   pool.Submit([&ran] { ran = true; }).wait();
   EXPECT_TRUE(ran.load());
+}
+
+TEST(ThreadPool, ParallelForSurvivesThrowingTasks) {
+  // ParallelFor waits on the futures without rethrowing: a throwing
+  // iteration neither kills a worker nor wedges the barrier, and the pool
+  // stays usable afterwards.
+  ThreadPool pool(2);
+  std::atomic<int> completed{0};
+  pool.ParallelFor(16, [&completed](std::size_t i) {
+    if (i % 4 == 0) throw std::runtime_error("iteration failure");
+    ++completed;
+  });
+  EXPECT_EQ(completed.load(), 12);
+  std::atomic<int> after{0};
+  pool.ParallelFor(8, [&after](std::size_t) { ++after; });
+  EXPECT_EQ(after.load(), 8);
+}
+
+TEST(ThreadPool, ConcurrentSubmittersAllComplete) {
+  // The engine's maintenance layer shares one pool across callers; submits
+  // racing from several threads must all run exactly once.
+  ThreadPool pool(3);
+  constexpr int kSubmitters = 4;
+  constexpr int kTasksEach = 200;
+  std::atomic<int> counter{0};
+  std::vector<std::thread> submitters;
+  submitters.reserve(kSubmitters);
+  for (int s = 0; s < kSubmitters; ++s) {
+    submitters.emplace_back([&pool, &counter] {
+      std::vector<std::future<void>> futures;
+      futures.reserve(kTasksEach);
+      for (int i = 0; i < kTasksEach; ++i) {
+        futures.push_back(pool.Submit([&counter] { ++counter; }));
+      }
+      for (auto& f : futures) f.wait();
+    });
+  }
+  for (auto& t : submitters) t.join();
+  EXPECT_EQ(counter.load(), kSubmitters * kTasksEach);
+}
+
+TEST(ThreadPool, ParallelForFromMultipleThreads) {
+  ThreadPool pool(2);
+  constexpr int kCallers = 3;
+  constexpr std::size_t kWidth = 64;
+  std::vector<std::vector<int>> hits(kCallers, std::vector<int>(kWidth, 0));
+  std::vector<std::thread> callers;
+  callers.reserve(kCallers);
+  for (int c = 0; c < kCallers; ++c) {
+    callers.emplace_back([&pool, &hits, c] {
+      pool.ParallelFor(kWidth, [&hits, c](std::size_t i) { ++hits[c][i]; });
+    });
+  }
+  for (auto& t : callers) t.join();
+  for (int c = 0; c < kCallers; ++c) {
+    EXPECT_EQ(std::accumulate(hits[c].begin(), hits[c].end(), 0),
+              static_cast<int>(kWidth));
+  }
+}
+
+TEST(ThreadPool, ShutdownWithThrowingTasksStillDrains) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 40; ++i) {
+      pool.Submit([&counter, i] {
+        if (i % 5 == 0) throw std::runtime_error("boom");
+        ++counter;
+      });
+    }
+  }  // destructor drains the queue and joins despite the exceptions
+  EXPECT_EQ(counter.load(), 32);
 }
 
 }  // namespace

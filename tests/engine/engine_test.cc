@@ -95,7 +95,7 @@ TEST_F(EngineTest, UncoveredNodesGetFallbackScheme) {
 
 TEST_F(EngineTest, InsertBatchingAdvancesOnlyWhenComplete) {
   const std::int64_t t = engine_.graph().series(0).end_time();
-  const auto& bases = engine_.graph().base_nodes();
+  const std::vector<NodeId> bases = engine_.graph().base_nodes();
   for (std::size_t i = 0; i + 1 < bases.size(); ++i) {
     ASSERT_TRUE(engine_.InsertFact(bases[i], t, 5.0).ok());
     EXPECT_EQ(engine_.stats().time_advances, 0u);
@@ -109,7 +109,7 @@ TEST_F(EngineTest, InsertBatchingAdvancesOnlyWhenComplete) {
 
 TEST_F(EngineTest, OutOfOrderBatchesApplyInSequence) {
   const std::int64_t t = engine_.graph().series(0).end_time();
-  const auto& bases = engine_.graph().base_nodes();
+  const std::vector<NodeId> bases = engine_.graph().base_nodes();
   // Fill time t+1 completely first: nothing advances (t missing).
   for (NodeId base : bases) {
     ASSERT_TRUE(engine_.InsertFact(base, t + 1, 7.0).ok());
@@ -143,7 +143,7 @@ TEST_F(EngineTest, InsertByValueNames) {
 
 TEST_F(EngineTest, MaintenanceKeepsAggregatesConsistent) {
   const std::int64_t t = engine_.graph().series(0).end_time();
-  const auto& bases = engine_.graph().base_nodes();
+  const std::vector<NodeId> bases = engine_.graph().base_nodes();
   for (std::size_t i = 0; i < bases.size(); ++i) {
     ASSERT_TRUE(
         engine_.InsertFact(bases[i], t, static_cast<double>(i + 1)).ok());
@@ -163,21 +163,105 @@ TEST_F(EngineTest, MaintenanceKeepsAggregatesConsistent) {
 }
 
 TEST_F(EngineTest, ThresholdInvalidationTriggersLazyReestimation) {
-  engine_.options().reestimate_after_updates = 2;
-  const auto& bases = engine_.graph().base_nodes();
+  // Options are immutable after construction: build a dedicated engine.
+  EngineOptions options;
+  options.reestimate_after_updates = 2;
+  F2dbEngine engine(testing::MakeFigure2Cube(60, 0.05), options);
+  ASSERT_TRUE(engine.LoadConfiguration(config_, evaluator_).ok());
+  const std::vector<NodeId> bases = engine.graph().base_nodes();
   for (int period = 0; period < 3; ++period) {
-    const std::int64_t t = engine_.graph().series(0).end_time();
+    const std::int64_t t = engine.graph().series(0).end_time();
     for (NodeId base : bases) {
-      ASSERT_TRUE(engine_.InsertFact(base, t, 10.0).ok());
+      ASSERT_TRUE(engine.InsertFact(base, t, 10.0).ok());
     }
   }
-  EXPECT_EQ(engine_.stats().reestimates, 0u);  // lazy: nothing queried yet
-  ASSERT_TRUE(engine_.ForecastNode(engine_.graph().top_node(), 1).ok());
-  EXPECT_GT(engine_.stats().reestimates, 0u);
+  EXPECT_EQ(engine.stats().reestimates, 0u);  // lazy: nothing queried yet
+  ASSERT_TRUE(engine.ForecastNode(engine.graph().top_node(), 1).ok());
+  EXPECT_GT(engine.stats().reestimates, 0u);
   // A second query does not re-estimate again.
-  const std::size_t after_first = engine_.stats().reestimates;
-  ASSERT_TRUE(engine_.ForecastNode(engine_.graph().top_node(), 1).ok());
-  EXPECT_EQ(engine_.stats().reestimates, after_first);
+  const std::size_t after_first = engine.stats().reestimates;
+  ASSERT_TRUE(engine.ForecastNode(engine.graph().top_node(), 1).ok());
+  EXPECT_EQ(engine.stats().reestimates, after_first);
+}
+
+TEST_F(EngineTest, PinnedSnapshotGivesRepeatableReads) {
+  const NodeId top = engine_.graph().top_node();
+  const SnapshotPtr snap = engine_.snapshot();
+  auto before = engine_.ForecastNode(snap, top, 3);
+  ASSERT_TRUE(before.ok());
+
+  // Advance one full period with very different values.
+  const std::vector<NodeId> bases = engine_.graph().base_nodes();
+  const std::int64_t t = engine_.graph().series(0).end_time();
+  for (NodeId base : bases) {
+    ASSERT_TRUE(engine_.InsertFact(base, t, 500.0).ok());
+  }
+
+  // The pinned snapshot still answers exactly as before the advance...
+  auto pinned = engine_.ForecastNode(snap, top, 3);
+  ASSERT_TRUE(pinned.ok());
+  for (std::size_t h = 0; h < 3; ++h) {
+    EXPECT_DOUBLE_EQ(pinned.value()[h], before.value()[h]);
+  }
+  // ...and its graph frontier is still the pre-advance one.
+  EXPECT_EQ(snap->graph->series(top).end_time(), engine_.graph().series(top).end_time() - 1);
+}
+
+TEST_F(EngineTest, MaintenancePublishesNewSnapshotVersions) {
+  const SnapshotPtr first = engine_.snapshot();
+  const std::vector<NodeId> bases = engine_.graph().base_nodes();
+  const std::int64_t t = engine_.graph().series(0).end_time();
+  // Buffered (incomplete) inserts publish nothing.
+  ASSERT_TRUE(engine_.InsertFact(bases[0], t, 5.0).ok());
+  EXPECT_EQ(engine_.snapshot()->version, first->version);
+  for (std::size_t i = 1; i < bases.size(); ++i) {
+    ASSERT_TRUE(engine_.InsertFact(bases[i], t, 5.0).ok());
+  }
+  const SnapshotPtr second = engine_.snapshot();
+  EXPECT_GT(second->version, first->version);
+  // The old snapshot's data is untouched by the advance.
+  EXPECT_EQ(first->graph->series(0).end_time(), t);
+  EXPECT_EQ(second->graph->series(0).end_time(), t + 1);
+}
+
+TEST_F(EngineTest, FailedCatalogLoadLeavesEngineUsable) {
+  const std::size_t models_before = engine_.num_models();
+  ConfigurationCatalog bad;
+  SchemeRow row;
+  row.target = 0;
+  row.sources = {1};  // no model stored for node 1
+  bad.scheme_table().push_back(row);
+  EXPECT_FALSE(engine_.LoadCatalog(bad).ok());
+  // The previously published configuration is still fully live.
+  EXPECT_EQ(engine_.num_models(), models_before);
+  EXPECT_TRUE(engine_.ForecastNode(engine_.graph().top_node(), 1).ok());
+}
+
+TEST_F(EngineTest, ParallelMaintenanceMatchesSerial) {
+  EngineOptions parallel_options;
+  parallel_options.maintenance_threads = 4;
+  F2dbEngine parallel_engine(testing::MakeFigure2Cube(60, 0.05),
+                             parallel_options);
+  ASSERT_TRUE(parallel_engine.LoadConfiguration(config_, evaluator_).ok());
+
+  const std::vector<NodeId> bases = engine_.graph().base_nodes();
+  for (int period = 0; period < 2; ++period) {
+    const std::int64_t t = engine_.graph().series(0).end_time();
+    for (std::size_t i = 0; i < bases.size(); ++i) {
+      const double v = 10.0 + static_cast<double>(i + 1);
+      ASSERT_TRUE(engine_.InsertFact(bases[i], t, v).ok());
+      ASSERT_TRUE(parallel_engine.InsertFact(bases[i], t, v).ok());
+    }
+  }
+  for (NodeId node : {engine_.graph().top_node(), bases[0]}) {
+    auto serial = engine_.ForecastNode(node, 3);
+    auto parallel = parallel_engine.ForecastNode(node, 3);
+    ASSERT_TRUE(serial.ok());
+    ASSERT_TRUE(parallel.ok());
+    for (std::size_t h = 0; h < 3; ++h) {
+      EXPECT_NEAR(serial.value()[h], parallel.value()[h], 1e-9);
+    }
+  }
 }
 
 TEST_F(EngineTest, CatalogExportLoadRoundTrip) {
