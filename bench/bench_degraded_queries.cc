@@ -1,0 +1,177 @@
+// Query throughput and latency under injected re-estimation failures.
+//
+// The graceful-degradation ladder must keep the query path fast when
+// re-estimation fails: a failed refit serves the stale pre-invalidation
+// model instead of erroring, and repeated failures quarantine the node so
+// queries stop paying for doomed fit attempts. This bench streams inserts
+// (continuously invalidating models) while reader threads query random
+// nodes, and sweeps the engine.refit failpoint over 0%, 1%, and 10%
+// failure probability.
+//
+// Expected shape: throughput at 10% injected failures stays within a small
+// factor of the fault-free run (degraded answers are CHEAPER than refits —
+// the ladder's stale rung skips the fit entirely), every query succeeds,
+// and the degraded-row counters account for exactly the stale/derived/
+// naive answers served.
+//
+// Any other bench can be run against a failure mix too:
+//   F2DB_FAILPOINTS="engine.refit=prob:0.1" build/bench/<bench>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/failpoint.h"
+#include "common/rng.h"
+#include "engine/engine.h"
+
+namespace f2db::bench {
+namespace {
+
+constexpr std::size_t kNumBase = 200;
+constexpr std::size_t kReaders = 4;
+constexpr double kSecondsPerPoint = 1.0;
+
+struct DegradedPoint {
+  double failure_probability = 0.0;
+  std::size_t queries = 0;
+  std::size_t errors = 0;
+  double qps = 0.0;
+  double mean_latency_micros = 0.0;
+  std::size_t refit_failures = 0;
+  std::size_t quarantines = 0;
+  std::size_t degraded_stale = 0;
+  std::size_t degraded_derived = 0;
+  std::size_t degraded_naive = 0;
+};
+
+DegradedPoint RunPoint(const ModelConfiguration& config,
+                       const ConfigurationEvaluator& evaluator,
+                       double failure_probability) {
+  auto data = MakeGenX(kNumBase, /*seed=*/4, /*length=*/48);
+  EngineOptions options;
+  options.reestimate_after_updates = 4;  // keep refits coming
+  options.quarantine_after_refit_failures = 3;
+  F2dbEngine engine(std::move(data.value().graph), options);
+  if (!engine.LoadConfiguration(config, evaluator).ok()) return {};
+
+  if (failure_probability > 0.0) {
+    failpoint::Enable(kFailpointEngineRefit,
+                      failpoint::Policy::WithProbability(failure_probability,
+                                                         /*seed=*/2013));
+  } else {
+    failpoint::DisableAll();
+  }
+
+  const std::size_t num_nodes = engine.graph().num_nodes();
+  const std::vector<NodeId> base_nodes = engine.graph().base_nodes();
+  std::atomic<bool> stop{false};
+  std::atomic<std::size_t> total_queries{0};
+  std::atomic<std::size_t> total_errors{0};
+
+  std::thread writer([&] {
+    Rng rng(7);
+    while (!stop.load(std::memory_order_relaxed)) {
+      const SnapshotPtr snap = engine.snapshot();
+      const std::int64_t t = snap->graph->series(base_nodes[0]).end_time();
+      for (NodeId base : base_nodes) {
+        const TimeSeries& series = snap->graph->series(base);
+        const double next =
+            series[series.size() - 1] * (1.0 + rng.Gaussian(0.0, 0.02));
+        (void)engine.InsertFact(base, t, next);
+        if (stop.load(std::memory_order_relaxed)) break;
+      }
+    }
+  });
+
+  std::vector<std::thread> clients;
+  clients.reserve(kReaders);
+  const auto begin = std::chrono::steady_clock::now();
+  for (std::size_t r = 0; r < kReaders; ++r) {
+    clients.emplace_back([&, r] {
+      Rng rng(100 + r);
+      std::size_t local = 0, local_errors = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        const NodeId node = static_cast<NodeId>(
+            rng.UniformInt(0, static_cast<std::int64_t>(num_nodes) - 1));
+        if (engine.ForecastNode(node, 1).ok()) {
+          ++local;
+        } else {
+          ++local_errors;
+        }
+      }
+      total_queries.fetch_add(local, std::memory_order_relaxed);
+      total_errors.fetch_add(local_errors, std::memory_order_relaxed);
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::duration<double>(kSecondsPerPoint));
+  stop = true;
+  for (auto& t : clients) t.join();
+  writer.join();
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - begin)
+          .count();
+  failpoint::DisableAll();
+
+  const EngineStats stats = engine.stats();
+  DegradedPoint point;
+  point.failure_probability = failure_probability;
+  point.queries = total_queries.load();
+  point.errors = total_errors.load();
+  point.qps =
+      seconds > 0 ? static_cast<double>(point.queries) / seconds : 0.0;
+  point.mean_latency_micros =
+      stats.queries > 0 ? stats.total_query_seconds /
+                              static_cast<double>(stats.queries) * 1e6
+                        : 0.0;
+  point.refit_failures = stats.refit_failures;
+  point.quarantines = stats.quarantines;
+  point.degraded_stale = stats.degraded_rows_stale;
+  point.degraded_derived = stats.degraded_rows_derived;
+  point.degraded_naive = stats.degraded_rows_naive;
+  return point;
+}
+
+}  // namespace
+}  // namespace f2db::bench
+
+int main() {
+  using namespace f2db::bench;
+  PrintHeader("query throughput under injected refit failures",
+              "degradation ladder",
+              "failure_pct,queries,errors,qps,mean_latency_us,"
+              "refit_failures,quarantines,stale_rows,derived_rows,"
+              "naive_rows");
+
+  auto data = f2db::MakeGenX(kNumBase, /*seed=*/4, /*length=*/48);
+  if (!data.ok()) {
+    std::printf("data generation failed: %s\n",
+                data.status().ToString().c_str());
+    return 1;
+  }
+  f2db::ConfigurationEvaluator evaluator(data.value().graph, 0.8);
+  f2db::ModelFactory factory(
+      f2db::ModelSpec::TripleExponentialSmoothing(12));
+  f2db::AdvisorOptions options = BenchAdvisorOptions();
+  f2db::AdvisorBuilder advisor(options);
+  auto built = advisor.Build(evaluator, factory);
+  if (!built.ok()) {
+    std::printf("advisor failed: %s\n", built.status().ToString().c_str());
+    return 1;
+  }
+
+  for (const double probability : {0.0, 0.01, 0.10}) {
+    const DegradedPoint point =
+        RunPoint(built.value().configuration, evaluator, probability);
+    std::printf("%.0f,%zu,%zu,%.0f,%.1f,%zu,%zu,%zu,%zu,%zu\n",
+                point.failure_probability * 100.0, point.queries,
+                point.errors, point.qps, point.mean_latency_micros,
+                point.refit_failures, point.quarantines,
+                point.degraded_stale, point.degraded_derived,
+                point.degraded_naive);
+  }
+  return 0;
+}

@@ -3,6 +3,11 @@
 // Every bench binary prints CSV-ish tables to stdout, one per reproduced
 // figure, with a header line naming the experiment. Run them all with
 //   for b in build/bench/*; do $b; done
+//
+// Fault injection: set F2DB_FAILPOINTS (same spec grammar as
+// failpoint::EnableFromSpec, e.g. "engine.refit=prob:0.1") to run any bench
+// against an injected failure mix — PrintHeader applies the variable and
+// echoes the active spec so logs are self-describing.
 
 #ifndef F2DB_BENCH_BENCH_UTIL_H_
 #define F2DB_BENCH_BENCH_UTIL_H_
@@ -13,6 +18,7 @@
 #include <vector>
 
 #include "baselines/advisor_builder.h"
+#include "common/failpoint.h"
 #include "baselines/bottom_up.h"
 #include "baselines/builder.h"
 #include "baselines/combine.h"
@@ -65,12 +71,18 @@ inline AdvisorOptions BenchAdvisorOptions() {
   return options;
 }
 
-/// Prints a section header recognizable in combined bench logs.
+/// Prints a section header recognizable in combined bench logs. Also arms
+/// any failpoints requested through F2DB_FAILPOINTS and echoes the spec.
 inline void PrintHeader(const std::string& experiment,
                         const std::string& figure,
                         const std::string& columns) {
-  std::printf("\n=== %s (paper %s) ===\n%s\n", experiment.c_str(),
-              figure.c_str(), columns.c_str());
+  const std::string failpoints = failpoint::InitFromEnv();
+  std::printf("\n=== %s (paper %s) ===\n", experiment.c_str(),
+              figure.c_str());
+  if (!failpoints.empty()) {
+    std::printf("# failpoints: %s\n", failpoints.c_str());
+  }
+  std::printf("%s\n", columns.c_str());
 }
 
 }  // namespace f2db::bench

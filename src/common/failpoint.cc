@@ -1,0 +1,238 @@
+#include "common/failpoint.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "common/rng.h"
+#include "common/string_util.h"
+
+namespace f2db {
+namespace failpoint {
+namespace {
+
+/// One registered site. Counters reset whenever the site is (re-)armed.
+struct Site {
+  Policy policy;
+  std::size_t evaluations = 0;
+  std::size_t triggers = 0;
+  std::unique_ptr<Rng> rng;  ///< Seeded stream for kProbability sites.
+};
+
+/// Registry state. `any_enabled` is the hot-path guard: Triggered() reads
+/// it with one relaxed load and bails before touching the mutex when no
+/// site is armed anywhere.
+std::atomic<bool> g_any_enabled{false};
+
+std::mutex& RegistryMutex() {
+  static std::mutex mutex;
+  return mutex;
+}
+
+std::map<std::string, Site>& Registry() {
+  static auto* registry = new std::map<std::string, Site>();
+  return *registry;
+}
+
+/// Recomputes the fast-path guard. Caller holds RegistryMutex().
+void RefreshAnyEnabledLocked() {
+  bool any = false;
+  for (const auto& [name, site] : Registry()) {
+    if (site.policy.mode != Policy::Mode::kOff) {
+      any = true;
+      break;
+    }
+  }
+  g_any_enabled.store(any, std::memory_order_relaxed);
+}
+
+/// Evaluates an armed site's policy. Caller holds RegistryMutex().
+bool EvaluateLocked(Site& site) {
+  const Policy& policy = site.policy;
+  if (policy.mode == Policy::Mode::kOff) return false;
+  ++site.evaluations;
+  if (policy.max_triggers > 0 && site.triggers >= policy.max_triggers) {
+    return false;
+  }
+  bool fire = false;
+  switch (policy.mode) {
+    case Policy::Mode::kOff:
+      break;
+    case Policy::Mode::kAlways:
+      fire = true;
+      break;
+    case Policy::Mode::kEveryNth:
+      fire = policy.every_n >= 1 && site.evaluations % policy.every_n == 0;
+      break;
+    case Policy::Mode::kProbability:
+      if (site.rng == nullptr) site.rng = std::make_unique<Rng>(policy.seed);
+      fire = site.rng->NextDouble() < policy.probability;
+      break;
+  }
+  if (fire) ++site.triggers;
+  return fire;
+}
+
+/// Parses one "<site>=<policy>" entry. Returns the armed (site, policy).
+Result<std::pair<std::string, Policy>> ParseEntry(std::string_view entry) {
+  const std::size_t eq = entry.find('=');
+  if (eq == std::string_view::npos) {
+    return Status::InvalidArgument("failpoint spec entry missing '=': " +
+                                   std::string(entry));
+  }
+  const std::string site{TrimWhitespace(entry.substr(0, eq))};
+  if (site.empty()) {
+    return Status::InvalidArgument("failpoint spec entry has empty site: " +
+                                   std::string(entry));
+  }
+  const std::vector<std::string> parts =
+      SplitString(TrimWhitespace(entry.substr(eq + 1)), ':');
+  if (parts.empty() || parts[0].empty()) {
+    return Status::InvalidArgument("failpoint spec entry has empty policy: " +
+                                   std::string(entry));
+  }
+  const std::string& kind = parts[0];
+  Policy policy;
+  if (kind == "off" && parts.size() == 1) {
+    policy = Policy::Off();
+  } else if (kind == "always" && parts.size() <= 2) {
+    std::size_t max_triggers = 0;
+    if (parts.size() == 2) {
+      F2DB_ASSIGN_OR_RETURN(const std::int64_t max, ParseInt(parts[1]));
+      max_triggers = static_cast<std::size_t>(max);
+    }
+    policy = Policy::Always(max_triggers);
+  } else if (kind == "nth" && (parts.size() == 2 || parts.size() == 3)) {
+    F2DB_ASSIGN_OR_RETURN(const std::int64_t n, ParseInt(parts[1]));
+    if (n < 1) {
+      return Status::InvalidArgument("failpoint nth period must be >= 1: " +
+                                     std::string(entry));
+    }
+    std::size_t max_triggers = 0;
+    if (parts.size() == 3) {
+      F2DB_ASSIGN_OR_RETURN(const std::int64_t max, ParseInt(parts[2]));
+      max_triggers = static_cast<std::size_t>(max);
+    }
+    policy = Policy::EveryNth(static_cast<std::size_t>(n), max_triggers);
+  } else if (kind == "prob" && (parts.size() == 2 || parts.size() == 3)) {
+    F2DB_ASSIGN_OR_RETURN(const double p, ParseDouble(parts[1]));
+    if (p < 0.0 || p > 1.0) {
+      return Status::InvalidArgument(
+          "failpoint probability must be in [0, 1]: " + std::string(entry));
+    }
+    std::uint64_t seed = 42;
+    if (parts.size() == 3) {
+      F2DB_ASSIGN_OR_RETURN(const std::int64_t s, ParseInt(parts[2]));
+      seed = static_cast<std::uint64_t>(s);
+    }
+    policy = Policy::WithProbability(p, seed);
+  } else {
+    return Status::InvalidArgument("unknown failpoint policy: " +
+                                   std::string(entry));
+  }
+  return std::make_pair(site, policy);
+}
+
+}  // namespace
+
+void Register(const std::string& site) {
+  std::lock_guard<std::mutex> lock(RegistryMutex());
+  Registry().try_emplace(site);
+}
+
+std::vector<std::string> RegisteredSites() {
+  std::lock_guard<std::mutex> lock(RegistryMutex());
+  std::vector<std::string> out;
+  out.reserve(Registry().size());
+  for (const auto& [name, site] : Registry()) out.push_back(name);
+  return out;  // std::map iterates in sorted order
+}
+
+void Enable(const std::string& site, const Policy& policy) {
+  std::lock_guard<std::mutex> lock(RegistryMutex());
+  Site& entry = Registry()[site];
+  entry.policy = policy;
+  entry.evaluations = 0;
+  entry.triggers = 0;
+  entry.rng.reset();
+  RefreshAnyEnabledLocked();
+}
+
+void Disable(const std::string& site) {
+  std::lock_guard<std::mutex> lock(RegistryMutex());
+  const auto it = Registry().find(site);
+  if (it != Registry().end()) {
+    it->second.policy = Policy::Off();
+    it->second.rng.reset();
+  }
+  RefreshAnyEnabledLocked();
+}
+
+void DisableAll() {
+  std::lock_guard<std::mutex> lock(RegistryMutex());
+  for (auto& [name, site] : Registry()) {
+    site.policy = Policy::Off();
+    site.evaluations = 0;
+    site.triggers = 0;
+    site.rng.reset();
+  }
+  g_any_enabled.store(false, std::memory_order_relaxed);
+}
+
+bool AnyEnabled() { return g_any_enabled.load(std::memory_order_relaxed); }
+
+std::size_t Evaluations(const std::string& site) {
+  std::lock_guard<std::mutex> lock(RegistryMutex());
+  const auto it = Registry().find(site);
+  return it == Registry().end() ? 0 : it->second.evaluations;
+}
+
+std::size_t Triggers(const std::string& site) {
+  std::lock_guard<std::mutex> lock(RegistryMutex());
+  const auto it = Registry().find(site);
+  return it == Registry().end() ? 0 : it->second.triggers;
+}
+
+bool Triggered(const char* site) {
+  if (!g_any_enabled.load(std::memory_order_relaxed)) return false;
+  std::lock_guard<std::mutex> lock(RegistryMutex());
+  Site& entry = Registry()[site];
+  return EvaluateLocked(entry);
+}
+
+Status EnableFromSpec(const std::string& spec) {
+  // Validate the whole spec before arming anything, so a malformed entry
+  // cannot leave the registry half-configured.
+  std::vector<std::pair<std::string, Policy>> parsed;
+  for (const std::string& raw : SplitString(spec, ';')) {
+    const std::string_view entry = TrimWhitespace(raw);
+    if (entry.empty()) continue;
+    F2DB_ASSIGN_OR_RETURN(auto armed, ParseEntry(entry));
+    parsed.push_back(std::move(armed));
+  }
+  for (const auto& [site, policy] : parsed) Enable(site, policy);
+  return Status::OK();
+}
+
+std::string InitFromEnv() {
+  const char* spec = std::getenv("F2DB_FAILPOINTS");
+  if (spec == nullptr || spec[0] == '\0') return "";
+  const Status status = EnableFromSpec(spec);
+  if (!status.ok()) {
+    std::fprintf(stderr, "F2DB_FAILPOINTS ignored: %s\n",
+                 status.ToString().c_str());
+    return "";
+  }
+  return spec;
+}
+
+Status InjectedFailure(const char* site) {
+  return Status::Unavailable(std::string("failpoint '") + site +
+                             "' injected failure");
+}
+
+}  // namespace failpoint
+}  // namespace f2db

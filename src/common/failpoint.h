@@ -1,0 +1,164 @@
+// Failpoints: named fault-injection sites threaded through the hot paths.
+//
+// A failpoint is a named site in library code (model fitting, optimizer
+// convergence, insert ingestion, catalog decoding, lazy re-estimation) that
+// tests and benches can arm with a trigger policy — always, every-Nth
+// evaluation, or a probability drawn from a seeded deterministic Rng. An
+// armed site that triggers makes the surrounding operation fail with
+// StatusCode::kUnavailable exactly as a real transient failure would, which
+// is how the engine's graceful-degradation ladder is exercised end to end
+// (see DESIGN.md, "Failure semantics and the degradation ladder").
+//
+// Cost model: when no failpoint is armed anywhere, Triggered() is a single
+// relaxed atomic load — safe to leave in production hot paths. While any
+// site is armed, evaluations serialize on one registry mutex (fault
+// injection is a test/bench mode, not a production mode).
+//
+// Sites self-register at static-initialization time via F2DB_DEFINE_FAILPOINT
+// so tests can enumerate every site linked into the binary
+// (failpoint::RegisteredSites) and fire each one.
+
+#ifndef F2DB_COMMON_FAILPOINT_H_
+#define F2DB_COMMON_FAILPOINT_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace f2db {
+namespace failpoint {
+
+/// Per-site trigger policy.
+struct Policy {
+  enum class Mode {
+    kOff,          ///< Never triggers.
+    kAlways,       ///< Triggers on every evaluation.
+    kEveryNth,     ///< Triggers on every n-th evaluation (n, 2n, 3n, ...).
+    kProbability,  ///< Triggers with probability p per evaluation (seeded).
+  };
+
+  Mode mode = Mode::kOff;
+  std::size_t every_n = 0;      ///< kEveryNth period (>= 1).
+  double probability = 0.0;     ///< kProbability trigger chance in [0, 1].
+  std::uint64_t seed = 42;      ///< Seeds the site's deterministic Rng.
+  /// Stop triggering after this many triggers; 0 = unlimited. The site
+  /// stays armed (counters keep advancing) but no longer fires.
+  std::size_t max_triggers = 0;
+
+  static Policy Off() { return {}; }
+  static Policy Always(std::size_t max_triggers = 0) {
+    Policy p;
+    p.mode = Mode::kAlways;
+    p.max_triggers = max_triggers;
+    return p;
+  }
+  static Policy EveryNth(std::size_t n, std::size_t max_triggers = 0) {
+    Policy p;
+    p.mode = Mode::kEveryNth;
+    p.every_n = n;
+    p.max_triggers = max_triggers;
+    return p;
+  }
+  static Policy WithProbability(double probability, std::uint64_t seed = 42,
+                                std::size_t max_triggers = 0) {
+    Policy p;
+    p.mode = Mode::kProbability;
+    p.probability = probability;
+    p.seed = seed;
+    p.max_triggers = max_triggers;
+    return p;
+  }
+};
+
+/// Registers a site name (idempotent). Normally invoked through
+/// F2DB_DEFINE_FAILPOINT at static-initialization time.
+void Register(const std::string& site);
+
+/// Names of all registered sites, sorted (sites linked into the binary via
+/// F2DB_DEFINE_FAILPOINT plus any site ever armed or evaluated).
+std::vector<std::string> RegisteredSites();
+
+/// Arms `site` with `policy` (registering it if unknown) and resets the
+/// site's counters and Rng stream.
+void Enable(const std::string& site, const Policy& policy);
+
+/// Disarms one site (counters are kept for post-mortem assertions).
+void Disable(const std::string& site);
+
+/// Disarms every site and clears all counters.
+void DisableAll();
+
+/// True while at least one site is armed.
+bool AnyEnabled();
+
+/// Evaluations of `site` since it was last armed.
+std::size_t Evaluations(const std::string& site);
+
+/// Triggers fired by `site` since it was last armed.
+std::size_t Triggers(const std::string& site);
+
+/// Decides whether `site` fails now. The fast path (no site armed
+/// anywhere) is one relaxed atomic load.
+bool Triggered(const char* site);
+
+/// Arms sites from a spec string:
+///   "engine.refit=always;engine.insert=nth:3;ts.arima_fit=prob:0.1:7"
+/// Entry grammar (';'-separated, whitespace ignored):
+///   <site>=off | always[:max] | nth:<n>[:max] | prob:<p>[:seed]
+/// Unknown sites are registered. Malformed entries abort with
+/// InvalidArgument before any site is armed.
+Status EnableFromSpec(const std::string& spec);
+
+/// Applies the F2DB_FAILPOINTS environment variable via EnableFromSpec
+/// (no-op when unset). Returns the applied spec, empty when none; a
+/// malformed spec is reported on stderr and ignored.
+std::string InitFromEnv();
+
+/// Builds the Status an armed site injects: kUnavailable with the site name
+/// in the message, so callers can tell injected/transient faults from
+/// programmer errors.
+Status InjectedFailure(const char* site);
+
+/// RAII guard for tests: disarms every failpoint on destruction.
+class ScopedDisableAll {
+ public:
+  ScopedDisableAll() = default;
+  ScopedDisableAll(const ScopedDisableAll&) = delete;
+  ScopedDisableAll& operator=(const ScopedDisableAll&) = delete;
+  ~ScopedDisableAll() { DisableAll(); }
+};
+
+/// Static registrar behind F2DB_DEFINE_FAILPOINT.
+class Registrar {
+ public:
+  explicit Registrar(const char* site) { Register(site); }
+};
+
+}  // namespace failpoint
+}  // namespace f2db
+
+/// Defines a failpoint site: a constant with the site name plus a static
+/// registrar so the site shows up in failpoint::RegisteredSites() even
+/// before its first evaluation. Use at namespace scope in the .cc (or
+/// header) owning the site.
+#define F2DB_DEFINE_FAILPOINT(identifier, site_name)                        \
+  inline constexpr char identifier[] = site_name;                           \
+  namespace f2db_failpoint_registrars {                                     \
+  inline const ::f2db::failpoint::Registrar identifier##_registrar{         \
+      site_name};                                                           \
+  }
+
+/// Injects a failure from a Status/Result-returning function when `site`
+/// triggers.
+#define F2DB_INJECT_FAILPOINT(site)                           \
+  do {                                                        \
+    if (::f2db::failpoint::Triggered(site)) {                 \
+      return ::f2db::failpoint::InjectedFailure(site);        \
+    }                                                         \
+  } while (false)
+
+#endif  // F2DB_COMMON_FAILPOINT_H_

@@ -24,6 +24,11 @@ enum class StatusCode {
   kFailedPrecondition,
   kInternal,
   kUnimplemented,
+  /// A transient, retryable condition: the operation could not be served at
+  /// full fidelity right now (injected fault, degraded fallback exhausted,
+  /// quarantined model). Distinct from kInternal, which means a programmer
+  /// error / broken invariant.
+  kUnavailable,
 };
 
 /// Returns a stable human-readable name for a StatusCode.
@@ -64,6 +69,9 @@ class Status {
   }
   static Status Unimplemented(std::string msg) {
     return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   /// True when the operation succeeded.

@@ -1,6 +1,7 @@
 #include "engine/engine.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <limits>
 #include <utility>
@@ -8,10 +9,53 @@
 #include "common/logging.h"
 #include "common/stopwatch.h"
 #include "ts/model_factory.h"
+#include "ts/naive_models.h"
 
 namespace f2db {
 
+const char* DegradationLevelName(DegradationLevel level) {
+  switch (level) {
+    case DegradationLevel::kNone:
+      return "NONE";
+    case DegradationLevel::kStaleModel:
+      return "STALE_MODEL";
+    case DegradationLevel::kDerivedFallback:
+      return "DERIVED_FALLBACK";
+    case DegradationLevel::kNaiveFallback:
+      return "NAIVE_FALLBACK";
+    case DegradationLevel::kUnavailable:
+      return "UNAVAILABLE";
+  }
+  return "UNKNOWN";
+}
+
 namespace {
+
+/// Derived-fallback recursion bound: a source that fell back to its own
+/// scheme may hit sources that are themselves degraded; beyond this depth
+/// the ladder skips to the naive rung instead of walking the graph.
+constexpr std::size_t kMaxDerivationDepth = 4;
+
+/// Evaluates `model` into a DegradedForecast tagged with `level`/`reason`.
+/// Fails with kUnimplemented when variances are requested but unsupported.
+Result<DegradedForecast> ForecastFromModel(const ForecastModel& model,
+                                           NodeId source, std::size_t horizon,
+                                           bool want_variance,
+                                           DegradationLevel level,
+                                           std::string reason) {
+  DegradedForecast out;
+  out.values = model.Forecast(horizon);
+  if (want_variance) {
+    out.variances = model.ForecastVariance(horizon);
+    if (out.variances.size() != horizon) {
+      return Status::Unimplemented("model at node " + std::to_string(source) +
+                                   " does not support interval forecasts");
+    }
+  }
+  out.level = level;
+  out.reason = std::move(reason);
+  return out;
+}
 
 /// Resolves WHERE filters against a graph's schema (structure only; the
 /// schema is identical across snapshots of one engine).
@@ -62,6 +106,11 @@ EngineStats F2dbEngine::stats() const {
   out.inserts = stats_.inserts.Load();
   out.time_advances = stats_.time_advances.Load();
   out.reestimates = stats_.reestimates.Load();
+  out.refit_failures = stats_.refit_failures.Load();
+  out.quarantines = stats_.quarantines.Load();
+  out.degraded_rows_stale = stats_.degraded_rows_stale.Load();
+  out.degraded_rows_derived = stats_.degraded_rows_derived.Load();
+  out.degraded_rows_naive = stats_.degraded_rows_naive.Load();
   out.total_query_seconds = stats_.query_seconds.Load();
   out.total_maintenance_seconds = stats_.maintenance_seconds.Load();
   return out;
@@ -156,6 +205,9 @@ Status F2dbEngine::LoadCatalog(const ConfigurationCatalog& catalog) {
   next->models.clear();
   for (auto& scheme : next->schemes) scheme.clear();
   for (const ModelRow& row : catalog.model_table()) {
+    // Per-row injection point: any row failing must abort the whole load
+    // with the previous state still published (transactional contract).
+    F2DB_INJECT_FAILPOINT(kFailpointCatalogDecode);
     if (row.node >= cur->graph->num_nodes()) {
       return Status::OutOfRange("model row references unknown node");
     }
@@ -219,9 +271,15 @@ Result<QueryResult> F2dbEngine::Execute(const ForecastQuery& query) const {
   result.node = node;
   const std::int64_t now = snap->graph->series(node).end_time();
   if (query.with_intervals) {
+    F2DB_ASSIGN_OR_RETURN(
+        DegradedForecast forecast,
+        ForecastInternal(snap, node, query.horizon, /*want_variance=*/true));
     F2DB_ASSIGN_OR_RETURN(std::vector<ForecastInterval> intervals,
-                          ForecastIntervalsInternal(snap, node, query.horizon,
-                                                    query.confidence));
+                          IntervalsFromMoments(forecast.values,
+                                               forecast.variances,
+                                               query.confidence));
+    result.degradation = forecast.level;
+    result.degradation_reason = std::move(forecast.reason);
     result.rows.reserve(intervals.size());
     for (std::size_t h = 0; h < intervals.size(); ++h) {
       ForecastRow row;
@@ -230,19 +288,25 @@ Result<QueryResult> F2dbEngine::Execute(const ForecastQuery& query) const {
       row.lower = intervals[h].lower;
       row.upper = intervals[h].upper;
       row.has_interval = true;
+      row.degradation = result.degradation;
       result.rows.push_back(row);
     }
   } else {
-    F2DB_ASSIGN_OR_RETURN(std::vector<double> forecast,
-                          ForecastInternal(snap, node, query.horizon));
-    result.rows.reserve(forecast.size());
-    for (std::size_t h = 0; h < forecast.size(); ++h) {
+    F2DB_ASSIGN_OR_RETURN(
+        DegradedForecast forecast,
+        ForecastInternal(snap, node, query.horizon, /*want_variance=*/false));
+    result.degradation = forecast.level;
+    result.degradation_reason = std::move(forecast.reason);
+    result.rows.reserve(forecast.values.size());
+    for (std::size_t h = 0; h < forecast.values.size(); ++h) {
       ForecastRow row;
       row.time = now + static_cast<std::int64_t>(h);
-      row.value = forecast[h];
+      row.value = forecast.values[h];
+      row.degradation = result.degradation;
       result.rows.push_back(row);
     }
   }
+  CountDegradedRows(result.degradation, result.rows.size());
   stats_.queries.Add();
   stats_.query_seconds.Add(watch.ElapsedSeconds());
   return result;
@@ -268,6 +332,11 @@ Result<ExplainResult> F2dbEngine::Explain(const ForecastQuery& query) const {
       description +=
           ", " + std::to_string(live->model->num_parameters()) + " params";
       if (live->invalid) description += ", INVALID (lazy re-estimate)";
+      if (live->quarantined) {
+        description += ", QUARANTINED (" +
+                       std::to_string(live->refit_failures) +
+                       " refit failures)";
+      }
     }
     out.source_models.push_back(std::move(description));
   }
@@ -282,6 +351,11 @@ Result<std::string> F2dbEngine::ExecuteStatementText(const std::string& sql) {
     case Statement::Kind::kForecast: {
       F2DB_ASSIGN_OR_RETURN(QueryResult result, Execute(statement.forecast));
       out = "-- node: " + graph().NodeName(result.node) + "\n";
+      if (result.degradation != DegradationLevel::kNone) {
+        out += "-- degraded: " +
+               std::string(DegradationLevelName(result.degradation)) + " (" +
+               result.degradation_reason + ")\n";
+      }
       for (const ForecastRow& row : result.rows) {
         if (row.has_interval) {
           std::snprintf(buffer, sizeof(buffer), "%lld | %.4f  [%.4f, %.4f]\n",
@@ -343,11 +417,13 @@ Result<std::vector<double>> F2dbEngine::ForecastNode(NodeId node,
 Result<std::vector<double>> F2dbEngine::ForecastNode(
     const SnapshotPtr& snapshot, NodeId node, std::size_t horizon) const {
   StopWatch watch;
-  F2DB_ASSIGN_OR_RETURN(std::vector<double> forecast,
-                        ForecastInternal(snapshot, node, horizon));
+  F2DB_ASSIGN_OR_RETURN(
+      DegradedForecast forecast,
+      ForecastInternal(snapshot, node, horizon, /*want_variance=*/false));
+  CountDegradedRows(forecast.level, forecast.values.size());
   stats_.queries.Add();
   stats_.query_seconds.Add(watch.ElapsedSeconds());
-  return forecast;
+  return std::move(forecast.values);
 }
 
 Result<std::vector<ForecastInterval>> F2dbEngine::ForecastNodeWithIntervals(
@@ -355,94 +431,187 @@ Result<std::vector<ForecastInterval>> F2dbEngine::ForecastNodeWithIntervals(
   StopWatch watch;
   const SnapshotPtr snap = LoadSnapshot();
   F2DB_ASSIGN_OR_RETURN(
+      DegradedForecast forecast,
+      ForecastInternal(snap, node, horizon, /*want_variance=*/true));
+  F2DB_ASSIGN_OR_RETURN(
       std::vector<ForecastInterval> intervals,
-      ForecastIntervalsInternal(snap, node, horizon, confidence));
+      IntervalsFromMoments(forecast.values, forecast.variances, confidence));
+  CountDegradedRows(forecast.level, intervals.size());
   stats_.queries.Add();
   stats_.query_seconds.Add(watch.ElapsedSeconds());
   return intervals;
 }
 
-Result<std::vector<ForecastInterval>> F2dbEngine::ForecastIntervalsInternal(
+Result<DegradedForecast> F2dbEngine::ForecastInternal(
     const SnapshotPtr& snapshot, NodeId node, std::size_t horizon,
-    double confidence) const {
+    bool want_variance) const {
   if (node >= snapshot->graph->num_nodes()) {
     return Status::OutOfRange("node id out of range");
   }
+  return CombineScheme(snapshot, node, horizon, want_variance, /*depth=*/0);
+}
+
+Result<DegradedForecast> F2dbEngine::CombineScheme(const SnapshotPtr& snapshot,
+                                                   NodeId node,
+                                                   std::size_t horizon,
+                                                   bool want_variance,
+                                                   std::size_t depth) const {
   const std::vector<NodeId>& sources = snapshot->schemes[node];
   if (sources.empty()) {
     return Status::FailedPrecondition("no derivation scheme stored for node " +
                                       snapshot->graph->NodeName(node));
   }
-  std::vector<double> points(horizon, 0.0);
-  std::vector<double> variances(horizon, 0.0);
+  DegradedForecast out;
+  out.values.assign(horizon, 0.0);
+  if (want_variance) out.variances.assign(horizon, 0.0);
   for (NodeId source : sources) {
-    F2DB_ASSIGN_OR_RETURN(std::shared_ptr<const ForecastModel> model,
-                          ValidSourceModel(snapshot, source));
-    const std::vector<double> forecast = model->Forecast(horizon);
-    const std::vector<double> variance = model->ForecastVariance(horizon);
-    if (variance.size() != horizon) {
-      return Status::Unimplemented(
-          "model at node " + std::to_string(source) +
-          " does not support interval forecasts");
-    }
+    F2DB_ASSIGN_OR_RETURN(
+        DegradedForecast from_source,
+        ForecastSource(snapshot, source, horizon, want_variance, depth));
     for (std::size_t h = 0; h < horizon; ++h) {
-      points[h] += forecast[h];
-      variances[h] += variance[h];
+      out.values[h] += from_source.values[h];
+      if (want_variance) out.variances[h] += from_source.variances[h];
+    }
+    // Report the worst rung any source had to fall to.
+    if (from_source.level > out.level) {
+      out.level = from_source.level;
+      out.reason = std::move(from_source.reason);
     }
   }
   const double weight = snapshot->Weight(sources, node);
   for (std::size_t h = 0; h < horizon; ++h) {
-    points[h] *= weight;
-    variances[h] *= weight * weight;
+    out.values[h] *= weight;
+    if (want_variance) out.variances[h] *= weight * weight;
   }
-  return IntervalsFromMoments(points, variances, confidence);
+  return out;
 }
 
-Result<std::vector<double>> F2dbEngine::ForecastInternal(
-    const SnapshotPtr& snapshot, NodeId node, std::size_t horizon) const {
-  if (node >= snapshot->graph->num_nodes()) {
-    return Status::OutOfRange("node id out of range");
-  }
-  const std::vector<NodeId>& sources = snapshot->schemes[node];
-  if (sources.empty()) {
-    return Status::FailedPrecondition("no derivation scheme stored for node " +
-                                      snapshot->graph->NodeName(node));
-  }
-  std::vector<double> combined(horizon, 0.0);
-  for (NodeId source : sources) {
-    F2DB_ASSIGN_OR_RETURN(std::shared_ptr<const ForecastModel> model,
-                          ValidSourceModel(snapshot, source));
-    const std::vector<double> forecast = model->Forecast(horizon);
-    for (std::size_t h = 0; h < horizon; ++h) combined[h] += forecast[h];
-  }
-  const double weight = snapshot->Weight(sources, node);
-  for (double& v : combined) v *= weight;
-  return combined;
-}
-
-Result<std::shared_ptr<const ForecastModel>> F2dbEngine::ValidSourceModel(
-    const SnapshotPtr& snapshot, NodeId source) const {
+Result<DegradedForecast> F2dbEngine::ForecastSource(const SnapshotPtr& snapshot,
+                                                    NodeId source,
+                                                    std::size_t horizon,
+                                                    bool want_variance,
+                                                    std::size_t depth) const {
   const std::shared_ptr<const LiveModel> live = snapshot->FindModel(source);
-  if (live == nullptr) {
-    return Status::Internal("scheme source " + std::to_string(source) +
-                            " lost its model");
-  }
-  if (!live->invalid) return live->model;
 
-  // Lazy re-estimation, copy-on-write: fit a fresh clone on this snapshot's
-  // full stored history. The published (invalid) entry is never mutated, so
-  // concurrent readers of `snapshot` are unaffected.
-  StopWatch watch;
-  std::unique_ptr<ForecastModel> refit = live->model->Clone();
-  F2DB_RETURN_IF_ERROR(refit->Fit(snapshot->graph->series(source)));
-  auto fresh = std::make_shared<LiveModel>();
-  fresh->model = std::shared_ptr<const ForecastModel>(std::move(refit));
-  fresh->creation_seconds = live->creation_seconds;
-  stats_.reestimates.Add();
-  stats_.maintenance_seconds.Add(watch.ElapsedSeconds());
-  const std::shared_ptr<const ForecastModel> model = fresh->model;
-  OfferReestimate(source, live, std::move(fresh));
-  return model;
+  // Primary path: a valid published model.
+  if (live != nullptr && !live->invalid) {
+    return ForecastFromModel(*live->model, source, horizon, want_variance,
+                             DegradationLevel::kNone, "");
+  }
+
+  std::string reason;
+  if (live == nullptr) {
+    // Previously a hard kInternal; now the first rung of the ladder.
+    reason = "scheme source " + std::to_string(source) + " lost its model";
+  } else {
+    // Invalid entry: lazy re-estimation, copy-on-write — fit a fresh clone
+    // on this snapshot's full stored history. The published (invalid)
+    // entry is never mutated, so concurrent readers of `snapshot` are
+    // unaffected. Quarantined or backing-off nodes skip the attempt.
+    if (RefitAllowed(*live)) {
+      StopWatch watch;
+      std::unique_ptr<ForecastModel> refit = live->model->Clone();
+      const Status fitted =
+          failpoint::Triggered(kFailpointEngineRefit)
+              ? failpoint::InjectedFailure(kFailpointEngineRefit)
+              : refit->Fit(snapshot->graph->series(source));
+      if (fitted.ok()) {
+        auto fresh = std::make_shared<LiveModel>();
+        fresh->model = std::shared_ptr<const ForecastModel>(std::move(refit));
+        fresh->creation_seconds = live->creation_seconds;
+        stats_.reestimates.Add();
+        stats_.maintenance_seconds.Add(watch.ElapsedSeconds());
+        const std::shared_ptr<const ForecastModel> model = fresh->model;
+        OfferReestimate(source, live, std::move(fresh));
+        return ForecastFromModel(*model, source, horizon, want_variance,
+                                 DegradationLevel::kNone, "");
+      }
+      stats_.refit_failures.Add();
+      OfferRefitFailure(source, live);
+      reason = "re-estimation of node " + std::to_string(source) +
+               " failed: " + fitted.message();
+    } else if (live->quarantined) {
+      reason = "node " + std::to_string(source) + " quarantined after " +
+               std::to_string(live->refit_failures) +
+               " failed re-estimations";
+    } else {
+      reason = "node " + std::to_string(source) +
+               " inside re-estimation retry backoff";
+    }
+
+    // Rung 1: the stale pre-invalidation model. Its parameters are out of
+    // date but its state was advanced through every insert, so it still
+    // produces a usable forecast for this snapshot's frontier.
+    if (live->model != nullptr && live->model->is_fitted()) {
+      return ForecastFromModel(*live->model, source, horizon, want_variance,
+                               DegradationLevel::kStaleModel,
+                               reason + "; serving stale model");
+    }
+  }
+
+  // Rung 2: recompute the source through its OWN stored derivation scheme
+  // (bounded recursion; schemes that reference the source itself cannot
+  // help and are skipped).
+  if (depth < kMaxDerivationDepth) {
+    const std::vector<NodeId>& scheme = snapshot->schemes[source];
+    const bool refers_self =
+        std::find(scheme.begin(), scheme.end(), source) != scheme.end();
+    if (!scheme.empty() && !refers_self) {
+      Result<DegradedForecast> derived =
+          CombineScheme(snapshot, source, horizon, want_variance, depth + 1);
+      if (derived.ok()) {
+        DegradedForecast out = std::move(derived).value();
+        out.level = std::max(out.level, DegradationLevel::kDerivedFallback);
+        out.reason = reason + "; served via the node's derivation scheme";
+        return out;
+      }
+    }
+  }
+
+  // Rung 3: a drift model fit on the snapshot's stored history — always
+  // cheap, needs no stored model, and supports variances.
+  DriftModel drift;
+  const Status drift_fitted = drift.Fit(snapshot->graph->series(source));
+  if (drift_fitted.ok()) {
+    return ForecastFromModel(drift, source, horizon, want_variance,
+                             DegradationLevel::kNaiveFallback,
+                             reason + "; serving naive drift fallback");
+  }
+
+  return Status::Unavailable("forecast unavailable for node " +
+                             std::to_string(source) + ": " + reason +
+                             "; drift fallback failed: " +
+                             drift_fitted.message());
+}
+
+bool F2dbEngine::RefitAllowed(const LiveModel& live) const {
+  if (live.quarantined) return false;
+  if (live.refit_failures == 0) return true;
+  if (options_.refit_retry_backoff_seconds <= 0.0) return true;
+  const std::size_t exponent =
+      std::min<std::size_t>(live.refit_failures - 1, 30);
+  const double wait = options_.refit_retry_backoff_seconds *
+                      static_cast<double>(std::size_t{1} << exponent);
+  return uptime_.ElapsedSeconds() >= live.last_refit_attempt_seconds + wait;
+}
+
+void F2dbEngine::CountDegradedRows(DegradationLevel level,
+                                   std::size_t rows) const {
+  switch (level) {
+    case DegradationLevel::kNone:
+      break;
+    case DegradationLevel::kStaleModel:
+      stats_.degraded_rows_stale.Add(rows);
+      break;
+    case DegradationLevel::kDerivedFallback:
+      stats_.degraded_rows_derived.Add(rows);
+      break;
+    case DegradationLevel::kNaiveFallback:
+      stats_.degraded_rows_naive.Add(rows);
+      break;
+    case DegradationLevel::kUnavailable:
+      break;  // surfaced as a status, never as rows
+  }
 }
 
 void F2dbEngine::OfferReestimate(
@@ -457,6 +626,30 @@ void F2dbEngine::OfferReestimate(
   if (it == cur->models.end() || it->second != expected) return;
   auto next = cur->CopyForWrite();
   next->models[node] = std::move(fresh);
+  Publish(std::move(next));
+}
+
+void F2dbEngine::OfferRefitFailure(
+    NodeId node, const std::shared_ptr<const LiveModel>& expected) const {
+  std::lock_guard<std::mutex> lock(writer_mutex_);
+  const SnapshotPtr cur = LoadSnapshot();
+  // Same identity check as OfferReestimate: record the failure only
+  // against the entry the attempt actually ran on. If maintenance (or a
+  // concurrent query's failure record) replaced it, this attempt's
+  // outcome no longer describes the published state.
+  const auto it = cur->models.find(node);
+  if (it == cur->models.end() || it->second != expected) return;
+  auto updated = std::make_shared<LiveModel>(*expected);
+  updated->refit_failures = expected->refit_failures + 1;
+  updated->last_refit_attempt_seconds = uptime_.ElapsedSeconds();
+  if (options_.quarantine_after_refit_failures > 0 &&
+      updated->refit_failures >= options_.quarantine_after_refit_failures &&
+      !updated->quarantined) {
+    updated->quarantined = true;
+    stats_.quarantines.Add();
+  }
+  auto next = cur->CopyForWrite();
+  next->models[node] = std::move(updated);
   Publish(std::move(next));
 }
 
@@ -480,6 +673,14 @@ Status F2dbEngine::InsertFact(const std::vector<std::string>& base_values,
 
 Status F2dbEngine::InsertFact(NodeId base_node, std::int64_t time,
                               double value) {
+  F2DB_INJECT_FAILPOINT(kFailpointEngineInsert);
+  // NaN/Inf would silently poison every aggregate above this cell and the
+  // CSS/SSE recursions of every model that later updates on it.
+  if (!std::isfinite(value)) {
+    return Status::InvalidArgument(
+        "non-finite fact value for node " + std::to_string(base_node) +
+        " at time " + std::to_string(time));
+  }
   StopWatch watch;
   std::lock_guard<std::mutex> lock(writer_mutex_);
   const SnapshotPtr cur = LoadSnapshot();
@@ -605,6 +806,10 @@ Status F2dbEngine::AdvanceWhileCompleteLocked() {
     live->creation_seconds = pending.creation_seconds;
     live->invalid = pending.invalid;
     live->updates_since_estimate = pending.updates_since_estimate;
+    // Quarantine ends on data advance by construction: the fresh entries
+    // keep the default refit_failures = 0 / quarantined = false, so the
+    // next query referencing an invalid model retries the fit against the
+    // new history.
     next->models[pending.node] = std::move(live);
   }
   next->graph = std::move(graph);

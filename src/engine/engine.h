@@ -43,7 +43,9 @@
 #include <vector>
 
 #include "common/concurrent.h"
+#include "common/failpoint.h"
 #include "common/status.h"
+#include "common/stopwatch.h"
 #include "common/thread_pool.h"
 #include "core/configuration.h"
 #include "core/evaluator.h"
@@ -56,6 +58,16 @@
 
 namespace f2db {
 
+/// Fault-injection site: a lazy re-estimation attempt fails with
+/// kUnavailable instead of fitting (exercises the degradation ladder and
+/// the retry/quarantine machinery).
+F2DB_DEFINE_FAILPOINT(kFailpointEngineRefit, "engine.refit")
+/// Fault-injection site: InsertFact fails before buffering the value.
+F2DB_DEFINE_FAILPOINT(kFailpointEngineInsert, "engine.insert")
+/// Fault-injection site: LoadCatalog fails while decoding a model row (the
+/// whole load must abort and leave the previous state published).
+F2DB_DEFINE_FAILPOINT(kFailpointCatalogDecode, "engine.catalog_decode")
+
 /// Engine tuning knobs. Immutable once the engine is constructed — live
 /// mutation would race with the concurrent query path.
 struct EngineOptions {
@@ -67,7 +79,32 @@ struct EngineOptions {
   /// configuration load, per-advance incremental model updates).
   /// 1 = serial, 0 = ThreadPool::DefaultConcurrency().
   std::size_t maintenance_threads = 1;
+  /// After this many consecutive failed re-estimations a node is
+  /// quarantined: queries stop retrying the fit and serve the degradation
+  /// ladder until the next data advance resets the node. 0 = never
+  /// quarantine (every query retries).
+  std::size_t quarantine_after_refit_failures = 3;
+  /// Exponential backoff between refit retries: attempt n is allowed only
+  /// after base * 2^(n-1) seconds have passed since the previous failure.
+  /// 0 = retry immediately on every query (the default; tests and embedded
+  /// single-shot use want deterministic behavior).
+  double refit_retry_backoff_seconds = 0.0;
 };
+
+/// How far down the fallback ladder a forecast had to go. Higher values
+/// are worse; a multi-source answer reports the worst rung that
+/// contributed. See "Failure semantics and the degradation ladder" in
+/// DESIGN.md.
+enum class DegradationLevel {
+  kNone = 0,         ///< Valid or freshly re-estimated model.
+  kStaleModel,       ///< Pre-invalidation model state (refit failed/skipped).
+  kDerivedFallback,  ///< Recomputed through the source's own stored scheme.
+  kNaiveFallback,    ///< Drift model fit on the snapshot's stored history.
+  kUnavailable,      ///< Every rung failed; surfaced as kUnavailable status.
+};
+
+/// Stable display name ("NONE", "STALE_MODEL", ...).
+const char* DegradationLevelName(DegradationLevel level);
 
 /// Counter values exposed for benchmarking (Figure 9(b)). This is a plain
 /// value snapshot; the live counters are relaxed atomics, so the fields
@@ -77,6 +114,16 @@ struct EngineStats {
   std::size_t inserts = 0;
   std::size_t time_advances = 0;
   std::size_t reestimates = 0;
+  /// Lazy re-estimation attempts that returned non-OK.
+  std::size_t refit_failures = 0;
+  /// Nodes that crossed the consecutive-failure threshold and entered
+  /// quarantine (counted once per quarantine episode).
+  std::size_t quarantines = 0;
+  /// Forecast rows served per degradation rung (kNone rows are not
+  /// counted; a row is attributed to the worst rung that contributed).
+  std::size_t degraded_rows_stale = 0;
+  std::size_t degraded_rows_derived = 0;
+  std::size_t degraded_rows_naive = 0;
   double total_query_seconds = 0.0;
   double total_maintenance_seconds = 0.0;
 };
@@ -90,12 +137,31 @@ struct ForecastRow {
   double lower = 0.0;
   double upper = 0.0;
   bool has_interval = false;
+  /// Worst fallback rung that contributed to this row (kNone = full
+  /// fidelity).
+  DegradationLevel degradation = DegradationLevel::kNone;
 };
 
 /// Result of a forecast query.
 struct QueryResult {
   NodeId node = 0;          ///< The graph node the query resolved to.
   std::vector<ForecastRow> rows;
+  /// Worst degradation across the rows; kNone for a full-fidelity answer.
+  DegradationLevel degradation = DegradationLevel::kNone;
+  /// Human-readable cause when degradation != kNone (e.g. which node's
+  /// re-estimation failed and which rung served the answer).
+  std::string degradation_reason;
+};
+
+/// A scheme-derived forecast annotated with the degradation outcome — the
+/// internal currency of the query path, exposed for tests and benches.
+struct DegradedForecast {
+  std::vector<double> values;
+  /// Forecast variances; filled only on the interval query path.
+  std::vector<double> variances;
+  DegradationLevel level = DegradationLevel::kNone;
+  /// Cause of the degradation; empty when level == kNone.
+  std::string reason;
 };
 
 /// Plan description produced by EXPLAIN (Section V: a forecast query is
@@ -215,6 +281,11 @@ class F2dbEngine {
     RelaxedCounter inserts;
     RelaxedCounter time_advances;
     RelaxedCounter reestimates;
+    RelaxedCounter refit_failures;
+    RelaxedCounter quarantines;
+    RelaxedCounter degraded_rows_stale;
+    RelaxedCounter degraded_rows_derived;
+    RelaxedCounter degraded_rows_naive;
     RelaxedAccumulator query_seconds;
     RelaxedAccumulator maintenance_seconds;
   };
@@ -228,28 +299,53 @@ class F2dbEngine {
   void Publish(std::shared_ptr<EngineSnapshot> next) const;
 
   /// Scheme-based forecast against one snapshot (shared by Execute and
-  /// ForecastNode; no stats accounting).
-  Result<std::vector<double>> ForecastInternal(const SnapshotPtr& snapshot,
-                                               NodeId node,
-                                               std::size_t horizon) const;
+  /// ForecastNode; no stats accounting). Bounds-checks `node`, then
+  /// combines the node's stored scheme via CombineScheme. `want_variance`
+  /// additionally fills DegradedForecast::variances (interval path).
+  Result<DegradedForecast> ForecastInternal(const SnapshotPtr& snapshot,
+                                            NodeId node, std::size_t horizon,
+                                            bool want_variance) const;
 
-  /// Interval variant of ForecastInternal.
-  Result<std::vector<ForecastInterval>> ForecastIntervalsInternal(
-      const SnapshotPtr& snapshot, NodeId node, std::size_t horizon,
-      double confidence) const;
+  /// Sums the source forecasts of `node`'s stored scheme and applies the
+  /// derivation weight. The reported level/reason is the worst rung any
+  /// source had to fall to. `depth` limits derived-fallback recursion.
+  Result<DegradedForecast> CombineScheme(const SnapshotPtr& snapshot,
+                                         NodeId node, std::size_t horizon,
+                                         bool want_variance,
+                                         std::size_t depth) const;
 
-  /// Returns a valid (estimated) model for a scheme source. When the
-  /// snapshot's entry is flagged invalid, fits a fresh clone on the
-  /// snapshot's history and offers it for publication (lazy re-estimation,
-  /// copy-on-write) — the returned model always matches `snapshot`'s data.
-  Result<std::shared_ptr<const ForecastModel>> ValidSourceModel(
-      const SnapshotPtr& snapshot, NodeId source) const;
+  /// Produces the forecast of ONE scheme source, degrading through the
+  /// fallback ladder (DESIGN.md, "Failure semantics"):
+  ///   valid model → lazy refit → stale pre-invalidation model →
+  ///   source's own derivation scheme → drift model on stored history →
+  ///   kUnavailable.
+  /// A successful refit is offered copy-on-write (OfferReestimate); a
+  /// failed one is recorded copy-on-write (OfferRefitFailure) and may
+  /// quarantine the node.
+  Result<DegradedForecast> ForecastSource(const SnapshotPtr& snapshot,
+                                          NodeId source, std::size_t horizon,
+                                          bool want_variance,
+                                          std::size_t depth) const;
+
+  /// Whether a refit of `live` may be attempted now (not quarantined and
+  /// outside the exponential backoff window).
+  bool RefitAllowed(const LiveModel& live) const;
 
   /// Publishes a re-estimated model entry unless maintenance has replaced
   /// the entry since `expected` was read (then the refit is discarded).
   void OfferReestimate(NodeId node,
                        const std::shared_ptr<const LiveModel>& expected,
                        std::shared_ptr<const LiveModel> fresh) const;
+
+  /// Records a failed re-estimation attempt copy-on-write: bumps the
+  /// entry's consecutive-failure count, stamps the attempt time, and
+  /// quarantines the node once the threshold is crossed. Identity-checked
+  /// like OfferReestimate.
+  void OfferRefitFailure(NodeId node,
+                         const std::shared_ptr<const LiveModel>& expected) const;
+
+  /// Attributes `rows` forecast rows to the stats counter of `level`.
+  void CountDegradedRows(DegradationLevel level, std::size_t rows) const;
 
   /// Applies every complete buffered batch at the current frontier and
   /// publishes one successor snapshot. Caller holds writer_mutex_.
@@ -260,6 +356,10 @@ class F2dbEngine {
 
   const EngineOptions options_;
   mutable StatsCounters stats_;
+
+  /// Engine-relative clock for the refit retry backoff (LiveModel stamps
+  /// last_refit_attempt_seconds against this watch).
+  const StopWatch uptime_;
 
   /// The published state; queries load it, maintenance (and the install
   /// step of query-side re-estimation) stores it.

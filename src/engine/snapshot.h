@@ -39,6 +39,20 @@ struct LiveModel {
   bool invalid = false;
   /// Incremental updates since the last parameter estimation.
   std::size_t updates_since_estimate = 0;
+
+  // ---- re-estimation failure bookkeeping (published copy-on-write like
+  // every other field; see "Failure semantics" in DESIGN.md) ----
+
+  /// Consecutive failed lazy re-estimation attempts since the last success
+  /// or data advance.
+  std::size_t refit_failures = 0;
+  /// Set once refit_failures reaches the engine's quarantine threshold:
+  /// queries stop retrying the fit and serve the degradation ladder until
+  /// the next data advance resets the entry.
+  bool quarantined = false;
+  /// Engine-uptime seconds of the most recent failed refit attempt — the
+  /// reference point for the retry backoff window.
+  double last_refit_attempt_seconds = 0.0;
 };
 
 /// The complete immutable engine state at one point in time.

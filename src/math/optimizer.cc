@@ -33,6 +33,12 @@ OptimizationResult NelderMead(const Objective& objective,
                               const OptimizerOptions& options) {
   const std::size_t d = x0.size();
   OptimizationResult result;
+  if (failpoint::Triggered(kFailpointOptimizerConverge)) {
+    result.x = x0;
+    result.value = std::numeric_limits<double>::infinity();
+    result.converged = false;
+    return result;
+  }
   if (d == 0) {
     result.x = x0;
     result.value = objective(x0);

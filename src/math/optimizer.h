@@ -13,9 +13,16 @@
 #include <functional>
 #include <vector>
 
+#include "common/failpoint.h"
 #include "common/rng.h"
 
 namespace f2db {
+
+/// Fault-injection site: NelderMead abandons the search immediately and
+/// reports a non-converged result with an infinite objective — the shape a
+/// genuinely degenerate objective produces. Model fitters translate it into
+/// a kUnavailable Fit failure.
+F2DB_DEFINE_FAILPOINT(kFailpointOptimizerConverge, "math.optimizer_converge")
 
 /// A scalar objective over a parameter vector; lower is better.
 using Objective = std::function<double(const std::vector<double>&)>;

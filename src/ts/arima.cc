@@ -119,9 +119,13 @@ double ArimaModel::ConditionalSse(const std::vector<double>& z,
 }
 
 Status ArimaModel::Fit(const TimeSeries& history) {
+  F2DB_INJECT_FAILPOINT(kFailpointArimaFit);
   if ((order_.sp > 0 || order_.sq > 0 || order_.sd > 0) && order_.season < 2) {
     return Status::InvalidArgument("ARIMA: seasonal orders require season >= 2");
   }
+  // A single NaN/Inf observation poisons the CSS recursion and every
+  // forecast downstream; reject it up front instead of fitting garbage.
+  F2DB_RETURN_IF_ERROR(history.ValidateFinite());
   raw_ = history.values();
   const std::vector<double> w = Difference(raw_);
   const std::size_t ar_len = order_.p + order_.sp * order_.season;
@@ -169,6 +173,12 @@ Status ArimaModel::Fit(const TimeSeries& history) {
     options.tolerance = 1e-9;
     const std::vector<double> x0(dim, 0.0);
     const OptimizationResult best = NelderMead(objective, x0, Bounds{}, options);
+    // Same contract as the ETS fitter: a search that never reached a finite
+    // objective is a transient estimation failure, not a usable model.
+    if (!(best.value < std::numeric_limits<double>::max())) {
+      return Status::Unavailable(
+          "ARIMA: optimizer did not reach a finite objective");
+    }
     apply(best.x);
   }
 

@@ -14,9 +14,15 @@
 #include <memory>
 #include <vector>
 
+#include "common/failpoint.h"
 #include "ts/model.h"
 
 namespace f2db {
+
+/// Fault-injection site: ArimaModel::Fit fails with kUnavailable before
+/// touching any state (used to exercise the engine's re-estimation
+/// fallback ladder).
+F2DB_DEFINE_FAILPOINT(kFailpointArimaFit, "ts.arima_fit")
 
 /// Orders of a seasonal ARIMA model.
 struct ArimaOrder {

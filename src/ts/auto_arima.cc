@@ -52,6 +52,9 @@ Result<AutoArimaResult> AutoArima(const TimeSeries& history,
   if (history.size() < 16) {
     return Status::InvalidArgument("AutoArima: series too short");
   }
+  // Non-finite observations would corrupt the differencing heuristics and
+  // every candidate fit; reject them before the grid search starts.
+  F2DB_RETURN_IF_ERROR(history.ValidateFinite());
 
   // Differencing orders by heuristic (AIC values are not comparable across
   // different differencing, so these are fixed before the grid search).

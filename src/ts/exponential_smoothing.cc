@@ -226,6 +226,7 @@ double ExponentialSmoothingModel::Step(State& state, double y, double alpha,
 }
 
 Status ExponentialSmoothingModel::Fit(const TimeSeries& history) {
+  F2DB_INJECT_FAILPOINT(kFailpointEtsFit);
   State init;
   F2DB_RETURN_IF_ERROR(InitializeState(history, init));
 
@@ -302,6 +303,15 @@ Status ExponentialSmoothingModel::Fit(const TimeSeries& history) {
     }
   }
 
+  // Optimizer non-convergence is an expected (transient) event, not a
+  // programmer error: every objective value was non-finite (or the search
+  // was aborted by the math.optimizer_converge failpoint). Surfacing
+  // kUnavailable lets the engine degrade through its fallback ladder
+  // instead of installing a model with garbage parameters.
+  if (!(best.value < std::numeric_limits<double>::max())) {
+    return Status::Unavailable(
+        "ETS: optimizer did not reach a finite objective");
+  }
   unpack(best.x, alpha_, beta_, gamma_, phi_);
   if (!spec_.damped) phi_ = 1.0;
 

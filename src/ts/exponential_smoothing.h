@@ -15,9 +15,15 @@
 #include <memory>
 #include <vector>
 
+#include "common/failpoint.h"
 #include "ts/model.h"
 
 namespace f2db {
+
+/// Fault-injection site: ExponentialSmoothingModel::Fit fails with
+/// kUnavailable before touching any state (used to exercise the engine's
+/// re-estimation fallback ladder).
+F2DB_DEFINE_FAILPOINT(kFailpointEtsFit, "ts.ets_fit")
 
 /// Structural configuration of an exponential smoothing model.
 struct EtsSpec {

@@ -2,9 +2,29 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cmath>
 #include <sstream>
 
 namespace f2db {
+
+Result<TimeSeries> TimeSeries::Create(std::vector<double> values,
+                                      std::int64_t start_time) {
+  TimeSeries out(std::move(values), start_time);
+  F2DB_RETURN_IF_ERROR(out.ValidateFinite());
+  return out;
+}
+
+Status TimeSeries::ValidateFinite() const {
+  for (std::size_t i = 0; i < values_.size(); ++i) {
+    if (!std::isfinite(values_[i])) {
+      return Status::InvalidArgument(
+          "non-finite observation at index " + std::to_string(i) +
+          " (time " + std::to_string(start_time_ + static_cast<std::int64_t>(i)) +
+          ")");
+    }
+  }
+  return Status::OK();
+}
 
 double TimeSeries::Sum() const {
   double sum = 0.0;

@@ -28,6 +28,17 @@ class TimeSeries {
   explicit TimeSeries(std::vector<double> values, std::int64_t start_time = 0)
       : start_time_(start_time), values_(std::move(values)) {}
 
+  /// Validated construction: rejects NaN/Inf observations with a clear
+  /// InvalidArgument naming the offending index. Ingestion boundaries
+  /// (engine inserts, CSV loads) go through this; internal trusted code may
+  /// keep using the unchecked constructor.
+  static Result<TimeSeries> Create(std::vector<double> values,
+                                   std::int64_t start_time = 0);
+
+  /// OK when every observation is finite; InvalidArgument naming the first
+  /// non-finite index otherwise.
+  Status ValidateFinite() const;
+
   /// Number of observations.
   std::size_t size() const { return values_.size(); }
   bool empty() const { return values_.empty(); }

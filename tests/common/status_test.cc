@@ -25,6 +25,7 @@ TEST(Status, FactoryFunctionsSetCodeAndMessage) {
             StatusCode::kFailedPrecondition);
   EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
   EXPECT_EQ(Status::Unimplemented("x").code(), StatusCode::kUnimplemented);
+  EXPECT_EQ(Status::Unavailable("x").code(), StatusCode::kUnavailable);
   EXPECT_EQ(Status::NotFound("thing").message(), "thing");
 }
 
@@ -38,6 +39,7 @@ TEST(Status, StatusCodeNameCoversAllCodes) {
   EXPECT_STREQ(StatusCodeName(StatusCode::kOk), "OK");
   EXPECT_STREQ(StatusCodeName(StatusCode::kInternal), "INTERNAL");
   EXPECT_STREQ(StatusCodeName(StatusCode::kUnimplemented), "UNIMPLEMENTED");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kUnavailable), "UNAVAILABLE");
 }
 
 TEST(Result, HoldsValue) {

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 #include "common/rng.h"
 #include "data/sarima_generator.h"
@@ -142,6 +143,17 @@ TEST(Arima, RejectsSeasonalOrdersWithoutSeason) {
   ArimaModel model(order);
   EXPECT_FALSE(
       model.Fit(TimeSeries(std::vector<double>(100, 1.0))).ok());
+}
+
+TEST(Arima, RejectsNonFiniteHistory) {
+  // A single NaN would silently poison the CSS recursion; Fit must reject
+  // the series up front instead of estimating garbage coefficients.
+  std::vector<double> values(100, 1.0);
+  values[40] = std::numeric_limits<double>::quiet_NaN();
+  ArimaModel model(ArimaOrder{});
+  const Status status = model.Fit(TimeSeries(values));
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_FALSE(model.is_fitted());
 }
 
 TEST(Arima, UpdateAdvancesForecastOrigin) {

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 namespace f2db {
 namespace {
 
@@ -101,6 +103,32 @@ TEST(TimeSeries, AddInPlace) {
 TEST(TimeSeries, ToStringTruncatesLongSeries) {
   TimeSeries ts(std::vector<double>(20, 1.0), 0);
   EXPECT_NE(ts.ToString().find("..."), std::string::npos);
+}
+
+TEST(TimeSeries, CreateAcceptsFiniteValues) {
+  auto ts = TimeSeries::Create({1.0, -2.5, 0.0}, 5);
+  ASSERT_TRUE(ts.ok());
+  EXPECT_EQ(ts.value().size(), 3u);
+  EXPECT_EQ(ts.value().start_time(), 5);
+}
+
+TEST(TimeSeries, CreateRejectsNonFiniteValues) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  auto with_nan = TimeSeries::Create({1.0, nan, 3.0});
+  ASSERT_FALSE(with_nan.ok());
+  EXPECT_EQ(with_nan.status().code(), StatusCode::kInvalidArgument);
+  // The error names the offending index.
+  EXPECT_NE(with_nan.status().message().find("index 1"), std::string::npos);
+  EXPECT_FALSE(TimeSeries::Create({inf}).ok());
+  EXPECT_FALSE(TimeSeries::Create({-inf, 0.0}).ok());
+}
+
+TEST(TimeSeries, ValidateFiniteFlagsPoisonedSeries) {
+  TimeSeries clean({1.0, 2.0}, 0);
+  EXPECT_TRUE(clean.ValidateFinite().ok());
+  TimeSeries dirty({1.0, std::numeric_limits<double>::quiet_NaN()}, 0);
+  EXPECT_EQ(dirty.ValidateFinite().code(), StatusCode::kInvalidArgument);
 }
 
 }  // namespace
