@@ -1,0 +1,200 @@
+// Networked serving-layer throughput and tail latency over loopback TCP.
+//
+// Boots the Tourism demo cube behind an in-process F2dbServer (real epoll
+// event loop, real sockets) and drives it with 1, 8, and 64 persistent
+// client connections, each issuing the same GROUP BY time forecast query
+// through the blocking client library. Reports aggregate QPS plus p50 and
+// p99 request latency per connection count — the serving-path numbers the
+// engine-level bench_concurrent_queries deliberately excludes (framing,
+// syscalls, admission control, response rendering).
+//
+// Expected shape: p50 in the hundreds of microseconds at 1 connection;
+// QPS grows with connections until the worker pool saturates, and p99
+// then grows with queueing delay while shed_requests stays 0 (the
+// admission limit is set above the offered concurrency).
+//
+// Usage: bench_server_throughput [json_output_path]
+//   With a path argument, also writes the table as a JSON baseline
+//   (see BENCH_server.json at the repo root).
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "server/client.h"
+#include "server/server.h"
+
+namespace f2db::bench {
+namespace {
+
+constexpr double kSecondsPerPoint = 2.0;
+constexpr char kQueryText[] =
+    "SELECT time, SUM(visitors) FROM facts GROUP BY time AS OF now() + '1'";
+
+struct ServerPoint {
+  std::size_t connections = 0;
+  std::size_t requests = 0;
+  std::size_t errors = 0;
+  double seconds = 0.0;
+  double qps = 0.0;
+  double p50_micros = 0.0;
+  double p99_micros = 0.0;
+};
+
+double Percentile(std::vector<double>& sorted_micros, double q) {
+  if (sorted_micros.empty()) return 0.0;
+  const auto rank = static_cast<std::size_t>(
+      q * static_cast<double>(sorted_micros.size() - 1));
+  return sorted_micros[rank];
+}
+
+ServerPoint RunPoint(const F2dbServer& server, std::size_t connections) {
+  std::atomic<bool> stop{false};
+  std::atomic<std::size_t> errors{0};
+  std::vector<std::vector<double>> latencies(connections);
+  std::vector<std::thread> clients;
+  clients.reserve(connections);
+
+  const auto begin = std::chrono::steady_clock::now();
+  for (std::size_t c = 0; c < connections; ++c) {
+    clients.emplace_back([&, c] {
+      auto client = F2dbClient::Connect("127.0.0.1", server.port());
+      if (!client.ok()) {
+        errors.fetch_add(1, std::memory_order_relaxed);
+        return;
+      }
+      while (!stop.load(std::memory_order_relaxed)) {
+        const auto sent = std::chrono::steady_clock::now();
+        auto response = client.value().Query(kQueryText);
+        const auto received = std::chrono::steady_clock::now();
+        if (!response.ok() ||
+            response.value().status != StatusCode::kOk) {
+          errors.fetch_add(1, std::memory_order_relaxed);
+          continue;
+        }
+        latencies[c].push_back(
+            std::chrono::duration<double, std::micro>(received - sent)
+                .count());
+      }
+    });
+  }
+  std::this_thread::sleep_for(
+      std::chrono::duration<double>(kSecondsPerPoint));
+  stop = true;
+  for (auto& t : clients) t.join();
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - begin)
+          .count();
+
+  std::vector<double> merged;
+  for (const auto& local : latencies) {
+    merged.insert(merged.end(), local.begin(), local.end());
+  }
+  std::sort(merged.begin(), merged.end());
+
+  ServerPoint point;
+  point.connections = connections;
+  point.requests = merged.size();
+  point.errors = errors.load();
+  point.seconds = seconds;
+  point.qps = seconds > 0 ? static_cast<double>(merged.size()) / seconds : 0;
+  point.p50_micros = Percentile(merged, 0.50);
+  point.p99_micros = Percentile(merged, 0.99);
+  return point;
+}
+
+void WriteJsonBaseline(const char* path,
+                       const std::vector<ServerPoint>& points,
+                       const ServerStats& stats) {
+  std::FILE* out = std::fopen(path, "w");
+  if (out == nullptr) {
+    std::printf("# could not write %s\n", path);
+    return;
+  }
+  std::fprintf(out, "{\n  \"bench\": \"bench_server_throughput\",\n");
+  std::fprintf(out, "  \"query\": \"%s\",\n", kQueryText);
+  std::fprintf(out, "  \"seconds_per_point\": %.1f,\n", kSecondsPerPoint);
+  std::fprintf(out, "  \"hardware_concurrency\": %u,\n",
+               std::thread::hardware_concurrency());
+  std::fprintf(out, "  \"requests_shed\": %zu,\n", stats.requests_shed);
+  std::fprintf(out, "  \"points\": [\n");
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const ServerPoint& p = points[i];
+    std::fprintf(out,
+                 "    {\"connections\": %zu, \"requests\": %zu, "
+                 "\"errors\": %zu, \"qps\": %.0f, \"p50_micros\": %.1f, "
+                 "\"p99_micros\": %.1f}%s\n",
+                 p.connections, p.requests, p.errors, p.qps, p.p50_micros,
+                 p.p99_micros, i + 1 < points.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]\n}\n");
+  std::fclose(out);
+  std::printf("# baseline written to %s\n", path);
+}
+
+}  // namespace
+}  // namespace f2db::bench
+
+int main(int argc, char** argv) {
+  using namespace f2db::bench;
+  PrintHeader("server throughput", "serving layer, not in paper",
+              "connections,requests,errors,seconds,qps,p50_micros,p99_micros");
+
+  auto data = f2db::MakeTourism();
+  if (!data.ok()) {
+    std::printf("data generation failed: %s\n",
+                data.status().ToString().c_str());
+    return 1;
+  }
+  f2db::ConfigurationEvaluator evaluator(data.value().graph, 0.8);
+  f2db::ModelFactory factory(f2db::ModelSpec::TripleExponentialSmoothing(
+      data.value().season));
+  f2db::AdvisorBuilder advisor(BenchAdvisorOptions());
+  auto built = advisor.Build(evaluator, factory);
+  if (!built.ok()) {
+    std::printf("advisor failed: %s\n", built.status().ToString().c_str());
+    return 1;
+  }
+
+  auto engine_data = f2db::MakeTourism();
+  f2db::F2dbEngine engine(std::move(engine_data.value().graph));
+  if (!engine.LoadConfiguration(built.value().configuration, evaluator)
+           .ok()) {
+    std::printf("engine load failed\n");
+    return 1;
+  }
+
+  f2db::ServerOptions options;
+  options.worker_threads = 4;
+  options.admission_queue_limit = 256;  // above the offered concurrency
+  f2db::F2dbServer server(engine, options);
+  const f2db::Status started = server.Start();
+  if (!started.ok()) {
+    std::printf("server start failed: %s\n", started.ToString().c_str());
+    return 1;
+  }
+
+  std::printf("# hardware_concurrency=%u port=%u workers=%zu\n",
+              std::thread::hardware_concurrency(), server.port(),
+              options.worker_threads);
+  std::vector<ServerPoint> points;
+  for (const std::size_t connections : {1u, 8u, 64u}) {
+    const ServerPoint point = RunPoint(server, connections);
+    points.push_back(point);
+    std::printf("%zu,%zu,%zu,%.3f,%.0f,%.1f,%.1f\n", point.connections,
+                point.requests, point.errors, point.seconds, point.qps,
+                point.p50_micros, point.p99_micros);
+  }
+  const f2db::ServerStats stats = server.stats();
+  std::printf("# shed=%zu protocol_errors=%zu accepted=%zu\n",
+              stats.requests_shed, stats.protocol_errors,
+              stats.connections_accepted);
+  if (argc > 1) WriteJsonBaseline(argv[1], points, stats);
+  server.Shutdown();
+  return 0;
+}

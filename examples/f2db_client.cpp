@@ -1,0 +1,87 @@
+// Command-line client for a running f2db_server.
+//
+//   build/examples/f2db_client [host [port]]     # default 127.0.0.1:2113
+//
+// Reads statements from stdin, one per line, and prints the response body
+// plus the status / degradation annotations carried in the response
+// header. Lines starting with '\' are client commands:
+//
+//   \ping    liveness round trip
+//   \stats   Prometheus text from the STATS frame
+//   \quit    exit
+//
+// Everything else is sent as a QUERY frame, except lines starting with
+// INSERT which use the INSERT frame.
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "server/client.h"
+
+namespace {
+
+const char* DegradationName(f2db::DegradationLevel level) {
+  switch (level) {
+    case f2db::DegradationLevel::kNone: return "NONE";
+    case f2db::DegradationLevel::kStaleModel: return "STALE_MODEL";
+    case f2db::DegradationLevel::kDerivedFallback: return "DERIVED_FALLBACK";
+    case f2db::DegradationLevel::kNaiveFallback: return "NAIVE_FALLBACK";
+    case f2db::DegradationLevel::kUnavailable: return "UNAVAILABLE";
+  }
+  return "?";
+}
+
+void PrintResponse(const f2db::Result<f2db::WireResponse>& response) {
+  if (!response.ok()) {
+    std::printf("transport error: %s\n",
+                response.status().ToString().c_str());
+    return;
+  }
+  const f2db::WireResponse& r = response.value();
+  if (r.status != f2db::StatusCode::kOk) {
+    std::printf("[%s] %s\n", f2db::StatusCodeName(r.status), r.body.c_str());
+    return;
+  }
+  if (r.degradation != f2db::DegradationLevel::kNone) {
+    std::printf("[degraded: %s]\n", DegradationName(r.degradation));
+  }
+  std::printf("%s", r.body.c_str());
+  if (!r.body.empty() && r.body.back() != '\n') std::printf("\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* host = argc > 1 ? argv[1] : "127.0.0.1";
+  const std::uint16_t port =
+      argc > 2 ? static_cast<std::uint16_t>(std::atoi(argv[2])) : 2113;
+
+  auto client = f2db::F2dbClient::Connect(host, port);
+  if (!client.ok()) {
+    std::fprintf(stderr, "connect failed: %s\n",
+                 client.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("connected to %s:%u — \\ping \\stats \\quit\n", host, port);
+
+  std::string line;
+  for (;;) {
+    std::printf("f2db> ");
+    std::fflush(stdout);
+    if (!std::getline(std::cin, line)) break;
+    if (line.empty()) continue;
+    if (line == "\\quit" || line == "\\q") break;
+    if (line == "\\ping") {
+      PrintResponse(client.value().Ping());
+    } else if (line == "\\stats") {
+      PrintResponse(client.value().Stats());
+    } else if (line.rfind("INSERT", 0) == 0 || line.rfind("insert", 0) == 0) {
+      PrintResponse(client.value().Insert(line));
+    } else {
+      PrintResponse(client.value().Query(line));
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Standalone F2DB server.
+//
+// Boots the Tourism demo cube, advises a configuration, and serves the
+// statement dialect over TCP until SIGTERM/SIGINT (graceful drain):
+//
+//   build/examples/f2db_serve [port]         # default 2113, 0 = ephemeral
+//
+// Talk to it with build/examples/f2db_client, or any client that speaks
+// the length-prefixed wire protocol (see DESIGN.md §8).
+
+#include <signal.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <thread>
+
+#include "baselines/advisor_builder.h"
+#include "data/datasets.h"
+#include "engine/engine.h"
+#include "server/server.h"
+
+int main(int argc, char** argv) {
+  using namespace f2db;
+
+  std::uint16_t port = 2113;
+  if (argc > 1) port = static_cast<std::uint16_t>(std::atoi(argv[1]));
+
+  auto data = MakeTourism();
+  if (!data.ok()) {
+    std::fprintf(stderr, "%s\n", data.status().ToString().c_str());
+    return 1;
+  }
+  ConfigurationEvaluator evaluator(data.value().graph, 0.8);
+  ModelFactory factory(
+      ModelSpec::TripleExponentialSmoothing(data.value().season));
+  AdvisorOptions advisor_options;
+  advisor_options.models_per_iteration = 8;
+  AdvisorBuilder advisor(advisor_options);
+  auto built = advisor.Build(evaluator, factory);
+  if (!built.ok()) {
+    std::fprintf(stderr, "%s\n", built.status().ToString().c_str());
+    return 1;
+  }
+
+  auto engine_data = MakeTourism();
+  F2dbEngine engine(std::move(engine_data.value().graph));
+  if (!engine.LoadConfiguration(built.value().configuration, evaluator).ok()) {
+    std::fprintf(stderr, "engine load failed\n");
+    return 1;
+  }
+
+  ServerOptions options;
+  options.port = port;
+  F2dbServer server(engine, options);
+  const Status started = server.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "server start failed: %s\n",
+                 started.ToString().c_str());
+    return 1;
+  }
+  if (!F2dbServer::InstallSigtermShutdown(&server).ok()) {
+    std::fprintf(stderr, "could not install SIGTERM handler\n");
+    return 1;
+  }
+  ::signal(SIGINT, [](int) { ::raise(SIGTERM); });
+
+  std::printf("f2db_serve: tourism cube (%zu models) on 127.0.0.1:%u — "
+              "SIGTERM drains and exits\n",
+              engine.num_models(), server.port());
+  while (server.running()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  server.Shutdown();
+  std::printf("f2db_serve: drained, bye\n");
+  return 0;
+}

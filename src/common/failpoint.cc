@@ -222,6 +222,16 @@ std::string InitFromEnv() {
   if (spec == nullptr || spec[0] == '\0') return "";
   const Status status = EnableFromSpec(spec);
   if (!status.ok()) {
+    // A silently ignored spec means a fault-injection test run that tests
+    // nothing. Under F2DB_FAILPOINTS_STRICT=1 that is fatal; otherwise the
+    // legacy behavior (warn and run un-injected) is kept for benches.
+    const char* strict = std::getenv("F2DB_FAILPOINTS_STRICT");
+    if (strict != nullptr && strict[0] == '1') {
+      std::fprintf(stderr,
+                   "F2DB_FAILPOINTS malformed (strict mode, aborting): %s\n",
+                   status.ToString().c_str());
+      std::abort();
+    }
     std::fprintf(stderr, "F2DB_FAILPOINTS ignored: %s\n",
                  status.ToString().c_str());
     return "";

@@ -114,8 +114,10 @@ bool Triggered(const char* site);
 Status EnableFromSpec(const std::string& spec);
 
 /// Applies the F2DB_FAILPOINTS environment variable via EnableFromSpec
-/// (no-op when unset). Returns the applied spec, empty when none; a
-/// malformed spec is reported on stderr and ignored.
+/// (no-op when unset). Returns the applied spec, empty when none. A
+/// malformed spec is reported on stderr and ignored — unless
+/// F2DB_FAILPOINTS_STRICT=1 is also set, in which case the process aborts
+/// so a test run can never silently proceed with fault injection disabled.
 std::string InitFromEnv();
 
 /// Builds the Status an armed site injects: kUnavailable with the site name

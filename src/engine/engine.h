@@ -126,6 +126,10 @@ struct EngineStats {
   std::size_t degraded_rows_naive = 0;
   double total_query_seconds = 0.0;
   double total_maintenance_seconds = 0.0;
+
+  /// Renders the counters in the Prometheus text exposition format (see
+  /// engine/stats_export.h); served by the network layer's STATS frame.
+  std::string ToPrometheusText() const;
 };
 
 /// One output row of a forecast query.

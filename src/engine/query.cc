@@ -8,6 +8,19 @@
 namespace f2db {
 namespace {
 
+/// Untrusted-input guards: the parser fronts the network serving layer, so
+/// a hostile statement must fail with a Status before it can cost memory.
+/// kMaxStatementBytes bounds lexing work; kMaxHorizon bounds the forecast
+/// buffers a single query may request downstream.
+constexpr std::size_t kMaxStatementBytes = 64 * 1024;
+constexpr std::size_t kMaxHorizon = 100000;
+
+Status StatementTooLarge(std::size_t size) {
+  return Status::InvalidArgument(
+      "statement of " + std::to_string(size) + " bytes exceeds the " +
+      std::to_string(kMaxStatementBytes) + "-byte limit");
+}
+
 enum class TokenKind { kIdent, kString, kNumber, kSymbol, kEnd };
 
 struct Token {
@@ -68,8 +81,17 @@ class Lexer {
         ++pos;
         continue;
       }
-      return Status::InvalidArgument(std::string("unexpected character '") +
-                                     c + "' in query");
+      // Render control bytes (embedded NUL, raw binary) as a code point so
+      // the error message itself stays printable text.
+      if (std::isprint(static_cast<unsigned char>(c))) {
+        return Status::InvalidArgument(std::string("unexpected character '") +
+                                       c + "' in query");
+      }
+      const auto byte = static_cast<unsigned char>(c);
+      return Status::InvalidArgument(
+          "unexpected non-printable byte 0x" +
+          std::string(1, "0123456789abcdef"[byte >> 4]) +
+          std::string(1, "0123456789abcdef"[byte & 0xf]) + " in query");
     }
     out.push_back({TokenKind::kEnd, ""});
     return out;
@@ -280,6 +302,11 @@ class Parser {
     if (value <= 0) {
       return Status::InvalidArgument("forecast horizon must be positive");
     }
+    if (static_cast<std::size_t>(value) > kMaxHorizon) {
+      return Status::InvalidArgument(
+          "forecast horizon " + std::to_string(value) + " exceeds the " +
+          std::to_string(kMaxHorizon) + "-period limit");
+    }
     return static_cast<std::size_t>(value);
   }
 
@@ -309,6 +336,7 @@ std::string ForecastQuery::ToString() const {
 }
 
 Result<ForecastQuery> ParseForecastQuery(const std::string& sql) {
+  if (sql.size() > kMaxStatementBytes) return StatementTooLarge(sql.size());
   Lexer lexer(sql);
   F2DB_ASSIGN_OR_RETURN(std::vector<Token> tokens, lexer.Tokenize());
   Parser parser(std::move(tokens));
@@ -316,6 +344,7 @@ Result<ForecastQuery> ParseForecastQuery(const std::string& sql) {
 }
 
 Result<Statement> ParseStatement(const std::string& sql) {
+  if (sql.size() > kMaxStatementBytes) return StatementTooLarge(sql.size());
   Lexer lexer(sql);
   F2DB_ASSIGN_OR_RETURN(std::vector<Token> tokens, lexer.Tokenize());
   Parser parser(std::move(tokens));

@@ -52,6 +52,9 @@ struct ForecastQuery {
 
 /// Parses the SQL-ish forecast query dialect above. Keywords are
 /// case-insensitive; identifiers and quoted values are case-sensitive.
+/// Hardened for untrusted (network) input: statements over 64 KiB,
+/// horizons over 100000 periods, and non-printable bytes are rejected
+/// with kInvalidArgument — the parser never throws or crashes.
 Result<ForecastQuery> ParseForecastQuery(const std::string& sql);
 
 /// An insert of one new fact:

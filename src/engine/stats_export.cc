@@ -1,0 +1,124 @@
+#include "engine/stats_export.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "engine/engine.h"
+
+namespace f2db {
+namespace {
+
+/// Renders a double the way Prometheus expects: integers without a
+/// fractional part, everything else with enough digits to round-trip.
+std::string RenderValue(double value) {
+  if (std::floor(value) == value && std::abs(value) < 1e15) {
+    char buffer[32];
+    std::snprintf(buffer, sizeof(buffer), "%.0f", value);
+    return buffer;
+  }
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  return buffer;
+}
+
+void AppendFamilyHeader(std::string* out, std::string_view name,
+                        std::string_view help, std::string_view type) {
+  out->append("# HELP ").append(name).append(" ");
+  out->append(PrometheusEscapeHelp(help)).append("\n");
+  out->append("# TYPE ").append(name).append(" ").append(type).append("\n");
+}
+
+}  // namespace
+
+std::string PrometheusEscapeHelp(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::string PrometheusEscapeLabelValue(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '"') {
+      out += "\\\"";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+void AppendPrometheusCounter(std::string* out, std::string_view name,
+                             std::string_view help, double value) {
+  AppendFamilyHeader(out, name, help, "counter");
+  out->append(name).append(" ").append(RenderValue(value)).append("\n");
+}
+
+void AppendPrometheusGauge(std::string* out, std::string_view name,
+                           std::string_view help, double value) {
+  AppendFamilyHeader(out, name, help, "gauge");
+  out->append(name).append(" ").append(RenderValue(value)).append("\n");
+}
+
+std::string EngineStats::ToPrometheusText() const {
+  std::string out;
+  out.reserve(2048);
+  AppendPrometheusCounter(&out, "f2db_queries_total",
+                          "Forecast queries served.",
+                          static_cast<double>(queries));
+  AppendPrometheusCounter(&out, "f2db_inserts_total",
+                          "Facts accepted into the insert buffer.",
+                          static_cast<double>(inserts));
+  AppendPrometheusCounter(&out, "f2db_time_advances_total",
+                          "Batched advances of the cube's time frontier.",
+                          static_cast<double>(time_advances));
+  AppendPrometheusCounter(&out, "f2db_reestimates_total",
+                          "Lazy model re-estimations published.",
+                          static_cast<double>(reestimates));
+  AppendPrometheusCounter(&out, "f2db_refit_failures_total",
+                          "Lazy re-estimation attempts that returned non-OK.",
+                          static_cast<double>(refit_failures));
+  AppendPrometheusCounter(&out, "f2db_quarantines_total",
+                          "Nodes quarantined after consecutive refit failures.",
+                          static_cast<double>(quarantines));
+
+  AppendFamilyHeader(&out, "f2db_degraded_rows_total",
+                     "Forecast rows served per degradation rung.", "counter");
+  const struct {
+    const char* rung;
+    std::size_t count;
+  } rungs[] = {{"stale", degraded_rows_stale},
+               {"derived", degraded_rows_derived},
+               {"naive", degraded_rows_naive}};
+  for (const auto& entry : rungs) {
+    out.append("f2db_degraded_rows_total{rung=\"")
+        .append(PrometheusEscapeLabelValue(entry.rung))
+        .append("\"} ")
+        .append(RenderValue(static_cast<double>(entry.count)))
+        .append("\n");
+  }
+
+  AppendPrometheusCounter(&out, "f2db_query_seconds_total",
+                          "Wall-clock seconds spent in the query layer.",
+                          total_query_seconds);
+  AppendPrometheusCounter(&out, "f2db_maintenance_seconds_total",
+                          "Wall-clock seconds spent in maintenance.",
+                          total_maintenance_seconds);
+  return out;
+}
+
+}  // namespace f2db

@@ -1,0 +1,40 @@
+// Prometheus text exposition for engine counters.
+//
+// EngineStats::ToPrometheusText() (declared on the struct in engine.h,
+// implemented here) renders the engine's monitoring counters in the
+// Prometheus text format, version 0.0.4: one `# HELP` / `# TYPE` pair per
+// metric family, `_total` suffixes on counters, and the degradation-rung
+// breakdown as one family with a `rung` label. The server's STATS frame
+// returns this text so any Prometheus-compatible scraper can consume the
+// serving layer without an adapter.
+//
+// The escape helpers implement the format's two escaping rules and are
+// exposed for reuse (server-side metrics) and direct unit testing:
+//   - HELP text escapes backslash and newline;
+//   - label values additionally escape the double quote.
+
+#ifndef F2DB_ENGINE_STATS_EXPORT_H_
+#define F2DB_ENGINE_STATS_EXPORT_H_
+
+#include <string>
+#include <string_view>
+
+namespace f2db {
+
+/// Escapes `\` and newline for a `# HELP` line.
+std::string PrometheusEscapeHelp(std::string_view text);
+
+/// Escapes `\`, `"`, and newline for a quoted label value.
+std::string PrometheusEscapeLabelValue(std::string_view text);
+
+/// Appends one full counter family: HELP, TYPE, and a sample line.
+void AppendPrometheusCounter(std::string* out, std::string_view name,
+                             std::string_view help, double value);
+
+/// Appends a gauge family (same layout, TYPE gauge).
+void AppendPrometheusGauge(std::string* out, std::string_view name,
+                           std::string_view help, double value);
+
+}  // namespace f2db
+
+#endif  // F2DB_ENGINE_STATS_EXPORT_H_

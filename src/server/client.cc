@@ -1,0 +1,122 @@
+#include "server/client.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <utility>
+
+namespace f2db {
+namespace {
+
+/// Writes all of `data`, retrying on EINTR / short writes.
+Status WriteAll(int fd, const std::string& data) {
+  std::size_t written = 0;
+  while (written < data.size()) {
+    const ssize_t n =
+        ::write(fd, data.data() + written, data.size() - written);
+    if (n > 0) {
+      written += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return Status::Unavailable(std::string("write(): ") + ::strerror(errno));
+  }
+  return Status::OK();
+}
+
+/// Reads exactly `n` bytes into `out`, retrying on EINTR.
+Status ReadExactly(int fd, std::size_t n, std::string* out) {
+  out->resize(n);
+  std::size_t got = 0;
+  while (got < n) {
+    const ssize_t r = ::read(fd, out->data() + got, n - got);
+    if (r > 0) {
+      got += static_cast<std::size_t>(r);
+      continue;
+    }
+    if (r == 0) {
+      return Status::Unavailable("connection closed by server mid-frame");
+    }
+    if (errno == EINTR) continue;
+    return Status::Unavailable(std::string("read(): ") + ::strerror(errno));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<F2dbClient> F2dbClient::Connect(const std::string& host,
+                                       std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    return Status::Internal(std::string("socket(): ") + ::strerror(errno));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument("unparsable host: " + host);
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const Status status =
+        Status::Unavailable(std::string("connect(): ") + ::strerror(errno));
+    ::close(fd);
+    return status;
+  }
+  const int enable = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &enable, sizeof(enable));
+  return F2dbClient(fd);
+}
+
+F2dbClient::F2dbClient(F2dbClient&& other) noexcept : fd_(other.fd_) {
+  other.fd_ = -1;
+}
+
+F2dbClient& F2dbClient::operator=(F2dbClient&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void F2dbClient::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Result<WireResponse> F2dbClient::Call(FrameType type, std::string body) {
+  if (fd_ < 0) {
+    return Status::FailedPrecondition("client is not connected");
+  }
+  WireRequest request;
+  request.type = type;
+  request.body = std::move(body);
+  F2DB_RETURN_IF_ERROR(WriteAll(fd_, EncodeRequest(request)));
+
+  std::string prefix;
+  F2DB_RETURN_IF_ERROR(ReadExactly(fd_, 4, &prefix));
+  const auto b = [&prefix](int i) {
+    return static_cast<std::uint32_t>(static_cast<unsigned char>(prefix[i]));
+  };
+  const std::uint32_t length = b(0) | (b(1) << 8) | (b(2) << 16) | (b(3) << 24);
+  if (length < 3 || length > kMaxFrameBytes) {
+    Close();  // framing is unrecoverable on this stream
+    return Status::Unavailable("response frame length out of range: " +
+                               std::to_string(length));
+  }
+  std::string payload;
+  F2DB_RETURN_IF_ERROR(ReadExactly(fd_, length, &payload));
+  return DecodeResponsePayload(payload);
+}
+
+}  // namespace f2db

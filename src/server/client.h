@@ -1,0 +1,69 @@
+// Blocking C++ client for the f2db wire protocol.
+//
+// One F2dbClient wraps one TCP connection and issues one request at a time:
+// Call() writes a complete frame and blocks until the matching response
+// frame arrives. Transport problems (connect/write/read failures, broken
+// framing) surface as the Result's error Status; an application-level
+// failure (bad SQL, overload shedding, degraded answer) arrives as a
+// successful Result whose WireResponse carries the server's StatusCode and
+// DegradationLevel — the two are deliberately distinct so callers can
+// retry transport errors and inspect serving-status without parsing text.
+//
+// Used by the multi-connection load-generator bench
+// (bench/bench_server_throughput.cc) and the loopback integration tests.
+
+#ifndef F2DB_SERVER_CLIENT_H_
+#define F2DB_SERVER_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+#include "server/wire.h"
+
+namespace f2db {
+
+class F2dbClient {
+ public:
+  /// Connects (blocking) to host:port; IPv4 dotted-quad hosts only.
+  static Result<F2dbClient> Connect(const std::string& host,
+                                    std::uint16_t port);
+
+  F2dbClient() = default;
+  ~F2dbClient() { Close(); }
+
+  F2dbClient(F2dbClient&& other) noexcept;
+  F2dbClient& operator=(F2dbClient&& other) noexcept;
+  F2dbClient(const F2dbClient&) = delete;
+  F2dbClient& operator=(const F2dbClient&) = delete;
+
+  bool connected() const { return fd_ >= 0; }
+
+  /// Closes the connection (idempotent).
+  void Close();
+
+  /// Sends one request frame and blocks for the response frame.
+  Result<WireResponse> Call(FrameType type, std::string body);
+
+  /// SELECT / EXPLAIN SELECT statement over a QUERY frame.
+  Result<WireResponse> Query(const std::string& sql) {
+    return Call(FrameType::kQuery, sql);
+  }
+  /// INSERT statement over an INSERT frame.
+  Result<WireResponse> Insert(const std::string& sql) {
+    return Call(FrameType::kInsert, sql);
+  }
+  /// Prometheus-text engine + server counters.
+  Result<WireResponse> Stats() { return Call(FrameType::kStats, ""); }
+  /// Liveness probe; the response body is "PONG".
+  Result<WireResponse> Ping() { return Call(FrameType::kPing, ""); }
+
+ private:
+  explicit F2dbClient(int fd) : fd_(fd) {}
+
+  int fd_ = -1;
+};
+
+}  // namespace f2db
+
+#endif  // F2DB_SERVER_CLIENT_H_

@@ -1,0 +1,88 @@
+#include "server/connection.h"
+
+#include <errno.h>
+#include <unistd.h>
+
+#include <utility>
+
+namespace f2db {
+
+ServerConnection::ReadOutcome ServerConnection::ReadReady() {
+  ReadOutcome outcome;
+  char buffer[64 * 1024];
+  for (;;) {
+    const ssize_t n = ::read(fd_, buffer, sizeof(buffer));
+    if (n > 0) {
+      const Status fed = decoder_.Feed(buffer, static_cast<std::size_t>(n));
+      if (!fed.ok()) {
+        // Drain whatever was complete before the framing broke, then
+        // report the poison so the server can answer-and-close.
+        while (auto payload = decoder_.Next()) {
+          outcome.payloads.push_back(std::move(*payload));
+        }
+        outcome.framing_error = fed;
+        return outcome;
+      }
+      continue;
+    }
+    if (n == 0) {
+      outcome.closed = true;
+      break;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    if (errno == EINTR) continue;
+    outcome.closed = true;  // fatal socket error: treat like a peer close
+    break;
+  }
+  while (auto payload = decoder_.Next()) {
+    outcome.payloads.push_back(std::move(*payload));
+  }
+  return outcome;
+}
+
+void ServerConnection::EnqueueResponse(std::string encoded) {
+  std::lock_guard<std::mutex> lock(outbox_mutex_);
+  outbox_.push_back(std::move(encoded));
+}
+
+bool ServerConnection::FlushWrites() {
+  {
+    std::lock_guard<std::mutex> lock(outbox_mutex_);
+    for (std::string& frame : outbox_) write_buffer_ += frame;
+    outbox_.clear();
+  }
+  // Compact the consumed prefix before writing more.
+  if (write_offset_ > 0) {
+    write_buffer_.erase(0, write_offset_);
+    write_offset_ = 0;
+  }
+  while (write_offset_ < write_buffer_.size()) {
+    const ssize_t n = ::write(fd_, write_buffer_.data() + write_offset_,
+                              write_buffer_.size() - write_offset_);
+    if (n > 0) {
+      write_offset_ += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return true;
+    if (n < 0 && errno == EINTR) continue;
+    return false;  // EPIPE / ECONNRESET / ...
+  }
+  write_buffer_.clear();
+  write_offset_ = 0;
+  return true;
+}
+
+bool ServerConnection::wants_write() {
+  if (write_offset_ < write_buffer_.size()) return true;
+  std::lock_guard<std::mutex> lock(outbox_mutex_);
+  return !outbox_.empty();
+}
+
+void ServerConnection::CloseFd() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+}  // namespace f2db

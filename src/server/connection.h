@@ -1,0 +1,101 @@
+// Per-socket connection state machine for the f2db server.
+//
+// A ServerConnection is owned by the server's event-loop thread, which
+// performs ALL socket I/O on it: non-blocking reads feed the incremental
+// FrameDecoder, non-blocking writes drain the write buffer. Worker threads
+// never touch the socket — a worker finishing a request appends the encoded
+// response to the connection's mutex-protected outbox and wakes the event
+// loop, which moves the outbox into the write buffer and flushes it.
+//
+// Lifetime: the server's connection table and every in-flight worker task
+// hold a shared_ptr. When the event loop drops a connection (peer close,
+// protocol error, shutdown) it closes the fd and removes the table entry;
+// stragglers still enqueue into the outbox harmlessly and the object is
+// freed when the last worker finishes.
+
+#ifndef F2DB_SERVER_CONNECTION_H_
+#define F2DB_SERVER_CONNECTION_H_
+
+#include <atomic>
+#include <cstddef>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "server/wire.h"
+
+namespace f2db {
+
+class ServerConnection {
+ public:
+  ServerConnection(int fd, std::size_t max_frame_bytes)
+      : fd_(fd), decoder_(max_frame_bytes) {}
+  ~ServerConnection() { CloseFd(); }
+
+  ServerConnection(const ServerConnection&) = delete;
+  ServerConnection& operator=(const ServerConnection&) = delete;
+
+  int fd() const { return fd_; }
+
+  /// Outcome of one readable-event handling pass.
+  struct ReadOutcome {
+    /// Complete frame payloads extracted this pass, in arrival order.
+    std::vector<std::string> payloads;
+    /// Peer closed its end (EOF) or the read hit a fatal socket error.
+    bool closed = false;
+    /// Non-OK when the stream's framing is broken (oversized or
+    /// zero-length frame announcement); the connection must be dropped
+    /// after flushing an error response.
+    Status framing_error;
+  };
+
+  /// Event-loop only: reads until EAGAIN and reassembles frames.
+  ReadOutcome ReadReady();
+
+  /// Worker-safe: queues one encoded response frame for transmission.
+  void EnqueueResponse(std::string encoded);
+
+  /// Event-loop only: moves the outbox into the write buffer and writes
+  /// until EAGAIN or empty. Returns false on a fatal write error.
+  bool FlushWrites();
+
+  /// Unsent bytes remain (EPOLLOUT should be armed).
+  bool wants_write();
+
+  /// Event-loop bookkeeping: whether EPOLLOUT is currently armed.
+  bool epollout_armed = false;
+
+  /// The connection should be closed once the write buffer drains
+  /// (protocol error or server drain).
+  void MarkCloseAfterFlush() { close_after_flush_ = true; }
+  bool close_after_flush() const { return close_after_flush_; }
+
+  /// Requests dispatched to workers but not yet answered.
+  void BeginRequest() { in_flight_.fetch_add(1, std::memory_order_relaxed); }
+  void EndRequest() { in_flight_.fetch_sub(1, std::memory_order_relaxed); }
+  std::size_t in_flight() const {
+    return in_flight_.load(std::memory_order_relaxed);
+  }
+
+  void CloseFd();
+  bool fd_closed() const { return fd_ < 0; }
+
+ private:
+  int fd_;
+  FrameDecoder decoder_;
+
+  std::mutex outbox_mutex_;
+  std::vector<std::string> outbox_;
+
+  /// Write-side state, event-loop only.
+  std::string write_buffer_;
+  std::size_t write_offset_ = 0;
+  bool close_after_flush_ = false;
+
+  std::atomic<std::size_t> in_flight_{0};
+};
+
+}  // namespace f2db
+
+#endif  // F2DB_SERVER_CONNECTION_H_

@@ -1,0 +1,545 @@
+#include "server/server.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <signal.h>
+#include <string.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <utility>
+
+#include "engine/stats_export.h"
+
+namespace f2db {
+namespace {
+
+/// SIGTERM routing target (see InstallSigtermShutdown). Lock-free atomic:
+/// safe to read from the handler.
+std::atomic<F2dbServer*> g_sigterm_server{nullptr};
+
+void SigtermHandler(int /*signo*/) {
+  if (F2dbServer* server = g_sigterm_server.load(std::memory_order_relaxed)) {
+    server->RequestShutdown();
+  }
+}
+
+/// Renders a QUERY result like the interactive shell does, so a client
+/// sees familiar text either way.
+std::string RenderQueryResult(const EngineSnapshot& snapshot,
+                              const QueryResult& result) {
+  std::string out = "-- node: " + snapshot.graph->NodeName(result.node) + "\n";
+  if (result.degradation != DegradationLevel::kNone) {
+    out += "-- degraded: " +
+           std::string(DegradationLevelName(result.degradation)) + " (" +
+           result.degradation_reason + ")\n";
+  }
+  char buffer[160];
+  for (const ForecastRow& row : result.rows) {
+    if (row.has_interval) {
+      std::snprintf(buffer, sizeof(buffer), "%lld | %.4f  [%.4f, %.4f]\n",
+                    static_cast<long long>(row.time), row.value, row.lower,
+                    row.upper);
+    } else {
+      std::snprintf(buffer, sizeof(buffer), "%lld | %.4f\n",
+                    static_cast<long long>(row.time), row.value);
+    }
+    out += buffer;
+  }
+  return out;
+}
+
+std::string RenderExplainResult(const ExplainResult& plan) {
+  std::string out = "Forecast Query Plan\n";
+  out += "  node:    " + plan.node_name + " (#" + std::to_string(plan.node) +
+         ")\n";
+  out += "  horizon: " + std::to_string(plan.horizon) + "\n";
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "  weight:  %.6f\n", plan.weight);
+  out += buffer;
+  out += "  scheme:  from " + std::to_string(plan.sources.size()) +
+         " model(s)\n";
+  for (const std::string& m : plan.source_models) out += "    " + m + "\n";
+  return out;
+}
+
+WireResponse ErrorResponse(FrameType type, const Status& status) {
+  WireResponse response;
+  response.type = type;
+  response.status = status.code();
+  response.body = status.message();
+  return response;
+}
+
+}  // namespace
+
+std::string ServerStats::ToPrometheusText() const {
+  std::string out;
+  out.reserve(1024);
+  AppendPrometheusCounter(&out, "f2db_server_connections_accepted_total",
+                          "Client connections accepted.",
+                          static_cast<double>(connections_accepted));
+  AppendPrometheusCounter(&out, "f2db_server_connections_closed_total",
+                          "Client connections closed (peer or server side).",
+                          static_cast<double>(connections_closed));
+  AppendPrometheusCounter(&out, "f2db_server_connections_refused_total",
+                          "Connections refused at the max_connections cap.",
+                          static_cast<double>(connections_refused));
+  AppendPrometheusCounter(&out, "f2db_server_requests_total",
+                          "Request frames received.",
+                          static_cast<double>(requests_received));
+  AppendPrometheusCounter(&out, "f2db_server_responses_total",
+                          "Response frames queued for transmission.",
+                          static_cast<double>(responses_sent));
+  AppendPrometheusCounter(
+      &out, "f2db_server_requests_shed_total",
+      "Requests answered kUnavailable by admission control.",
+      static_cast<double>(requests_shed));
+  AppendPrometheusCounter(&out, "f2db_server_protocol_errors_total",
+                          "Malformed or oversized frames received.",
+                          static_cast<double>(protocol_errors));
+  AppendPrometheusGauge(&out, "f2db_server_inflight_requests",
+                        "Requests queued or executing right now.",
+                        static_cast<double>(in_flight_requests));
+  return out;
+}
+
+F2dbServer::F2dbServer(F2dbEngine& engine, ServerOptions options)
+    : engine_(engine), options_(std::move(options)) {}
+
+F2dbServer::~F2dbServer() {
+  Shutdown();
+  if (g_sigterm_server.load(std::memory_order_relaxed) == this) {
+    g_sigterm_server.store(nullptr, std::memory_order_relaxed);
+  }
+}
+
+Status F2dbServer::Start() {
+  if (started_) {
+    return Status::FailedPrecondition("server already started");
+  }
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0) {
+    return Status::Internal(std::string("socket(): ") + ::strerror(errno));
+  }
+  const int enable = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &enable, sizeof(enable));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (::inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
+    CloseListenFd();
+    return Status::InvalidArgument("unparsable listen host: " + options_.host);
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    const Status status =
+        Status::Internal(std::string("bind(): ") + ::strerror(errno));
+    CloseListenFd();
+    return status;
+  }
+  if (::listen(listen_fd_, 128) != 0) {
+    const Status status =
+        Status::Internal(std::string("listen(): ") + ::strerror(errno));
+    CloseListenFd();
+    return status;
+  }
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound),
+                    &bound_len) != 0) {
+    const Status status =
+        Status::Internal(std::string("getsockname(): ") + ::strerror(errno));
+    CloseListenFd();
+    return status;
+  }
+  port_ = ntohs(bound.sin_port);
+
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  wake_fd_ = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+  if (epoll_fd_ < 0 || wake_fd_ < 0) {
+    const Status status = Status::Internal("epoll_create1()/eventfd() failed");
+    Shutdown();
+    return status;
+  }
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = listen_fd_;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &ev);
+  ev.data.fd = wake_fd_;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev);
+
+  pool_ = std::make_unique<ThreadPool>(
+      options_.worker_threads > 0 ? options_.worker_threads : 1);
+  started_ = true;
+  loop_running_.store(true, std::memory_order_release);
+  loop_thread_ = std::thread([this] { EventLoop(); });
+  return Status::OK();
+}
+
+void F2dbServer::RequestShutdown() {
+  shutdown_requested_.store(true, std::memory_order_release);
+  Wake();
+}
+
+void F2dbServer::Shutdown() {
+  RequestShutdown();
+  if (loop_thread_.joinable()) loop_thread_.join();
+  // The pool destructor drains queued tasks; connection objects must stay
+  // alive until then (stragglers append to outboxes).
+  pool_.reset();
+  connections_.clear();
+  {
+    std::lock_guard<std::mutex> lock(pending_mutex_);
+    pending_write_.clear();
+  }
+  CloseListenFd();
+  if (epoll_fd_ >= 0) {
+    ::close(epoll_fd_);
+    epoll_fd_ = -1;
+  }
+  if (wake_fd_ >= 0) {
+    ::close(wake_fd_);
+    wake_fd_ = -1;
+  }
+}
+
+ServerStats F2dbServer::stats() const {
+  ServerStats out;
+  out.connections_accepted = stats_.connections_accepted.Load();
+  out.connections_closed = stats_.connections_closed.Load();
+  out.connections_refused = stats_.connections_refused.Load();
+  out.requests_received = stats_.requests_received.Load();
+  out.responses_sent = stats_.responses_sent.Load();
+  out.requests_shed = stats_.requests_shed.Load();
+  out.protocol_errors = stats_.protocol_errors.Load();
+  out.in_flight_requests = in_flight_.load(std::memory_order_relaxed);
+  return out;
+}
+
+std::string F2dbServer::StatsPrometheusText() const {
+  return engine_.stats().ToPrometheusText() + stats().ToPrometheusText();
+}
+
+Status F2dbServer::InstallSigtermShutdown(F2dbServer* server) {
+  g_sigterm_server.store(server, std::memory_order_relaxed);
+  struct sigaction action {};
+  action.sa_handler = server != nullptr ? SigtermHandler : SIG_DFL;
+  sigemptyset(&action.sa_mask);
+  if (::sigaction(SIGTERM, &action, nullptr) != 0) {
+    return Status::Internal(std::string("sigaction(): ") + ::strerror(errno));
+  }
+  return Status::OK();
+}
+
+void F2dbServer::Wake() {
+  if (wake_fd_ >= 0) {
+    const std::uint64_t one = 1;
+    // Best effort: the eventfd counter saturating (EAGAIN) still leaves the
+    // loop woken. write() is async-signal-safe.
+    [[maybe_unused]] const ssize_t n = ::write(wake_fd_, &one, sizeof(one));
+  }
+}
+
+void F2dbServer::CloseListenFd() {
+  if (listen_fd_ >= 0) {
+    if (epoll_fd_ >= 0) {
+      ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, listen_fd_, nullptr);
+    }
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+}
+
+void F2dbServer::EventLoop() {
+  bool draining = false;
+  std::chrono::steady_clock::time_point drain_deadline{};
+  epoll_event events[64];
+
+  for (;;) {
+    const int timeout_ms = draining ? 20 : -1;
+    const int n = ::epoll_wait(epoll_fd_, events, 64, timeout_ms);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;  // epoll itself failed; nothing sensible left to do
+    }
+    for (int i = 0; i < n; ++i) {
+      const int fd = events[i].data.fd;
+      if (fd == wake_fd_) {
+        std::uint64_t drained = 0;
+        while (::read(wake_fd_, &drained, sizeof(drained)) > 0) {
+        }
+        continue;
+      }
+      if (fd == listen_fd_) {
+        HandleAccept();
+        continue;
+      }
+      const auto it = connections_.find(fd);
+      if (it == connections_.end()) continue;
+      std::shared_ptr<ServerConnection> conn = it->second;
+      if (events[i].events & (EPOLLIN | EPOLLHUP | EPOLLERR)) {
+        ServerConnection::ReadOutcome outcome = conn->ReadReady();
+        for (const std::string& payload : outcome.payloads) {
+          HandleRequest(conn, payload);
+        }
+        if (!outcome.framing_error.ok()) {
+          stats_.protocol_errors.Add();
+          Respond(conn, ErrorResponse(FrameType::kPing,
+                                      outcome.framing_error));
+          conn->MarkCloseAfterFlush();
+          // Unreadable stream: stop watching for input.
+          epoll_event mod{};
+          mod.events = EPOLLOUT;
+          mod.data.fd = conn->fd();
+          ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn->fd(), &mod);
+          conn->epollout_armed = true;
+        } else if (outcome.closed) {
+          DropConnection(conn);
+          continue;
+        }
+      }
+      if (events[i].events & EPOLLOUT) {
+        FlushConnection(conn);
+      }
+    }
+
+    // Flush connections workers completed responses on.
+    std::vector<std::shared_ptr<ServerConnection>> pending;
+    {
+      std::lock_guard<std::mutex> lock(pending_mutex_);
+      pending.swap(pending_write_);
+    }
+    for (const auto& conn : pending) FlushConnection(conn);
+
+    if (shutdown_requested_.load(std::memory_order_acquire) && !draining) {
+      draining = true;
+      drain_deadline = std::chrono::steady_clock::now() +
+                       std::chrono::duration_cast<
+                           std::chrono::steady_clock::duration>(
+                           std::chrono::duration<double>(
+                               options_.drain_timeout_seconds));
+      CloseListenFd();
+    }
+    if (draining &&
+        (DrainComplete() || std::chrono::steady_clock::now() >= drain_deadline)) {
+      break;
+    }
+  }
+
+  // Close every socket; the objects stay alive until Shutdown() has drained
+  // the worker pool.
+  for (auto& [fd, conn] : connections_) {
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+    conn->CloseFd();
+    stats_.connections_closed.Add();
+  }
+  loop_running_.store(false, std::memory_order_release);
+}
+
+void F2dbServer::HandleAccept() {
+  for (;;) {
+    const int fd =
+        ::accept4(listen_fd_, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      break;  // EAGAIN or a transient accept error
+    }
+    if (connections_.size() >= options_.max_connections) {
+      ::close(fd);
+      stats_.connections_refused.Add();
+      continue;
+    }
+    const int enable = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &enable, sizeof(enable));
+    auto conn = std::make_shared<ServerConnection>(fd, options_.max_frame_bytes);
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = fd;
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) != 0) {
+      continue;  // conn destructor closes the fd
+    }
+    connections_.emplace(fd, std::move(conn));
+    stats_.connections_accepted.Add();
+  }
+}
+
+void F2dbServer::HandleRequest(const std::shared_ptr<ServerConnection>& conn,
+                               const std::string& payload) {
+  stats_.requests_received.Add();
+  auto decoded = DecodeRequestPayload(payload);
+  if (!decoded.ok()) {
+    stats_.protocol_errors.Add();
+    Respond(conn, ErrorResponse(FrameType::kPing, decoded.status()));
+    return;
+  }
+  WireRequest request = std::move(decoded).value();
+
+  // PING is answered inline on the loop thread: it measures serving-layer
+  // liveness, not worker availability.
+  if (request.type == FrameType::kPing) {
+    WireResponse pong;
+    pong.type = FrameType::kPing;
+    pong.body = "PONG";
+    Respond(conn, pong);
+    return;
+  }
+
+  if (shutdown_requested_.load(std::memory_order_acquire)) {
+    stats_.requests_shed.Add();
+    Respond(conn, ErrorResponse(request.type, Status::Unavailable(
+                                                  "server shutting down")));
+    return;
+  }
+
+  // Admission control: shed instead of queueing past the watermark.
+  const std::size_t depth = in_flight_.load(std::memory_order_relaxed);
+  if (depth >= options_.admission_queue_limit) {
+    stats_.requests_shed.Add();
+    Respond(conn,
+            ErrorResponse(request.type,
+                          Status::Unavailable(
+                              "server overloaded: admission queue depth " +
+                              std::to_string(depth) + " at limit " +
+                              std::to_string(options_.admission_queue_limit))));
+    return;
+  }
+
+  in_flight_.fetch_add(1, std::memory_order_relaxed);
+  conn->BeginRequest();
+  pool_->Submit([this, conn, request = std::move(request)] {
+    if (options_.worker_test_hook) options_.worker_test_hook();
+    const WireResponse response = ExecuteRequest(request);
+    conn->EnqueueResponse(EncodeResponse(response));
+    stats_.responses_sent.Add();
+    {
+      std::lock_guard<std::mutex> lock(pending_mutex_);
+      pending_write_.push_back(conn);
+    }
+    conn->EndRequest();
+    // Decrement AFTER the response is visible in the outbox, so the drain
+    // check never sees zero in-flight with an unflushed response.
+    in_flight_.fetch_sub(1, std::memory_order_release);
+    Wake();
+  });
+}
+
+WireResponse F2dbServer::ExecuteRequest(const WireRequest& request) const {
+  WireResponse response;
+  response.type = request.type;
+  switch (request.type) {
+    case FrameType::kPing:
+      response.body = "PONG";
+      return response;
+    case FrameType::kStats:
+      response.body = StatsPrometheusText();
+      return response;
+    case FrameType::kQuery: {
+      auto parsed = ParseStatement(request.body);
+      if (!parsed.ok()) return ErrorResponse(request.type, parsed.status());
+      const Statement& statement = parsed.value();
+      if (statement.kind == Statement::Kind::kInsert) {
+        return ErrorResponse(
+            request.type,
+            Status::InvalidArgument(
+                "INSERT statements must be sent as INSERT frames"));
+      }
+      if (statement.kind == Statement::Kind::kExplain) {
+        auto plan = engine_.Explain(statement.forecast);
+        if (!plan.ok()) return ErrorResponse(request.type, plan.status());
+        response.body = RenderExplainResult(plan.value());
+        return response;
+      }
+      // Pin one snapshot for name rendering; Execute() pins its own for the
+      // computation (both are consistent views — node ids are stable).
+      const SnapshotPtr snapshot = engine_.snapshot();
+      auto result = engine_.Execute(statement.forecast);
+      if (!result.ok()) return ErrorResponse(request.type, result.status());
+      response.degradation = result.value().degradation;
+      response.body = RenderQueryResult(*snapshot, result.value());
+      return response;
+    }
+    case FrameType::kInsert: {
+      auto parsed = ParseStatement(request.body);
+      if (!parsed.ok()) return ErrorResponse(request.type, parsed.status());
+      const Statement& statement = parsed.value();
+      if (statement.kind != Statement::Kind::kInsert) {
+        return ErrorResponse(request.type,
+                             Status::InvalidArgument(
+                                 "INSERT frame requires an INSERT statement"));
+      }
+      const Status status = engine_.InsertFact(statement.insert.base_values,
+                                               statement.insert.time,
+                                               statement.insert.value);
+      if (!status.ok()) return ErrorResponse(request.type, status);
+      response.body = "INSERT ok (" + std::to_string(engine_.pending_inserts()) +
+                      " buffered)";
+      return response;
+    }
+  }
+  return ErrorResponse(request.type,
+                       Status::Internal("unhandled frame type"));
+}
+
+void F2dbServer::Respond(const std::shared_ptr<ServerConnection>& conn,
+                         const WireResponse& response) {
+  conn->EnqueueResponse(EncodeResponse(response));
+  stats_.responses_sent.Add();
+  FlushConnection(conn);
+}
+
+void F2dbServer::FlushConnection(const std::shared_ptr<ServerConnection>& conn) {
+  if (conn->fd_closed()) return;
+  if (!conn->FlushWrites()) {
+    DropConnection(conn);
+    return;
+  }
+  const bool wants_write = conn->wants_write();
+  if (wants_write && !conn->epollout_armed) {
+    epoll_event ev{};
+    ev.events = EPOLLIN | EPOLLOUT;
+    ev.data.fd = conn->fd();
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn->fd(), &ev);
+    conn->epollout_armed = true;
+  } else if (!wants_write) {
+    if (conn->epollout_armed) {
+      epoll_event ev{};
+      ev.events = EPOLLIN;
+      ev.data.fd = conn->fd();
+      ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn->fd(), &ev);
+      conn->epollout_armed = false;
+    }
+    if (conn->close_after_flush() && conn->in_flight() == 0) {
+      DropConnection(conn);
+    }
+  }
+}
+
+void F2dbServer::DropConnection(const std::shared_ptr<ServerConnection>& conn) {
+  if (conn->fd_closed()) return;
+  const int fd = conn->fd();
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+  conn->CloseFd();
+  connections_.erase(fd);
+  stats_.connections_closed.Add();
+}
+
+bool F2dbServer::DrainComplete() {
+  if (in_flight_.load(std::memory_order_acquire) != 0) return false;
+  for (const auto& [fd, conn] : connections_) {
+    if (conn->wants_write()) return false;
+  }
+  {
+    std::lock_guard<std::mutex> lock(pending_mutex_);
+    if (!pending_write_.empty()) return false;
+  }
+  return true;
+}
+
+}  // namespace f2db

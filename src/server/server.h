@@ -1,0 +1,188 @@
+// F2dbServer: an epoll-based TCP serving layer over one F2dbEngine.
+//
+// Threading model (DESIGN.md §8):
+//   - ONE event-loop thread owns every socket: it accepts connections,
+//     reads bytes into per-connection FrameDecoders, and writes queued
+//     response frames back out. Sockets are non-blocking; readiness comes
+//     from a single epoll instance.
+//   - A ThreadPool of workers executes complete requests. A QUERY pins the
+//     engine's current EngineSnapshot through the const query layer, so
+//     serving reads never blocks maintenance (and vice versa); INSERT goes
+//     through the engine's serialized maintenance layer.
+//   - Workers hand finished responses back to the event loop through the
+//     connection outbox plus an eventfd wake — workers never touch sockets.
+//
+// Admission control: the server tracks queued-plus-running requests in one
+// atomic. A request arriving while the count is at the configured limit is
+// answered immediately with kUnavailable ("server overloaded") instead of
+// being queued — bounded queues shed load early rather than building an
+// unbounded backlog (the thundering-herd regime the ROADMAP's
+// millions-of-users north star implies).
+//
+// Graceful shutdown: RequestShutdown() (async-signal-safe; see
+// InstallSigtermShutdown) flips a flag and wakes the loop. The loop stops
+// accepting, answers any late requests with kUnavailable, waits for
+// in-flight work to finish and every response to flush (bounded by
+// drain_timeout_seconds), then closes all connections and exits.
+
+#ifndef F2DB_SERVER_SERVER_H_
+#define F2DB_SERVER_SERVER_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/concurrent.h"
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "engine/engine.h"
+#include "server/connection.h"
+#include "server/wire.h"
+
+namespace f2db {
+
+/// Serving-layer tuning knobs. Immutable once the server is constructed.
+struct ServerOptions {
+  /// Listen address; tests and the loopback bench use 127.0.0.1.
+  std::string host = "127.0.0.1";
+  /// Listen port; 0 binds an ephemeral port (read it back via port()).
+  std::uint16_t port = 0;
+  /// Worker threads executing requests (at least 1).
+  std::size_t worker_threads = 4;
+  /// Admission watermark: requests queued or running before new arrivals
+  /// are shed with kUnavailable.
+  std::size_t admission_queue_limit = 64;
+  /// Accepted sockets beyond this are refused (closed immediately).
+  std::size_t max_connections = 256;
+  /// Per-frame payload cap enforced by the decoder.
+  std::size_t max_frame_bytes = kMaxFrameBytes;
+  /// Graceful-shutdown drain bound; connections still busy afterwards are
+  /// closed anyway.
+  double drain_timeout_seconds = 10.0;
+  /// Test-only: runs at the start of every worker task (before the request
+  /// executes). Integration tests block here to saturate the admission
+  /// queue deterministically. Leave empty in production.
+  std::function<void()> worker_test_hook;
+};
+
+/// Value snapshot of the server counters (relaxed atomics underneath, like
+/// EngineStats: individually exact, not mutually consistent).
+struct ServerStats {
+  std::size_t connections_accepted = 0;
+  std::size_t connections_closed = 0;
+  std::size_t connections_refused = 0;
+  std::size_t requests_received = 0;
+  std::size_t responses_sent = 0;
+  std::size_t requests_shed = 0;
+  std::size_t protocol_errors = 0;
+  std::size_t in_flight_requests = 0;
+
+  /// Prometheus text for the server-side families (f2db_server_*).
+  std::string ToPrometheusText() const;
+};
+
+/// The TCP serving layer. Does not own the engine; the engine must outlive
+/// the server.
+class F2dbServer {
+ public:
+  explicit F2dbServer(F2dbEngine& engine, ServerOptions options = {});
+  ~F2dbServer();
+
+  F2dbServer(const F2dbServer&) = delete;
+  F2dbServer& operator=(const F2dbServer&) = delete;
+
+  /// Binds, listens, and starts the event loop + worker pool.
+  Status Start();
+
+  /// The bound port (resolved when options.port was 0). Valid after a
+  /// successful Start().
+  std::uint16_t port() const { return port_; }
+
+  /// True from a successful Start() until the event loop has exited.
+  bool running() const { return loop_running_.load(std::memory_order_acquire); }
+
+  /// Begins a graceful drain: async-signal-safe (one atomic store and one
+  /// eventfd write), callable from a signal handler.
+  void RequestShutdown();
+
+  /// RequestShutdown() plus join: blocks until in-flight requests drained
+  /// (bounded by drain_timeout_seconds), all sockets are closed, and the
+  /// worker pool has stopped. Idempotent.
+  void Shutdown();
+
+  ServerStats stats() const;
+
+  /// Combined Prometheus exposition: engine families + server families.
+  /// This is the STATS frame's response body.
+  std::string StatsPrometheusText() const;
+
+  /// Routes SIGTERM to server->RequestShutdown() — the drain-then-close
+  /// shutdown path for a deployed process. Pass nullptr to detach.
+  static Status InstallSigtermShutdown(F2dbServer* server);
+
+ private:
+  struct StatsCounters {
+    RelaxedCounter connections_accepted;
+    RelaxedCounter connections_closed;
+    RelaxedCounter connections_refused;
+    RelaxedCounter requests_received;
+    RelaxedCounter responses_sent;
+    RelaxedCounter requests_shed;
+    RelaxedCounter protocol_errors;
+  };
+
+  void EventLoop();
+  void HandleAccept();
+  void HandleRequest(const std::shared_ptr<ServerConnection>& conn,
+                     const std::string& payload);
+  /// Executes one decoded request on a worker thread.
+  WireResponse ExecuteRequest(const WireRequest& request) const;
+  /// Queues `response` on `conn` and schedules a flush.
+  void Respond(const std::shared_ptr<ServerConnection>& conn,
+               const WireResponse& response);
+  /// Flushes one connection's pending bytes; manages EPOLLOUT arming and
+  /// close-after-flush. Event-loop thread only.
+  void FlushConnection(const std::shared_ptr<ServerConnection>& conn);
+  void DropConnection(const std::shared_ptr<ServerConnection>& conn);
+  /// True when no request is in flight and every connection is flushed.
+  bool DrainComplete();
+  /// Wakes the event loop (eventfd write; async-signal-safe).
+  void Wake();
+  void CloseListenFd();
+
+  F2dbEngine& engine_;
+  const ServerOptions options_;
+  mutable StatsCounters stats_;
+
+  int listen_fd_ = -1;
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;
+  std::uint16_t port_ = 0;
+
+  std::unique_ptr<ThreadPool> pool_;
+  std::thread loop_thread_;
+  std::atomic<bool> loop_running_{false};
+  std::atomic<bool> shutdown_requested_{false};
+  bool started_ = false;
+
+  /// Queued + running requests (admission control and drain tracking).
+  std::atomic<std::size_t> in_flight_{0};
+
+  /// Event-loop-owned connection table.
+  std::unordered_map<int, std::shared_ptr<ServerConnection>> connections_;
+
+  /// Connections with responses enqueued by workers, awaiting a flush.
+  std::mutex pending_mutex_;
+  std::vector<std::shared_ptr<ServerConnection>> pending_write_;
+};
+
+}  // namespace f2db
+
+#endif  // F2DB_SERVER_SERVER_H_

@@ -1,0 +1,150 @@
+#include "server/wire.h"
+
+#include <cstring>
+
+namespace f2db {
+namespace {
+
+/// Appends a uint32 little-endian length prefix.
+void AppendLength(std::string* out, std::size_t n) {
+  const auto v = static_cast<std::uint32_t>(n);
+  out->push_back(static_cast<char>(v & 0xff));
+  out->push_back(static_cast<char>((v >> 8) & 0xff));
+  out->push_back(static_cast<char>((v >> 16) & 0xff));
+  out->push_back(static_cast<char>((v >> 24) & 0xff));
+}
+
+std::uint32_t ReadLength(const char* data) {
+  const auto b = [data](int i) {
+    return static_cast<std::uint32_t>(static_cast<unsigned char>(data[i]));
+  };
+  return b(0) | (b(1) << 8) | (b(2) << 16) | (b(3) << 24);
+}
+
+}  // namespace
+
+const char* FrameTypeName(FrameType type) {
+  switch (type) {
+    case FrameType::kQuery:
+      return "QUERY";
+    case FrameType::kInsert:
+      return "INSERT";
+    case FrameType::kStats:
+      return "STATS";
+    case FrameType::kPing:
+      return "PING";
+  }
+  return "UNKNOWN";
+}
+
+bool IsKnownFrameType(std::uint8_t raw) {
+  return raw >= static_cast<std::uint8_t>(FrameType::kQuery) &&
+         raw <= static_cast<std::uint8_t>(FrameType::kPing);
+}
+
+std::string EncodeRequest(const WireRequest& request) {
+  std::string out;
+  out.reserve(4 + 1 + request.body.size());
+  AppendLength(&out, 1 + request.body.size());
+  out.push_back(static_cast<char>(request.type));
+  out.append(request.body);
+  return out;
+}
+
+std::string EncodeResponse(const WireResponse& response) {
+  std::string out;
+  out.reserve(4 + 3 + response.body.size());
+  AppendLength(&out, 3 + response.body.size());
+  out.push_back(static_cast<char>(response.type));
+  out.push_back(static_cast<char>(response.status));
+  out.push_back(static_cast<char>(response.degradation));
+  out.append(response.body);
+  return out;
+}
+
+Result<WireRequest> DecodeRequestPayload(std::string_view payload) {
+  if (payload.empty()) {
+    return Status::InvalidArgument("request frame has empty payload");
+  }
+  const auto raw = static_cast<std::uint8_t>(payload[0]);
+  if (!IsKnownFrameType(raw)) {
+    return Status::InvalidArgument("unknown request frame type " +
+                                   std::to_string(raw));
+  }
+  WireRequest request;
+  request.type = static_cast<FrameType>(raw);
+  request.body.assign(payload.substr(1));
+  return request;
+}
+
+Result<WireResponse> DecodeResponsePayload(std::string_view payload) {
+  if (payload.size() < 3) {
+    return Status::InvalidArgument(
+        "response frame payload shorter than its 3 header bytes");
+  }
+  const auto type_raw = static_cast<std::uint8_t>(payload[0]);
+  if (!IsKnownFrameType(type_raw)) {
+    return Status::InvalidArgument("unknown response frame type " +
+                                   std::to_string(type_raw));
+  }
+  const auto status_raw = static_cast<std::uint8_t>(payload[1]);
+  if (status_raw > static_cast<std::uint8_t>(StatusCode::kUnavailable)) {
+    return Status::InvalidArgument("response status byte out of range: " +
+                                   std::to_string(status_raw));
+  }
+  const auto degradation_raw = static_cast<std::uint8_t>(payload[2]);
+  if (degradation_raw >
+      static_cast<std::uint8_t>(DegradationLevel::kUnavailable)) {
+    return Status::InvalidArgument("response degradation byte out of range: " +
+                                   std::to_string(degradation_raw));
+  }
+  WireResponse response;
+  response.type = static_cast<FrameType>(type_raw);
+  response.status = static_cast<StatusCode>(status_raw);
+  response.degradation = static_cast<DegradationLevel>(degradation_raw);
+  response.body.assign(payload.substr(3));
+  return response;
+}
+
+Status FrameDecoder::Feed(const char* data, std::size_t n) {
+  if (!poison_.ok()) return poison_;
+  buffer_.append(data, n);
+  // Validate the next length prefix eagerly so an oversized announcement is
+  // rejected before any of its payload is buffered.
+  if (buffer_.size() >= 4) {
+    const std::uint32_t length = ReadLength(buffer_.data());
+    if (length == 0) {
+      poison_ = Status::InvalidArgument("frame announces zero-length payload");
+      return poison_;
+    }
+    if (length > max_frame_bytes_) {
+      poison_ = Status::InvalidArgument(
+          "frame payload of " + std::to_string(length) +
+          " bytes exceeds the " + std::to_string(max_frame_bytes_) +
+          "-byte limit");
+      return poison_;
+    }
+  }
+  return Status::OK();
+}
+
+std::optional<std::string> FrameDecoder::Next() {
+  if (!poison_.ok() || buffer_.size() < 4) return std::nullopt;
+  const std::uint32_t length = ReadLength(buffer_.data());
+  if (buffer_.size() < 4 + static_cast<std::size_t>(length)) {
+    return std::nullopt;
+  }
+  std::string payload = buffer_.substr(4, length);
+  buffer_.erase(0, 4 + static_cast<std::size_t>(length));
+  // The erase exposed the next frame's length prefix; re-validate it so a
+  // poisoned stream is caught even without another Feed().
+  if (buffer_.size() >= 4) {
+    const std::uint32_t next_length = ReadLength(buffer_.data());
+    if (next_length == 0 || next_length > max_frame_bytes_) {
+      poison_ = Status::InvalidArgument("frame length out of range");
+    }
+  }
+  return payload;
+}
+
+}  // namespace f2db

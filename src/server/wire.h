@@ -1,0 +1,112 @@
+// Wire protocol for the f2db serving layer.
+//
+// Frames are length-prefixed so a stream socket can carry them back to
+// back without ambiguity:
+//
+//   frame    := length payload
+//   length   := uint32, little-endian, byte count of `payload`
+//
+//   request  := type:uint8  body...
+//   response := type:uint8  status:uint8  degradation:uint8  body...
+//
+// `type` names the operation (QUERY / INSERT / STATS / PING); responses
+// echo the request type. `status` is the StatusCode of the outcome and
+// `degradation` the worst DegradationLevel that contributed to a QUERY
+// answer — the two annotations the paper's client boundary needs: did the
+// answer arrive, and at what fidelity. Bodies are UTF-8 text: the SQL-ish
+// statement on the way in; rendered rows, Prometheus exposition text, or
+// an error message on the way out.
+//
+// Every frame is capped at kMaxFrameBytes of payload. The decoder rejects
+// oversized or zero-length frames with a Status instead of buffering them,
+// so a hostile peer cannot make the server allocate unbounded memory.
+
+#ifndef F2DB_SERVER_WIRE_H_
+#define F2DB_SERVER_WIRE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "engine/engine.h"
+
+namespace f2db {
+
+/// Operation carried by a frame. Response frames echo the request type.
+enum class FrameType : std::uint8_t {
+  kQuery = 1,   ///< SELECT / EXPLAIN SELECT statement text.
+  kInsert = 2,  ///< INSERT statement text.
+  kStats = 3,   ///< Empty body; response body is Prometheus text.
+  kPing = 4,    ///< Empty body; response body is "PONG".
+};
+
+/// Stable display name ("QUERY", "INSERT", ...).
+const char* FrameTypeName(FrameType type);
+
+/// True when `raw` is one of the FrameType values.
+bool IsKnownFrameType(std::uint8_t raw);
+
+/// Hard cap on a single frame's payload (type byte + annotations + body).
+inline constexpr std::size_t kMaxFrameBytes = 1 << 20;  // 1 MiB
+
+/// A decoded request frame.
+struct WireRequest {
+  FrameType type = FrameType::kPing;
+  std::string body;
+};
+
+/// A decoded response frame.
+struct WireResponse {
+  FrameType type = FrameType::kPing;
+  StatusCode status = StatusCode::kOk;
+  DegradationLevel degradation = DegradationLevel::kNone;
+  std::string body;
+};
+
+/// Serializes a request as one complete frame (length prefix included).
+std::string EncodeRequest(const WireRequest& request);
+
+/// Serializes a response as one complete frame (length prefix included).
+std::string EncodeResponse(const WireResponse& response);
+
+/// Decodes a request payload (the bytes after the length prefix).
+/// Unknown type bytes and empty payloads are kInvalidArgument.
+Result<WireRequest> DecodeRequestPayload(std::string_view payload);
+
+/// Decodes a response payload. Out-of-range status / degradation bytes and
+/// payloads shorter than the three header bytes are kInvalidArgument.
+Result<WireResponse> DecodeResponsePayload(std::string_view payload);
+
+/// Incremental frame reassembly for a byte stream. Feed() appends raw
+/// socket bytes (validating the length prefix as soon as it is complete);
+/// Next() pops complete payloads in arrival order.
+class FrameDecoder {
+ public:
+  explicit FrameDecoder(std::size_t max_frame_bytes = kMaxFrameBytes)
+      : max_frame_bytes_(max_frame_bytes) {}
+
+  /// Appends `n` raw bytes. Fails with kInvalidArgument when a length
+  /// prefix announces a zero-length or oversized payload; the decoder is
+  /// then poisoned (the stream has no recoverable framing) and every later
+  /// call fails the same way.
+  Status Feed(const char* data, std::size_t n);
+
+  /// Returns the next complete payload, or nullopt when more bytes are
+  /// needed.
+  std::optional<std::string> Next();
+
+  /// Bytes buffered but not yet returned by Next().
+  std::size_t buffered_bytes() const { return buffer_.size(); }
+
+ private:
+  std::size_t max_frame_bytes_;
+  std::string buffer_;
+  Status poison_;  ///< Non-OK once the stream framing is broken.
+};
+
+}  // namespace f2db
+
+#endif  // F2DB_SERVER_WIRE_H_

@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdlib>
+#include <string>
 
 namespace f2db {
 namespace {
@@ -122,6 +124,62 @@ TEST_F(FailpointTest, ScopedDisableAllCleansUp) {
     EXPECT_TRUE(failpoint::AnyEnabled());
   }
   EXPECT_FALSE(failpoint::AnyEnabled());
+}
+
+/// RAII env-var override so InitFromEnv tests cannot leak state into other
+/// tests in this binary.
+class ScopedEnv {
+ public:
+  ScopedEnv(const char* name, const char* value) : name_(name) {
+    const char* old = std::getenv(name);
+    if (old != nullptr) saved_ = old;
+    had_value_ = old != nullptr;
+    ::setenv(name, value, /*overwrite=*/1);
+  }
+  ~ScopedEnv() {
+    if (had_value_) {
+      ::setenv(name_, saved_.c_str(), 1);
+    } else {
+      ::unsetenv(name_);
+    }
+  }
+
+ private:
+  const char* name_;
+  std::string saved_;
+  bool had_value_ = false;
+};
+
+TEST_F(FailpointTest, InitFromEnvAppliesWellFormedSpec) {
+  ScopedEnv spec("F2DB_FAILPOINTS", "test.failpoint_site=always");
+  EXPECT_EQ(failpoint::InitFromEnv(), "test.failpoint_site=always");
+  EXPECT_TRUE(failpoint::AnyEnabled());
+  EXPECT_TRUE(failpoint::Triggered(kTestSite));
+}
+
+TEST_F(FailpointTest, InitFromEnvIgnoresMalformedSpecWithoutStrict) {
+  ScopedEnv spec("F2DB_FAILPOINTS", "test.failpoint_site=bogus_policy");
+  ScopedEnv strict("F2DB_FAILPOINTS_STRICT", "0");
+  EXPECT_EQ(failpoint::InitFromEnv(), "");
+  EXPECT_FALSE(failpoint::AnyEnabled());  // nothing silently armed either
+}
+
+TEST_F(FailpointTest, InitFromEnvAbortsOnMalformedSpecUnderStrict) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        ::setenv("F2DB_FAILPOINTS", "test.failpoint_site=bogus_policy", 1);
+        ::setenv("F2DB_FAILPOINTS_STRICT", "1", 1);
+        failpoint::InitFromEnv();
+      },
+      "F2DB_FAILPOINTS malformed \\(strict mode, aborting\\)");
+}
+
+TEST_F(FailpointTest, InitFromEnvStrictAcceptsWellFormedSpec) {
+  ScopedEnv spec("F2DB_FAILPOINTS", "test.failpoint_site=nth:2");
+  ScopedEnv strict("F2DB_FAILPOINTS_STRICT", "1");
+  EXPECT_EQ(failpoint::InitFromEnv(), "test.failpoint_site=nth:2");
+  EXPECT_TRUE(failpoint::AnyEnabled());
 }
 
 }  // namespace

@@ -1,0 +1,110 @@
+// Prometheus text exposition tests: family naming, HELP/TYPE pairing, the
+// rung-labelled degradation family, and the format's escaping rules.
+
+#include "engine/stats_export.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "engine/engine.h"
+
+namespace f2db {
+namespace {
+
+EngineStats MakeStats() {
+  EngineStats stats;
+  stats.queries = 42;
+  stats.inserts = 7;
+  stats.time_advances = 3;
+  stats.reestimates = 2;
+  stats.refit_failures = 1;
+  stats.quarantines = 1;
+  stats.degraded_rows_stale = 5;
+  stats.degraded_rows_derived = 4;
+  stats.degraded_rows_naive = 3;
+  stats.total_query_seconds = 1.5;
+  stats.total_maintenance_seconds = 0.25;
+  return stats;
+}
+
+TEST(StatsExportTest, EveryCounterFamilyPresentWithHelpAndType) {
+  const std::string text = MakeStats().ToPrometheusText();
+  for (const char* name :
+       {"f2db_queries_total", "f2db_inserts_total", "f2db_time_advances_total",
+        "f2db_reestimates_total", "f2db_refit_failures_total",
+        "f2db_quarantines_total", "f2db_degraded_rows_total",
+        "f2db_query_seconds_total", "f2db_maintenance_seconds_total"}) {
+    SCOPED_TRACE(name);
+    EXPECT_NE(text.find(std::string("# HELP ") + name + " "),
+              std::string::npos);
+    EXPECT_NE(text.find(std::string("# TYPE ") + name + " counter"),
+              std::string::npos);
+  }
+}
+
+TEST(StatsExportTest, SampleValuesRendered) {
+  const std::string text = MakeStats().ToPrometheusText();
+  EXPECT_NE(text.find("f2db_queries_total 42\n"), std::string::npos);
+  EXPECT_NE(text.find("f2db_inserts_total 7\n"), std::string::npos);
+  EXPECT_NE(text.find("f2db_query_seconds_total 1.5\n"), std::string::npos);
+  EXPECT_NE(text.find("f2db_maintenance_seconds_total 0.25\n"),
+            std::string::npos);
+}
+
+TEST(StatsExportTest, DegradationRungsShareOneLabelledFamily) {
+  const std::string text = MakeStats().ToPrometheusText();
+  EXPECT_NE(text.find("f2db_degraded_rows_total{rung=\"stale\"} 5\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("f2db_degraded_rows_total{rung=\"derived\"} 4\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("f2db_degraded_rows_total{rung=\"naive\"} 3\n"),
+            std::string::npos);
+  // One TYPE line for the family, not one per rung.
+  std::size_t type_lines = 0;
+  std::size_t pos = 0;
+  const std::string needle = "# TYPE f2db_degraded_rows_total";
+  while ((pos = text.find(needle, pos)) != std::string::npos) {
+    ++type_lines;
+    pos += needle.size();
+  }
+  EXPECT_EQ(type_lines, 1u);
+}
+
+TEST(StatsExportTest, FreshStatsRenderZeroes) {
+  const std::string text = EngineStats{}.ToPrometheusText();
+  EXPECT_NE(text.find("f2db_queries_total 0\n"), std::string::npos);
+  EXPECT_NE(text.find("f2db_degraded_rows_total{rung=\"stale\"} 0\n"),
+            std::string::npos);
+}
+
+TEST(StatsExportTest, HelpEscapingBackslashAndNewline) {
+  EXPECT_EQ(PrometheusEscapeHelp("plain help"), "plain help");
+  EXPECT_EQ(PrometheusEscapeHelp("a\\b"), "a\\\\b");
+  EXPECT_EQ(PrometheusEscapeHelp("line1\nline2"), "line1\\nline2");
+  EXPECT_EQ(PrometheusEscapeHelp("quote \" kept"), "quote \" kept");
+}
+
+TEST(StatsExportTest, LabelValueEscapingAddsQuote) {
+  EXPECT_EQ(PrometheusEscapeLabelValue("stale"), "stale");
+  EXPECT_EQ(PrometheusEscapeLabelValue("a\\b"), "a\\\\b");
+  EXPECT_EQ(PrometheusEscapeLabelValue("say \"hi\""), "say \\\"hi\\\"");
+  EXPECT_EQ(PrometheusEscapeLabelValue("two\nlines"), "two\\nlines");
+}
+
+TEST(StatsExportTest, AppendHelpersEscapeHelpText) {
+  std::string out;
+  AppendPrometheusCounter(&out, "x_total", "help with\nnewline", 3);
+  EXPECT_NE(out.find("# HELP x_total help with\\nnewline\n"),
+            std::string::npos);
+  EXPECT_NE(out.find("# TYPE x_total counter\n"), std::string::npos);
+  EXPECT_NE(out.find("x_total 3\n"), std::string::npos);
+
+  std::string gauge;
+  AppendPrometheusGauge(&gauge, "depth", "queue depth", 8);
+  EXPECT_NE(gauge.find("# TYPE depth gauge\n"), std::string::npos);
+  EXPECT_NE(gauge.find("depth 8\n"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace f2db

@@ -1,0 +1,403 @@
+// End-to-end serving-layer tests over real loopback sockets.
+//
+// Every test starts an F2dbServer on an ephemeral 127.0.0.1 port and talks
+// to it through the blocking client library — the full path a remote
+// client exercises: TCP, framing, admission control, worker dispatch,
+// snapshot-pinned query execution, and response flushing. Covered:
+//   - QUERY / INSERT / STATS / PING round trips;
+//   - DegradationLevel annotations propagating over the wire (failpoint-
+//     forced refit failures -> STALE_MODEL in the response header byte);
+//   - admission-control load shedding answering kUnavailable while the
+//     worker pool is saturated;
+//   - graceful drain on SIGTERM: in-flight responses still delivered, new
+//     work refused, sockets closed afterwards;
+//   - protocol hardening: oversized frames answered-with-error and closed.
+
+#include <gtest/gtest.h>
+#include <signal.h>
+
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "baselines/advisor_builder.h"
+#include "engine/engine.h"
+#include "server/client.h"
+#include "server/server.h"
+#include "testing/test_cubes.h"
+
+namespace f2db {
+namespace {
+
+constexpr char kHost[] = "127.0.0.1";
+constexpr char kSumQuery[] =
+    "SELECT time, SUM(sales) FROM facts GROUP BY time AS OF now() + '3'";
+
+class ServerIntegrationTest : public ::testing::Test {
+ protected:
+  ServerIntegrationTest()
+      : evaluator_graph_(testing::MakeFigure2Cube(60, 0.05)),
+        evaluator_(evaluator_graph_, 0.8),
+        factory_(ModelSpec::TripleExponentialSmoothing(12)) {
+    AdvisorOptions advisor_options;
+    advisor_options.models_per_iteration = 4;
+    advisor_options.stop.max_iterations = 12;
+    AdvisorBuilder builder(advisor_options);
+    auto outcome = builder.Build(evaluator_, factory_);
+    EXPECT_TRUE(outcome.ok());
+    config_ = std::move(outcome.value().configuration);
+  }
+
+  void SetUp() override { failpoint::DisableAll(); }
+  void TearDown() override { failpoint::DisableAll(); }
+
+  /// A loaded engine; models invalidate after two incremental updates so
+  /// the degradation tests can force lazy refits.
+  std::unique_ptr<F2dbEngine> MakeEngine(EngineOptions options = {}) {
+    if (options.reestimate_after_updates == 0) {
+      options.reestimate_after_updates = 2;
+    }
+    auto engine = std::make_unique<F2dbEngine>(
+        testing::MakeFigure2Cube(60, 0.05), options);
+    EXPECT_TRUE(engine->LoadConfiguration(config_, evaluator_).ok());
+    return engine;
+  }
+
+  static void Advance(F2dbEngine& engine, int periods) {
+    const std::vector<NodeId> bases = engine.graph().base_nodes();
+    for (int period = 0; period < periods; ++period) {
+      const std::int64_t t =
+          engine.snapshot()->graph->series(bases[0]).end_time();
+      for (std::size_t i = 0; i < bases.size(); ++i) {
+        const Status status =
+            engine.InsertFact(bases[i], t, 10.0 + static_cast<double>(i));
+        ASSERT_TRUE(status.ok()) << status.message();
+      }
+    }
+  }
+
+  /// Polls until the server reports `want` in-flight requests (5s bound).
+  static bool WaitForInFlight(const F2dbServer& server, std::size_t want) {
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(5);
+    while (std::chrono::steady_clock::now() < deadline) {
+      if (server.stats().in_flight_requests == want) return true;
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    return false;
+  }
+
+  /// Polls until the event loop has exited (5s bound).
+  static bool WaitForStopped(const F2dbServer& server) {
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(5);
+    while (std::chrono::steady_clock::now() < deadline) {
+      if (!server.running()) return true;
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    return false;
+  }
+
+  TimeSeriesGraph evaluator_graph_;
+  ConfigurationEvaluator evaluator_;
+  ModelFactory factory_;
+  ModelConfiguration config_;
+};
+
+TEST_F(ServerIntegrationTest, PingQueryInsertStatsRoundTrip) {
+  auto engine = MakeEngine();
+  F2dbServer server(*engine);
+  ASSERT_TRUE(server.Start().ok());
+  ASSERT_NE(server.port(), 0);
+
+  auto client = F2dbClient::Connect(kHost, server.port());
+  ASSERT_TRUE(client.ok()) << client.status().message();
+
+  // PING: liveness, loop-thread inline.
+  auto pong = client.value().Ping();
+  ASSERT_TRUE(pong.ok()) << pong.status().message();
+  EXPECT_EQ(pong.value().type, FrameType::kPing);
+  EXPECT_EQ(pong.value().status, StatusCode::kOk);
+  EXPECT_EQ(pong.value().body, "PONG");
+
+  // QUERY: full-fidelity forecast with row text.
+  auto result = client.value().Query(kSumQuery);
+  ASSERT_TRUE(result.ok()) << result.status().message();
+  EXPECT_EQ(result.value().type, FrameType::kQuery);
+  EXPECT_EQ(result.value().status, StatusCode::kOk);
+  EXPECT_EQ(result.value().degradation, DegradationLevel::kNone);
+  EXPECT_NE(result.value().body.find("-- node:"), std::string::npos);
+
+  // EXPLAIN rides the QUERY frame.
+  auto plan = client.value().Query(std::string("EXPLAIN ") + kSumQuery);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan.value().status, StatusCode::kOk);
+  EXPECT_NE(plan.value().body.find("Forecast Query Plan"), std::string::npos);
+
+  // INSERT: one full period over the wire advances the cube's frontier.
+  const std::int64_t t =
+      engine->snapshot()->graph->series(engine->graph().base_nodes()[0])
+          .end_time();
+  const std::size_t advances_before = engine->stats().time_advances;
+  for (const char* city : {"C1", "C2", "C3", "C4"}) {
+    for (const char* product : {"P1", "P2"}) {
+      auto inserted = client.value().Insert(
+          std::string("INSERT INTO facts VALUES ('") + city + "', '" +
+          product + "', " + std::to_string(t) + ", 12.5)");
+      ASSERT_TRUE(inserted.ok()) << inserted.status().message();
+      EXPECT_EQ(inserted.value().status, StatusCode::kOk)
+          << inserted.value().body;
+      EXPECT_NE(inserted.value().body.find("INSERT ok"), std::string::npos);
+    }
+  }
+  EXPECT_EQ(engine->stats().inserts, 8u);
+  EXPECT_EQ(engine->stats().time_advances, advances_before + 1);
+
+  // STATS: combined engine + server Prometheus exposition.
+  auto stats = client.value().Stats();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats.value().status, StatusCode::kOk);
+  EXPECT_NE(stats.value().body.find("f2db_queries_total"), std::string::npos);
+  EXPECT_NE(stats.value().body.find("f2db_inserts_total 8"),
+            std::string::npos);
+  EXPECT_NE(stats.value().body.find("f2db_server_requests_total"),
+            std::string::npos);
+  EXPECT_NE(stats.value().body.find("f2db_server_inflight_requests"),
+            std::string::npos);
+
+  server.Shutdown();
+  EXPECT_FALSE(server.running());
+}
+
+TEST_F(ServerIntegrationTest, StatementErrorsComeBackAsStatusCodes) {
+  auto engine = MakeEngine();
+  F2dbServer server(*engine);
+  ASSERT_TRUE(server.Start().ok());
+  auto client = F2dbClient::Connect(kHost, server.port());
+  ASSERT_TRUE(client.ok());
+
+  // Unparsable SQL -> kInvalidArgument with the parser's message.
+  auto bad = client.value().Query("SELECT nonsense");
+  ASSERT_TRUE(bad.ok());
+  EXPECT_EQ(bad.value().status, StatusCode::kInvalidArgument);
+  EXPECT_FALSE(bad.value().body.empty());
+
+  // Statement kind / frame type mismatches are refused, both directions.
+  auto insert_in_query = client.value().Query(
+      "INSERT INTO facts VALUES ('C1', 'P1', 60, 12.5)");
+  ASSERT_TRUE(insert_in_query.ok());
+  EXPECT_EQ(insert_in_query.value().status, StatusCode::kInvalidArgument);
+  auto query_in_insert = client.value().Insert(kSumQuery);
+  ASSERT_TRUE(query_in_insert.ok());
+  EXPECT_EQ(query_in_insert.value().status, StatusCode::kInvalidArgument);
+
+  // Unknown filter level -> engine resolution error, still a clean status.
+  auto unknown = client.value().Query(
+      "SELECT time, sales FROM facts WHERE galaxy = 'M31' AS OF now() + '1'");
+  ASSERT_TRUE(unknown.ok());
+  EXPECT_NE(unknown.value().status, StatusCode::kOk);
+  // The connection survives application-level errors.
+  auto pong = client.value().Ping();
+  ASSERT_TRUE(pong.ok());
+  EXPECT_EQ(pong.value().body, "PONG");
+}
+
+TEST_F(ServerIntegrationTest, DegradedAnnotationsPropagateOverTheWire) {
+  auto engine = MakeEngine();
+  Advance(*engine, 3);  // invalidate every model
+  F2dbServer server(*engine);
+  ASSERT_TRUE(server.Start().ok());
+  auto client = F2dbClient::Connect(kHost, server.port());
+  ASSERT_TRUE(client.ok());
+
+  failpoint::Enable(kFailpointEngineRefit, failpoint::Policy::Always());
+  auto degraded = client.value().Query(kSumQuery);
+  ASSERT_TRUE(degraded.ok()) << degraded.status().message();
+  EXPECT_EQ(degraded.value().status, StatusCode::kOk);
+  EXPECT_EQ(degraded.value().degradation, DegradationLevel::kStaleModel);
+  EXPECT_NE(degraded.value().body.find("-- degraded: STALE_MODEL"),
+            std::string::npos);
+  failpoint::DisableAll();
+
+  // Full fidelity resumes once the fault clears (fresh refit publishes).
+  auto healthy = client.value().Query(kSumQuery);
+  ASSERT_TRUE(healthy.ok());
+  EXPECT_EQ(healthy.value().status, StatusCode::kOk);
+  EXPECT_EQ(healthy.value().degradation, DegradationLevel::kNone);
+
+  // The degradation counters crossed the wire too.
+  auto stats = client.value().Stats();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_NE(stats.value().body.find("f2db_refit_failures_total"),
+            std::string::npos);
+}
+
+TEST_F(ServerIntegrationTest, AdmissionControlShedsWithUnavailable) {
+  auto engine = MakeEngine();
+  std::promise<void> release;
+  std::shared_future<void> released(release.get_future());
+
+  ServerOptions options;
+  options.worker_threads = 1;
+  options.admission_queue_limit = 2;
+  options.worker_test_hook = [released] { released.wait(); };
+  F2dbServer server(*engine, options);
+  ASSERT_TRUE(server.Start().ok());
+
+  // Two requests saturate the watermark: one running (blocked in the
+  // hook), one queued.
+  std::vector<std::thread> blocked;
+  std::vector<Result<WireResponse>> outcomes(2, Status::Internal("unset"));
+  for (int i = 0; i < 2; ++i) {
+    blocked.emplace_back([&, i] {
+      auto client = F2dbClient::Connect(kHost, server.port());
+      ASSERT_TRUE(client.ok());
+      outcomes[i] = client.value().Query(kSumQuery);
+    });
+    ASSERT_TRUE(WaitForInFlight(server, static_cast<std::size_t>(i + 1)));
+  }
+
+  // The next request is shed immediately with kUnavailable.
+  auto shed_client = F2dbClient::Connect(kHost, server.port());
+  ASSERT_TRUE(shed_client.ok());
+  auto shed = shed_client.value().Query(kSumQuery);
+  ASSERT_TRUE(shed.ok()) << shed.status().message();
+  EXPECT_EQ(shed.value().status, StatusCode::kUnavailable);
+  EXPECT_NE(shed.value().body.find("overloaded"), std::string::npos);
+  EXPECT_GE(server.stats().requests_shed, 1u);
+
+  // PING bypasses admission: liveness stays observable under overload.
+  auto pong = shed_client.value().Ping();
+  ASSERT_TRUE(pong.ok());
+  EXPECT_EQ(pong.value().body, "PONG");
+
+  // Release the workers; the two admitted requests complete at full
+  // fidelity.
+  release.set_value();
+  for (auto& t : blocked) t.join();
+  for (const auto& outcome : outcomes) {
+    ASSERT_TRUE(outcome.ok()) << outcome.status().message();
+    EXPECT_EQ(outcome.value().status, StatusCode::kOk);
+  }
+  server.Shutdown();
+}
+
+TEST_F(ServerIntegrationTest, SigtermDrainsInFlightThenCloses) {
+  auto engine = MakeEngine();
+  std::promise<void> release;
+  std::shared_future<void> released(release.get_future());
+
+  ServerOptions options;
+  options.worker_threads = 1;
+  options.worker_test_hook = [released] { released.wait(); };
+  F2dbServer server(*engine, options);
+  ASSERT_TRUE(server.Start().ok());
+  ASSERT_TRUE(F2dbServer::InstallSigtermShutdown(&server).ok());
+
+  // One request in flight, blocked inside the worker.
+  Result<WireResponse> in_flight_outcome = Status::Internal("unset");
+  std::thread in_flight([&] {
+    auto client = F2dbClient::Connect(kHost, server.port());
+    ASSERT_TRUE(client.ok());
+    in_flight_outcome = client.value().Query(kSumQuery);
+  });
+  ASSERT_TRUE(WaitForInFlight(server, 1));
+
+  // SIGTERM starts the drain (the deployed shutdown path).
+  ASSERT_EQ(::raise(SIGTERM), 0);
+
+  // New work is refused while draining, with kUnavailable.
+  auto late_client = F2dbClient::Connect(kHost, server.port());
+  if (late_client.ok()) {
+    auto late = late_client.value().Query(kSumQuery);
+    if (late.ok()) {
+      EXPECT_EQ(late.value().status, StatusCode::kUnavailable);
+      EXPECT_NE(late.value().body.find("shutting down"), std::string::npos);
+    }
+  }
+
+  // Unblock the worker: the in-flight response is still delivered.
+  release.set_value();
+  in_flight.join();
+  ASSERT_TRUE(in_flight_outcome.ok()) << in_flight_outcome.status().message();
+  EXPECT_EQ(in_flight_outcome.value().status, StatusCode::kOk);
+
+  // The loop exits once drained; afterwards new connections are refused.
+  EXPECT_TRUE(WaitForStopped(server));
+  auto refused = F2dbClient::Connect(kHost, server.port());
+  EXPECT_FALSE(refused.ok());
+
+  server.Shutdown();
+  ASSERT_TRUE(F2dbServer::InstallSigtermShutdown(nullptr).ok());
+}
+
+TEST_F(ServerIntegrationTest, OversizedFrameAnsweredThenConnectionClosed) {
+  auto engine = MakeEngine();
+  ServerOptions options;
+  options.max_frame_bytes = 1024;
+  F2dbServer server(*engine, options);
+  ASSERT_TRUE(server.Start().ok());
+  auto client = F2dbClient::Connect(kHost, server.port());
+  ASSERT_TRUE(client.ok());
+
+  // A 4 KiB statement exceeds the server's 1 KiB frame cap: the server
+  // answers with a protocol error and closes the stream.
+  auto oversized = client.value().Query(std::string(4096, 'x'));
+  ASSERT_TRUE(oversized.ok()) << oversized.status().message();
+  EXPECT_EQ(oversized.value().status, StatusCode::kInvalidArgument);
+  EXPECT_NE(oversized.value().body.find("exceeds"), std::string::npos);
+  EXPECT_GE(server.stats().protocol_errors, 1u);
+
+  // The stream is gone: the next call fails at the transport level.
+  auto after = client.value().Ping();
+  EXPECT_FALSE(after.ok());
+}
+
+TEST_F(ServerIntegrationTest, ManyConcurrentConnectionsAllServed) {
+  auto engine = MakeEngine();
+  ServerOptions options;
+  options.worker_threads = 4;
+  F2dbServer server(*engine, options);
+  ASSERT_TRUE(server.Start().ok());
+
+  constexpr int kClients = 8;
+  constexpr int kQueriesEach = 25;
+  std::atomic<int> ok_count{0};
+  std::vector<std::thread> threads;
+  for (int c = 0; c < kClients; ++c) {
+    threads.emplace_back([&] {
+      auto client = F2dbClient::Connect(kHost, server.port());
+      ASSERT_TRUE(client.ok());
+      for (int q = 0; q < kQueriesEach; ++q) {
+        auto result = client.value().Query(kSumQuery);
+        if (result.ok() && result.value().status == StatusCode::kOk) {
+          ok_count.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(ok_count.load(), kClients * kQueriesEach);
+  EXPECT_GE(engine->stats().queries, static_cast<std::size_t>(ok_count));
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.requests_received, static_cast<std::size_t>(ok_count));
+  EXPECT_EQ(stats.responses_sent, stats.requests_received);
+  EXPECT_EQ(stats.connections_accepted, static_cast<std::size_t>(kClients));
+  server.Shutdown();
+}
+
+TEST_F(ServerIntegrationTest, StartIsSingleShotAndPortIsEphemeral) {
+  auto engine = MakeEngine();
+  F2dbServer server(*engine);
+  ASSERT_TRUE(server.Start().ok());
+  EXPECT_NE(server.port(), 0);
+  EXPECT_EQ(server.Start().code(), StatusCode::kFailedPrecondition);
+  server.Shutdown();
+}
+
+}  // namespace
+}  // namespace f2db
