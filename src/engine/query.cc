@@ -72,6 +72,25 @@ class Lexer {
                 input_[pos] == '.')) {
           number.push_back(input_[pos++]);
         }
+        // Exponent suffix ([eE][+-]?digits). Consumed only when a digit
+        // confirmably follows, so "1e" stays an error and "SELECT 1 e"
+        // still lexes the identifier separately.
+        if (pos < input_.size() &&
+            (input_[pos] == 'e' || input_[pos] == 'E')) {
+          std::size_t lookahead = pos + 1;
+          if (lookahead < input_.size() &&
+              (input_[lookahead] == '+' || input_[lookahead] == '-')) {
+            ++lookahead;
+          }
+          if (lookahead < input_.size() &&
+              std::isdigit(static_cast<unsigned char>(input_[lookahead]))) {
+            while (pos < lookahead) number.push_back(input_[pos++]);
+            while (pos < input_.size() &&
+                   std::isdigit(static_cast<unsigned char>(input_[pos]))) {
+              number.push_back(input_[pos++]);
+            }
+          }
+        }
         out.push_back({TokenKind::kNumber, std::move(number)});
         continue;
       }

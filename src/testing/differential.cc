@@ -1,0 +1,593 @@
+#include "testing/differential.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <vector>
+
+#include "common/failpoint.h"
+#include "core/configuration.h"
+#include "core/evaluator.h"
+#include "cube/cube_schema.h"
+#include "cube/hierarchy.h"
+#include "engine/engine.h"
+#include "server/client.h"
+#include "server/server.h"
+#include "ts/model_factory.h"
+
+namespace f2db::testing {
+
+namespace {
+
+std::string RenderDouble(double value) {
+  char buffer[48];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  return buffer;
+}
+
+bool ValuesClose(double a, double b, double rel, double abs) {
+  if (std::isnan(a) || std::isnan(b)) return false;
+  return std::abs(a - b) <= abs + rel * std::max(std::abs(a), std::abs(b));
+}
+
+NodeAddress ToNodeAddress(const OracleAddress& address) {
+  NodeAddress out;
+  out.coords.resize(address.coords.size());
+  for (std::size_t d = 0; d < address.coords.size(); ++d) {
+    out.coords[d] = {static_cast<LevelIndex>(address.coords[d].level),
+                     static_cast<ValueIndex>(address.coords[d].value)};
+  }
+  return out;
+}
+
+/// Maps the ReferenceOracle insert verdict to the StatusCode the engines
+/// must report. kNonFinite maps to kInvalidArgument on BOTH paths: the
+/// typed path rejects the non-finite value, the SQL path rejects the
+/// unparseable "nan" literal — same code, different message.
+StatusCode ExpectedInsertCode(OracleInsert verdict) {
+  switch (verdict) {
+    case OracleInsert::kAccepted:
+      return StatusCode::kOk;
+    case OracleInsert::kBehindFrontier:
+      return StatusCode::kOutOfRange;
+    case OracleInsert::kDuplicate:
+      return StatusCode::kAlreadyExists;
+    case OracleInsert::kNonFinite:
+    case OracleInsert::kUnknownCell:
+      return StatusCode::kInvalidArgument;
+  }
+  return StatusCode::kInternal;
+}
+
+/// The degradation annotation every executor must report for a query on
+/// `address`, derived from the oracle's state alone:
+///   - a scheme source without a model forces the derived-fallback rung;
+///   - in fault mode every model invalidates after `reestimate_after`
+///     advances and the armed engine.refit failpoint turns the lazy refit
+///     into the stale-model rung.
+DegradationLevel ExpectedDegradation(const WorkloadSpec& spec,
+                                     const ReferenceOracle& oracle,
+                                     const OracleAddress& address) {
+  if (!oracle.FullFidelity(address)) return DegradationLevel::kDerivedFallback;
+  if (spec.inject_refit_failures && spec.reestimate_after_updates > 0 &&
+      oracle.advances() >= spec.reestimate_after_updates) {
+    return DegradationLevel::kStaleModel;
+  }
+  return DegradationLevel::kNone;
+}
+
+/// Rows parsed back from a wire QUERY response body.
+struct WireRows {
+  std::vector<std::pair<std::int64_t, double>> rows;
+  bool degraded_marker = false;
+  bool parse_ok = true;
+  std::string parse_error;
+};
+
+WireRows ParseWireBody(const std::string& body) {
+  WireRows out;
+  std::size_t pos = 0;
+  while (pos < body.size()) {
+    std::size_t eol = body.find('\n', pos);
+    if (eol == std::string::npos) eol = body.size();
+    const std::string line = body.substr(pos, eol - pos);
+    pos = eol + 1;
+    if (line.empty()) continue;
+    if (line.rfind("--", 0) == 0) {
+      if (line.rfind("-- degraded:", 0) == 0) out.degraded_marker = true;
+      continue;
+    }
+    const std::size_t bar = line.find('|');
+    if (bar == std::string::npos) {
+      out.parse_ok = false;
+      out.parse_error = "row without '|': " + line;
+      return out;
+    }
+    char* end = nullptr;
+    const long long time = std::strtoll(line.c_str(), &end, 10);
+    const double value = std::strtod(line.c_str() + bar + 1, nullptr);
+    out.rows.push_back({static_cast<std::int64_t>(time), value});
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<ModelConfiguration> BuildWorkloadConfiguration(
+    const WorkloadSpec& spec, const TimeSeriesGraph& graph) {
+  ModelConfiguration config(graph.num_nodes());
+  const std::size_t train = graph.series_length() - 1;
+  for (const ModelPlacement& placement : spec.models) {
+    F2DB_ASSIGN_OR_RETURN(NodeId node,
+                          graph.NodeFor(ToNodeAddress(placement.node)));
+    const TimeSeries history = graph.series(node).Head(train);
+    ModelSpec model_spec;
+    model_spec.type = placement.type;
+    model_spec.period = placement.period;
+    ModelFactory factory(model_spec);
+    auto fitted = factory.CreateAndFit(history);
+    if (!fitted.ok()) {
+      // Deterministic fallback: a Mean fit succeeds on any non-empty
+      // history, and every executor takes the same branch.
+      ModelSpec mean_spec;
+      mean_spec.type = ModelType::kMean;
+      mean_spec.period = 1;
+      fitted = ModelFactory(mean_spec).CreateAndFit(history);
+      if (!fitted.ok()) return fitted.status();
+    }
+    ModelEntry entry;
+    entry.model = std::move(fitted.value());
+    config.AddModel(node, std::move(entry));
+  }
+  for (const SchemeChoice& choice : spec.schemes) {
+    F2DB_ASSIGN_OR_RETURN(NodeId target,
+                          graph.NodeFor(ToNodeAddress(choice.target)));
+    std::vector<NodeId> sources;
+    for (const OracleAddress& source : choice.sources) {
+      F2DB_ASSIGN_OR_RETURN(NodeId id,
+                            graph.NodeFor(ToNodeAddress(source)));
+      sources.push_back(id);
+    }
+    NodeAssignment assignment;
+    assignment.error = 0.5;
+    assignment.scheme = DerivationScheme::Multi(std::move(sources));
+    config.set_assignment(target, std::move(assignment));
+  }
+  return config;
+}
+
+/// Mirrors LoadConfiguration into the oracle: bit-identical clones of the
+/// fitted models, each caught up by the one observation the engine's
+/// catch-up step replays (the oracle uses its own naive aggregate).
+void InstallOracleConfiguration(const WorkloadSpec& spec,
+                                const ModelConfiguration& config,
+                                const TimeSeriesGraph& graph,
+                                ReferenceOracle& oracle) {
+  for (const ModelPlacement& placement : spec.models) {
+    const auto node = graph.NodeFor(ToNodeAddress(placement.node));
+    const ForecastModel* fitted = config.model(node.value());
+    oracle.SetModel(placement.node, fitted->Clone());
+    oracle.UpdateModel(placement.node, oracle.SeriesOf(placement.node).back());
+  }
+  for (const SchemeChoice& choice : spec.schemes) {
+    oracle.SetScheme(choice.target, choice.sources);
+  }
+}
+
+namespace {
+
+/// Disarms the failpoints the driver arms, whatever the exit path.
+class ScopedFailpoints {
+ public:
+  ~ScopedFailpoints() {
+    failpoint::Disable(kFailpointEngineRefit);
+    failpoint::Disable(kFailpointEngineInsert);
+  }
+};
+
+struct InsertOutcome {
+  StatusCode code = StatusCode::kOk;
+  std::string message;
+};
+
+}  // namespace
+
+Result<TimeSeriesGraph> BuildWorkloadGraph(const WorkloadSpec& spec) {
+  CubeSchema schema;
+  for (std::size_t d = 0; d < spec.dims.size(); ++d) {
+    const OracleDimension& dim = spec.dims[d];
+    Hierarchy hierarchy(dim.name);
+    for (std::size_t l = 0; l < dim.num_levels(); ++l) {
+      F2DB_RETURN_IF_ERROR(
+          hierarchy.AddLevel(dim.level_names[l], dim.values[l]));
+    }
+    for (std::size_t l = 0; l + 1 < dim.num_levels(); ++l) {
+      for (std::size_t v = 0; v < dim.values[l].size(); ++v) {
+        F2DB_RETURN_IF_ERROR(hierarchy.SetParent(
+            static_cast<LevelIndex>(l), static_cast<ValueIndex>(v),
+            static_cast<ValueIndex>(dim.parents[l][v])));
+      }
+    }
+    F2DB_RETURN_IF_ERROR(hierarchy.Finalize());
+    F2DB_RETURN_IF_ERROR(schema.AddHierarchy(std::move(hierarchy)));
+  }
+  F2DB_ASSIGN_OR_RETURN(TimeSeriesGraph graph,
+                        TimeSeriesGraph::Create(std::move(schema)));
+
+  const ReferenceOracle probe(spec.dims);
+  for (std::size_t cell = 0; cell < spec.base_history.size(); ++cell) {
+    F2DB_ASSIGN_OR_RETURN(
+        NodeId node, graph.NodeFor(ToNodeAddress(probe.CellAddress(cell))));
+    F2DB_RETURN_IF_ERROR(
+        graph.SetBaseSeries(node, TimeSeries(spec.base_history[cell])));
+  }
+  F2DB_RETURN_IF_ERROR(graph.BuildAggregates());
+  return graph;
+}
+
+std::string BuildQuerySql(const WorkloadSpec& spec,
+                          const OracleAddress& address, std::size_t horizon) {
+  std::string sql = "SELECT time, SUM(m) FROM facts";
+  bool first = true;
+  for (std::size_t d = 0; d < spec.dims.size(); ++d) {
+    const OracleDimension& dim = spec.dims[d];
+    const auto& [level, value] = address.coords[d];
+    if (level >= dim.num_levels()) continue;  // ALL: no predicate
+    sql += first ? " WHERE " : " AND ";
+    first = false;
+    sql += dim.level_names[level] + " = '" + dim.values[level][value] + "'";
+  }
+  sql += " GROUP BY time AS OF now() + '" + std::to_string(horizon) + "'";
+  return sql;
+}
+
+std::string BuildInsertSql(const WorkloadSpec& spec, std::size_t cell,
+                           std::int64_t time, double value) {
+  // Decode the cell in the oracle's odometer order (dimension 0 most
+  // significant) into level-0 value names.
+  std::vector<std::size_t> values(spec.dims.size(), 0);
+  std::size_t rest = cell;
+  for (std::size_t d = spec.dims.size(); d-- > 0;) {
+    const std::size_t radix = spec.dims[d].num_values(0);
+    values[d] = rest % radix;
+    rest /= radix;
+  }
+  std::string sql = "INSERT INTO facts VALUES (";
+  for (std::size_t d = 0; d < spec.dims.size(); ++d) {
+    sql += "'" + spec.dims[d].values[0][values[d]] + "', ";
+  }
+  sql += std::to_string(time) + ", " + RenderDouble(value) + ")";
+  return sql;
+}
+
+DifferentialReport RunDifferential(const WorkloadSpec& spec,
+                                   const DifferentialOptions& options) {
+  DifferentialReport report;
+  const auto fail = [&](std::size_t op_index, const std::string& what) {
+    report.ok = false;
+    report.failure = "seed=" + std::to_string(spec.seed) + " shape=" +
+                     spec.shape_name + " op[" + std::to_string(op_index) +
+                     "]: " + what;
+    return report;
+  };
+  constexpr std::size_t kSetupOp = static_cast<std::size_t>(-1);
+
+  // ---- setup: oracle, embedded engine, server engine -------------------
+  ReferenceOracle oracle(spec.dims);
+  for (std::size_t cell = 0; cell < spec.base_history.size(); ++cell) {
+    oracle.SetBaseSeries(cell, spec.base_history[cell]);
+  }
+
+  EngineOptions engine_options;
+  engine_options.reestimate_after_updates = spec.reestimate_after_updates;
+  engine_options.maintenance_threads = 1;
+
+  auto graph = BuildWorkloadGraph(spec);
+  if (!graph.ok()) return fail(kSetupOp, graph.status().ToString());
+  F2dbEngine embedded(std::move(graph.value()), engine_options);
+
+  auto config = BuildWorkloadConfiguration(spec, embedded.graph());
+  if (!config.ok()) return fail(kSetupOp, config.status().ToString());
+  const ConfigurationEvaluator evaluator(embedded.graph(), 1.0);
+  {
+    const Status loaded = embedded.LoadConfiguration(config.value(), evaluator);
+    if (!loaded.ok()) return fail(kSetupOp, loaded.ToString());
+  }
+  InstallOracleConfiguration(spec, config.value(), embedded.graph(), oracle);
+
+  std::unique_ptr<F2dbEngine> server_engine;
+  std::unique_ptr<F2dbServer> server;
+  F2dbClient client;
+  if (options.run_server) {
+    auto server_graph = BuildWorkloadGraph(spec);
+    if (!server_graph.ok()) {
+      return fail(kSetupOp, server_graph.status().ToString());
+    }
+    server_engine = std::make_unique<F2dbEngine>(
+        std::move(server_graph.value()), engine_options);
+    const ConfigurationEvaluator server_evaluator(server_engine->graph(), 1.0);
+    const Status loaded =
+        server_engine->LoadConfiguration(config.value(), server_evaluator);
+    if (!loaded.ok()) return fail(kSetupOp, loaded.ToString());
+    ServerOptions server_options;
+    server_options.worker_threads = 2;
+    server = std::make_unique<F2dbServer>(*server_engine, server_options);
+    const Status started = server->Start();
+    if (!started.ok()) return fail(kSetupOp, started.ToString());
+    auto connected = F2dbClient::Connect("127.0.0.1", server->port());
+    if (!connected.ok()) return fail(kSetupOp, connected.status().ToString());
+    client = std::move(connected.value());
+  }
+
+  ScopedFailpoints failpoint_guard;
+  if (spec.inject_refit_failures) {
+    failpoint::Enable(kFailpointEngineRefit, failpoint::Policy::Always());
+  }
+
+  // One insert through every executor; the wire leg is skipped when the
+  // server is off.
+  const auto run_insert = [&](std::size_t cell, std::int64_t time,
+                              double value, bool injected)
+      -> std::pair<InsertOutcome, InsertOutcome> {
+    const std::string sql = BuildInsertSql(spec, cell, time, value);
+    InsertOutcome embedded_outcome;
+    {
+      auto result = embedded.ExecuteStatementText(sql);
+      embedded_outcome.code =
+          result.ok() ? StatusCode::kOk : result.status().code();
+      if (!result.ok()) embedded_outcome.message = result.status().ToString();
+    }
+    InsertOutcome wire_outcome;
+    wire_outcome.code = embedded_outcome.code;  // mirrors when server off
+    if (options.run_server) {
+      auto response = client.Insert(sql);
+      if (!response.ok()) {
+        wire_outcome.code = StatusCode::kInternal;
+        wire_outcome.message =
+            "transport failure: " + response.status().ToString();
+      } else {
+        wire_outcome.code = response.value().status;
+        wire_outcome.message = response.value().body;
+      }
+    }
+    (void)injected;
+    return {embedded_outcome, wire_outcome};
+  };
+
+  // ---- the op loop -----------------------------------------------------
+  const std::vector<OracleAddress> addresses = oracle.AllAddresses();
+  for (std::size_t i = 0; i < spec.ops.size(); ++i) {
+    const WorkloadOp& op = spec.ops[i];
+    switch (op.kind) {
+      case OpKind::kQuery: {
+        const OracleAddress& address =
+            addresses[op.address_index % addresses.size()];
+        const std::string sql = BuildQuerySql(spec, address, op.horizon);
+        const std::int64_t now = oracle.frontier();
+        const auto oracle_forecast = oracle.Forecast(address, op.horizon);
+        const auto embedded_result = embedded.ExecuteSql(sql);
+
+        if (embedded_result.ok() != oracle_forecast.has_value()) {
+          return fail(i, "availability mismatch for \"" + sql +
+                             "\": embedded=" +
+                             (embedded_result.ok()
+                                  ? "ok"
+                                  : embedded_result.status().ToString()) +
+                             " oracle=" +
+                             (oracle_forecast ? "ok" : "unavailable"));
+        }
+        ++report.queries;
+        if (embedded_result.ok()) {
+          const QueryResult& result = embedded_result.value();
+          const std::vector<double>& expected = *oracle_forecast;
+          if (result.rows.size() != expected.size()) {
+            return fail(i, "row count mismatch for \"" + sql + "\": embedded=" +
+                               std::to_string(result.rows.size()) +
+                               " oracle=" + std::to_string(expected.size()));
+          }
+          const DegradationLevel expected_level =
+              ExpectedDegradation(spec, oracle, address);
+          if (result.degradation != expected_level) {
+            return fail(
+                i, "degradation mismatch for \"" + sql + "\": embedded=" +
+                       DegradationLevelName(result.degradation) +
+                       " expected=" + DegradationLevelName(expected_level) +
+                       " (" + result.degradation_reason + ")");
+          }
+          if (expected_level != DegradationLevel::kNone) {
+            report.degraded_rows += result.rows.size();
+          }
+          for (std::size_t h = 0; h < expected.size(); ++h) {
+            const ForecastRow& row = result.rows[h];
+            if (row.time != now + static_cast<std::int64_t>(h)) {
+              return fail(i, "row time mismatch for \"" + sql + "\": got " +
+                                 std::to_string(row.time) + " expected " +
+                                 std::to_string(now + static_cast<int64_t>(h)));
+            }
+            if (!ValuesClose(row.value, expected[h], options.rel_tol,
+                             options.abs_tol)) {
+              return fail(i, "value mismatch for \"" + sql + "\" at h=" +
+                                 std::to_string(h) + ": embedded=" +
+                                 RenderDouble(row.value) + " oracle=" +
+                                 RenderDouble(expected[h]));
+            }
+            ++report.rows_compared;
+          }
+        }
+
+        if (options.run_server) {
+          auto response = client.Query(sql);
+          if (!response.ok()) {
+            return fail(i, "wire transport failure for \"" + sql +
+                               "\": " + response.status().ToString());
+          }
+          const WireResponse& wire = response.value();
+          if ((wire.status == StatusCode::kOk) != embedded_result.ok()) {
+            return fail(i, "wire status mismatch for \"" + sql +
+                               "\": wire=" + std::to_string(static_cast<int>(
+                                                 wire.status)) +
+                               " embedded ok=" +
+                               (embedded_result.ok() ? "1" : "0"));
+          }
+          if (embedded_result.ok()) {
+            const QueryResult& result = embedded_result.value();
+            if (wire.degradation != result.degradation) {
+              return fail(i, "wire degradation annotation mismatch for \"" +
+                                 sql + "\": wire=" +
+                                 DegradationLevelName(wire.degradation) +
+                                 " embedded=" +
+                                 DegradationLevelName(result.degradation));
+            }
+            const WireRows parsed = ParseWireBody(wire.body);
+            if (!parsed.parse_ok) {
+              return fail(i, "unparseable wire body for \"" + sql +
+                                 "\": " + parsed.parse_error);
+            }
+            if (parsed.degraded_marker !=
+                (result.degradation != DegradationLevel::kNone)) {
+              return fail(i, "wire '-- degraded:' marker mismatch for \"" +
+                                 sql + "\" (silently degraded answer)");
+            }
+            if (parsed.rows.size() != result.rows.size()) {
+              return fail(i, "wire row count mismatch for \"" + sql + "\"");
+            }
+            for (std::size_t h = 0; h < parsed.rows.size(); ++h) {
+              if (parsed.rows[h].first != result.rows[h].time) {
+                return fail(i, "wire row time mismatch for \"" + sql + "\"");
+              }
+              if (!ValuesClose(parsed.rows[h].second, result.rows[h].value,
+                               1e-9, options.wire_abs_tol)) {
+                return fail(i, "wire value mismatch for \"" + sql +
+                                   "\" at h=" + std::to_string(h) +
+                                   ": wire=" +
+                                   RenderDouble(parsed.rows[h].second) +
+                                   " embedded=" +
+                                   RenderDouble(result.rows[h].value));
+              }
+            }
+          }
+        }
+        break;
+      }
+      case OpKind::kInsertRound: {
+        const std::int64_t time = oracle.frontier();
+        for (const std::size_t cell : op.insert_order) {
+          const double value = op.round_values[cell];
+          const OracleInsert verdict = oracle.Insert(cell, time, value);
+          const auto [embedded_outcome, wire_outcome] =
+              run_insert(cell, time, value, false);
+          const StatusCode expected = ExpectedInsertCode(verdict);
+          if (embedded_outcome.code != expected ||
+              wire_outcome.code != expected) {
+            return fail(i, "insert verdict mismatch cell=" +
+                               std::to_string(cell) + " t=" +
+                               std::to_string(time) + ": oracle expects " +
+                               StatusCodeName(expected) + ", embedded=" +
+                               StatusCodeName(embedded_outcome.code) + " (" +
+                               embedded_outcome.message + "), wire=" +
+                               StatusCodeName(wire_outcome.code));
+          }
+          verdict == OracleInsert::kAccepted ? ++report.inserts_accepted
+                                             : ++report.inserts_rejected;
+        }
+        break;
+      }
+      case OpKind::kInsertPartial:
+      case OpKind::kInsertBehind:
+      case OpKind::kInsertNonFinite: {
+        std::int64_t time = oracle.frontier();
+        if (op.kind == OpKind::kInsertBehind) time -= 1;
+        const OracleInsert verdict = oracle.Insert(op.cell, time, op.value);
+        const auto [embedded_outcome, wire_outcome] =
+            run_insert(op.cell, time, op.value, false);
+        const StatusCode expected = ExpectedInsertCode(verdict);
+        if (embedded_outcome.code != expected ||
+            wire_outcome.code != expected) {
+          return fail(i, std::string(OpKindName(op.kind)) +
+                             " verdict mismatch cell=" +
+                             std::to_string(op.cell) + " t=" +
+                             std::to_string(time) + ": oracle expects " +
+                             StatusCodeName(expected) + ", embedded=" +
+                             StatusCodeName(embedded_outcome.code) + " (" +
+                             embedded_outcome.message + "), wire=" +
+                             StatusCodeName(wire_outcome.code));
+        }
+        verdict == OracleInsert::kAccepted ? ++report.inserts_accepted
+                                           : ++report.inserts_rejected;
+        break;
+      }
+      case OpKind::kInsertInjectedFault: {
+        // Armed only across this one insert; the oracle never sees it and
+        // both engines must shed it with the injected kUnavailable.
+        const std::int64_t time = oracle.frontier();
+        failpoint::Enable(kFailpointEngineInsert,
+                          failpoint::Policy::Always());
+        const auto [embedded_outcome, wire_outcome] =
+            run_insert(op.cell, time, op.value, true);
+        failpoint::Disable(kFailpointEngineInsert);
+        if (embedded_outcome.code != StatusCode::kUnavailable ||
+            wire_outcome.code != StatusCode::kUnavailable) {
+          return fail(i, "injected insert fault not surfaced: embedded=" +
+                             std::string(StatusCodeName(
+                                 embedded_outcome.code)) +
+                             " wire=" + StatusCodeName(wire_outcome.code));
+        }
+        ++report.inserts_rejected;
+        break;
+      }
+    }
+  }
+
+  // ---- end-of-run maintenance invariants -------------------------------
+  if (embedded.pending_inserts() != oracle.pending_inserts()) {
+    return fail(spec.ops.size(),
+                "pending-insert mismatch: embedded=" +
+                    std::to_string(embedded.pending_inserts()) + " oracle=" +
+                    std::to_string(oracle.pending_inserts()));
+  }
+  if (embedded.stats().time_advances != oracle.advances()) {
+    return fail(spec.ops.size(),
+                "advance-count mismatch: embedded=" +
+                    std::to_string(embedded.stats().time_advances) +
+                    " oracle=" + std::to_string(oracle.advances()));
+  }
+  if (options.run_server) {
+    if (server_engine->pending_inserts() != oracle.pending_inserts() ||
+        server_engine->stats().time_advances != oracle.advances()) {
+      return fail(spec.ops.size(), "server maintenance state diverged");
+    }
+    client.Close();
+    server->Shutdown();
+  }
+  return report;
+}
+
+WorkloadSpec ShrinkWorkload(WorkloadSpec spec,
+                            const WorkloadPredicate& still_fails) {
+  if (!still_fails(spec)) return spec;
+  std::size_t chunk = std::max<std::size_t>(1, spec.ops.size() / 2);
+  for (;;) {
+    bool removed_any = false;
+    std::size_t start = 0;
+    while (start < spec.ops.size()) {
+      WorkloadSpec candidate = spec;
+      const std::size_t end = std::min(start + chunk, candidate.ops.size());
+      candidate.ops.erase(candidate.ops.begin() + start,
+                          candidate.ops.begin() + end);
+      if (still_fails(candidate)) {
+        spec = std::move(candidate);
+        removed_any = true;
+        // Re-test the same offset: the next chunk slid into place.
+      } else {
+        start += chunk;
+      }
+    }
+    if (chunk == 1 && !removed_any) break;
+    chunk = std::max<std::size_t>(1, chunk / 2);
+  }
+  return spec;
+}
+
+}  // namespace f2db::testing

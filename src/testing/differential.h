@@ -1,0 +1,103 @@
+// The differential driver: one generated workload, three executors.
+//
+// RunDifferential() replays a WorkloadSpec through
+//   1. the ReferenceOracle (the naive ground truth),
+//   2. an embedded F2dbEngine (SQL in, typed QueryResult out),
+//   3. a second F2dbEngine behind a loopback F2dbServer, driven with the
+//      same SQL text through F2dbClient (the full wire path),
+// and checks after every op that the three agree: forecast values within
+// tolerance, insert verdicts by status code, row time stamps, degradation
+// annotations (a degraded answer must be annotated, and a full-fidelity
+// answer must match the oracle — never silently wrong), and the
+// maintenance invariants (pending inserts, advance counts) at the end.
+//
+// Tolerance policy (see DESIGN.md §9): the engine aggregates
+// hierarchically while the oracle sums base cells flat, so bitwise
+// equality is impossible — embedded-vs-oracle uses rel 1e-6 / abs 1e-8.
+// The wire path renders values with "%.4f", so wire-vs-embedded uses an
+// absolute tolerance just above the rendering quantum.
+
+#ifndef F2DB_TESTING_DIFFERENTIAL_H_
+#define F2DB_TESTING_DIFFERENTIAL_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "common/status.h"
+#include "core/configuration.h"
+#include "cube/graph.h"
+#include "testing/oracle.h"
+#include "testing/workload.h"
+
+namespace f2db::testing {
+
+struct DifferentialOptions {
+  /// Also run the workload through the TCP server (third executor). Off
+  /// for the shrinking inner loop when the failure reproduces embedded.
+  bool run_server = true;
+  /// Embedded-engine-vs-oracle comparison: |a-b| <= abs + rel*max(|a|,|b|).
+  double rel_tol = 1e-6;
+  double abs_tol = 1e-8;
+  /// Wire-vs-embedded comparison; the wire body renders values "%.4f".
+  double wire_abs_tol = 2e-4;
+};
+
+struct DifferentialReport {
+  bool ok = true;
+  /// First divergence, with the op index and a replay-friendly cause.
+  std::string failure;
+  std::size_t queries = 0;
+  std::size_t rows_compared = 0;
+  std::size_t inserts_accepted = 0;
+  std::size_t inserts_rejected = 0;
+  /// Rows served with an expected non-kNone annotation.
+  std::size_t degraded_rows = 0;
+};
+
+/// Builds the TimeSeriesGraph of a spec with the full base histories
+/// installed and aggregates built.
+Result<TimeSeriesGraph> BuildWorkloadGraph(const WorkloadSpec& spec);
+
+/// Fits the spec's model placements on the train prefix (all but the last
+/// observation — the engine's catch-up step replays that one) and installs
+/// the explicit schemes. One configuration can be loaded into any number
+/// of engines; each clones the models internally.
+Result<ModelConfiguration> BuildWorkloadConfiguration(
+    const WorkloadSpec& spec, const TimeSeriesGraph& graph);
+
+/// Mirrors an engine LoadConfiguration into the oracle: clones of the
+/// fitted models caught up by the one replayed observation, plus the
+/// explicit schemes.
+void InstallOracleConfiguration(const WorkloadSpec& spec,
+                                const ModelConfiguration& config,
+                                const TimeSeriesGraph& graph,
+                                ReferenceOracle& oracle);
+
+/// The forecast-query SQL of one address ("SELECT time, SUM(m) ... AS OF
+/// now() + 'h'"); ALL dimensions are left unfiltered.
+std::string BuildQuerySql(const WorkloadSpec& spec,
+                          const OracleAddress& address, std::size_t horizon);
+
+/// The INSERT SQL of one base cell ("INSERT INTO facts VALUES (...)");
+/// the measure is rendered "%.17g" so the value round-trips exactly.
+std::string BuildInsertSql(const WorkloadSpec& spec, std::size_t cell,
+                           std::int64_t time, double value);
+
+/// Runs the spec through all executors; the report carries the first
+/// divergence (ok == false) or the agreement counters.
+DifferentialReport RunDifferential(const WorkloadSpec& spec,
+                                   const DifferentialOptions& options = {});
+
+/// true = the candidate spec still reproduces the failure under test.
+using WorkloadPredicate = std::function<bool(const WorkloadSpec&)>;
+
+/// Greedy delta-debugging over the op list: repeatedly removes chunks
+/// (halving the chunk size down to single ops) while the predicate keeps
+/// failing. Returns the smallest still-failing spec found.
+WorkloadSpec ShrinkWorkload(WorkloadSpec spec,
+                            const WorkloadPredicate& still_fails);
+
+}  // namespace f2db::testing
+
+#endif  // F2DB_TESTING_DIFFERENTIAL_H_

@@ -1,0 +1,331 @@
+#include "testing/oracle.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "ts/time_series.h"
+
+namespace f2db::testing {
+
+namespace {
+
+/// The engine's derived-fallback recursion bound, mirrored.
+constexpr std::size_t kMaxDerivationDepth = 4;
+
+}  // namespace
+
+std::string OracleAddress::Key() const {
+  std::string out;
+  for (std::size_t d = 0; d < coords.size(); ++d) {
+    if (d > 0) out += '|';
+    out += std::to_string(coords[d].level);
+    out += ':';
+    out += std::to_string(coords[d].value);
+  }
+  return out;
+}
+
+ReferenceOracle::ReferenceOracle(std::vector<OracleDimension> dims)
+    : dims_(std::move(dims)) {
+  base_series_.resize(num_base_cells());
+}
+
+std::size_t ReferenceOracle::num_base_cells() const {
+  std::size_t cells = 1;
+  for (const OracleDimension& dim : dims_) cells *= dim.num_values(0);
+  return cells;
+}
+
+std::vector<std::size_t> ReferenceOracle::CellValues(std::size_t cell) const {
+  std::vector<std::size_t> values(dims_.size(), 0);
+  for (std::size_t d = dims_.size(); d-- > 0;) {
+    const std::size_t radix = dims_[d].num_values(0);
+    values[d] = cell % radix;
+    cell /= radix;
+  }
+  return values;
+}
+
+OracleAddress ReferenceOracle::CellAddress(std::size_t cell) const {
+  const std::vector<std::size_t> values = CellValues(cell);
+  OracleAddress address;
+  address.coords.resize(dims_.size());
+  for (std::size_t d = 0; d < dims_.size(); ++d) {
+    address.coords[d] = {0, values[d]};
+  }
+  return address;
+}
+
+std::vector<OracleAddress> ReferenceOracle::AllAddresses() const {
+  // Odometer over per-dimension (level, value) slots, dimension 0 most
+  // significant — a full enumeration of the instance-level graph.
+  std::vector<std::vector<OracleAddress::Coordinate>> slots(dims_.size());
+  for (std::size_t d = 0; d < dims_.size(); ++d) {
+    for (std::size_t level = 0; level <= dims_[d].num_levels(); ++level) {
+      const std::size_t count =
+          level == dims_[d].num_levels() ? 1 : dims_[d].values[level].size();
+      for (std::size_t v = 0; v < count; ++v) slots[d].push_back({level, v});
+    }
+  }
+  std::vector<OracleAddress> out;
+  std::vector<std::size_t> pos(dims_.size(), 0);
+  for (;;) {
+    OracleAddress address;
+    address.coords.resize(dims_.size());
+    for (std::size_t d = 0; d < dims_.size(); ++d) {
+      address.coords[d] = slots[d][pos[d]];
+    }
+    out.push_back(std::move(address));
+    std::size_t d = dims_.size();
+    while (d-- > 0) {
+      if (++pos[d] < slots[d].size()) break;
+      pos[d] = 0;
+      if (d == 0) return out;
+    }
+  }
+}
+
+bool ReferenceOracle::IsValid(const OracleAddress& address) const {
+  if (address.coords.size() != dims_.size()) return false;
+  for (std::size_t d = 0; d < dims_.size(); ++d) {
+    const auto& [level, value] = address.coords[d];
+    if (level > dims_[d].num_levels()) return false;
+    const std::size_t count =
+        level == dims_[d].num_levels() ? 1 : dims_[d].values[level].size();
+    if (value >= count) return false;
+  }
+  return true;
+}
+
+std::size_t ReferenceOracle::AncestorValue(std::size_t d, std::size_t v,
+                                           std::size_t level) const {
+  for (std::size_t l = 0; l < level; ++l) {
+    v = l < dims_[d].parents.size() && v < dims_[d].parents[l].size()
+            ? dims_[d].parents[l][v]
+            : 0;  // topmost declared level rolls into ALL (value 0)
+  }
+  return v;
+}
+
+bool ReferenceOracle::Covers(const OracleAddress& address,
+                             std::size_t cell) const {
+  const std::vector<std::size_t> values = CellValues(cell);
+  for (std::size_t d = 0; d < dims_.size(); ++d) {
+    const auto& [level, value] = address.coords[d];
+    if (level == dims_[d].num_levels()) continue;  // ALL covers everything
+    if (AncestorValue(d, values[d], level) != value) return false;
+  }
+  return true;
+}
+
+void ReferenceOracle::SetBaseSeries(std::size_t cell,
+                                    std::vector<double> values) {
+  assert(cell < base_series_.size());
+  base_series_[cell] = std::move(values);
+}
+
+std::size_t ReferenceOracle::series_length() const {
+  return base_series_.empty() ? 0 : base_series_[0].size();
+}
+
+std::vector<double> ReferenceOracle::SeriesOf(
+    const OracleAddress& address) const {
+  // Brute force: one fresh accumulator, every covered base cell summed in
+  // cell order. No caching, no incremental state — this IS the oracle.
+  std::vector<double> out(series_length(), 0.0);
+  for (std::size_t cell = 0; cell < base_series_.size(); ++cell) {
+    if (!Covers(address, cell)) continue;
+    const std::vector<double>& series = base_series_[cell];
+    for (std::size_t t = 0; t < out.size(); ++t) out[t] += series[t];
+  }
+  return out;
+}
+
+double ReferenceOracle::HistorySum(const OracleAddress& address) const {
+  const std::vector<double> series = SeriesOf(address);
+  double sum = 0.0;
+  for (const double v : series) sum += v;
+  return sum;
+}
+
+double ReferenceOracle::Weight(const std::vector<OracleAddress>& sources,
+                               const OracleAddress& target) const {
+  double denom = 0.0;
+  for (const OracleAddress& s : sources) denom += HistorySum(s);
+  if (std::abs(denom) < 1e-12) return 0.0;
+  return HistorySum(target) / denom;
+}
+
+void ReferenceOracle::SetScheme(const OracleAddress& target,
+                                std::vector<OracleAddress> sources) {
+  schemes_[target.Key()] = std::move(sources);
+}
+
+bool ReferenceOracle::HasScheme(const OracleAddress& target) const {
+  return schemes_.count(target.Key()) > 0;
+}
+
+void ReferenceOracle::SetModel(const OracleAddress& node,
+                               std::unique_ptr<ForecastModel> model) {
+  models_[node.Key()] = ModelSlot{node, std::move(model)};
+}
+
+bool ReferenceOracle::HasModel(const OracleAddress& node) const {
+  return models_.count(node.Key()) > 0;
+}
+
+void ReferenceOracle::UpdateModel(const OracleAddress& node, double value) {
+  const auto it = models_.find(node.Key());
+  if (it != models_.end()) it->second.model->Update(value);
+}
+
+OracleInsert ReferenceOracle::Insert(std::size_t cell, std::int64_t time,
+                                     double value) {
+  if (cell >= base_series_.size()) return OracleInsert::kUnknownCell;
+  if (!std::isfinite(value)) return OracleInsert::kNonFinite;
+  if (time < frontier()) return OracleInsert::kBehindFrontier;
+  auto& batch = pending_[time];
+  if (batch.empty()) batch.resize(base_series_.size());
+  if (batch[cell].has_value()) return OracleInsert::kDuplicate;
+  batch[cell] = value;
+  AdvanceWhileComplete();
+  return OracleInsert::kAccepted;
+}
+
+std::size_t ReferenceOracle::pending_inserts() const {
+  std::size_t count = 0;
+  for (const auto& [time, batch] : pending_) {
+    for (const auto& v : batch) {
+      if (v.has_value()) ++count;
+    }
+  }
+  return count;
+}
+
+void ReferenceOracle::AdvanceWhileComplete() {
+  for (;;) {
+    const auto it = pending_.find(frontier());
+    if (it == pending_.end()) return;
+    bool complete = true;
+    for (const auto& v : it->second) complete = complete && v.has_value();
+    if (!complete) return;
+    for (std::size_t cell = 0; cell < base_series_.size(); ++cell) {
+      base_series_[cell].push_back(*it->second[cell]);
+    }
+    pending_.erase(it);
+    ++advances_;
+    // Every model sees one new observation of its node's aggregate — the
+    // aggregate recomputed naively, of course.
+    for (auto& [key, slot] : models_) {
+      const std::vector<double> series = SeriesOf(slot.address);
+      slot.model->Update(series.back());
+    }
+  }
+}
+
+std::optional<std::vector<double>> ReferenceOracle::Forecast(
+    const OracleAddress& address, std::size_t horizon) const {
+  return ForecastDepth(address, horizon, 0);
+}
+
+std::optional<std::vector<double>> ReferenceOracle::ForecastDepth(
+    const OracleAddress& address, std::size_t horizon,
+    std::size_t depth) const {
+  const auto scheme_it = schemes_.find(address.Key());
+  if (scheme_it == schemes_.end()) return std::nullopt;
+  const std::vector<OracleAddress>& sources = scheme_it->second;
+  if (sources.empty()) return std::nullopt;
+
+  std::vector<double> sum(horizon, 0.0);
+  for (const OracleAddress& source : sources) {
+    const auto model_it = models_.find(source.Key());
+    std::vector<double> forecast;
+    if (model_it != models_.end()) {
+      if (!model_it->second.model->is_fitted()) return std::nullopt;
+      forecast = model_it->second.model->Forecast(horizon);
+    } else {
+      // Model-less source: derive through its own stored scheme, exactly
+      // like the engine's derived-fallback rung (self-references cannot
+      // help and the depth is bounded identically).
+      if (depth >= kMaxDerivationDepth) return std::nullopt;
+      const auto inner = schemes_.find(source.Key());
+      if (inner == schemes_.end() || inner->second.empty()) return std::nullopt;
+      bool refers_self = false;
+      for (const OracleAddress& s : inner->second) {
+        refers_self = refers_self || s == source;
+      }
+      if (refers_self) return std::nullopt;
+      const auto derived = ForecastDepth(source, horizon, depth + 1);
+      if (!derived.has_value()) return std::nullopt;
+      forecast = *derived;
+    }
+    for (std::size_t h = 0; h < horizon; ++h) sum[h] += forecast[h];
+  }
+  const double weight = Weight(sources, address);
+  for (double& v : sum) v *= weight;
+  return sum;
+}
+
+bool ReferenceOracle::FullFidelity(const OracleAddress& address) const {
+  return FullFidelityDepth(address, 0);
+}
+
+bool ReferenceOracle::FullFidelityDepth(const OracleAddress& address,
+                                        std::size_t depth) const {
+  if (depth >= kMaxDerivationDepth) return false;
+  const auto scheme_it = schemes_.find(address.Key());
+  if (scheme_it == schemes_.end()) return false;
+  for (const OracleAddress& source : scheme_it->second) {
+    if (!HasModel(source)) return false;
+  }
+  return true;
+}
+
+double ReferenceOracle::Smape(const std::vector<double>& actual,
+                              const std::vector<double>& forecast) {
+  assert(actual.size() == forecast.size());
+  double sum = 0.0;
+  std::size_t terms = 0;
+  for (std::size_t i = 0; i < actual.size(); ++i) {
+    const double denom = std::abs(actual[i]) + std::abs(forecast[i]);
+    if (denom < 1e-12) continue;  // both zero: a perfect term, skipped
+    sum += std::abs(actual[i] - forecast[i]) / denom;
+    ++terms;
+  }
+  return terms == 0 ? 0.0 : sum / static_cast<double>(terms);
+}
+
+double ReferenceOracle::WeightOverPrefix(
+    const std::vector<OracleAddress>& sources, const OracleAddress& target,
+    std::size_t prefix) const {
+  const auto prefix_sum = [&](const OracleAddress& address) {
+    const std::vector<double> series = SeriesOf(address);
+    double sum = 0.0;
+    for (std::size_t t = 0; t < prefix && t < series.size(); ++t) {
+      sum += series[t];
+    }
+    return sum;
+  };
+  double denom = 0.0;
+  for (const OracleAddress& s : sources) denom += prefix_sum(s);
+  if (std::abs(denom) < 1e-12) return 0.0;
+  return prefix_sum(target) / denom;
+}
+
+double ReferenceOracle::HistoricalError(const OracleAddress& source,
+                                        const OracleAddress& target,
+                                        std::size_t train_length) const {
+  const std::vector<double> source_series = SeriesOf(source);
+  const std::vector<double> target_series = SeriesOf(target);
+  const std::size_t n = std::min(train_length, target_series.size());
+  const double weight = WeightOverPrefix({source}, target, n);
+  std::vector<double> derived(n, 0.0);
+  std::vector<double> actual(n, 0.0);
+  for (std::size_t t = 0; t < n; ++t) {
+    derived[t] = weight * source_series[t];
+    actual[t] = target_series[t];
+  }
+  return Smape(actual, derived);
+}
+
+}  // namespace f2db::testing

@@ -1,0 +1,247 @@
+// ReferenceOracle: a deliberately naive reimplementation of the paper's
+// query semantics, used as the ground truth of the differential harness.
+//
+// The oracle re-implements — from the paper's equations, NOT from the
+// engine — everything a forecast query's value depends on:
+//   - cube aggregation (Section II-A): an aggregate series is the plain
+//     sum over every base cell it covers, recomputed from scratch on every
+//     access (allocation-happy, single-threaded, no incremental state);
+//   - derivation-scheme forecasting (Eqs. 1-3): forecast(t) =
+//     k_{S->t} * sum_s forecast(s) with k = h_t / sum h_s over the full
+//     stored history, where a model-less source recurses into its own
+//     stored scheme exactly once per level (bounded like the engine's
+//     derived fallback);
+//   - maintenance (Section V): inserts buffer per time stamp and the cube
+//     advances when a period is complete, updating every model by one
+//     observation;
+//   - configuration evaluation (Section II-D): SMAPE of a derived test
+//     forecast against held-out actuals.
+//
+// It deliberately shares NO code with src/engine or src/core: the cube
+// structure is plain vectors (no TimeSeriesGraph), addresses are resolved
+// by walking parent maps, and weights/aggregates are recomputed by brute
+// force. The only shared substrate is ts/ (the ForecastModel interface),
+// because the harness must feed bit-identical fitted models to both sides
+// to compare the pipelines around them.
+
+#ifndef F2DB_TESTING_ORACLE_H_
+#define F2DB_TESTING_ORACLE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ts/model.h"
+
+namespace f2db::testing {
+
+/// Plain description of one categorical dimension: levels from finest to
+/// coarsest with parent maps, mirroring the paper's functional
+/// dependencies. Level index num_levels() denotes the implicit ALL level.
+struct OracleDimension {
+  std::string name;
+  /// Declared level names, finest first.
+  std::vector<std::string> level_names;
+  /// Member value names per declared level.
+  std::vector<std::vector<std::string>> values;
+  /// parents[l][v] = value index at level l+1 that v at level l rolls up
+  /// into. The topmost declared level maps implicitly into ALL.
+  std::vector<std::vector<std::size_t>> parents;
+
+  std::size_t num_levels() const { return level_names.size(); }
+  std::size_t num_values(std::size_t level) const {
+    return level >= values.size() ? 1 : values[level].size();
+  }
+};
+
+/// One (level, value) coordinate per dimension; level == num_levels()
+/// means ALL (value 0).
+struct OracleAddress {
+  struct Coordinate {
+    std::size_t level = 0;
+    std::size_t value = 0;
+    bool operator==(const Coordinate&) const = default;
+    auto operator<=>(const Coordinate&) const = default;
+  };
+  std::vector<Coordinate> coords;
+
+  bool operator==(const OracleAddress&) const = default;
+  auto operator<=>(const OracleAddress&) const = default;
+
+  /// Stable rendering, e.g. "1:0|2:0" — map key and diagnostics.
+  std::string Key() const;
+};
+
+/// Outcome of ReferenceOracle::Insert, mirroring the engine's maintenance
+/// contract without sharing its Status plumbing.
+enum class OracleInsert {
+  kAccepted,       ///< Buffered (and possibly advanced the cube).
+  kBehindFrontier, ///< time < frontier: the period is already stored.
+  kDuplicate,      ///< This cell already has a buffered value for `time`.
+  kNonFinite,      ///< NaN/Inf measure value.
+  kUnknownCell,    ///< Cell index out of range.
+};
+
+/// The single-threaded reference implementation.
+class ReferenceOracle {
+ public:
+  explicit ReferenceOracle(std::vector<OracleDimension> dims);
+
+  std::size_t num_dimensions() const { return dims_.size(); }
+  const OracleDimension& dimension(std::size_t d) const { return dims_[d]; }
+
+  /// Base cells are numbered 0..num_base_cells() in odometer order over the
+  /// level-0 values (dimension 0 most significant).
+  std::size_t num_base_cells() const;
+
+  /// The level-0 value index per dimension of a base cell.
+  std::vector<std::size_t> CellValues(std::size_t cell) const;
+
+  /// The level-0-everywhere address of a base cell.
+  OracleAddress CellAddress(std::size_t cell) const;
+
+  /// Every address of the cube (all (level, value) combinations across
+  /// dimensions, ALL included), in deterministic odometer order.
+  std::vector<OracleAddress> AllAddresses() const;
+
+  /// True when `address` has valid ranges for this cube.
+  bool IsValid(const OracleAddress& address) const;
+
+  /// True when base cell `cell` rolls up into `address` (ancestor test by
+  /// repeated parent lookups in every dimension).
+  bool Covers(const OracleAddress& address, std::size_t cell) const;
+
+  // ------------------------------------------------------------- data
+
+  /// Installs the stored history of one base cell. All base series must be
+  /// set with equal lengths before maintenance/queries run.
+  void SetBaseSeries(std::size_t cell, std::vector<double> values);
+
+  /// Length of the stored history (== the frontier time index; series
+  /// start at time 0).
+  std::size_t series_length() const;
+
+  /// Next expected time index (one past the stored history).
+  std::int64_t frontier() const {
+    return static_cast<std::int64_t>(series_length());
+  }
+
+  /// The aggregate series of any address, recomputed from scratch as the
+  /// sum over every covered base cell (the naive Section II-A semantics).
+  std::vector<double> SeriesOf(const OracleAddress& address) const;
+
+  /// Sum over the full stored history of an address (h_x of Eq. 2),
+  /// recomputed from scratch.
+  double HistorySum(const OracleAddress& address) const;
+
+  /// Derivation weight k_{S->t} of Eq. 3 over full-history sums; 0 when
+  /// the denominator magnitude falls below 1e-12 (the engine's guard,
+  /// mirrored so both sides agree on the degenerate case).
+  double Weight(const std::vector<OracleAddress>& sources,
+                const OracleAddress& target) const;
+
+  // ---------------------------------------------------- configuration
+
+  /// Stores the derivation scheme of `target`.
+  void SetScheme(const OracleAddress& target,
+                 std::vector<OracleAddress> sources);
+
+  /// True when a scheme is stored for `target`.
+  bool HasScheme(const OracleAddress& target) const;
+
+  /// Installs a fitted model at `node`. The oracle owns the model and will
+  /// Update it on every advance (one observation of the node's naive
+  /// aggregate). Pass a clone of whatever the engine received so both
+  /// sides start from bit-identical state.
+  void SetModel(const OracleAddress& node,
+                std::unique_ptr<ForecastModel> model);
+
+  bool HasModel(const OracleAddress& node) const;
+
+  /// Advances a node's model by one observation (the catch-up step the
+  /// engine's LoadConfiguration performs). No-op without a model.
+  void UpdateModel(const OracleAddress& node, double value);
+
+  /// Number of cube advances since construction (every model has received
+  /// exactly this many incremental updates).
+  std::size_t advances() const { return advances_; }
+
+  // ----------------------------------------------------- maintenance
+
+  /// Buffers one fact; when every base cell has a value for the frontier
+  /// period, the cube advances (repeatedly, if later buffered periods
+  /// become complete) and every model is updated with its node's new
+  /// aggregate observation.
+  OracleInsert Insert(std::size_t cell, std::int64_t time, double value);
+
+  /// Buffered (not yet applied) fact count.
+  std::size_t pending_inserts() const;
+
+  // ---------------------------------------------------------- queries
+
+  /// The reference forecast of Eqs. 1-3: weight * sum of source forecasts,
+  /// where a model-less source is derived through its own stored scheme
+  /// (bounded recursion, depth limit 4 — the engine's ladder bound).
+  /// Returns nullopt when a scheme is missing, recursion bottoms out, or a
+  /// model is unfitted — cases the engine reports as an error status.
+  std::optional<std::vector<double>> Forecast(const OracleAddress& address,
+                                              std::size_t horizon) const;
+
+  /// True when forecasting `address` walks only sources with live models
+  /// (no derived fallback needed anywhere) — the full-fidelity predicate
+  /// the engine should report as DegradationLevel::kNone.
+  bool FullFidelity(const OracleAddress& address) const;
+
+  // ------------------------------------- configuration evaluation
+
+  /// Naive SMAPE in [0, 1] (Section II-D), both-zero terms skipped.
+  static double Smape(const std::vector<double>& actual,
+                      const std::vector<double>& forecast);
+
+  /// Derivation weight over a train prefix only (the evaluator's Eq. 3).
+  double WeightOverPrefix(const std::vector<OracleAddress>& sources,
+                          const OracleAddress& target,
+                          std::size_t prefix) const;
+
+  /// The historical-error indicator (Section III-B) recomputed naively:
+  /// treat the source's train actuals as a perfect forecast, derive the
+  /// target's train history, return the SMAPE.
+  double HistoricalError(const OracleAddress& source,
+                         const OracleAddress& target,
+                         std::size_t train_length) const;
+
+ private:
+  /// Ancestor of level-0 value `v` at `level` in dimension `d`.
+  std::size_t AncestorValue(std::size_t d, std::size_t v,
+                            std::size_t level) const;
+
+  std::optional<std::vector<double>> ForecastDepth(
+      const OracleAddress& address, std::size_t horizon,
+      std::size_t depth) const;
+
+  bool FullFidelityDepth(const OracleAddress& address,
+                         std::size_t depth) const;
+
+  /// Applies every complete buffered period at the frontier.
+  void AdvanceWhileComplete();
+
+  std::vector<OracleDimension> dims_;
+  /// Base histories, indexed by cell.
+  std::vector<std::vector<double>> base_series_;
+  /// Buffered inserts: time -> per-cell pending value.
+  std::map<std::int64_t, std::vector<std::optional<double>>> pending_;
+  std::map<std::string, std::vector<OracleAddress>> schemes_;
+  struct ModelSlot {
+    OracleAddress address;
+    std::unique_ptr<ForecastModel> model;
+  };
+  std::map<std::string, ModelSlot> models_;
+  std::size_t advances_ = 0;
+};
+
+}  // namespace f2db::testing
+
+#endif  // F2DB_TESTING_ORACLE_H_

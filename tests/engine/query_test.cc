@@ -125,5 +125,37 @@ TEST(QueryParser, QuotedValueWithSpaces) {
   EXPECT_EQ(q.value().filters[0].value, "New South Wales");
 }
 
+// Regression: the lexer dropped exponent suffixes from numeric literals, so
+// "%.17g"-rendered measures like 1.5e-05 failed to parse (found by the
+// differential harness; see
+// PropertyDifferentialTest.RegressionTinyValuesSurviveSqlRoundTrip).
+TEST(StatementLexer, AcceptsExponentNumericLiterals) {
+  const char* cases[] = {
+      "INSERT INTO facts VALUES ('C1', 10, 1e6)",
+      "INSERT INTO facts VALUES ('C1', 10, 2.5E-3)",
+      "INSERT INTO facts VALUES ('C1', 10, 1e+2)",
+      "INSERT INTO facts VALUES ('C1', 10, -4.0822845412000796e-06)",
+  };
+  for (const char* sql : cases) {
+    auto s = ParseStatement(sql);
+    ASSERT_TRUE(s.ok()) << sql << ": " << s.status().ToString();
+  }
+  EXPECT_DOUBLE_EQ(
+      ParseStatement(cases[0]).value().insert.value, 1e6);
+  EXPECT_DOUBLE_EQ(
+      ParseStatement(cases[1]).value().insert.value, 2.5e-3);
+  EXPECT_DOUBLE_EQ(
+      ParseStatement(cases[2]).value().insert.value, 1e2);
+  EXPECT_DOUBLE_EQ(
+      ParseStatement(cases[3]).value().insert.value, -4.0822845412000796e-06);
+}
+
+TEST(StatementLexer, RejectsDanglingExponent) {
+  // "1e" and "1e+" are not numbers; the 'e' must not be swallowed.
+  EXPECT_FALSE(ParseStatement("INSERT INTO facts VALUES ('C1', 10, 1e)").ok());
+  EXPECT_FALSE(
+      ParseStatement("INSERT INTO facts VALUES ('C1', 10, 1e+)").ok());
+}
+
 }  // namespace
 }  // namespace f2db
