@@ -1,0 +1,179 @@
+// Durability cost model (DESIGN.md section 10): what does crash safety buy
+// and what does it charge?
+//
+// Part 1 — insert throughput by fsync policy. The WAL sits on the insert
+// path, so the fsync policy is the knob that trades durability window for
+// ingest rate: kNone defers to the OS, kBatch group-commits every
+// wal_batch_records appends, kAlways syncs every record. An in-memory
+// engine (no WAL at all) anchors the baseline.
+//
+// Part 2 — recovery time as a function of WAL length. Recovery replays the
+// un-checkpointed WAL tail through the normal insert path, so restart
+// latency grows with the tail; this is the cost a checkpoint cadence is
+// chosen against.
+//
+// Results are summarized in BENCH_wal.json at the repo root.
+
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/stopwatch.h"
+#include "engine/engine.h"
+
+namespace f2db::bench {
+namespace {
+
+/// Fresh scratch directory under /tmp; recreated per run so no state leaks
+/// between policies.
+std::string FreshDir() {
+  char tmpl[] = "/tmp/f2db_bench_wal_XXXXXX";
+  if (::mkdtemp(tmpl) == nullptr) {
+    std::perror("mkdtemp");
+    std::exit(1);
+  }
+  return tmpl;
+}
+
+void RemoveTree(const std::string& dir) {
+  const std::string cmd = "rm -rf '" + dir + "'";
+  if (std::system(cmd.c_str()) != 0) {
+    std::fprintf(stderr, "cleanup failed for %s\n", dir.c_str());
+  }
+}
+
+TimeSeriesGraph BenchGraph() {
+  auto data = MakeGenX(/*num_base=*/32, /*seed=*/7, /*length=*/60);
+  if (!data.ok()) {
+    std::fprintf(stderr, "MakeGenX: %s\n", data.status().ToString().c_str());
+    std::exit(1);
+  }
+  return std::move(data.value().graph);
+}
+
+/// Inserts `rounds` full periods (one value per base series each) and
+/// returns the wall seconds spent inside InsertFact.
+double RunInserts(F2dbEngine& engine, std::size_t rounds) {
+  const std::vector<NodeId> bases = engine.graph().base_nodes();
+  StopWatch watch;
+  for (std::size_t r = 0; r < rounds; ++r) {
+    const std::int64_t t =
+        engine.snapshot()->graph->series(bases[0]).end_time();
+    for (std::size_t i = 0; i < bases.size(); ++i) {
+      const double value = 100.0 + static_cast<double>((r * 31 + i) % 17);
+      const Status inserted = engine.InsertFact(bases[i], t, value);
+      if (!inserted.ok()) {
+        std::fprintf(stderr, "insert: %s\n", inserted.ToString().c_str());
+        std::exit(1);
+      }
+    }
+  }
+  return watch.ElapsedSeconds();
+}
+
+struct PolicyRow {
+  std::string label;
+  std::size_t inserts = 0;
+  double seconds = 0.0;
+  std::size_t wal_bytes = 0;
+};
+
+PolicyRow BenchPolicy(const std::string& label, FsyncPolicy policy,
+                      std::size_t rounds) {
+  const std::string dir = FreshDir();
+  EngineOptions options;
+  options.data_dir = dir;
+  options.fsync_policy = policy;
+  auto engine = F2dbEngine::Open(BenchGraph(), options);
+  if (!engine.ok()) {
+    std::fprintf(stderr, "open: %s\n", engine.status().ToString().c_str());
+    std::exit(1);
+  }
+  PolicyRow row;
+  row.label = label;
+  row.seconds = RunInserts(*engine.value(), rounds);
+  row.inserts = rounds * engine.value()->graph().base_nodes().size();
+  row.wal_bytes = engine.value()->stats().wal_bytes;
+  engine.value().reset();
+  RemoveTree(dir);
+  return row;
+}
+
+PolicyRow BenchInMemory(std::size_t rounds) {
+  F2dbEngine engine(BenchGraph());
+  PolicyRow row;
+  row.label = "in-memory";
+  row.seconds = RunInserts(engine, rounds);
+  row.inserts = rounds * engine.graph().base_nodes().size();
+  return row;
+}
+
+struct RecoveryRow {
+  std::size_t wal_records = 0;
+  double recovery_ms = 0.0;
+};
+
+RecoveryRow BenchRecovery(std::size_t rounds) {
+  const std::string dir = FreshDir();
+  EngineOptions options;
+  options.data_dir = dir;
+  options.fsync_policy = FsyncPolicy::kNone;
+  {
+    auto engine = F2dbEngine::Open(BenchGraph(), options);
+    if (!engine.ok()) {
+      std::fprintf(stderr, "open: %s\n", engine.status().ToString().c_str());
+      std::exit(1);
+    }
+    RunInserts(*engine.value(), rounds);
+    // Destruct WITHOUT a checkpoint: the whole run stays in the WAL tail.
+  }
+  auto reopened = F2dbEngine::Open(BenchGraph(), options);
+  if (!reopened.ok()) {
+    std::fprintf(stderr, "reopen: %s\n",
+                 reopened.status().ToString().c_str());
+    std::exit(1);
+  }
+  RecoveryRow row;
+  const EngineStats stats = reopened.value()->stats();
+  row.wal_records = stats.wal_records_replayed;
+  row.recovery_ms = stats.recovery_duration_ms;
+  reopened.value().reset();
+  RemoveTree(dir);
+  return row;
+}
+
+int Main() {
+  const std::size_t rounds = 2000;  // x32 base series = 64k inserts
+
+  PrintHeader("WAL insert throughput by fsync policy", "section V / robustness",
+              "policy,inserts,seconds,inserts_per_sec,wal_mib");
+  std::vector<PolicyRow> rows;
+  rows.push_back(BenchInMemory(rounds));
+  rows.push_back(BenchPolicy("fsync=none", FsyncPolicy::kNone, rounds));
+  rows.push_back(BenchPolicy("fsync=batch", FsyncPolicy::kBatch, rounds));
+  rows.push_back(BenchPolicy("fsync=always", FsyncPolicy::kAlways, rounds));
+  for (const PolicyRow& row : rows) {
+    std::printf("%s,%zu,%.3f,%.0f,%.2f\n", row.label.c_str(), row.inserts,
+                row.seconds,
+                static_cast<double>(row.inserts) / row.seconds,
+                static_cast<double>(row.wal_bytes) / (1024.0 * 1024.0));
+  }
+
+  PrintHeader("Recovery time vs WAL length", "section V / robustness",
+              "wal_records,recovery_ms,records_per_ms");
+  for (std::size_t r : {250u, 1000u, 4000u, 16000u}) {
+    const RecoveryRow row = BenchRecovery(r);
+    std::printf("%zu,%.2f,%.0f\n", row.wal_records, row.recovery_ms,
+                static_cast<double>(row.wal_records) / row.recovery_ms);
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace f2db::bench
+
+int main() { return f2db::bench::Main(); }

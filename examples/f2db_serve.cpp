@@ -3,7 +3,18 @@
 // Boots the Tourism demo cube, advises a configuration, and serves the
 // statement dialect over TCP until SIGTERM/SIGINT (graceful drain):
 //
-//   build/examples/f2db_serve [port]         # default 2113, 0 = ephemeral
+//   build/examples/f2db_serve [port] [--data-dir DIR] [--fsync POLICY]
+//                             [--checkpoint-interval SECONDS]
+//
+//   port                  listen port; default 2113, 0 = ephemeral
+//   --data-dir DIR        run durably: WAL + checkpoints in DIR. On boot an
+//                         existing DIR is recovered (checkpoint + WAL tail)
+//                         and the advised configuration is NOT re-applied;
+//                         an empty DIR starts fresh. SIGTERM writes a final
+//                         checkpoint after the drain.
+//   --fsync POLICY        none | batch | always (default batch)
+//   --checkpoint-interval background checkpoint cadence in seconds
+//                         (default 60; 0 = shutdown checkpoint only)
 //
 // Talk to it with build/examples/f2db_client, or any client that speaks
 // the length-prefixed wire protocol (see DESIGN.md §8).
@@ -13,6 +24,9 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
 #include <thread>
 
 #include "baselines/advisor_builder.h"
@@ -24,7 +38,35 @@ int main(int argc, char** argv) {
   using namespace f2db;
 
   std::uint16_t port = 2113;
-  if (argc > 1) port = static_cast<std::uint16_t>(std::atoi(argv[1]));
+  EngineOptions engine_options;
+  engine_options.checkpoint_interval_seconds = 60.0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s needs a value\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--data-dir") {
+      engine_options.data_dir = value();
+    } else if (arg == "--fsync") {
+      auto policy = ParseFsyncPolicy(value());
+      if (!policy.ok()) {
+        std::fprintf(stderr, "%s\n", policy.status().ToString().c_str());
+        return 2;
+      }
+      engine_options.fsync_policy = policy.value();
+    } else if (arg == "--checkpoint-interval") {
+      engine_options.checkpoint_interval_seconds = std::atof(value());
+    } else if (!arg.empty() && arg[0] != '-') {
+      port = static_cast<std::uint16_t>(std::atoi(arg.c_str()));
+    } else {
+      std::fprintf(stderr, "unknown flag %s\n", arg.c_str());
+      return 2;
+    }
+  }
 
   auto data = MakeTourism();
   if (!data.ok()) {
@@ -34,25 +76,50 @@ int main(int argc, char** argv) {
   ConfigurationEvaluator evaluator(data.value().graph, 0.8);
   ModelFactory factory(
       ModelSpec::TripleExponentialSmoothing(data.value().season));
-  AdvisorOptions advisor_options;
-  advisor_options.models_per_iteration = 8;
-  AdvisorBuilder advisor(advisor_options);
-  auto built = advisor.Build(evaluator, factory);
-  if (!built.ok()) {
-    std::fprintf(stderr, "%s\n", built.status().ToString().c_str());
-    return 1;
+
+  std::unique_ptr<F2dbEngine> engine;
+  auto engine_data = MakeTourism();
+  if (engine_options.data_dir.empty()) {
+    engine = std::make_unique<F2dbEngine>(
+        std::move(engine_data.value().graph));
+  } else {
+    auto opened = F2dbEngine::Open(std::move(engine_data.value().graph),
+                                   engine_options);
+    if (!opened.ok()) {
+      std::fprintf(stderr, "recovery failed: %s\n",
+                   opened.status().ToString().c_str());
+      return 1;
+    }
+    engine = std::move(opened.value());
   }
 
-  auto engine_data = MakeTourism();
-  F2dbEngine engine(std::move(engine_data.value().graph));
-  if (!engine.LoadConfiguration(built.value().configuration, evaluator).ok()) {
-    std::fprintf(stderr, "engine load failed\n");
-    return 1;
+  // A recovered engine already carries its configuration (replayed from
+  // the checkpoint/WAL); only a fresh engine needs the advisor's.
+  if (engine->num_models() == 0) {
+    AdvisorOptions advisor_options;
+    advisor_options.models_per_iteration = 8;
+    AdvisorBuilder advisor(advisor_options);
+    auto built = advisor.Build(evaluator, factory);
+    if (!built.ok()) {
+      std::fprintf(stderr, "%s\n", built.status().ToString().c_str());
+      return 1;
+    }
+    if (!engine->LoadConfiguration(built.value().configuration, evaluator)
+             .ok()) {
+      std::fprintf(stderr, "engine load failed\n");
+      return 1;
+    }
+  } else {
+    const EngineStats stats = engine->stats();
+    std::printf("f2db_serve: recovered %zu models from %s "
+                "(%zu WAL records replayed in %.1f ms)\n",
+                engine->num_models(), engine_options.data_dir.c_str(),
+                stats.wal_records_replayed, stats.recovery_duration_ms);
   }
 
   ServerOptions options;
   options.port = port;
-  F2dbServer server(engine, options);
+  F2dbServer server(*engine, options);
   const Status started = server.Start();
   if (!started.ok()) {
     std::fprintf(stderr, "server start failed: %s\n",
@@ -65,9 +132,11 @@ int main(int argc, char** argv) {
   }
   ::signal(SIGINT, [](int) { ::raise(SIGTERM); });
 
-  std::printf("f2db_serve: tourism cube (%zu models) on 127.0.0.1:%u — "
+  std::printf("f2db_serve: tourism cube (%zu models) on 127.0.0.1:%u%s%s — "
               "SIGTERM drains and exits\n",
-              engine.num_models(), server.port());
+              engine->num_models(), server.port(),
+              engine->durable() ? ", durable in " : "",
+              engine->durable() ? engine_options.data_dir.c_str() : "");
   while (server.running()) {
     std::this_thread::sleep_for(std::chrono::milliseconds(100));
   }

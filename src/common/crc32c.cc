@@ -1,0 +1,35 @@
+#include "common/crc32c.h"
+
+#include <array>
+
+namespace f2db {
+namespace {
+
+/// Table for the reflected Castagnoli polynomial 0x82F63B78, built once at
+/// static-initialization time (256 entries, byte-at-a-time).
+constexpr std::array<std::uint32_t, 256> BuildTable() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc >> 1) ^ ((crc & 1u) ? 0x82F63B78u : 0u);
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+constexpr std::array<std::uint32_t, 256> kTable = BuildTable();
+
+}  // namespace
+
+std::uint32_t Crc32c(const void* data, std::size_t size, std::uint32_t init) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  std::uint32_t crc = ~init;
+  for (std::size_t i = 0; i < size; ++i) {
+    crc = kTable[(crc ^ bytes[i]) & 0xFFu] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+}  // namespace f2db

@@ -12,9 +12,8 @@ void ConfigurationCatalog::Clear() {
   model_table_.clear();
 }
 
-Status ConfigurationCatalog::Save(const std::string& path) const {
-  std::ofstream out(path, std::ios::trunc);
-  if (!out) return Status::Internal("cannot open catalog file: " + path);
+std::string ConfigurationCatalog::SerializeToString() const {
+  std::ostringstream out;
   out.precision(17);
   out << "f2db-catalog v1\n";
   out << "schemes " << scheme_table_.size() << "\n";
@@ -28,16 +27,14 @@ Status ConfigurationCatalog::Save(const std::string& path) const {
     out << row.node << " " << row.creation_seconds << " " << row.payload
         << "\n";
   }
-  if (!out) return Status::Internal("catalog write failed: " + path);
-  return Status::OK();
+  return out.str();
 }
 
-Status ConfigurationCatalog::Load(const std::string& path) {
-  std::ifstream in(path);
-  if (!in) return Status::NotFound("cannot open catalog file: " + path);
+Status ConfigurationCatalog::ParseFromString(const std::string& text) {
+  std::istringstream in(text);
   std::string line;
   if (!std::getline(in, line) || line != "f2db-catalog v1") {
-    return Status::InvalidArgument("not an f2db catalog file: " + path);
+    return Status::InvalidArgument("not an f2db catalog: bad header");
   }
   Clear();
 
@@ -71,6 +68,26 @@ Status ConfigurationCatalog::Load(const std::string& path) {
     model_table_.push_back(std::move(row));
   }
   return Status::OK();
+}
+
+Status ConfigurationCatalog::Save(const std::string& path) const {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return Status::Internal("cannot open catalog file: " + path);
+  out << SerializeToString();
+  if (!out) return Status::Internal("catalog write failed: " + path);
+  return Status::OK();
+}
+
+Status ConfigurationCatalog::Load(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open catalog file: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  Status status = ParseFromString(buffer.str());
+  if (!status.ok() && status.code() == StatusCode::kInvalidArgument) {
+    return Status::InvalidArgument(status.message() + ": " + path);
+  }
+  return status;
 }
 
 }  // namespace f2db

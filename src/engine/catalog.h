@@ -46,6 +46,13 @@ class ConfigurationCatalog {
 
   void Clear();
 
+  /// Renders both tables in the "f2db-catalog v1" text format — also the
+  /// payload of a WAL kCatalog record.
+  std::string SerializeToString() const;
+
+  /// Replaces the catalog contents from SerializeToString() text.
+  Status ParseFromString(const std::string& text);
+
   /// Writes both tables to a text file.
   Status Save(const std::string& path) const;
 

@@ -1,6 +1,9 @@
 #include "engine/engine.h"
 
+#include <unistd.h>
+
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <limits>
@@ -8,6 +11,7 @@
 
 #include "common/logging.h"
 #include "common/stopwatch.h"
+#include "engine/recovery.h"
 #include "ts/model_factory.h"
 #include "ts/naive_models.h"
 
@@ -96,6 +100,59 @@ F2dbEngine::F2dbEngine(TimeSeriesGraph graph, EngineOptions options)
   snapshot_.store(std::move(initial), std::memory_order_release);
 }
 
+F2dbEngine::~F2dbEngine() {
+  if (checkpoint_thread_.joinable()) {
+    {
+      std::lock_guard<std::mutex> lock(checkpoint_mutex_);
+      stopping_ = true;
+    }
+    checkpoint_cv_.notify_all();
+    checkpoint_thread_.join();
+  }
+  if (wal_) {
+    std::lock_guard<std::mutex> lock(writer_mutex_);
+    wal_->Close();
+  }
+}
+
+Result<std::unique_ptr<F2dbEngine>> F2dbEngine::Open(TimeSeriesGraph graph,
+                                                     EngineOptions options) {
+  auto engine = std::make_unique<F2dbEngine>(std::move(graph), options);
+  if (options.data_dir.empty()) return engine;
+
+  // Recovery runs single-threaded: the engine exists but no other thread
+  // can reach it yet, so the replay callbacks use the regular maintenance
+  // paths (with logging suppressed — replayed records are already logged).
+  RecoveryCallbacks callbacks;
+  callbacks.apply_checkpoint = [&engine](CheckpointState&& state) {
+    return engine->ApplyCheckpointState(std::move(state));
+  };
+  callbacks.apply_record = [&engine](const WalRecord& record) {
+    return engine->ApplyWalRecord(record);
+  };
+  F2DB_ASSIGN_OR_RETURN(RecoveryInfo info,
+                        RunRecovery(options.data_dir, callbacks));
+  engine->recovery_records_replayed_ = info.records_replayed;
+  engine->recovery_torn_tail_ = info.torn_tail_detected;
+  engine->recovery_seconds_ = info.recovery_seconds;
+
+  auto writer =
+      info.create_segment
+          ? WalWriter::Create(options.data_dir, info.append_epoch,
+                              options.fsync_policy, options.wal_batch_records)
+          : WalWriter::Reopen(options.data_dir, info.append_epoch,
+                              info.append_valid_bytes, options.fsync_policy,
+                              options.wal_batch_records);
+  if (!writer.ok()) return writer.status();
+  engine->wal_ = std::make_unique<WalWriter>(std::move(writer.value()));
+
+  if (options.checkpoint_interval_seconds > 0.0) {
+    engine->checkpoint_thread_ =
+        std::thread([raw = engine.get()] { raw->CheckpointLoop(); });
+  }
+  return engine;
+}
+
 const TimeSeriesGraph& F2dbEngine::graph() const {
   return *LoadSnapshot()->graph;
 }
@@ -113,6 +170,16 @@ EngineStats F2dbEngine::stats() const {
   out.degraded_rows_naive = stats_.degraded_rows_naive.Load();
   out.total_query_seconds = stats_.query_seconds.Load();
   out.total_maintenance_seconds = stats_.maintenance_seconds.Load();
+  out.wal_records_appended = stats_.wal_records.Load();
+  out.wal_bytes = stats_.wal_bytes.Load();
+  out.wal_records_replayed = recovery_records_replayed_;
+  out.torn_tail_detected = recovery_torn_tail_ ? 1 : 0;
+  out.checkpoints_completed = stats_.checkpoints_completed.Load();
+  out.checkpoint_failures = stats_.checkpoint_failures.Load();
+  out.recovery_duration_ms = recovery_seconds_ * 1e3;
+  const double last = last_checkpoint_seconds_.load(std::memory_order_relaxed);
+  out.last_checkpoint_age_seconds =
+      last < 0.0 ? -1.0 : uptime_.ElapsedSeconds() - last;
   return out;
 }
 
@@ -194,11 +261,22 @@ Status F2dbEngine::LoadConfiguration(const ModelConfiguration& config,
     }
     next->schemes[node] = {best};
   }
+  // Log the configuration before it becomes visible: a crash after the
+  // append replays into this exact state (the caught-up models included),
+  // a crash before it leaves the previous state — either way WAL and
+  // published state agree.
+  F2DB_RETURN_IF_ERROR(WalAppendLocked(
+      WalRecord::Catalog(CatalogFromSnapshot(*next).SerializeToString())));
   Publish(std::move(next));
   return Status::OK();
 }
 
 Status F2dbEngine::LoadCatalog(const ConfigurationCatalog& catalog) {
+  return LoadCatalogImpl(catalog, /*log=*/true);
+}
+
+Status F2dbEngine::LoadCatalogImpl(const ConfigurationCatalog& catalog,
+                                   bool log) {
   std::lock_guard<std::mutex> lock(writer_mutex_);
   const SnapshotPtr cur = LoadSnapshot();
   auto next = cur->CopyForWrite();
@@ -223,30 +301,45 @@ Status F2dbEngine::LoadCatalog(const ConfigurationCatalog& catalog) {
       return Status::OutOfRange("scheme row references unknown node");
     }
     for (NodeId s : row.sources) {
-      if (next->models.count(s) == 0) {
-        return Status::InvalidArgument(
-            "scheme source " + std::to_string(s) + " has no stored model");
+      if (s >= cur->graph->num_nodes()) {
+        return Status::OutOfRange("scheme source references unknown node");
       }
     }
     next->schemes[row.target] = row.sources;
   }
-  // All rows validated — only now does the new state become visible.
+  // A scheme source needs either a stored model or a derivation scheme of
+  // its own (the query path serves the latter through the degraded-fallback
+  // ladder). Validated after both tables are installed because a source's
+  // scheme row may follow the row that references it.
+  for (const SchemeRow& row : catalog.scheme_table()) {
+    for (NodeId s : row.sources) {
+      if (next->models.count(s) == 0 && next->schemes[s].empty()) {
+        return Status::InvalidArgument(
+            "scheme source " + std::to_string(s) +
+            " has neither a stored model nor a derivation scheme");
+      }
+    }
+  }
+  // All rows validated — log, then only now does the state become visible.
+  if (log) {
+    F2DB_RETURN_IF_ERROR(
+        WalAppendLocked(WalRecord::Catalog(catalog.SerializeToString())));
+  }
   Publish(std::move(next));
   return Status::OK();
 }
 
-Result<ConfigurationCatalog> F2dbEngine::ExportCatalog() const {
-  const SnapshotPtr snap = LoadSnapshot();
+ConfigurationCatalog F2dbEngine::CatalogFromSnapshot(const EngineSnapshot& snap) {
   ConfigurationCatalog catalog;
-  for (NodeId node = 0; node < snap->graph->num_nodes(); ++node) {
-    if (snap->schemes[node].empty()) continue;
+  for (NodeId node = 0; node < snap.graph->num_nodes(); ++node) {
+    if (snap.schemes[node].empty()) continue;
     SchemeRow row;
     row.target = node;
-    row.sources = snap->schemes[node];
-    row.weight = snap->Weight(row.sources, node);
+    row.sources = snap.schemes[node];
+    row.weight = snap.Weight(row.sources, node);
     catalog.scheme_table().push_back(std::move(row));
   }
-  for (const auto& [node, live] : snap->models) {
+  for (const auto& [node, live] : snap.models) {
     ModelRow row;
     row.node = node;
     row.payload = ModelFactory::SerializeModel(*live->model);
@@ -256,6 +349,10 @@ Result<ConfigurationCatalog> F2dbEngine::ExportCatalog() const {
   std::sort(catalog.model_table().begin(), catalog.model_table().end(),
             [](const ModelRow& a, const ModelRow& b) { return a.node < b.node; });
   return catalog;
+}
+
+Result<ConfigurationCatalog> F2dbEngine::ExportCatalog() const {
+  return CatalogFromSnapshot(*LoadSnapshot());
 }
 
 Result<QueryResult> F2dbEngine::ExecuteSql(const std::string& sql) const {
@@ -624,6 +721,15 @@ void F2dbEngine::OfferReestimate(
   // the current state (but remains correct for the reader's snapshot).
   const auto it = cur->models.find(node);
   if (it == cur->models.end() || it->second != expected) return;
+  // Log before publishing. If the append fails the refit simply is not
+  // installed (the caller still serves its result once) — a degradation,
+  // never a divergence between the log and the published state.
+  if (!WalAppendLocked(
+           WalRecord::ModelInstall(node, fresh->creation_seconds,
+                                   ModelFactory::SerializeModel(*fresh->model)))
+           .ok()) {
+    return;
+  }
   auto next = cur->CopyForWrite();
   next->models[node] = std::move(fresh);
   Publish(std::move(next));
@@ -645,6 +751,16 @@ void F2dbEngine::OfferRefitFailure(
   if (options_.quarantine_after_refit_failures > 0 &&
       updated->refit_failures >= options_.quarantine_after_refit_failures &&
       !updated->quarantined) {
+    // The quarantine TRANSITION is durable (plain failure-count bumps are
+    // not: they reset to the last logged transition on recovery, which
+    // only makes post-crash refits retry sooner). An append failure skips
+    // the whole publication; the state stays unchanged and a later
+    // attempt retries the transition.
+    if (!WalAppendLocked(
+             WalRecord::Quarantine(node, updated->refit_failures))
+             .ok()) {
+      return;
+    }
     updated->quarantined = true;
     stats_.quarantines.Add();
   }
@@ -674,6 +790,11 @@ Status F2dbEngine::InsertFact(const std::vector<std::string>& base_values,
 Status F2dbEngine::InsertFact(NodeId base_node, std::int64_t time,
                               double value) {
   F2DB_INJECT_FAILPOINT(kFailpointEngineInsert);
+  return InsertFactImpl(base_node, time, value, /*log=*/true);
+}
+
+Status F2dbEngine::InsertFactImpl(NodeId base_node, std::int64_t time,
+                                  double value, bool log) {
   // NaN/Inf would silently poison every aggregate above this cell and the
   // CSS/SSE recursions of every model that later updates on it.
   if (!std::isfinite(value)) {
@@ -696,13 +817,23 @@ Status F2dbEngine::InsertFact(NodeId base_node, std::int64_t time,
                               " is behind the stored frontier " +
                               std::to_string(frontier));
   }
-  auto& batch = pending_[time];
-  if (batch.empty()) batch.resize(cur->graph->num_base_nodes());
-  if (batch[slot->second].has_value()) {
+  const auto existing = pending_.find(time);
+  if (existing != pending_.end() &&
+      existing->second[slot->second].has_value()) {
     return Status::AlreadyExists("duplicate insert for node " +
                                  cur->graph->NodeName(base_node) +
                                  " at time " + std::to_string(time));
   }
+  // Every validation has passed: log, then mutate. A failed append (full
+  // disk, failed fsync) rejects the insert with NOTHING buffered — the
+  // WAL writer rolled its bytes back, so the caller's error and a future
+  // recovery agree the fact does not exist.
+  if (log) {
+    F2DB_RETURN_IF_ERROR(
+        WalAppendLocked(WalRecord::Insert(base_node, time, value)));
+  }
+  auto& batch = pending_[time];
+  if (batch.empty()) batch.resize(cur->graph->num_base_nodes());
   batch[slot->second] = value;
   stats_.inserts.Add();
   const Status advanced = AdvanceWhileCompleteLocked();
@@ -816,6 +947,265 @@ Status F2dbEngine::AdvanceWhileCompleteLocked() {
   stats_.time_advances.Add(advances);
   Publish(std::move(next));
   return Status::OK();
+}
+
+// --------------------------------------------------- durability internals
+
+Status F2dbEngine::WalAppendLocked(const WalRecord& record) const {
+  if (!wal_) return Status::OK();  // in-memory engine: nothing to log
+  if (!wal_->open()) {
+    return Status::Unavailable(
+        "WAL writer is broken (an earlier fsync rollback failed); "
+        "mutations are refused until the engine is reopened");
+  }
+  const std::uint64_t before = wal_->bytes_appended();
+  F2DB_RETURN_IF_ERROR(wal_->Append(record));
+  stats_.wal_records.Add();
+  stats_.wal_bytes.Add(static_cast<std::size_t>(wal_->bytes_appended() - before));
+  return Status::OK();
+}
+
+Status F2dbEngine::ApplyCheckpointState(CheckpointState&& state) {
+  std::lock_guard<std::mutex> lock(writer_mutex_);
+  const SnapshotPtr cur = LoadSnapshot();
+
+  // Replace the base fact data wholesale and rebuild the aggregates
+  // bottom-up — BuildAggregates and AdvanceTime share the same child
+  // summation order, so the rebuilt aggregates are bit-identical to what
+  // the pre-crash process computed incrementally.
+  auto graph = std::make_shared<TimeSeriesGraph>(*cur->graph);
+  for (auto& [node, values] : state.base_series) {
+    if (node >= graph->num_nodes()) {
+      return Status::Internal("checkpoint references unknown base node " +
+                              std::to_string(node));
+    }
+    F2DB_RETURN_IF_ERROR(graph->SetBaseSeries(
+        node, TimeSeries(std::move(values), state.base_start_time)));
+  }
+  F2DB_RETURN_IF_ERROR(graph->BuildAggregates());
+
+  auto next = cur->CopyForWrite();
+  next->graph = graph;
+  for (NodeId node = 0; node < graph->num_nodes(); ++node) {
+    next->history_sums[node] = graph->series(node).Sum();
+  }
+  for (auto& scheme : next->schemes) scheme.clear();
+  for (auto& [target, sources] : state.schemes) {
+    if (target >= graph->num_nodes()) {
+      return Status::Internal("checkpoint scheme references unknown node " +
+                              std::to_string(target));
+    }
+    next->schemes[target] = std::move(sources);
+  }
+  next->models.clear();
+  for (CheckpointModel& model : state.models) {
+    if (model.node >= graph->num_nodes()) {
+      return Status::Internal("checkpoint model references unknown node " +
+                              std::to_string(model.node));
+    }
+    F2DB_ASSIGN_OR_RETURN(std::unique_ptr<ForecastModel> restored,
+                          ModelFactory::DeserializeModel(model.payload));
+    auto live = std::make_shared<LiveModel>();
+    live->model = std::shared_ptr<const ForecastModel>(std::move(restored));
+    live->creation_seconds = model.creation_seconds;
+    live->invalid = model.invalid;
+    live->updates_since_estimate = model.updates_since_estimate;
+    live->refit_failures = model.refit_failures;
+    live->quarantined = model.quarantined;
+    next->models[model.node] = std::move(live);
+  }
+
+  pending_.clear();
+  for (const auto& [time, slot, value] : state.pending) {
+    auto& batch = pending_[time];
+    if (batch.empty()) batch.resize(graph->num_base_nodes());
+    if (slot >= batch.size()) {
+      return Status::Internal("checkpoint pending slot out of range");
+    }
+    batch[slot] = value;
+  }
+
+  // Restore the maintenance counters so post-recovery stats continue the
+  // pre-crash process's sequence (WAL replay then stacks on top).
+  stats_.inserts.Add(state.inserts);
+  stats_.time_advances.Add(state.time_advances);
+  stats_.reestimates.Add(state.reestimates);
+  stats_.quarantines.Add(state.quarantines);
+  stats_.refit_failures.Add(state.refit_failures);
+
+  Publish(std::move(next));
+  return Status::OK();
+}
+
+Status F2dbEngine::ApplyWalRecord(const WalRecord& record) {
+  switch (record.kind) {
+    case WalRecord::Kind::kInsert:
+      return InsertFactImpl(record.node, record.time, record.value,
+                            /*log=*/false);
+    case WalRecord::Kind::kCatalog: {
+      ConfigurationCatalog catalog;
+      F2DB_RETURN_IF_ERROR(catalog.ParseFromString(record.payload));
+      return LoadCatalogImpl(catalog, /*log=*/false);
+    }
+    case WalRecord::Kind::kModelInstall: {
+      F2DB_ASSIGN_OR_RETURN(std::unique_ptr<ForecastModel> model,
+                            ModelFactory::DeserializeModel(record.payload));
+      std::lock_guard<std::mutex> lock(writer_mutex_);
+      const SnapshotPtr cur = LoadSnapshot();
+      if (record.node >= cur->graph->num_nodes()) {
+        return Status::Internal("model install references unknown node " +
+                                std::to_string(record.node));
+      }
+      auto live = std::make_shared<LiveModel>();
+      live->model = std::shared_ptr<const ForecastModel>(std::move(model));
+      live->creation_seconds = record.value;
+      auto next = cur->CopyForWrite();
+      next->models[record.node] = std::move(live);
+      Publish(std::move(next));
+      return Status::OK();
+    }
+    case WalRecord::Kind::kQuarantine: {
+      std::lock_guard<std::mutex> lock(writer_mutex_);
+      const SnapshotPtr cur = LoadSnapshot();
+      const auto it = cur->models.find(record.node);
+      // A later record may have replaced the entry the transition applied
+      // to (catalog reload); the transition is then moot.
+      if (it == cur->models.end()) return Status::OK();
+      auto updated = std::make_shared<LiveModel>(*it->second);
+      updated->refit_failures = record.count;
+      updated->quarantined = true;
+      auto next = cur->CopyForWrite();
+      next->models[record.node] = std::move(updated);
+      Publish(std::move(next));
+      stats_.quarantines.Add();
+      return Status::OK();
+    }
+  }
+  return Status::Internal("unknown WAL record kind " +
+                          std::to_string(static_cast<int>(record.kind)));
+}
+
+CheckpointState F2dbEngine::BuildCheckpointStateLocked(
+    const SnapshotPtr& snap, std::uint64_t wal_epoch) const {
+  CheckpointState state;
+  state.wal_epoch = wal_epoch;
+  state.inserts = stats_.inserts.Load();
+  state.time_advances = stats_.time_advances.Load();
+  state.reestimates = stats_.reestimates.Load();
+  state.quarantines = stats_.quarantines.Load();
+  state.refit_failures = stats_.refit_failures.Load();
+
+  const TimeSeriesGraph& graph = *snap->graph;
+  if (graph.num_base_nodes() > 0) {
+    state.base_start_time = graph.series(graph.base_nodes()[0]).start_time();
+  }
+  state.base_series.reserve(graph.num_base_nodes());
+  for (NodeId node : graph.base_nodes()) {
+    state.base_series.emplace_back(node, graph.series(node).values());
+  }
+  for (NodeId node = 0; node < graph.num_nodes(); ++node) {
+    if (!snap->schemes[node].empty()) {
+      state.schemes.emplace_back(node, snap->schemes[node]);
+    }
+  }
+  state.models.reserve(snap->models.size());
+  for (const auto& [node, live] : snap->models) {
+    CheckpointModel model;
+    model.node = node;
+    model.invalid = live->invalid;
+    model.updates_since_estimate = live->updates_since_estimate;
+    model.refit_failures = live->refit_failures;
+    model.quarantined = live->quarantined;
+    model.creation_seconds = live->creation_seconds;
+    model.payload = ModelFactory::SerializeModel(*live->model);
+    state.models.push_back(std::move(model));
+  }
+  std::sort(state.models.begin(), state.models.end(),
+            [](const CheckpointModel& a, const CheckpointModel& b) {
+              return a.node < b.node;
+            });
+  for (const auto& [time, batch] : pending_) {
+    for (std::size_t slot = 0; slot < batch.size(); ++slot) {
+      if (batch[slot].has_value()) {
+        state.pending.emplace_back(time, slot, *batch[slot]);
+      }
+    }
+  }
+  return state;
+}
+
+Status F2dbEngine::CheckpointNow() {
+  if (!durable()) {
+    return Status::FailedPrecondition(
+        "checkpoint requires a durable engine (open with a data_dir)");
+  }
+  CheckpointState state;
+  {
+    std::lock_guard<std::mutex> lock(writer_mutex_);
+    if (!wal_->open()) {
+      stats_.checkpoint_failures.Add();
+      return Status::Unavailable("WAL writer is broken; cannot rotate");
+    }
+    // Rotate first: everything logged so far lands in segments the
+    // checkpoint will cover, everything after this point lands in the new
+    // epoch the checkpoint tells recovery to replay. Rotation failure
+    // aborts the checkpoint with the old writer still active.
+    F2DB_RETURN_IF_ERROR(wal_->Sync());
+    auto rotated =
+        WalWriter::Create(options_.data_dir, wal_->epoch() + 1,
+                          options_.fsync_policy, options_.wal_batch_records);
+    if (!rotated.ok()) {
+      stats_.checkpoint_failures.Add();
+      return rotated.status();
+    }
+    wal_->Close();
+    *wal_ = std::move(rotated.value());
+    state = BuildCheckpointStateLocked(LoadSnapshot(), wal_->epoch());
+  }
+  // Serialization and IO run OFF the writer lock: the state references
+  // only copies and the immutable pinned snapshot, so maintenance and
+  // queries proceed while the checkpoint hits disk.
+  const Status written = WriteCheckpoint(options_.data_dir, state);
+  if (!written.ok()) {
+    // Both the old checkpoint and every WAL segment survive; recovery
+    // replays across the epoch boundary as if no checkpoint was attempted.
+    stats_.checkpoint_failures.Add();
+    return written;
+  }
+  // The checkpoint is durable — segments below its epoch are redundant.
+  // A failed unlink merely leaves a stale segment for the next recovery
+  // (or checkpoint) to clean up.
+  auto epochs = ListWalEpochs(options_.data_dir);
+  if (epochs.ok()) {
+    for (const std::uint64_t epoch : epochs.value()) {
+      if (epoch < state.wal_epoch) {
+        ::unlink(WalPath(options_.data_dir, epoch).c_str());
+      }
+    }
+  }
+  stats_.checkpoints_completed.Add();
+  last_checkpoint_seconds_.store(uptime_.ElapsedSeconds(),
+                                 std::memory_order_relaxed);
+  return Status::OK();
+}
+
+void F2dbEngine::CheckpointLoop() {
+  const auto interval =
+      std::chrono::duration<double>(options_.checkpoint_interval_seconds);
+  std::unique_lock<std::mutex> lock(checkpoint_mutex_);
+  while (!stopping_) {
+    if (checkpoint_cv_.wait_for(lock, interval,
+                                [this] { return stopping_; })) {
+      break;
+    }
+    lock.unlock();
+    const Status status = CheckpointNow();
+    if (!status.ok()) {
+      F2DB_LOG(kWarning) << "background checkpoint failed: "
+                         << status.message();
+    }
+    lock.lock();
+  }
 }
 
 }  // namespace f2db

@@ -34,11 +34,13 @@
 #define F2DB_ENGINE_ENGINE_H_
 
 #include <atomic>
+#include <condition_variable>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <optional>
 #include <string>
+#include <thread>
 #include <unordered_map>
 #include <vector>
 
@@ -51,8 +53,10 @@
 #include "core/evaluator.h"
 #include "cube/graph.h"
 #include "engine/catalog.h"
+#include "engine/checkpoint.h"
 #include "engine/query.h"
 #include "engine/snapshot.h"
+#include "engine/wal.h"
 #include "ts/intervals.h"
 #include "ts/model.h"
 
@@ -89,6 +93,22 @@ struct EngineOptions {
   /// 0 = retry immediately on every query (the default; tests and embedded
   /// single-shot use want deterministic behavior).
   double refit_retry_backoff_seconds = 0.0;
+
+  // ---- durability (DESIGN.md §10) ----
+
+  /// Data directory for the WAL and checkpoints. Empty = in-memory engine
+  /// with no durability (the default; matches the plain constructor).
+  /// Non-empty directories require construction through F2dbEngine::Open,
+  /// which recovers existing state before serving.
+  std::string data_dir;
+  /// When WAL appends reach stable storage (see FsyncPolicy).
+  FsyncPolicy fsync_policy = FsyncPolicy::kBatch;
+  /// Group-commit size under FsyncPolicy::kBatch: fsync once per this many
+  /// appended records.
+  std::size_t wal_batch_records = 64;
+  /// Background checkpoint cadence in seconds; 0 disables the background
+  /// thread (checkpoints then happen only via CheckpointNow / shutdown).
+  double checkpoint_interval_seconds = 0.0;
 };
 
 /// How far down the fallback ladder a forecast had to go. Higher values
@@ -126,6 +146,25 @@ struct EngineStats {
   std::size_t degraded_rows_naive = 0;
   double total_query_seconds = 0.0;
   double total_maintenance_seconds = 0.0;
+
+  // ---- durability counters (all zero for an in-memory engine) ----
+
+  /// WAL records appended (across segment rotations) since this process
+  /// opened the engine.
+  std::size_t wal_records_appended = 0;
+  /// WAL bytes appended since this process opened the engine.
+  std::size_t wal_bytes = 0;
+  /// WAL records replayed by recovery when the engine was opened.
+  std::size_t wal_records_replayed = 0;
+  /// 1 when recovery found (and truncated) a torn final WAL record.
+  std::size_t torn_tail_detected = 0;
+  std::size_t checkpoints_completed = 0;
+  std::size_t checkpoint_failures = 0;
+  /// Wall-clock milliseconds recovery took at open (0 for in-memory).
+  double recovery_duration_ms = 0.0;
+  /// Seconds since the last completed checkpoint; -1 when none completed
+  /// in this process's lifetime.
+  double last_checkpoint_age_seconds = -1.0;
 
   /// Renders the counters in the Prometheus text exposition format (see
   /// engine/stats_export.h); served by the network layer's STATS frame.
@@ -184,8 +223,38 @@ struct ExplainResult {
 /// The embedded forecast-enabled database engine.
 class F2dbEngine {
  public:
-  /// Takes ownership of the loaded fact cube (aggregates built).
+  /// Takes ownership of the loaded fact cube (aggregates built). This
+  /// constructor is always IN-MEMORY: options.data_dir is ignored here
+  /// because construction cannot report a recovery failure — durable
+  /// engines are built through Open().
   explicit F2dbEngine(TimeSeriesGraph graph, EngineOptions options = {});
+
+  /// Stops the background checkpoint thread and closes the WAL (final
+  /// fsync unless the policy is kNone). No shutdown checkpoint is taken
+  /// here — callers that want one (the server's drain path) call
+  /// CheckpointNow() first.
+  ~F2dbEngine();
+
+  /// Opens an engine over options.data_dir: loads the latest valid
+  /// checkpoint, replays the WAL tail (tolerating a torn final record),
+  /// and resumes logging. `graph` supplies the cube structure and the
+  /// initial fact data; a checkpoint's stored base series replace the
+  /// fact values wholesale. With an empty data_dir this is equivalent to
+  /// the constructor.
+  static Result<std::unique_ptr<F2dbEngine>> Open(TimeSeriesGraph graph,
+                                                  EngineOptions options = {});
+
+  /// Whether this engine writes a WAL (opened through Open with a
+  /// data_dir; the plain constructor never is).
+  bool durable() const { return wal_ != nullptr; }
+
+  /// Takes a checkpoint right now: rotates the WAL to a fresh epoch,
+  /// writes the pinned snapshot atomically, and deletes the WAL segments
+  /// the checkpoint made redundant. Serialized with all maintenance; the
+  /// expensive serialization runs off the writer lock. On failure the
+  /// previous checkpoint and every WAL segment survive, so recovery is
+  /// unaffected. kFailedPrecondition for an in-memory engine.
+  Status CheckpointNow();
 
   /// The graph of the CURRENT snapshot. The reference stays valid until the
   /// next maintenance publication — a single-threaded convenience. Code
@@ -292,6 +361,10 @@ class F2dbEngine {
     RelaxedCounter degraded_rows_naive;
     RelaxedAccumulator query_seconds;
     RelaxedAccumulator maintenance_seconds;
+    RelaxedCounter wal_records;
+    RelaxedCounter wal_bytes;
+    RelaxedCounter checkpoints_completed;
+    RelaxedCounter checkpoint_failures;
   };
 
   SnapshotPtr LoadSnapshot() const {
@@ -355,6 +428,42 @@ class F2dbEngine {
   /// publishes one successor snapshot. Caller holds writer_mutex_.
   Status AdvanceWhileCompleteLocked();
 
+  // ------------------------------------------------- durability internals
+
+  /// Shared core of InsertFact and WAL replay: full validation, then a WAL
+  /// append when `log` is set (replay must not re-log), then buffer and
+  /// advance.
+  Status InsertFactImpl(NodeId base_node, std::int64_t time, double value,
+                        bool log);
+
+  /// Shared core of LoadCatalog and kCatalog replay.
+  Status LoadCatalogImpl(const ConfigurationCatalog& catalog, bool log);
+
+  /// Appends one record when the engine is durable (no-op otherwise) and
+  /// accounts the WAL counters. Caller holds writer_mutex_. Const because
+  /// query-side re-estimation publications log too.
+  Status WalAppendLocked(const WalRecord& record) const;
+
+  /// Renders the given snapshot's configuration as catalog tables (the
+  /// payload of a WAL kCatalog record; also backs ExportCatalog).
+  static ConfigurationCatalog CatalogFromSnapshot(const EngineSnapshot& snap);
+
+  /// Recovery: installs a checkpoint's state wholesale (graph data,
+  /// schemes, models, pending buffer, maintenance counters). Runs
+  /// single-threaded inside Open(), before the engine is visible.
+  Status ApplyCheckpointState(CheckpointState&& state);
+
+  /// Recovery: re-applies one replayed WAL record.
+  Status ApplyWalRecord(const WalRecord& record);
+
+  /// Builds the checkpoint cut. Caller holds writer_mutex_; the returned
+  /// state references only copies, so serialization may run off the lock.
+  CheckpointState BuildCheckpointStateLocked(const SnapshotPtr& snap,
+                                             std::uint64_t wal_epoch) const;
+
+  /// Body of the background checkpoint thread.
+  void CheckpointLoop();
+
   /// The maintenance fan-out pool (nullptr = serial maintenance).
   ThreadPool* MaintenancePool() const;
 
@@ -382,6 +491,26 @@ class F2dbEngine {
   /// Insert buffer: time -> per-base-slot pending values.
   std::map<std::int64_t, std::vector<std::optional<double>>> pending_;
   std::unordered_map<NodeId, std::size_t> base_slot_;
+
+  /// The WAL of the current epoch; nullptr for an in-memory engine.
+  /// Rotated by CheckpointNow. Guarded by writer_mutex_ (mutable for the
+  /// same reason WalAppendLocked is const).
+  mutable std::unique_ptr<WalWriter> wal_;
+
+  // ---- recovery facts, written once inside Open() before any thread ----
+  std::size_t recovery_records_replayed_ = 0;
+  bool recovery_torn_tail_ = false;
+  double recovery_seconds_ = 0.0;
+
+  /// uptime_-relative stamp of the last completed checkpoint; negative
+  /// when none completed yet.
+  std::atomic<double> last_checkpoint_seconds_{-1.0};
+
+  // ---- background checkpoint thread ----
+  std::mutex checkpoint_mutex_;
+  std::condition_variable checkpoint_cv_;
+  bool stopping_ = false;  ///< guarded by checkpoint_mutex_
+  std::thread checkpoint_thread_;
 };
 
 }  // namespace f2db

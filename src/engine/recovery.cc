@@ -1,0 +1,119 @@
+#include "engine/recovery.h"
+
+#include <errno.h>
+#include <string.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <utility>
+
+#include "common/stopwatch.h"
+
+namespace f2db {
+namespace {
+
+/// Creates `dir` when missing. Parent directories must already exist — a
+/// data directory is configured explicitly, not discovered.
+Status EnsureDirectory(const std::string& dir) {
+  if (::mkdir(dir.c_str(), 0755) == 0 || errno == EEXIST) {
+    return Status::OK();
+  }
+  return Status::Unavailable("cannot create data directory " + dir + ": " +
+                             ::strerror(errno));
+}
+
+}  // namespace
+
+Result<RecoveryInfo> RunRecovery(const std::string& data_dir,
+                                 const RecoveryCallbacks& callbacks) {
+  const StopWatch watch;
+  RecoveryInfo info;
+
+  Status status = EnsureDirectory(data_dir);
+  if (!status.ok()) return status;
+
+  // Phase 1: the checkpoint. kNotFound means a fresh directory; any other
+  // failure (CRC mismatch, version drift, unreadable file) aborts recovery.
+  std::uint64_t replay_from_epoch = 1;
+  auto checkpoint = LoadCheckpoint(data_dir);
+  if (checkpoint.ok()) {
+    info.checkpoint_loaded = true;
+    replay_from_epoch = checkpoint.value().wal_epoch;
+    if (callbacks.apply_checkpoint) {
+      status = callbacks.apply_checkpoint(std::move(checkpoint.value()));
+      if (!status.ok()) return status;
+    }
+  } else if (checkpoint.status().code() != StatusCode::kNotFound) {
+    return checkpoint.status();
+  }
+
+  // Phase 2: the WAL segments. Segments older than the checkpoint's epoch
+  // are fully covered by it — a previous crash interrupted their deletion,
+  // so finish the job here.
+  auto epochs_result = ListWalEpochs(data_dir);
+  if (!epochs_result.ok()) return epochs_result.status();
+  std::vector<std::uint64_t> epochs;
+  for (const std::uint64_t epoch : epochs_result.value()) {
+    if (epoch < replay_from_epoch) {
+      const std::string stale = WalPath(data_dir, epoch);
+      if (::unlink(stale.c_str()) != 0 && errno != ENOENT) {
+        return Status::Unavailable("cannot delete stale WAL segment " + stale +
+                                   ": " + ::strerror(errno));
+      }
+      continue;
+    }
+    epochs.push_back(epoch);
+  }
+
+  if (epochs.empty()) {
+    // Fresh directory, or a checkpoint whose successor segment was never
+    // created before the crash: start a new segment at the replay epoch.
+    info.append_epoch = replay_from_epoch;
+    info.append_valid_bytes = 0;
+    info.create_segment = true;
+    info.recovery_seconds = watch.ElapsedSeconds();
+    return info;
+  }
+
+  // Phase 3: replay, oldest epoch first. Rotation bumps epochs one at a
+  // time and deletion only runs after a durable checkpoint, so a gap in
+  // the sequence means a segment (= history) went missing.
+  for (std::size_t i = 0; i + 1 < epochs.size(); ++i) {
+    if (epochs[i + 1] != epochs[i] + 1) {
+      return Status::Internal(
+          "WAL epoch gap: segment " + std::to_string(epochs[i] + 1) +
+          " is missing (have " + std::to_string(epochs[i]) + " and " +
+          std::to_string(epochs[i + 1]) + ")");
+    }
+  }
+  for (std::size_t i = 0; i < epochs.size(); ++i) {
+    const bool last_segment = (i + 1 == epochs.size());
+    auto segment = ReadWalSegment(WalPath(data_dir, epochs[i]));
+    if (!segment.ok()) return segment.status();
+    if (segment.value().torn_tail && !last_segment) {
+      // Only the newest segment can legitimately end mid-record; a tear in
+      // an older one means records after it were acknowledged and lost.
+      return Status::Internal("torn record inside non-final WAL segment " +
+                              WalPath(data_dir, epochs[i]) +
+                              " — log history is damaged");
+    }
+    for (const WalRecord& record : segment.value().records) {
+      if (callbacks.apply_record) {
+        status = callbacks.apply_record(record);
+        if (!status.ok()) return status;
+      }
+      ++info.records_replayed;
+    }
+    if (last_segment) {
+      info.torn_tail_detected = segment.value().torn_tail;
+      info.append_epoch = epochs[i];
+      info.append_valid_bytes = segment.value().valid_bytes;
+      info.create_segment = false;
+    }
+  }
+
+  info.recovery_seconds = watch.ElapsedSeconds();
+  return info;
+}
+
+}  // namespace f2db

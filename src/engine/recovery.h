@@ -1,0 +1,69 @@
+// Crash recovery: checkpoint load + WAL tail replay (DESIGN.md §10).
+//
+// RunRecovery() owns the file-level recovery protocol so the engine only
+// has to say how state is applied:
+//   1. create the data directory on first use;
+//   2. load the checkpoint if one exists (a checkpoint that exists but
+//      fails its CRC/version check aborts recovery — the engine must never
+//      start from silently wrong state);
+//   3. delete WAL segments older than the checkpoint's epoch (redundant
+//      segments whose deletion a previous crash interrupted);
+//   4. replay every remaining segment in epoch order, tolerating exactly
+//      one torn record at the tail of the NEWEST segment (the write a
+//      crash interrupted); a tear anywhere else means lost history and
+//      fails recovery loudly;
+//   5. report where appends must continue (segment epoch + the byte offset
+//      the torn tail was truncated to).
+//
+// The callbacks apply state mutations; RunRecovery never touches engine
+// internals directly, which keeps the protocol testable against plain
+// in-memory accumulators (see tests/integration/recovery_test.cc).
+
+#ifndef F2DB_ENGINE_RECOVERY_H_
+#define F2DB_ENGINE_RECOVERY_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "common/status.h"
+#include "engine/checkpoint.h"
+#include "engine/wal.h"
+
+namespace f2db {
+
+/// How the recovered state is applied (both optional; an unset callback
+/// skips that phase, which the dry-run inspection tools use).
+struct RecoveryCallbacks {
+  /// Installs the checkpointed snapshot. Called at most once, before any
+  /// WAL record.
+  std::function<Status(CheckpointState&&)> apply_checkpoint;
+  /// Applies one replayed WAL record, in log order.
+  std::function<Status(const WalRecord&)> apply_record;
+};
+
+/// What recovery found — the source of the engine's recovery counters.
+struct RecoveryInfo {
+  bool checkpoint_loaded = false;
+  std::uint64_t records_replayed = 0;
+  /// A torn final record was detected (and truncated away on reopen).
+  bool torn_tail_detected = false;
+  /// Wall-clock seconds spent in recovery (exported as
+  /// f2db_recovery_duration_ms).
+  double recovery_seconds = 0.0;
+
+  /// Segment appends continue on. When `create_segment` is true the
+  /// segment does not exist yet (fresh directory); otherwise reopen it
+  /// truncated to `append_valid_bytes`.
+  std::uint64_t append_epoch = 1;
+  std::uint64_t append_valid_bytes = 0;
+  bool create_segment = true;
+};
+
+/// Runs the recovery protocol over `data_dir` (created when missing).
+Result<RecoveryInfo> RunRecovery(const std::string& data_dir,
+                                 const RecoveryCallbacks& callbacks);
+
+}  // namespace f2db
+
+#endif  // F2DB_ENGINE_RECOVERY_H_

@@ -118,6 +118,32 @@ std::string EngineStats::ToPrometheusText() const {
   AppendPrometheusCounter(&out, "f2db_maintenance_seconds_total",
                           "Wall-clock seconds spent in maintenance.",
                           total_maintenance_seconds);
+
+  AppendPrometheusCounter(&out, "f2db_wal_records_appended_total",
+                          "WAL records appended by this process.",
+                          static_cast<double>(wal_records_appended));
+  AppendPrometheusCounter(&out, "f2db_wal_bytes_total",
+                          "WAL bytes appended by this process.",
+                          static_cast<double>(wal_bytes));
+  AppendPrometheusCounter(&out, "f2db_wal_records_replayed_total",
+                          "WAL records replayed by recovery at open.",
+                          static_cast<double>(wal_records_replayed));
+  AppendPrometheusGauge(&out, "f2db_torn_tail_detected",
+                        "1 when recovery truncated a torn final WAL record.",
+                        static_cast<double>(torn_tail_detected));
+  AppendPrometheusCounter(&out, "f2db_checkpoints_completed_total",
+                          "Checkpoints written successfully.",
+                          static_cast<double>(checkpoints_completed));
+  AppendPrometheusCounter(&out, "f2db_checkpoint_failures_total",
+                          "Checkpoint attempts that failed.",
+                          static_cast<double>(checkpoint_failures));
+  AppendPrometheusGauge(&out, "f2db_recovery_duration_ms",
+                        "Milliseconds recovery took when the engine opened.",
+                        recovery_duration_ms);
+  AppendPrometheusGauge(&out, "f2db_last_checkpoint_age_seconds",
+                        "Seconds since the last completed checkpoint; -1 "
+                        "when none completed yet.",
+                        last_checkpoint_age_seconds);
   return out;
 }
 

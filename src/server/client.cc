@@ -6,12 +6,20 @@
 #include <netinet/tcp.h>
 #include <string.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <unistd.h>
 
+#include <algorithm>
+#include <chrono>
+#include <thread>
 #include <utility>
 
 namespace f2db {
 namespace {
+
+/// A blocking send/recv that hit SO_SNDTIMEO/SO_RCVTIMEO reports
+/// EAGAIN/EWOULDBLOCK — surface those as an explicit timeout.
+bool IsTimeout(int err) { return err == EAGAIN || err == EWOULDBLOCK; }
 
 /// Writes all of `data`, retrying on EINTR / short writes.
 Status WriteAll(int fd, const std::string& data) {
@@ -24,6 +32,9 @@ Status WriteAll(int fd, const std::string& data) {
       continue;
     }
     if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && IsTimeout(errno)) {
+      return Status::Unavailable("request timed out while sending");
+    }
     return Status::Unavailable(std::string("write(): ") + ::strerror(errno));
   }
   return Status::OK();
@@ -43,15 +54,28 @@ Status ReadExactly(int fd, std::size_t n, std::string* out) {
       return Status::Unavailable("connection closed by server mid-frame");
     }
     if (errno == EINTR) continue;
+    if (IsTimeout(errno)) {
+      return Status::Unavailable("request timed out awaiting the response");
+    }
     return Status::Unavailable(std::string("read(): ") + ::strerror(errno));
   }
   return Status::OK();
 }
 
-}  // namespace
+/// Applies the per-request timeout to both directions of `fd`.
+void ApplyTimeout(int fd, double seconds) {
+  if (seconds <= 0.0) return;
+  timeval tv{};
+  tv.tv_sec = static_cast<time_t>(seconds);
+  tv.tv_usec = static_cast<suseconds_t>((seconds - static_cast<double>(tv.tv_sec)) * 1e6);
+  if (tv.tv_sec == 0 && tv.tv_usec == 0) tv.tv_usec = 1;  // 0 means "forever"
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+}
 
-Result<F2dbClient> F2dbClient::Connect(const std::string& host,
-                                       std::uint16_t port) {
+/// One blocking connect to host:port with the options applied.
+Result<int> ConnectFd(const std::string& host, std::uint16_t port,
+                      const ClientOptions& options) {
   const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
   if (fd < 0) {
     return Status::Internal(std::string("socket(): ") + ::strerror(errno));
@@ -71,10 +95,27 @@ Result<F2dbClient> F2dbClient::Connect(const std::string& host,
   }
   const int enable = 1;
   ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &enable, sizeof(enable));
-  return F2dbClient(fd);
+  ApplyTimeout(fd, options.request_timeout_seconds);
+  return fd;
 }
 
-F2dbClient::F2dbClient(F2dbClient&& other) noexcept : fd_(other.fd_) {
+}  // namespace
+
+Result<F2dbClient> F2dbClient::Connect(const std::string& host,
+                                       std::uint16_t port,
+                                       ClientOptions options) {
+  F2DB_ASSIGN_OR_RETURN(const int fd, ConnectFd(host, port, options));
+  return F2dbClient(fd, host, port, options);
+}
+
+F2dbClient::F2dbClient(F2dbClient&& other) noexcept
+    : fd_(other.fd_),
+      host_(std::move(other.host_)),
+      port_(other.port_),
+      options_(other.options_),
+      jitter_(other.jitter_),
+      reconnects_attempted_(other.reconnects_attempted_),
+      reconnects_succeeded_(other.reconnects_succeeded_) {
   other.fd_ = -1;
 }
 
@@ -82,6 +123,12 @@ F2dbClient& F2dbClient::operator=(F2dbClient&& other) noexcept {
   if (this != &other) {
     Close();
     fd_ = other.fd_;
+    host_ = std::move(other.host_);
+    port_ = other.port_;
+    options_ = other.options_;
+    jitter_ = other.jitter_;
+    reconnects_attempted_ = other.reconnects_attempted_;
+    reconnects_succeeded_ = other.reconnects_succeeded_;
     other.fd_ = -1;
   }
   return *this;
@@ -94,6 +141,19 @@ void F2dbClient::Close() {
   }
 }
 
+Status F2dbClient::Reconnect() {
+  if (host_.empty()) {
+    return Status::FailedPrecondition(
+        "client was never connected; nothing to reconnect to");
+  }
+  Close();
+  ++reconnects_attempted_;
+  F2DB_ASSIGN_OR_RETURN(const int fd, ConnectFd(host_, port_, options_));
+  fd_ = fd;
+  ++reconnects_succeeded_;
+  return Status::OK();
+}
+
 Result<WireResponse> F2dbClient::Call(FrameType type, std::string body) {
   if (fd_ < 0) {
     return Status::FailedPrecondition("client is not connected");
@@ -101,10 +161,18 @@ Result<WireResponse> F2dbClient::Call(FrameType type, std::string body) {
   WireRequest request;
   request.type = type;
   request.body = std::move(body);
-  F2DB_RETURN_IF_ERROR(WriteAll(fd_, EncodeRequest(request)));
+  Status sent = WriteAll(fd_, EncodeRequest(request));
+  if (!sent.ok()) {
+    Close();  // a partially written frame poisons the stream
+    return sent;
+  }
 
   std::string prefix;
-  F2DB_RETURN_IF_ERROR(ReadExactly(fd_, 4, &prefix));
+  Status received = ReadExactly(fd_, 4, &prefix);
+  if (!received.ok()) {
+    Close();  // the response may still arrive later and desync the stream
+    return received;
+  }
   const auto b = [&prefix](int i) {
     return static_cast<std::uint32_t>(static_cast<unsigned char>(prefix[i]));
   };
@@ -115,8 +183,37 @@ Result<WireResponse> F2dbClient::Call(FrameType type, std::string body) {
                                std::to_string(length));
   }
   std::string payload;
-  F2DB_RETURN_IF_ERROR(ReadExactly(fd_, length, &payload));
+  received = ReadExactly(fd_, length, &payload);
+  if (!received.ok()) {
+    Close();
+    return received;
+  }
   return DecodeResponsePayload(payload);
+}
+
+Result<WireResponse> F2dbClient::CallWithReconnect(FrameType type,
+                                                   const std::string& body) {
+  Result<WireResponse> result = connected()
+                                    ? Call(type, body)
+                                    : Result<WireResponse>(Status::Unavailable(
+                                          "client is not connected"));
+  for (std::size_t attempt = 1;
+       !result.ok() && attempt <= options_.max_reconnect_attempts; ++attempt) {
+    if (options_.reconnect_backoff_seconds > 0.0) {
+      const std::size_t exponent = std::min<std::size_t>(attempt - 1, 30);
+      const double base = options_.reconnect_backoff_seconds *
+                          static_cast<double>(std::size_t{1} << exponent);
+      std::this_thread::sleep_for(
+          std::chrono::duration<double>(base * jitter_.Uniform(0.5, 1.0)));
+    }
+    const Status reconnected = Reconnect();
+    if (!reconnected.ok()) {
+      result = reconnected;
+      continue;
+    }
+    result = Call(type, body);
+  }
+  return result;
 }
 
 }  // namespace f2db

@@ -3,11 +3,19 @@
 // One F2dbClient wraps one TCP connection and issues one request at a time:
 // Call() writes a complete frame and blocks until the matching response
 // frame arrives. Transport problems (connect/write/read failures, broken
-// framing) surface as the Result's error Status; an application-level
-// failure (bad SQL, overload shedding, degraded answer) arrives as a
-// successful Result whose WireResponse carries the server's StatusCode and
-// DegradationLevel — the two are deliberately distinct so callers can
-// retry transport errors and inspect serving-status without parsing text.
+// framing, request timeouts) surface as the Result's error Status; an
+// application-level failure (bad SQL, overload shedding, degraded answer)
+// arrives as a successful Result whose WireResponse carries the server's
+// StatusCode and DegradationLevel — the two are deliberately distinct so
+// callers can retry transport errors and inspect serving-status without
+// parsing text.
+//
+// Hardening (DESIGN.md §10): per-request send/receive timeouts bound how
+// long a Call() can hang on a half-open peer (SO_SNDTIMEO/SO_RCVTIMEO), and
+// CallWithReconnect() retries transport failures through a bounded,
+// jitter-backed reconnect loop. A timed-out or mid-frame-broken stream is
+// unrecoverable (the next response could belong to the dead request), so
+// both paths close the socket before returning.
 //
 // Used by the multi-connection load-generator bench
 // (bench/bench_server_throughput.cc) and the loopback integration tests.
@@ -18,16 +26,36 @@
 #include <cstdint>
 #include <string>
 
+#include "common/rng.h"
 #include "common/status.h"
 #include "server/wire.h"
 
 namespace f2db {
 
+/// Client transport knobs. The defaults reproduce the original behavior
+/// (block forever, never reconnect) so existing callers are unaffected.
+struct ClientOptions {
+  /// Per-request bound on each blocking send and receive; a request that
+  /// exceeds it fails with kUnavailable and closes the connection (stream
+  /// state mid-frame is unrecoverable). 0 = block forever.
+  double request_timeout_seconds = 0.0;
+  /// Reconnect attempts CallWithReconnect makes after a transport failure
+  /// before giving up. 0 = never reconnect (plain Call behavior).
+  std::size_t max_reconnect_attempts = 0;
+  /// Base of the exponential reconnect backoff: attempt n sleeps
+  /// base * 2^(n-1) seconds, scaled by a uniform [0.5, 1.0) jitter so a
+  /// fleet of clients does not reconnect in lockstep. 0 = no sleep.
+  double reconnect_backoff_seconds = 0.05;
+  /// Seed of the jitter Rng (deterministic backoff in tests).
+  std::uint64_t backoff_jitter_seed = 0x9E3779B97F4A7C15ULL;
+};
+
 class F2dbClient {
  public:
   /// Connects (blocking) to host:port; IPv4 dotted-quad hosts only.
   static Result<F2dbClient> Connect(const std::string& host,
-                                    std::uint16_t port);
+                                    std::uint16_t port,
+                                    ClientOptions options = {});
 
   F2dbClient() = default;
   ~F2dbClient() { Close(); }
@@ -39,11 +67,34 @@ class F2dbClient {
 
   bool connected() const { return fd_ >= 0; }
 
+  const ClientOptions& options() const { return options_; }
+
   /// Closes the connection (idempotent).
   void Close();
 
-  /// Sends one request frame and blocks for the response frame.
+  /// Sends one request frame and blocks for the response frame (bounded by
+  /// request_timeout_seconds per send/receive when configured).
   Result<WireResponse> Call(FrameType type, std::string body);
+
+  /// Call() plus bounded recovery: a transport failure closes the socket,
+  /// reconnects with jittered exponential backoff (up to
+  /// max_reconnect_attempts), and retries the request on the fresh
+  /// connection. CAUTION: a request that died in flight may have executed
+  /// server-side before the failure — retrying an INSERT this way can
+  /// double-apply it (the engine then rejects the duplicate, which the
+  /// caller sees as kAlreadyExists in the response status). Reserve it for
+  /// idempotent requests or callers prepared for that answer.
+  Result<WireResponse> CallWithReconnect(FrameType type,
+                                         const std::string& body);
+
+  /// Reconnects to the original endpoint (used by CallWithReconnect; also
+  /// callable directly after a Close).
+  Status Reconnect();
+
+  /// Reconnect attempts made over this client's lifetime.
+  std::size_t reconnects_attempted() const { return reconnects_attempted_; }
+  /// Reconnect attempts that established a connection.
+  std::size_t reconnects_succeeded() const { return reconnects_succeeded_; }
 
   /// SELECT / EXPLAIN SELECT statement over a QUERY frame.
   Result<WireResponse> Query(const std::string& sql) {
@@ -59,9 +110,21 @@ class F2dbClient {
   Result<WireResponse> Ping() { return Call(FrameType::kPing, ""); }
 
  private:
-  explicit F2dbClient(int fd) : fd_(fd) {}
+  F2dbClient(int fd, std::string host, std::uint16_t port,
+             const ClientOptions& options)
+      : fd_(fd),
+        host_(std::move(host)),
+        port_(port),
+        options_(options),
+        jitter_(options.backoff_jitter_seed) {}
 
   int fd_ = -1;
+  std::string host_;
+  std::uint16_t port_ = 0;
+  ClientOptions options_;
+  Rng jitter_{0x9E3779B97F4A7C15ULL};
+  std::size_t reconnects_attempted_ = 0;
+  std::size_t reconnects_succeeded_ = 0;
 };
 
 }  // namespace f2db

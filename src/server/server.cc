@@ -14,6 +14,7 @@
 #include <cstdio>
 #include <utility>
 
+#include "common/logging.h"
 #include "engine/stats_export.h"
 
 namespace f2db {
@@ -194,6 +195,17 @@ void F2dbServer::Shutdown() {
   // The pool destructor drains queued tasks; connection objects must stay
   // alive until then (stragglers append to outboxes).
   pool_.reset();
+  // All requests have drained: take a shutdown checkpoint so the next open
+  // recovers from the snapshot instead of replaying the whole WAL tail.
+  // Failure is non-fatal — the WAL alone still recovers everything.
+  if (started_ && engine_.durable()) {
+    const Status checkpointed = engine_.CheckpointNow();
+    if (!checkpointed.ok()) {
+      F2DB_LOG(kWarning) << "shutdown checkpoint failed: "
+                         << checkpointed.message();
+    }
+  }
+  started_ = false;  // a repeated Shutdown (destructor) is a no-op
   connections_.clear();
   {
     std::lock_guard<std::mutex> lock(pending_mutex_);

@@ -1,0 +1,416 @@
+#include "testing/crash.h"
+
+#include <dirent.h>
+#include <signal.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cmath>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "core/configuration.h"
+#include "core/evaluator.h"
+#include "cube/graph.h"
+#include "engine/engine.h"
+#include "engine/wal.h"
+#include "testing/differential.h"
+#include "testing/oracle.h"
+#include "testing/workload.h"
+
+namespace f2db::testing {
+namespace {
+
+constexpr std::size_t kForecastHorizon = 3;
+constexpr double kRelTol = 1e-6;
+constexpr double kAbsTol = 1e-8;
+
+/// One insert the child will attempt, flattened out of the spec's op list.
+/// Queries and fault-injected inserts are dropped: the crash fuzzer only
+/// cares about the durable maintenance stream, and a SIGKILL can land
+/// anywhere in it.
+struct InsertAttempt {
+  std::size_t cell = 0;
+  double value = 0.0;
+  /// kInsertBehind semantics: stamp frontier - 1 (must be rejected).
+  bool behind = false;
+};
+
+std::vector<InsertAttempt> FlattenAttempts(const WorkloadSpec& spec) {
+  std::vector<InsertAttempt> attempts;
+  for (const WorkloadOp& op : spec.ops) {
+    switch (op.kind) {
+      case OpKind::kInsertRound:
+        for (const std::size_t cell : op.insert_order) {
+          attempts.push_back({cell, op.round_values[cell], false});
+        }
+        break;
+      case OpKind::kInsertPartial:
+      case OpKind::kInsertNonFinite:
+        attempts.push_back({op.cell, op.value, false});
+        break;
+      case OpKind::kInsertBehind:
+        attempts.push_back({op.cell, op.value, true});
+        break;
+      case OpKind::kQuery:
+      case OpKind::kInsertInjectedFault:
+        break;
+    }
+  }
+  return attempts;
+}
+
+NodeAddress ToNodeAddress(const OracleAddress& address) {
+  NodeAddress out;
+  out.coords.resize(address.coords.size());
+  for (std::size_t d = 0; d < address.coords.size(); ++d) {
+    out.coords[d] = {static_cast<LevelIndex>(address.coords[d].level),
+                     static_cast<ValueIndex>(address.coords[d].value)};
+  }
+  return out;
+}
+
+StatusCode ExpectedInsertCode(OracleInsert verdict) {
+  switch (verdict) {
+    case OracleInsert::kAccepted:
+      return StatusCode::kOk;
+    case OracleInsert::kBehindFrontier:
+      return StatusCode::kOutOfRange;
+    case OracleInsert::kDuplicate:
+      return StatusCode::kAlreadyExists;
+    case OracleInsert::kNonFinite:
+    case OracleInsert::kUnknownCell:
+      return StatusCode::kInvalidArgument;
+  }
+  return StatusCode::kInternal;
+}
+
+bool ValuesClose(double a, double b) {
+  if (std::isnan(a) || std::isnan(b)) return false;
+  return std::abs(a - b) <= kAbsTol + kRelTol * std::max(std::abs(a), std::abs(b));
+}
+
+/// The base-cell -> NodeId map of one graph (odometer cell order).
+Result<std::vector<NodeId>> CellNodeMap(const WorkloadSpec& spec,
+                                        const TimeSeriesGraph& graph) {
+  const ReferenceOracle probe(spec.dims);
+  std::vector<NodeId> nodes(probe.num_base_cells());
+  for (std::size_t cell = 0; cell < nodes.size(); ++cell) {
+    F2DB_ASSIGN_OR_RETURN(nodes[cell],
+                          graph.NodeFor(ToNodeAddress(probe.CellAddress(cell))));
+  }
+  return nodes;
+}
+
+std::string ChildErrorPath(const std::string& data_dir) {
+  return data_dir + "/child_error.txt";
+}
+
+/// The child's escape hatch: it cannot use the report (different process),
+/// so failures before the planned SIGKILL land in a file the parent reads.
+[[noreturn]] void ChildAbort(const std::string& data_dir,
+                             const std::string& what) {
+  std::ofstream out(ChildErrorPath(data_dir), std::ios::trunc);
+  out << what << "\n";
+  out.close();
+  ::_exit(1);
+}
+
+/// The crashing process: open durable, load config, run the attempt
+/// prefix (checkpointing mid-way when planned), then die without warning.
+[[noreturn]] void RunChild(const WorkloadSpec& spec,
+                           const std::vector<InsertAttempt>& attempts,
+                           std::size_t kill_after, bool do_checkpoint,
+                           std::size_t checkpoint_after,
+                           const std::string& data_dir) {
+  EngineOptions engine_options;
+  engine_options.maintenance_threads = 1;
+  engine_options.reestimate_after_updates = 0;  // pure kCatalog+kInsert WAL
+  engine_options.data_dir = data_dir;
+  engine_options.fsync_policy = FsyncPolicy::kAlways;
+
+  auto graph = BuildWorkloadGraph(spec);
+  if (!graph.ok()) ChildAbort(data_dir, "child graph: " + graph.status().ToString());
+  auto engine = F2dbEngine::Open(std::move(graph.value()), engine_options);
+  if (!engine.ok()) ChildAbort(data_dir, "child open: " + engine.status().ToString());
+
+  auto config = BuildWorkloadConfiguration(spec, engine.value()->graph());
+  if (!config.ok()) ChildAbort(data_dir, "child config: " + config.status().ToString());
+  const ConfigurationEvaluator evaluator(engine.value()->graph(), 1.0);
+  const Status loaded =
+      engine.value()->LoadConfiguration(config.value(), evaluator);
+  if (!loaded.ok()) ChildAbort(data_dir, "child load: " + loaded.ToString());
+
+  auto cells = CellNodeMap(spec, engine.value()->graph());
+  if (!cells.ok()) ChildAbort(data_dir, "child cells: " + cells.status().ToString());
+
+  // A bare oracle (no models) tracks the frontier and the expected insert
+  // verdicts; the parent recomputes the same sequence after the crash.
+  ReferenceOracle oracle(spec.dims);
+  for (std::size_t cell = 0; cell < spec.base_history.size(); ++cell) {
+    oracle.SetBaseSeries(cell, spec.base_history[cell]);
+  }
+
+  for (std::size_t i = 0; i < kill_after; ++i) {
+    const InsertAttempt& attempt = attempts[i];
+    std::int64_t time = oracle.frontier();
+    if (attempt.behind) time -= 1;
+    const OracleInsert verdict = oracle.Insert(attempt.cell, time, attempt.value);
+    const Status inserted =
+        engine.value()->InsertFact(cells.value()[attempt.cell], time, attempt.value);
+    const StatusCode want = ExpectedInsertCode(verdict);
+    const StatusCode got = inserted.code();
+    if (got != want) {
+      ChildAbort(data_dir, "child attempt " + std::to_string(i) +
+                               ": verdict mismatch, engine=" +
+                               inserted.ToString());
+    }
+    if (do_checkpoint && i == checkpoint_after) {
+      const Status checkpointed = engine.value()->CheckpointNow();
+      if (!checkpointed.ok()) {
+        ChildAbort(data_dir, "child checkpoint: " + checkpointed.ToString());
+      }
+    }
+  }
+
+  // The crash itself: no destructors, no WAL close, no flushes.
+  ::kill(::getpid(), SIGKILL);
+  ::_exit(99);  // unreachable
+}
+
+struct AcceptedInsert {
+  std::size_t cell = 0;
+  std::int64_t time = 0;
+  double value = 0.0;
+};
+
+/// Replays attempts[0..count) against a fresh bare oracle and returns the
+/// accepted subsequence — the exact stream the child's WAL recorded.
+std::vector<AcceptedInsert> AcceptedPrefix(
+    const WorkloadSpec& spec, const std::vector<InsertAttempt>& attempts,
+    std::size_t count) {
+  ReferenceOracle oracle(spec.dims);
+  for (std::size_t cell = 0; cell < spec.base_history.size(); ++cell) {
+    oracle.SetBaseSeries(cell, spec.base_history[cell]);
+  }
+  std::vector<AcceptedInsert> accepted;
+  for (std::size_t i = 0; i < count; ++i) {
+    const InsertAttempt& attempt = attempts[i];
+    std::int64_t time = oracle.frontier();
+    if (attempt.behind) time -= 1;
+    if (oracle.Insert(attempt.cell, time, attempt.value) ==
+        OracleInsert::kAccepted) {
+      accepted.push_back({attempt.cell, time, attempt.value});
+    }
+  }
+  return accepted;
+}
+
+}  // namespace
+
+void RemoveDirectoryTree(const std::string& dir) {
+  DIR* d = ::opendir(dir.c_str());
+  if (d != nullptr) {
+    while (dirent* entry = ::readdir(d)) {
+      const std::string name = entry->d_name;
+      if (name == "." || name == "..") continue;
+      ::unlink((dir + "/" + name).c_str());
+    }
+    ::closedir(d);
+  }
+  ::rmdir(dir.c_str());
+}
+
+CrashFuzzReport RunCrashFuzz(const CrashFuzzOptions& options) {
+  CrashFuzzReport report;
+  const WorkloadSpec spec = GenerateWorkload(
+      options.seed, static_cast<std::size_t>(options.seed % NumWorkloadShapes()),
+      /*inject_refit_failures=*/false);
+  const auto fail = [&](const std::string& what) {
+    report.ok = false;
+    report.failure = "crash seed=" + std::to_string(options.seed) +
+                     " shape=" + spec.shape_name + ": " + what;
+    if (!options.keep_dir_on_failure) RemoveDirectoryTree(options.data_dir);
+    return report;
+  };
+
+  if (options.data_dir.empty()) return fail("data_dir must be set");
+
+  const std::vector<InsertAttempt> attempts = FlattenAttempts(spec);
+  report.attempts_total = attempts.size();
+
+  // The crash plan, all seed-derived (independent stream from the
+  // workload's so changing the plan never changes the workload).
+  Rng rng(options.seed ^ 0xC4A5F2DBULL);
+  const std::size_t kill_after =
+      attempts.empty() ? 0
+                       : static_cast<std::size_t>(rng.UniformInt(
+                             1, static_cast<std::int64_t>(attempts.size())));
+  const bool do_checkpoint = kill_after > 0 && rng.NextBernoulli(0.5);
+  const std::size_t checkpoint_after =
+      do_checkpoint ? static_cast<std::size_t>(rng.UniformInt(
+                          0, static_cast<std::int64_t>(kill_after) - 1))
+                    : 0;
+  const bool want_torn_tail = rng.NextBernoulli(0.4);
+  report.attempts_executed = kill_after;
+  report.checkpoint_taken = do_checkpoint;
+
+  RemoveDirectoryTree(options.data_dir);  // stale state from a prior run
+
+  // ---- phase 1: the crashing child --------------------------------------
+  const pid_t pid = ::fork();
+  if (pid < 0) return fail(std::string("fork(): ") + ::strerror(errno));
+  if (pid == 0) {
+    RunChild(spec, attempts, kill_after, do_checkpoint, checkpoint_after,
+             options.data_dir);
+  }
+  int wait_status = 0;
+  if (::waitpid(pid, &wait_status, 0) != pid) {
+    return fail(std::string("waitpid(): ") + ::strerror(errno));
+  }
+  report.killed_by_sigkill =
+      WIFSIGNALED(wait_status) && WTERMSIG(wait_status) == SIGKILL;
+  if (!report.killed_by_sigkill) {
+    std::string child_error = "child exited without the planned SIGKILL";
+    std::ifstream in(ChildErrorPath(options.data_dir));
+    if (in.good()) {
+      std::ostringstream text;
+      text << in.rdbuf();
+      child_error += ": " + text.str();
+    }
+    return fail(child_error);
+  }
+
+  // ---- phase 2: the expected surviving state ----------------------------
+  std::vector<AcceptedInsert> accepted =
+      AcceptedPrefix(spec, attempts, kill_after);
+  report.inserts_accepted = accepted.size();
+
+  // ---- phase 3: optional torn tail --------------------------------------
+  // Truncate mid-record only when the final record is an insert, so the
+  // expected state is simply the accepted prefix minus its last element.
+  bool torn_injected = false;
+  if (want_torn_tail && !accepted.empty()) {
+    auto epochs = ListWalEpochs(options.data_dir);
+    if (!epochs.ok()) return fail("list epochs: " + epochs.status().ToString());
+    if (!epochs.value().empty()) {
+      const std::string last_path =
+          WalPath(options.data_dir, epochs.value().back());
+      auto segment = ReadWalSegment(last_path);
+      if (!segment.ok()) {
+        return fail("read last segment: " + segment.status().ToString());
+      }
+      if (segment.value().torn_tail) {
+        return fail("fsync=always child left a torn tail on its own");
+      }
+      if (!segment.value().records.empty() &&
+          segment.value().records.back().kind == WalRecord::Kind::kInsert) {
+        const std::uint64_t frame_bytes =
+            EncodeWalRecord(segment.value().records.back()).size();
+        const std::uint64_t cut = static_cast<std::uint64_t>(
+            rng.UniformInt(1, static_cast<std::int64_t>(frame_bytes) - 1));
+        if (::truncate(last_path.c_str(),
+                       static_cast<off_t>(segment.value().valid_bytes - cut)) !=
+            0) {
+          return fail(std::string("truncate(): ") + ::strerror(errno));
+        }
+        torn_injected = true;
+        accepted.pop_back();
+      }
+    }
+  }
+  report.torn_tail_injected = torn_injected;
+
+  // The reference state the recovered engine must match: a configured
+  // oracle fed exactly the surviving accepted inserts.
+  auto oracle_graph = BuildWorkloadGraph(spec);
+  if (!oracle_graph.ok()) {
+    return fail("oracle graph: " + oracle_graph.status().ToString());
+  }
+  auto config = BuildWorkloadConfiguration(spec, oracle_graph.value());
+  if (!config.ok()) return fail("config: " + config.status().ToString());
+  ReferenceOracle oracle(spec.dims);
+  for (std::size_t cell = 0; cell < spec.base_history.size(); ++cell) {
+    oracle.SetBaseSeries(cell, spec.base_history[cell]);
+  }
+  InstallOracleConfiguration(spec, config.value(), oracle_graph.value(), oracle);
+  for (std::size_t i = 0; i < accepted.size(); ++i) {
+    if (oracle.Insert(accepted[i].cell, accepted[i].time, accepted[i].value) !=
+        OracleInsert::kAccepted) {
+      return fail("accepted prefix replay rejected insert " +
+                  std::to_string(i));
+    }
+  }
+
+  // ---- phase 4: recover and compare -------------------------------------
+  EngineOptions engine_options;
+  engine_options.maintenance_threads = 1;
+  engine_options.reestimate_after_updates = 0;
+  engine_options.data_dir = options.data_dir;
+  engine_options.fsync_policy = FsyncPolicy::kAlways;
+  auto recover_graph = BuildWorkloadGraph(spec);
+  if (!recover_graph.ok()) {
+    return fail("recovery graph: " + recover_graph.status().ToString());
+  }
+  auto engine = F2dbEngine::Open(std::move(recover_graph.value()), engine_options);
+  if (!engine.ok()) return fail("recovery open: " + engine.status().ToString());
+
+  const EngineStats stats = engine.value()->stats();
+  report.records_replayed = stats.wal_records_replayed;
+  if ((stats.torn_tail_detected != 0) != torn_injected) {
+    return fail("torn_tail_detected=" +
+                std::to_string(stats.torn_tail_detected) + " but injected=" +
+                std::to_string(torn_injected));
+  }
+  if (stats.inserts != accepted.size()) {
+    return fail("recovered inserts=" + std::to_string(stats.inserts) +
+                " want " + std::to_string(accepted.size()));
+  }
+  if (stats.time_advances != oracle.advances()) {
+    return fail("recovered time_advances=" +
+                std::to_string(stats.time_advances) + " want " +
+                std::to_string(oracle.advances()));
+  }
+  if (engine.value()->pending_inserts() != oracle.pending_inserts()) {
+    return fail("recovered pending=" +
+                std::to_string(engine.value()->pending_inserts()) + " want " +
+                std::to_string(oracle.pending_inserts()));
+  }
+
+  for (const OracleAddress& address : oracle.AllAddresses()) {
+    const auto want = oracle.Forecast(address, kForecastHorizon);
+    if (!want.has_value()) continue;  // engine reports the same error status
+    auto node = engine.value()->graph().NodeFor(ToNodeAddress(address));
+    if (!node.ok()) return fail("node of " + address.Key());
+    const auto got = engine.value()->ForecastNode(node.value(), kForecastHorizon);
+    if (!got.ok()) {
+      return fail("forecast " + address.Key() + ": " + got.status().ToString());
+    }
+    if (got.value().size() != want->size()) {
+      return fail("forecast " + address.Key() + ": row count mismatch");
+    }
+    for (std::size_t h = 0; h < want->size(); ++h) {
+      if (!ValuesClose(got.value()[h], (*want)[h])) {
+        return fail("forecast " + address.Key() + " h=" + std::to_string(h) +
+                    ": engine=" + std::to_string(got.value()[h]) +
+                    " oracle=" + std::to_string((*want)[h]));
+      }
+    }
+  }
+
+  report.ok = true;
+  RemoveDirectoryTree(options.data_dir);
+  return report;
+}
+
+}  // namespace f2db::testing

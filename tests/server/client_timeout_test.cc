@@ -1,0 +1,143 @@
+// Client hardening tests: per-request timeouts against a half-open peer
+// and the bounded jittered-backoff reconnect loop.
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstring>
+#include <memory>
+
+#include "engine/engine.h"
+#include "server/client.h"
+#include "server/server.h"
+#include "testing/test_cubes.h"
+
+namespace f2db {
+namespace {
+
+/// A TCP listener that accepts the kernel handshake but never reads or
+/// writes: the classic half-open peer. (With a small backlog the connect
+/// itself still completes, so the client blocks inside the request.)
+class SilentPeer {
+ public:
+  SilentPeer() {
+    fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    EXPECT_GE(fd_, 0);
+    const int enable = 1;
+    ::setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &enable, sizeof(enable));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = 0;
+    EXPECT_EQ(::bind(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+    EXPECT_EQ(::listen(fd_, 8), 0);
+    socklen_t len = sizeof(addr);
+    EXPECT_EQ(::getsockname(fd_, reinterpret_cast<sockaddr*>(&addr), &len), 0);
+    port_ = ntohs(addr.sin_port);
+  }
+
+  ~SilentPeer() { Close(); }
+
+  void Close() {
+    if (fd_ >= 0) {
+      ::close(fd_);
+      fd_ = -1;
+    }
+  }
+
+  std::uint16_t port() const { return port_; }
+
+ private:
+  int fd_ = -1;
+  std::uint16_t port_ = 0;
+};
+
+TEST(ClientTimeout, RequestAgainstSilentPeerTimesOutAndCloses) {
+  SilentPeer peer;
+  ClientOptions options;
+  options.request_timeout_seconds = 0.2;
+  auto client = F2dbClient::Connect("127.0.0.1", peer.port(), options);
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+
+  const auto start = std::chrono::steady_clock::now();
+  auto response = client.value().Ping();
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+
+  ASSERT_FALSE(response.ok());
+  EXPECT_EQ(response.status().code(), StatusCode::kUnavailable);
+  EXPECT_NE(response.status().message().find("timed out"), std::string::npos)
+      << response.status().ToString();
+  // Bounded: well under a blocking-forever hang, at least the timeout.
+  EXPECT_GE(elapsed, 0.15);
+  EXPECT_LT(elapsed, 5.0);
+  // The stream is poisoned mid-frame; the client must have closed it.
+  EXPECT_FALSE(client.value().connected());
+}
+
+TEST(ClientTimeout, ZeroTimeoutKeepsTheLegacyBlockingDefault) {
+  ClientOptions options;
+  EXPECT_EQ(options.request_timeout_seconds, 0.0);
+  EXPECT_EQ(options.max_reconnect_attempts, 0u);
+}
+
+TEST(ClientTimeout, ReconnectAttemptsAreBounded) {
+  auto peer = std::make_unique<SilentPeer>();
+  ClientOptions options;
+  options.request_timeout_seconds = 0.1;
+  options.max_reconnect_attempts = 3;
+  options.reconnect_backoff_seconds = 0.01;
+  auto client = F2dbClient::Connect("127.0.0.1", peer->port(), options);
+  ASSERT_TRUE(client.ok());
+  const std::uint16_t port = peer->port();
+  peer->Close();  // nobody listens on the port anymore
+
+  auto response = client.value().CallWithReconnect(FrameType::kPing, "");
+  ASSERT_FALSE(response.ok());
+  EXPECT_EQ(response.status().code(), StatusCode::kUnavailable);
+  EXPECT_EQ(client.value().reconnects_attempted(), 3u);
+  EXPECT_EQ(client.value().reconnects_succeeded(), 0u);
+  (void)port;
+}
+
+TEST(ClientTimeout, CallWithReconnectRecoversAfterServerRestart) {
+  F2dbEngine engine(testing::MakeRegionCube(40, 0.0));
+  ServerOptions server_options;
+  server_options.worker_threads = 2;
+
+  auto first = std::make_unique<F2dbServer>(engine, server_options);
+  ASSERT_TRUE(first->Start().ok());
+  const std::uint16_t port = first->port();
+
+  ClientOptions options;
+  options.request_timeout_seconds = 1.0;
+  options.max_reconnect_attempts = 5;
+  options.reconnect_backoff_seconds = 0.05;
+  auto client = F2dbClient::Connect("127.0.0.1", port, options);
+  ASSERT_TRUE(client.ok());
+  ASSERT_TRUE(client.value().Ping().ok());
+
+  // Kill the server and restart it on the same port: the client's next
+  // request fails over the dead connection, reconnects, and succeeds.
+  first->Shutdown();
+  first.reset();
+  server_options.port = port;
+  F2dbServer second(engine, server_options);
+  ASSERT_TRUE(second.Start().ok());
+
+  auto response = client.value().CallWithReconnect(FrameType::kPing, "");
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_EQ(response.value().body, "PONG");
+  EXPECT_GE(client.value().reconnects_attempted(), 1u);
+  EXPECT_GE(client.value().reconnects_succeeded(), 1u);
+  second.Shutdown();
+}
+
+}  // namespace
+}  // namespace f2db
