@@ -1,38 +1,57 @@
 // Networked serving-layer throughput and tail latency over loopback TCP.
 //
 // Boots the Tourism demo cube behind an in-process F2dbServer (real epoll
-// event loop, real sockets) and drives it with 1, 8, and 64 persistent
+// reactors, real sockets) and drives it with 1, 8, and 64 persistent
 // client connections, each issuing the same GROUP BY time forecast query
 // through the blocking client library. Reports aggregate QPS plus p50 and
 // p99 request latency per connection count — the serving-path numbers the
 // engine-level bench_concurrent_queries deliberately excludes (framing,
 // syscalls, admission control, response rendering).
 //
-// Expected shape: p50 in the hundreds of microseconds at 1 connection;
-// QPS grows with connections until the worker pool saturates, and p99
-// then grows with queueing delay while shed_requests stays 0 (the
-// admission limit is set above the offered concurrency).
+// The sweep runs the cross product of --reactors and --shards: each
+// (R, M) combination boots a fresh ShardedEngine (M hash partitions of
+// the cube, each an independent F2dbEngine) behind a server with R
+// reactor threads, so one baseline file captures both the single-reactor
+// before point and the multi-reactor/multi-shard after points. Every
+// combination loads the same shardable configuration (one model per base
+// cell plus covering schemes) so engine work is identical across the
+// sweep and differences are attributable to the serving topology.
 //
-// Usage: bench_server_throughput [json_output_path]
-//   With a path argument, also writes the table as a JSON baseline
-//   (see BENCH_server.json at the repo root).
+// Expected shape: p50 in the hundreds of microseconds at 1 connection;
+// QPS grows with connections until the CPUs saturate, and p99 then grows
+// with queueing delay while shed_requests stays 0 (the admission limit is
+// set above the offered concurrency). Multi-reactor scaling requires
+// multiple hardware threads — on a single-CPU host every topology shares
+// one core and extra reactors only add scheduling overhead, which is why
+// the baseline records hardware_concurrency alongside each run.
+//
+// Usage: bench_server_throughput [--reactors LIST] [--shards LIST]
+//                                [--seconds S] [json_output_path]
+//   LIST is comma-separated, e.g. --reactors 1,2,4. Defaults to the
+//   deduplicated {1, hardware_concurrency} for both axes. With a path
+//   argument, also writes the table as a JSON baseline (see
+//   BENCH_server.json at the repo root).
+
+#include <unistd.h>
 
 #include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "engine/sharded_engine.h"
 #include "server/client.h"
 #include "server/server.h"
 
 namespace f2db::bench {
 namespace {
 
-constexpr double kSecondsPerPoint = 2.0;
 constexpr char kQueryText[] =
     "SELECT time, SUM(visitors) FROM facts GROUP BY time AS OF now() + '1'";
 
@@ -46,6 +65,25 @@ struct ServerPoint {
   double p99_micros = 0.0;
 };
 
+/// One (reactors, shards) combination of the sweep.
+struct SweepRun {
+  std::size_t reactors = 1;
+  std::size_t shards = 1;
+  std::size_t requests_shed = 0;
+  std::vector<ServerPoint> points;
+};
+
+/// std::thread::hardware_concurrency may return 0 ("not computable");
+/// fall back to the number of online processors before giving up at 1.
+unsigned DetectHardwareConcurrency() {
+  unsigned count = std::thread::hardware_concurrency();
+  if (count == 0) {
+    const long online = ::sysconf(_SC_NPROCESSORS_ONLN);
+    if (online > 0) count = static_cast<unsigned>(online);
+  }
+  return count == 0 ? 1u : count;
+}
+
 double Percentile(std::vector<double>& sorted_micros, double q) {
   if (sorted_micros.empty()) return 0.0;
   const auto rank = static_cast<std::size_t>(
@@ -53,7 +91,8 @@ double Percentile(std::vector<double>& sorted_micros, double q) {
   return sorted_micros[rank];
 }
 
-ServerPoint RunPoint(const F2dbServer& server, std::size_t connections) {
+ServerPoint RunPoint(const F2dbServer& server, std::size_t connections,
+                     double seconds_per_point) {
   std::atomic<bool> stop{false};
   std::atomic<std::size_t> errors{0};
   std::vector<std::vector<double>> latencies(connections);
@@ -84,7 +123,7 @@ ServerPoint RunPoint(const F2dbServer& server, std::size_t connections) {
     });
   }
   std::this_thread::sleep_for(
-      std::chrono::duration<double>(kSecondsPerPoint));
+      std::chrono::duration<double>(seconds_per_point));
   stop = true;
   for (auto& t : clients) t.join();
   const double seconds =
@@ -108,9 +147,8 @@ ServerPoint RunPoint(const F2dbServer& server, std::size_t connections) {
   return point;
 }
 
-void WriteJsonBaseline(const char* path,
-                       const std::vector<ServerPoint>& points,
-                       const ServerStats& stats) {
+void WriteJsonBaseline(const char* path, const std::vector<SweepRun>& runs,
+                       double seconds_per_point) {
   std::FILE* out = std::fopen(path, "w");
   if (out == nullptr) {
     std::printf("# could not write %s\n", path);
@@ -118,23 +156,55 @@ void WriteJsonBaseline(const char* path,
   }
   std::fprintf(out, "{\n  \"bench\": \"bench_server_throughput\",\n");
   std::fprintf(out, "  \"query\": \"%s\",\n", kQueryText);
-  std::fprintf(out, "  \"seconds_per_point\": %.1f,\n", kSecondsPerPoint);
+  std::fprintf(out, "  \"seconds_per_point\": %.1f,\n", seconds_per_point);
   std::fprintf(out, "  \"hardware_concurrency\": %u,\n",
-               std::thread::hardware_concurrency());
-  std::fprintf(out, "  \"requests_shed\": %zu,\n", stats.requests_shed);
-  std::fprintf(out, "  \"points\": [\n");
-  for (std::size_t i = 0; i < points.size(); ++i) {
-    const ServerPoint& p = points[i];
+               DetectHardwareConcurrency());
+  std::fprintf(out,
+               "  \"note\": \"reactors/shards sweep; every run loads the "
+               "same shardable configuration. Multi-reactor QPS gains "
+               "require hardware_concurrency > 1 — on a single-CPU host "
+               "all topologies share one core.\",\n");
+  std::fprintf(out, "  \"runs\": [\n");
+  for (std::size_t r = 0; r < runs.size(); ++r) {
+    const SweepRun& run = runs[r];
     std::fprintf(out,
-                 "    {\"connections\": %zu, \"requests\": %zu, "
-                 "\"errors\": %zu, \"qps\": %.0f, \"p50_micros\": %.1f, "
-                 "\"p99_micros\": %.1f}%s\n",
-                 p.connections, p.requests, p.errors, p.qps, p.p50_micros,
-                 p.p99_micros, i + 1 < points.size() ? "," : "");
+                 "    {\"reactors\": %zu, \"shards\": %zu, "
+                 "\"requests_shed\": %zu, \"points\": [\n",
+                 run.reactors, run.shards, run.requests_shed);
+    for (std::size_t i = 0; i < run.points.size(); ++i) {
+      const ServerPoint& p = run.points[i];
+      std::fprintf(out,
+                   "      {\"connections\": %zu, \"requests\": %zu, "
+                   "\"errors\": %zu, \"qps\": %.0f, \"p50_micros\": %.1f, "
+                   "\"p99_micros\": %.1f}%s\n",
+                   p.connections, p.requests, p.errors, p.qps, p.p50_micros,
+                   p.p99_micros, i + 1 < run.points.size() ? "," : "");
+    }
+    std::fprintf(out, "    ]}%s\n", r + 1 < runs.size() ? "," : "");
   }
   std::fprintf(out, "  ]\n}\n");
   std::fclose(out);
   std::printf("# baseline written to %s\n", path);
+}
+
+/// Parses "1,2,4" into {1, 2, 4}; returns false on anything non-numeric.
+bool ParseAxis(const char* text, std::vector<std::size_t>* axis) {
+  axis->clear();
+  std::string token;
+  for (const char* p = text;; ++p) {
+    if (*p != '\0' && *p != ',') {
+      token.push_back(*p);
+      continue;
+    }
+    if (token.empty()) return false;
+    char* end = nullptr;
+    const unsigned long value = std::strtoul(token.c_str(), &end, 10);
+    if (end == nullptr || *end != '\0' || value == 0) return false;
+    axis->push_back(static_cast<std::size_t>(value));
+    token.clear();
+    if (*p == '\0') break;
+  }
+  return !axis->empty();
 }
 
 }  // namespace
@@ -142,8 +212,42 @@ void WriteJsonBaseline(const char* path,
 
 int main(int argc, char** argv) {
   using namespace f2db::bench;
+
+  const unsigned hardware = DetectHardwareConcurrency();
+  std::vector<std::size_t> reactor_axis{1};
+  std::vector<std::size_t> shard_axis{1};
+  if (hardware > 1) {
+    reactor_axis.push_back(hardware);
+    shard_axis.push_back(hardware);
+  }
+  double seconds_per_point = 2.0;
+  const char* json_path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    const bool has_value = i + 1 < argc;
+    if (std::strcmp(argv[i], "--reactors") == 0 && has_value) {
+      if (!ParseAxis(argv[++i], &reactor_axis)) {
+        std::printf("bad --reactors list\n");
+        return 2;
+      }
+    } else if (std::strcmp(argv[i], "--shards") == 0 && has_value) {
+      if (!ParseAxis(argv[++i], &shard_axis)) {
+        std::printf("bad --shards list\n");
+        return 2;
+      }
+    } else if (std::strcmp(argv[i], "--seconds") == 0 && has_value) {
+      seconds_per_point = std::atof(argv[++i]);
+      if (seconds_per_point <= 0) {
+        std::printf("bad --seconds value\n");
+        return 2;
+      }
+    } else {
+      json_path = argv[i];
+    }
+  }
+
   PrintHeader("server throughput", "serving layer, not in paper",
-              "connections,requests,errors,seconds,qps,p50_micros,p99_micros");
+              "reactors,shards,connections,requests,errors,seconds,qps,"
+              "p50_micros,p99_micros");
 
   auto data = f2db::MakeTourism();
   if (!data.ok()) {
@@ -151,50 +255,77 @@ int main(int argc, char** argv) {
                 data.status().ToString().c_str());
     return 1;
   }
-  f2db::ConfigurationEvaluator evaluator(data.value().graph, 0.8);
-  f2db::ModelFactory factory(f2db::ModelSpec::TripleExponentialSmoothing(
-      data.value().season));
-  f2db::AdvisorBuilder advisor(BenchAdvisorOptions());
-  auto built = advisor.Build(evaluator, factory);
-  if (!built.ok()) {
-    std::printf("advisor failed: %s\n", built.status().ToString().c_str());
+  const f2db::TimeSeriesGraph& graph = data.value().graph;
+  auto config = f2db::BuildShardableConfiguration(
+      graph,
+      f2db::ModelSpec::TripleExponentialSmoothing(data.value().season), 0.8);
+  if (!config.ok()) {
+    std::printf("configuration failed: %s\n",
+                config.status().ToString().c_str());
     return 1;
   }
 
-  auto engine_data = f2db::MakeTourism();
-  f2db::F2dbEngine engine(std::move(engine_data.value().graph));
-  if (!engine.LoadConfiguration(built.value().configuration, evaluator)
-           .ok()) {
-    std::printf("engine load failed\n");
-    return 1;
+  std::printf("# hardware_concurrency=%u reactors={", hardware);
+  for (std::size_t i = 0; i < reactor_axis.size(); ++i) {
+    std::printf("%s%zu", i ? "," : "", reactor_axis[i]);
   }
+  std::printf("} shards={");
+  for (std::size_t i = 0; i < shard_axis.size(); ++i) {
+    std::printf("%s%zu", i ? "," : "", shard_axis[i]);
+  }
+  std::printf("}\n");
 
-  f2db::ServerOptions options;
-  options.worker_threads = 4;
-  options.admission_queue_limit = 256;  // above the offered concurrency
-  f2db::F2dbServer server(engine, options);
-  const f2db::Status started = server.Start();
-  if (!started.ok()) {
-    std::printf("server start failed: %s\n", started.ToString().c_str());
-    return 1;
-  }
+  std::vector<SweepRun> runs;
+  for (const std::size_t shards : shard_axis) {
+    for (const std::size_t reactors : reactor_axis) {
+      f2db::ShardedEngineOptions engine_options;
+      engine_options.num_shards = shards;
+      auto engine = f2db::ShardedEngine::Open(graph, engine_options);
+      if (!engine.ok()) {
+        std::printf("engine open failed: %s\n",
+                    engine.status().ToString().c_str());
+        return 1;
+      }
+      if (!engine.value()->LoadConfiguration(config.value(), 0.8).ok()) {
+        std::printf("engine load failed\n");
+        return 1;
+      }
 
-  std::printf("# hardware_concurrency=%u port=%u workers=%zu\n",
-              std::thread::hardware_concurrency(), server.port(),
-              options.worker_threads);
-  std::vector<ServerPoint> points;
-  for (const std::size_t connections : {1u, 8u, 64u}) {
-    const ServerPoint point = RunPoint(server, connections);
-    points.push_back(point);
-    std::printf("%zu,%zu,%zu,%.3f,%.0f,%.1f,%.1f\n", point.connections,
-                point.requests, point.errors, point.seconds, point.qps,
-                point.p50_micros, point.p99_micros);
+      f2db::ServerOptions options;
+      options.reactor_threads = reactors;
+      options.worker_threads = 4;
+      options.admission_queue_limit = 256;  // above the offered concurrency
+      f2db::F2dbServer server(*engine.value(), options);
+      const f2db::Status started = server.Start();
+      if (!started.ok()) {
+        std::printf("server start failed: %s\n", started.ToString().c_str());
+        return 1;
+      }
+
+      SweepRun run;
+      run.reactors = reactors;
+      run.shards = shards;
+      for (const std::size_t connections : {1u, 8u, 64u}) {
+        const ServerPoint point =
+            RunPoint(server, connections, seconds_per_point);
+        run.points.push_back(point);
+        std::printf("%zu,%zu,%zu,%zu,%zu,%.3f,%.0f,%.1f,%.1f\n", reactors,
+                    shards, point.connections, point.requests, point.errors,
+                    point.seconds, point.qps, point.p50_micros,
+                    point.p99_micros);
+      }
+      const f2db::ServerStats stats = server.stats();
+      run.requests_shed = stats.requests_shed;
+      std::printf("# reactors=%zu shards=%zu shed=%zu protocol_errors=%zu "
+                  "accepted=%zu\n",
+                  reactors, shards, stats.requests_shed,
+                  stats.protocol_errors, stats.connections_accepted);
+      server.Shutdown();
+      runs.push_back(std::move(run));
+    }
   }
-  const f2db::ServerStats stats = server.stats();
-  std::printf("# shed=%zu protocol_errors=%zu accepted=%zu\n",
-              stats.requests_shed, stats.protocol_errors,
-              stats.connections_accepted);
-  if (argc > 1) WriteJsonBaseline(argv[1], points, stats);
-  server.Shutdown();
+  if (json_path != nullptr) {
+    WriteJsonBaseline(json_path, runs, seconds_per_point);
+  }
   return 0;
 }

@@ -366,6 +366,7 @@ Result<QueryResult> F2dbEngine::Execute(const ForecastQuery& query) const {
   F2DB_ASSIGN_OR_RETURN(NodeId node, ResolveNodeIn(*snap->graph, query.filters));
   QueryResult result;
   result.node = node;
+  result.node_name = snap->graph->NodeName(node);
   const std::int64_t now = snap->graph->series(node).end_time();
   if (query.with_intervals) {
     F2DB_ASSIGN_OR_RETURN(

@@ -188,6 +188,12 @@ struct ForecastRow {
 /// Result of a forecast query.
 struct QueryResult {
   NodeId node = 0;          ///< The graph node the query resolved to.
+  /// Human-readable node name, rendered from the snapshot the query ran
+  /// against. Carried in the result so callers (the serving layer) never
+  /// need to pin a second snapshot just to name the node — and so a
+  /// sharded engine can report shard-local node ids with globally
+  /// meaningful names.
+  std::string node_name;
   std::vector<ForecastRow> rows;
   /// Worst degradation across the rows; kNone for a full-fidelity answer.
   DegradationLevel degradation = DegradationLevel::kNone;
@@ -220,8 +226,48 @@ struct ExplainResult {
   std::size_t horizon = 0;
 };
 
+/// The surface the serving layer programs against: what a forecast engine
+/// must offer regardless of whether it is one F2dbEngine or a sharded
+/// facade over many (engine/sharded_engine.h). Kept deliberately narrow —
+/// the full F2dbEngine API (snapshots, catalogs, node-id queries) stays on
+/// the concrete class; only the operations the server routes for clients
+/// are virtual.
+class EngineInterface {
+ public:
+  virtual ~EngineInterface() = default;
+
+  /// Executes a parsed forecast query. Implementations fill
+  /// QueryResult::node_name so callers can render answers without touching
+  /// engine snapshots.
+  virtual Result<QueryResult> Execute(const ForecastQuery& query) const = 0;
+
+  /// Describes the execution plan of a forecast query.
+  virtual Result<ExplainResult> Explain(const ForecastQuery& query) const = 0;
+
+  /// Inserts one fact addressed by level-0 value names (one per dimension).
+  virtual Status InsertFact(const std::vector<std::string>& base_values,
+                            std::int64_t time, double value) = 0;
+
+  /// Buffered (not yet applied) inserts, summed across shards.
+  virtual std::size_t pending_inserts() const = 0;
+
+  /// Aggregated counter snapshot.
+  virtual EngineStats stats() const = 0;
+
+  /// Prometheus exposition of the engine counters; a sharded engine
+  /// additionally emits per-shard labeled samples.
+  virtual std::string StatsPrometheusText() const = 0;
+
+  /// Whether mutations are WAL-logged (drives the server's shutdown
+  /// checkpoint).
+  virtual bool durable() const = 0;
+
+  /// Takes a checkpoint now (every shard, for a sharded engine).
+  virtual Status CheckpointNow() = 0;
+};
+
 /// The embedded forecast-enabled database engine.
-class F2dbEngine {
+class F2dbEngine : public EngineInterface {
  public:
   /// Takes ownership of the loaded fact cube (aggregates built). This
   /// constructor is always IN-MEMORY: options.data_dir is ignored here
@@ -246,7 +292,7 @@ class F2dbEngine {
 
   /// Whether this engine writes a WAL (opened through Open with a
   /// data_dir; the plain constructor never is).
-  bool durable() const { return wal_ != nullptr; }
+  bool durable() const override { return wal_ != nullptr; }
 
   /// Takes a checkpoint right now: rotates the WAL to a fresh epoch,
   /// writes the pinned snapshot atomically, and deletes the WAL segments
@@ -254,7 +300,7 @@ class F2dbEngine {
   /// expensive serialization runs off the writer lock. On failure the
   /// previous checkpoint and every WAL segment survive, so recovery is
   /// unaffected. kFailedPrecondition for an in-memory engine.
-  Status CheckpointNow();
+  Status CheckpointNow() override;
 
   /// The graph of the CURRENT snapshot. The reference stays valid until the
   /// next maintenance publication — a single-threaded convenience. Code
@@ -262,7 +308,12 @@ class F2dbEngine {
   const TimeSeriesGraph& graph() const;
 
   /// Value snapshot of the engine counters (safe to call concurrently).
-  EngineStats stats() const;
+  EngineStats stats() const override;
+
+  /// Prometheus exposition of stats() (EngineInterface contract).
+  std::string StatsPrometheusText() const override {
+    return stats().ToPrometheusText();
+  }
 
   const EngineOptions& options() const { return options_; }
 
@@ -298,12 +349,12 @@ class F2dbEngine {
   Result<QueryResult> ExecuteSql(const std::string& sql) const;
 
   /// Executes a parsed forecast query against the current snapshot.
-  Result<QueryResult> Execute(const ForecastQuery& query) const;
+  Result<QueryResult> Execute(const ForecastQuery& query) const override;
 
   /// Describes the execution plan of a forecast query without computing
   /// forecasts: the resolved node, its stored derivation scheme, the
   /// current derivation weight, and the source models.
-  Result<ExplainResult> Explain(const ForecastQuery& query) const;
+  Result<ExplainResult> Explain(const ForecastQuery& query) const override;
 
   /// Parses and executes ANY statement of the dialect (SELECT / INSERT /
   /// EXPLAIN SELECT) and renders the outcome as display text — the
@@ -338,13 +389,13 @@ class F2dbEngine {
   /// names (ordered by dimension). Values are buffered per time stamp; when
   /// every base series has a value for the next period, time advances.
   Status InsertFact(const std::vector<std::string>& base_values,
-                    std::int64_t time, double value);
+                    std::int64_t time, double value) override;
 
   /// Same, addressing the base node directly.
   Status InsertFact(NodeId base_node, std::int64_t time, double value);
 
   /// Number of buffered (not yet applied) inserts.
-  std::size_t pending_inserts() const;
+  std::size_t pending_inserts() const override;
 
  private:
   /// Live counters behind stats(): relaxed atomics, lock-free on both the

@@ -1,5 +1,6 @@
 #include "engine/stats_export.h"
 
+#include <array>
 #include <cmath>
 #include <cstdio>
 
@@ -27,6 +28,100 @@ void AppendFamilyHeader(std::string* out, std::string_view name,
   out->append(PrometheusEscapeHelp(help)).append("\n");
   out->append("# TYPE ").append(name).append(" ").append(type).append("\n");
 }
+
+/// One scalar engine family: name, help, TYPE, and the field accessor.
+/// Shared by the unsharded and the sharded renderer so the two expositions
+/// can never drift apart.
+struct EngineFamily {
+  const char* name;
+  const char* help;
+  const char* type;
+  double (*value)(const EngineStats&);
+};
+
+/// Families rendered BEFORE the degradation-rung breakdown (matching the
+/// historical exposition order).
+constexpr EngineFamily kHeadFamilies[] = {
+    {"f2db_queries_total", "Forecast queries served.", "counter",
+     [](const EngineStats& s) { return static_cast<double>(s.queries); }},
+    {"f2db_inserts_total", "Facts accepted into the insert buffer.", "counter",
+     [](const EngineStats& s) { return static_cast<double>(s.inserts); }},
+    {"f2db_time_advances_total",
+     "Batched advances of the cube's time frontier.", "counter",
+     [](const EngineStats& s) { return static_cast<double>(s.time_advances); }},
+    {"f2db_reestimates_total", "Lazy model re-estimations published.",
+     "counter",
+     [](const EngineStats& s) { return static_cast<double>(s.reestimates); }},
+    {"f2db_refit_failures_total",
+     "Lazy re-estimation attempts that returned non-OK.", "counter",
+     [](const EngineStats& s) {
+       return static_cast<double>(s.refit_failures);
+     }},
+    {"f2db_quarantines_total",
+     "Nodes quarantined after consecutive refit failures.", "counter",
+     [](const EngineStats& s) { return static_cast<double>(s.quarantines); }},
+};
+
+/// Families rendered AFTER the degradation-rung breakdown.
+constexpr EngineFamily kTailFamilies[] = {
+    {"f2db_query_seconds_total",
+     "Wall-clock seconds spent in the query layer.", "counter",
+     [](const EngineStats& s) { return s.total_query_seconds; }},
+    {"f2db_maintenance_seconds_total",
+     "Wall-clock seconds spent in maintenance.", "counter",
+     [](const EngineStats& s) { return s.total_maintenance_seconds; }},
+    {"f2db_wal_records_appended_total",
+     "WAL records appended by this process.", "counter",
+     [](const EngineStats& s) {
+       return static_cast<double>(s.wal_records_appended);
+     }},
+    {"f2db_wal_bytes_total", "WAL bytes appended by this process.", "counter",
+     [](const EngineStats& s) { return static_cast<double>(s.wal_bytes); }},
+    {"f2db_wal_records_replayed_total",
+     "WAL records replayed by recovery at open.", "counter",
+     [](const EngineStats& s) {
+       return static_cast<double>(s.wal_records_replayed);
+     }},
+    {"f2db_torn_tail_detected",
+     "1 when recovery truncated a torn final WAL record.", "gauge",
+     [](const EngineStats& s) {
+       return static_cast<double>(s.torn_tail_detected);
+     }},
+    {"f2db_checkpoints_completed_total", "Checkpoints written successfully.",
+     "counter",
+     [](const EngineStats& s) {
+       return static_cast<double>(s.checkpoints_completed);
+     }},
+    {"f2db_checkpoint_failures_total", "Checkpoint attempts that failed.",
+     "counter",
+     [](const EngineStats& s) {
+       return static_cast<double>(s.checkpoint_failures);
+     }},
+    {"f2db_recovery_duration_ms",
+     "Milliseconds recovery took when the engine opened.", "gauge",
+     [](const EngineStats& s) { return s.recovery_duration_ms; }},
+    {"f2db_last_checkpoint_age_seconds",
+     "Seconds since the last completed checkpoint; -1 when none completed "
+     "yet.",
+     "gauge",
+     [](const EngineStats& s) { return s.last_checkpoint_age_seconds; }},
+};
+
+/// The degradation-rung breakdown of one stats snapshot.
+struct RungSample {
+  const char* rung;
+  std::size_t count;
+};
+
+std::array<RungSample, 3> Rungs(const EngineStats& stats) {
+  return {{{"stale", stats.degraded_rows_stale},
+           {"derived", stats.degraded_rows_derived},
+           {"naive", stats.degraded_rows_naive}}};
+}
+
+constexpr const char* kDegradedName = "f2db_degraded_rows_total";
+constexpr const char* kDegradedHelp =
+    "Forecast rows served per degradation rung.";
 
 }  // namespace
 
@@ -77,73 +172,79 @@ void AppendPrometheusGauge(std::string* out, std::string_view name,
 std::string EngineStats::ToPrometheusText() const {
   std::string out;
   out.reserve(2048);
-  AppendPrometheusCounter(&out, "f2db_queries_total",
-                          "Forecast queries served.",
-                          static_cast<double>(queries));
-  AppendPrometheusCounter(&out, "f2db_inserts_total",
-                          "Facts accepted into the insert buffer.",
-                          static_cast<double>(inserts));
-  AppendPrometheusCounter(&out, "f2db_time_advances_total",
-                          "Batched advances of the cube's time frontier.",
-                          static_cast<double>(time_advances));
-  AppendPrometheusCounter(&out, "f2db_reestimates_total",
-                          "Lazy model re-estimations published.",
-                          static_cast<double>(reestimates));
-  AppendPrometheusCounter(&out, "f2db_refit_failures_total",
-                          "Lazy re-estimation attempts that returned non-OK.",
-                          static_cast<double>(refit_failures));
-  AppendPrometheusCounter(&out, "f2db_quarantines_total",
-                          "Nodes quarantined after consecutive refit failures.",
-                          static_cast<double>(quarantines));
+  for (const EngineFamily& family : kHeadFamilies) {
+    AppendFamilyHeader(&out, family.name, family.help, family.type);
+    out.append(family.name)
+        .append(" ")
+        .append(RenderValue(family.value(*this)))
+        .append("\n");
+  }
 
-  AppendFamilyHeader(&out, "f2db_degraded_rows_total",
-                     "Forecast rows served per degradation rung.", "counter");
-  const struct {
-    const char* rung;
-    std::size_t count;
-  } rungs[] = {{"stale", degraded_rows_stale},
-               {"derived", degraded_rows_derived},
-               {"naive", degraded_rows_naive}};
-  for (const auto& entry : rungs) {
-    out.append("f2db_degraded_rows_total{rung=\"")
+  AppendFamilyHeader(&out, kDegradedName, kDegradedHelp, "counter");
+  for (const RungSample& entry : Rungs(*this)) {
+    out.append(kDegradedName)
+        .append("{rung=\"")
         .append(PrometheusEscapeLabelValue(entry.rung))
         .append("\"} ")
         .append(RenderValue(static_cast<double>(entry.count)))
         .append("\n");
   }
 
-  AppendPrometheusCounter(&out, "f2db_query_seconds_total",
-                          "Wall-clock seconds spent in the query layer.",
-                          total_query_seconds);
-  AppendPrometheusCounter(&out, "f2db_maintenance_seconds_total",
-                          "Wall-clock seconds spent in maintenance.",
-                          total_maintenance_seconds);
+  for (const EngineFamily& family : kTailFamilies) {
+    AppendFamilyHeader(&out, family.name, family.help, family.type);
+    out.append(family.name)
+        .append(" ")
+        .append(RenderValue(family.value(*this)))
+        .append("\n");
+  }
+  return out;
+}
 
-  AppendPrometheusCounter(&out, "f2db_wal_records_appended_total",
-                          "WAL records appended by this process.",
-                          static_cast<double>(wal_records_appended));
-  AppendPrometheusCounter(&out, "f2db_wal_bytes_total",
-                          "WAL bytes appended by this process.",
-                          static_cast<double>(wal_bytes));
-  AppendPrometheusCounter(&out, "f2db_wal_records_replayed_total",
-                          "WAL records replayed by recovery at open.",
-                          static_cast<double>(wal_records_replayed));
-  AppendPrometheusGauge(&out, "f2db_torn_tail_detected",
-                        "1 when recovery truncated a torn final WAL record.",
-                        static_cast<double>(torn_tail_detected));
-  AppendPrometheusCounter(&out, "f2db_checkpoints_completed_total",
-                          "Checkpoints written successfully.",
-                          static_cast<double>(checkpoints_completed));
-  AppendPrometheusCounter(&out, "f2db_checkpoint_failures_total",
-                          "Checkpoint attempts that failed.",
-                          static_cast<double>(checkpoint_failures));
-  AppendPrometheusGauge(&out, "f2db_recovery_duration_ms",
-                        "Milliseconds recovery took when the engine opened.",
-                        recovery_duration_ms);
-  AppendPrometheusGauge(&out, "f2db_last_checkpoint_age_seconds",
-                        "Seconds since the last completed checkpoint; -1 "
-                        "when none completed yet.",
-                        last_checkpoint_age_seconds);
+std::string ShardedEngineStatsPrometheusText(
+    const std::vector<std::pair<std::string, EngineStats>>& shards,
+    const EngineStats& total) {
+  std::string out;
+  out.reserve(2048 + 1024 * shards.size());
+  const auto render_family = [&](const EngineFamily& family) {
+    AppendFamilyHeader(&out, family.name, family.help, family.type);
+    for (const auto& [label, stats] : shards) {
+      out.append(family.name)
+          .append("{shard=\"")
+          .append(PrometheusEscapeLabelValue(label))
+          .append("\"} ")
+          .append(RenderValue(family.value(stats)))
+          .append("\n");
+    }
+    out.append(family.name)
+        .append(" ")
+        .append(RenderValue(family.value(total)))
+        .append("\n");
+  };
+  for (const EngineFamily& family : kHeadFamilies) render_family(family);
+
+  AppendFamilyHeader(&out, kDegradedName, kDegradedHelp, "counter");
+  for (const auto& [label, stats] : shards) {
+    for (const RungSample& entry : Rungs(stats)) {
+      out.append(kDegradedName)
+          .append("{rung=\"")
+          .append(PrometheusEscapeLabelValue(entry.rung))
+          .append("\",shard=\"")
+          .append(PrometheusEscapeLabelValue(label))
+          .append("\"} ")
+          .append(RenderValue(static_cast<double>(entry.count)))
+          .append("\n");
+    }
+  }
+  for (const RungSample& entry : Rungs(total)) {
+    out.append(kDegradedName)
+        .append("{rung=\"")
+        .append(PrometheusEscapeLabelValue(entry.rung))
+        .append("\"} ")
+        .append(RenderValue(static_cast<double>(entry.count)))
+        .append("\n");
+  }
+
+  for (const EngineFamily& family : kTailFamilies) render_family(family);
   return out;
 }
 

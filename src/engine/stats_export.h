@@ -18,8 +18,12 @@
 
 #include <string>
 #include <string_view>
+#include <utility>
+#include <vector>
 
 namespace f2db {
+
+struct EngineStats;  // engine.h
 
 /// Escapes `\` and newline for a `# HELP` line.
 std::string PrometheusEscapeHelp(std::string_view text);
@@ -34,6 +38,18 @@ void AppendPrometheusCounter(std::string* out, std::string_view name,
 /// Appends a gauge family (same layout, TYPE gauge).
 void AppendPrometheusGauge(std::string* out, std::string_view name,
                            std::string_view help, double value);
+
+/// Renders the engine families of a SHARDED engine: every family carries
+/// one labeled sample per shard (e.g. f2db_inserts_total{shard="3"}) plus
+/// the unlabeled aggregated total, all under a single HELP/TYPE header —
+/// the Prometheus-sanctioned layout for one family with several series.
+/// `shards` pairs each shard's label value (its partition index as text)
+/// with its counter snapshot; `total` is the aggregate the unlabeled
+/// sample reports. The degradation-rung family combines both labels
+/// ({rung="stale",shard="k"}).
+std::string ShardedEngineStatsPrometheusText(
+    const std::vector<std::pair<std::string, EngineStats>>& shards,
+    const EngineStats& total);
 
 }  // namespace f2db
 

@@ -1,0 +1,305 @@
+#include "server/reactor.h"
+
+#include <errno.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <utility>
+
+#include "server/server.h"
+
+namespace f2db {
+
+Reactor::Reactor(F2dbServer& server, std::size_t index)
+    : server_(server), index_(index) {}
+
+Reactor::~Reactor() {
+  Join();
+  CloseListenFd();
+  for (const int fd : adopted_fds_) ::close(fd);
+  if (epoll_fd_ >= 0) ::close(epoll_fd_);
+  if (wake_fd_ >= 0) ::close(wake_fd_);
+}
+
+Status Reactor::Init() {
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  wake_fd_ = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+  if (epoll_fd_ < 0 || wake_fd_ < 0) {
+    return Status::Internal("epoll_create1()/eventfd() failed");
+  }
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = wake_fd_;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev);
+  return Status::OK();
+}
+
+void Reactor::SetListenFd(int fd) {
+  listen_fd_ = fd;
+  if (listen_fd_ >= 0 && epoll_fd_ >= 0) {
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = listen_fd_;
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &ev);
+  }
+}
+
+Status Reactor::Start() {
+  if (epoll_fd_ < 0 || wake_fd_ < 0) {
+    return Status::FailedPrecondition("reactor not initialized");
+  }
+  running_.store(true, std::memory_order_release);
+  thread_ = std::thread([this] { EventLoop(); });
+  return Status::OK();
+}
+
+void Reactor::Wake() {
+  if (wake_fd_ >= 0) {
+    const std::uint64_t one = 1;
+    // Best effort: the eventfd counter saturating (EAGAIN) still leaves
+    // the loop woken. write() is async-signal-safe.
+    [[maybe_unused]] const ssize_t n = ::write(wake_fd_, &one, sizeof(one));
+  }
+}
+
+void Reactor::Join() {
+  if (thread_.joinable()) thread_.join();
+}
+
+void Reactor::AdoptSocket(int fd) {
+  {
+    std::lock_guard<std::mutex> lock(pending_mutex_);
+    adopted_fds_.push_back(fd);
+  }
+  Wake();
+}
+
+void Reactor::NoteResponseReady(const std::shared_ptr<ServerConnection>& conn) {
+  std::lock_guard<std::mutex> lock(pending_mutex_);
+  pending_write_.push_back(conn);
+}
+
+void Reactor::RespondNow(const std::shared_ptr<ServerConnection>& conn,
+                         std::string encoded) {
+  conn->EnqueueResponse(std::move(encoded));
+  server_.stats_.responses_sent.Add();
+  FlushConnection(conn);
+}
+
+void Reactor::CloseListenFd() {
+  if (listen_fd_ >= 0) {
+    if (epoll_fd_ >= 0) {
+      ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, listen_fd_, nullptr);
+    }
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+}
+
+void Reactor::EventLoop() {
+  bool draining = false;
+  std::chrono::steady_clock::time_point drain_deadline{};
+  epoll_event events[64];
+
+  for (;;) {
+    const int timeout_ms = draining ? 20 : -1;
+    const int n = ::epoll_wait(epoll_fd_, events, 64, timeout_ms);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;  // epoll itself failed; nothing sensible left to do
+    }
+    for (int i = 0; i < n; ++i) {
+      const int fd = events[i].data.fd;
+      if (fd == wake_fd_) {
+        std::uint64_t drained = 0;
+        while (::read(wake_fd_, &drained, sizeof(drained)) > 0) {
+        }
+        continue;
+      }
+      if (fd == listen_fd_) {
+        HandleAccept();
+        continue;
+      }
+      const auto it = connections_.find(fd);
+      if (it == connections_.end()) continue;
+      std::shared_ptr<ServerConnection> conn = it->second;
+      if (events[i].events & (EPOLLIN | EPOLLHUP | EPOLLERR)) {
+        ServerConnection::ReadOutcome outcome = conn->ReadReady();
+        for (const std::string& payload : outcome.payloads) {
+          server_.HandleRequest(*this, conn, payload);
+        }
+        if (!outcome.framing_error.ok()) {
+          server_.stats_.protocol_errors.Add();
+          WireResponse error;
+          error.type = FrameType::kPing;
+          error.status = outcome.framing_error.code();
+          error.body = outcome.framing_error.message();
+          RespondNow(conn, EncodeResponse(error));
+          conn->MarkCloseAfterFlush();
+          // Unreadable stream: stop watching for input.
+          epoll_event mod{};
+          mod.events = EPOLLOUT;
+          mod.data.fd = conn->fd();
+          ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn->fd(), &mod);
+          conn->epollout_armed = true;
+        } else if (outcome.closed) {
+          DropConnection(conn);
+          continue;
+        }
+      }
+      if (events[i].events & EPOLLOUT) {
+        FlushConnection(conn);
+      }
+    }
+
+    // Register sockets handed off by the accepting reactor, then flush
+    // connections workers completed responses on.
+    std::vector<int> adopted;
+    std::vector<std::shared_ptr<ServerConnection>> pending;
+    {
+      std::lock_guard<std::mutex> lock(pending_mutex_);
+      adopted.swap(adopted_fds_);
+      pending.swap(pending_write_);
+    }
+    for (const int fd : adopted) RegisterConnection(fd);
+    for (const auto& conn : pending) FlushConnection(conn);
+
+    if (server_.shutdown_requested_.load(std::memory_order_acquire) &&
+        !draining) {
+      draining = true;
+      drain_deadline = std::chrono::steady_clock::now() +
+                       std::chrono::duration_cast<
+                           std::chrono::steady_clock::duration>(
+                           std::chrono::duration<double>(
+                               server_.options_.drain_timeout_seconds));
+      CloseListenFd();
+    }
+    if (draining && (DrainComplete() ||
+                     std::chrono::steady_clock::now() >= drain_deadline)) {
+      break;
+    }
+  }
+
+  // Close every socket; the connection objects stay alive until the
+  // server has drained the worker pool (stragglers append to outboxes).
+  for (auto& [fd, conn] : connections_) {
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+    conn->CloseFd();
+    server_.stats_.connections_closed.Add();
+    server_.num_connections_.fetch_sub(1, std::memory_order_relaxed);
+  }
+  running_.store(false, std::memory_order_release);
+}
+
+void Reactor::HandleAccept() {
+  for (;;) {
+    const int fd =
+        ::accept4(listen_fd_, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      break;  // EAGAIN or a transient accept error
+    }
+    // Reserve a connection slot across all reactors before the socket is
+    // registered or handed off.
+    std::size_t open = server_.num_connections_.load(std::memory_order_relaxed);
+    bool reserved = false;
+    while (open < server_.options_.max_connections) {
+      if (server_.num_connections_.compare_exchange_weak(
+              open, open + 1, std::memory_order_relaxed)) {
+        reserved = true;
+        break;
+      }
+    }
+    if (!reserved) {
+      ::close(fd);
+      server_.stats_.connections_refused.Add();
+      continue;
+    }
+    if (server_.accept_handoff_ && server_.reactors_.size() > 1) {
+      // Round-robin hand-off: this reactor owns the only listener; spread
+      // accepted sockets across the pool.
+      const std::size_t target =
+          server_.next_reactor_.fetch_add(1, std::memory_order_relaxed) %
+          server_.reactors_.size();
+      Reactor& owner = *server_.reactors_[target];
+      if (&owner != this) {
+        owner.AdoptSocket(fd);
+        continue;
+      }
+    }
+    RegisterConnection(fd);
+  }
+}
+
+void Reactor::RegisterConnection(int fd) {
+  const int enable = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &enable, sizeof(enable));
+  auto conn =
+      std::make_shared<ServerConnection>(fd, server_.options_.max_frame_bytes);
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = fd;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) != 0) {
+    // conn destructor closes the fd; release the reserved slot.
+    server_.num_connections_.fetch_sub(1, std::memory_order_relaxed);
+    return;
+  }
+  connections_.emplace(fd, std::move(conn));
+  server_.stats_.connections_accepted.Add();
+}
+
+void Reactor::FlushConnection(const std::shared_ptr<ServerConnection>& conn) {
+  if (conn->fd_closed()) return;
+  if (!conn->FlushWrites()) {
+    DropConnection(conn);
+    return;
+  }
+  const bool wants_write = conn->wants_write();
+  if (wants_write && !conn->epollout_armed) {
+    epoll_event ev{};
+    ev.events = EPOLLIN | EPOLLOUT;
+    ev.data.fd = conn->fd();
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn->fd(), &ev);
+    conn->epollout_armed = true;
+  } else if (!wants_write) {
+    if (conn->epollout_armed) {
+      epoll_event ev{};
+      ev.events = EPOLLIN;
+      ev.data.fd = conn->fd();
+      ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn->fd(), &ev);
+      conn->epollout_armed = false;
+    }
+    if (conn->close_after_flush() && conn->in_flight() == 0) {
+      DropConnection(conn);
+    }
+  }
+}
+
+void Reactor::DropConnection(const std::shared_ptr<ServerConnection>& conn) {
+  if (conn->fd_closed()) return;
+  const int fd = conn->fd();
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+  conn->CloseFd();
+  connections_.erase(fd);
+  server_.stats_.connections_closed.Add();
+  server_.num_connections_.fetch_sub(1, std::memory_order_relaxed);
+}
+
+bool Reactor::DrainComplete() {
+  if (server_.in_flight_.load(std::memory_order_acquire) != 0) return false;
+  for (const auto& [fd, conn] : connections_) {
+    if (conn->wants_write()) return false;
+  }
+  {
+    std::lock_guard<std::mutex> lock(pending_mutex_);
+    if (!pending_write_.empty() || !adopted_fds_.empty()) return false;
+  }
+  return true;
+}
+
+}  // namespace f2db

@@ -6,8 +6,6 @@
 #include <netinet/tcp.h>
 #include <signal.h>
 #include <string.h>
-#include <sys/epoll.h>
-#include <sys/eventfd.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -31,10 +29,11 @@ void SigtermHandler(int /*signo*/) {
 }
 
 /// Renders a QUERY result like the interactive shell does, so a client
-/// sees familiar text either way.
-std::string RenderQueryResult(const EngineSnapshot& snapshot,
-                              const QueryResult& result) {
-  std::string out = "-- node: " + snapshot.graph->NodeName(result.node) + "\n";
+/// sees familiar text either way. The node name travels in the result, so
+/// no engine snapshot is needed here — a sharded engine has no single
+/// global snapshot to pin.
+std::string RenderQueryResult(const QueryResult& result) {
+  std::string out = "-- node: " + result.node_name + "\n";
   if (result.degradation != DegradationLevel::kNone) {
     out += "-- degraded: " +
            std::string(DegradationLevelName(result.degradation)) + " (" +
@@ -110,7 +109,7 @@ std::string ServerStats::ToPrometheusText() const {
   return out;
 }
 
-F2dbServer::F2dbServer(F2dbEngine& engine, ServerOptions options)
+F2dbServer::F2dbServer(EngineInterface& engine, ServerOptions options)
     : engine_(engine), options_(std::move(options)) {}
 
 F2dbServer::~F2dbServer() {
@@ -120,84 +119,148 @@ F2dbServer::~F2dbServer() {
   }
 }
 
+Result<int> F2dbServer::CreateListener(bool* reuseport) {
+  const int fd =
+      ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    return Status::Internal(std::string("socket(): ") + ::strerror(errno));
+  }
+  const int enable = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &enable, sizeof(enable));
+  if (reuseport != nullptr) {
+#ifdef SO_REUSEPORT
+    *reuseport = ::setsockopt(fd, SOL_SOCKET, SO_REUSEPORT, &enable,
+                              sizeof(enable)) == 0;
+#else
+    *reuseport = false;
+#endif
+  }
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  // After the first bind, port_ carries the resolved port so every
+  // SO_REUSEPORT sibling binds the same one.
+  addr.sin_port = htons(port_ != 0 ? port_ : options_.port);
+  if (::inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument("unparsable listen host: " + options_.host);
+  }
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const Status status =
+        Status::Internal(std::string("bind(): ") + ::strerror(errno));
+    ::close(fd);
+    return status;
+  }
+  if (::listen(fd, 128) != 0) {
+    const Status status =
+        Status::Internal(std::string("listen(): ") + ::strerror(errno));
+    ::close(fd);
+    return status;
+  }
+  if (port_ == 0) {
+    sockaddr_in bound{};
+    socklen_t bound_len = sizeof(bound);
+    if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &bound_len) !=
+        0) {
+      const Status status =
+          Status::Internal(std::string("getsockname(): ") + ::strerror(errno));
+      ::close(fd);
+      return status;
+    }
+    port_ = ntohs(bound.sin_port);
+  }
+  return fd;
+}
+
 Status F2dbServer::Start() {
   if (started_) {
     return Status::FailedPrecondition("server already started");
   }
-  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
-  if (listen_fd_ < 0) {
-    return Status::Internal(std::string("socket(): ") + ::strerror(errno));
-  }
-  const int enable = 1;
-  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &enable, sizeof(enable));
+  const std::size_t num_reactors =
+      options_.reactor_threads > 0 ? options_.reactor_threads : 1;
 
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_port = htons(options_.port);
-  if (::inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
-    CloseListenFd();
-    return Status::InvalidArgument("unparsable listen host: " + options_.host);
+  reactors_.clear();
+  reactors_.reserve(num_reactors);
+  for (std::size_t i = 0; i < num_reactors; ++i) {
+    auto reactor = std::make_unique<Reactor>(*this, i);
+    const Status status = reactor->Init();
+    if (!status.ok()) {
+      reactors_.clear();
+      return status;
+    }
+    reactors_.push_back(std::move(reactor));
   }
-  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
-      0) {
-    const Status status =
-        Status::Internal(std::string("bind(): ") + ::strerror(errno));
-    CloseListenFd();
-    return status;
-  }
-  if (::listen(listen_fd_, 128) != 0) {
-    const Status status =
-        Status::Internal(std::string("listen(): ") + ::strerror(errno));
-    CloseListenFd();
-    return status;
-  }
-  sockaddr_in bound{};
-  socklen_t bound_len = sizeof(bound);
-  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound),
-                    &bound_len) != 0) {
-    const Status status =
-        Status::Internal(std::string("getsockname(): ") + ::strerror(errno));
-    CloseListenFd();
-    return status;
-  }
-  port_ = ntohs(bound.sin_port);
 
-  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
-  wake_fd_ = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
-  if (epoll_fd_ < 0 || wake_fd_ < 0) {
-    const Status status = Status::Internal("epoll_create1()/eventfd() failed");
-    Shutdown();
-    return status;
+  // Listener topology: one SO_REUSEPORT listener per reactor when the
+  // option is on and the kernel cooperates; otherwise reactor 0 runs the
+  // only listener and hands accepted sockets off round-robin (the
+  // fallback also covers single-reactor servers, where hand-off is moot).
+  accept_handoff_ = !(options_.use_so_reuseport && num_reactors > 1);
+  bool reuseport_ok = false;
+  Result<int> first = CreateListener(
+      accept_handoff_ ? nullptr : &reuseport_ok);
+  if (!first.ok()) {
+    reactors_.clear();
+    port_ = 0;
+    return first.status();
   }
-  epoll_event ev{};
-  ev.events = EPOLLIN;
-  ev.data.fd = listen_fd_;
-  ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &ev);
-  ev.data.fd = wake_fd_;
-  ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev);
+  if (!accept_handoff_ && !reuseport_ok) {
+    // The kernel refused SO_REUSEPORT: fall back to the hand-off path on
+    // the socket we already bound.
+    accept_handoff_ = true;
+  }
+  reactors_[0]->SetListenFd(first.value());
+  if (!accept_handoff_) {
+    for (std::size_t i = 1; i < num_reactors; ++i) {
+      bool sibling_ok = false;
+      Result<int> sibling = CreateListener(&sibling_ok);
+      if (!sibling.ok() || !sibling_ok) {
+        if (sibling.ok()) ::close(sibling.value());
+        // A sibling failed to share the port: close ranks around the
+        // already-bound reactor-0 listener and hand off instead.
+        accept_handoff_ = true;
+        break;
+      }
+      reactors_[i]->SetListenFd(sibling.value());
+    }
+  }
 
   pool_ = std::make_unique<ThreadPool>(
       options_.worker_threads > 0 ? options_.worker_threads : 1);
   started_ = true;
-  loop_running_.store(true, std::memory_order_release);
-  loop_thread_ = std::thread([this] { EventLoop(); });
+  shutdown_requested_.store(false, std::memory_order_release);
+  for (auto& reactor : reactors_) {
+    const Status status = reactor->Start();
+    if (!status.ok()) {
+      Shutdown();
+      return status;
+    }
+  }
   return Status::OK();
+}
+
+bool F2dbServer::running() const {
+  for (const auto& reactor : reactors_) {
+    if (reactor->running()) return true;
+  }
+  return false;
 }
 
 void F2dbServer::RequestShutdown() {
   shutdown_requested_.store(true, std::memory_order_release);
-  Wake();
+  for (const auto& reactor : reactors_) reactor->Wake();
 }
 
 void F2dbServer::Shutdown() {
   RequestShutdown();
-  if (loop_thread_.joinable()) loop_thread_.join();
+  for (const auto& reactor : reactors_) reactor->Join();
   // The pool destructor drains queued tasks; connection objects must stay
   // alive until then (stragglers append to outboxes).
   pool_.reset();
-  // All requests have drained: take a shutdown checkpoint so the next open
-  // recovers from the snapshot instead of replaying the whole WAL tail.
-  // Failure is non-fatal — the WAL alone still recovers everything.
+  // All requests have drained: take a shutdown checkpoint — every shard
+  // of a sharded engine — so the next open recovers from snapshots
+  // instead of replaying whole WAL tails. Failure is non-fatal: the WAL
+  // alone still recovers everything.
   if (started_ && engine_.durable()) {
     const Status checkpointed = engine_.CheckpointNow();
     if (!checkpointed.ok()) {
@@ -206,20 +269,9 @@ void F2dbServer::Shutdown() {
     }
   }
   started_ = false;  // a repeated Shutdown (destructor) is a no-op
-  connections_.clear();
-  {
-    std::lock_guard<std::mutex> lock(pending_mutex_);
-    pending_write_.clear();
-  }
-  CloseListenFd();
-  if (epoll_fd_ >= 0) {
-    ::close(epoll_fd_);
-    epoll_fd_ = -1;
-  }
-  if (wake_fd_ >= 0) {
-    ::close(wake_fd_);
-    wake_fd_ = -1;
-  }
+  reactors_.clear();  // destructors close epoll/wake/listen fds
+  port_ = 0;
+  num_connections_.store(0, std::memory_order_relaxed);
 }
 
 ServerStats F2dbServer::stats() const {
@@ -236,7 +288,7 @@ ServerStats F2dbServer::stats() const {
 }
 
 std::string F2dbServer::StatsPrometheusText() const {
-  return engine_.stats().ToPrometheusText() + stats().ToPrometheusText();
+  return engine_.StatsPrometheusText() + stats().ToPrometheusText();
 }
 
 Status F2dbServer::InstallSigtermShutdown(F2dbServer* server) {
@@ -250,195 +302,65 @@ Status F2dbServer::InstallSigtermShutdown(F2dbServer* server) {
   return Status::OK();
 }
 
-void F2dbServer::Wake() {
-  if (wake_fd_ >= 0) {
-    const std::uint64_t one = 1;
-    // Best effort: the eventfd counter saturating (EAGAIN) still leaves the
-    // loop woken. write() is async-signal-safe.
-    [[maybe_unused]] const ssize_t n = ::write(wake_fd_, &one, sizeof(one));
-  }
-}
-
-void F2dbServer::CloseListenFd() {
-  if (listen_fd_ >= 0) {
-    if (epoll_fd_ >= 0) {
-      ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, listen_fd_, nullptr);
-    }
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-  }
-}
-
-void F2dbServer::EventLoop() {
-  bool draining = false;
-  std::chrono::steady_clock::time_point drain_deadline{};
-  epoll_event events[64];
-
-  for (;;) {
-    const int timeout_ms = draining ? 20 : -1;
-    const int n = ::epoll_wait(epoll_fd_, events, 64, timeout_ms);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      break;  // epoll itself failed; nothing sensible left to do
-    }
-    for (int i = 0; i < n; ++i) {
-      const int fd = events[i].data.fd;
-      if (fd == wake_fd_) {
-        std::uint64_t drained = 0;
-        while (::read(wake_fd_, &drained, sizeof(drained)) > 0) {
-        }
-        continue;
-      }
-      if (fd == listen_fd_) {
-        HandleAccept();
-        continue;
-      }
-      const auto it = connections_.find(fd);
-      if (it == connections_.end()) continue;
-      std::shared_ptr<ServerConnection> conn = it->second;
-      if (events[i].events & (EPOLLIN | EPOLLHUP | EPOLLERR)) {
-        ServerConnection::ReadOutcome outcome = conn->ReadReady();
-        for (const std::string& payload : outcome.payloads) {
-          HandleRequest(conn, payload);
-        }
-        if (!outcome.framing_error.ok()) {
-          stats_.protocol_errors.Add();
-          Respond(conn, ErrorResponse(FrameType::kPing,
-                                      outcome.framing_error));
-          conn->MarkCloseAfterFlush();
-          // Unreadable stream: stop watching for input.
-          epoll_event mod{};
-          mod.events = EPOLLOUT;
-          mod.data.fd = conn->fd();
-          ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn->fd(), &mod);
-          conn->epollout_armed = true;
-        } else if (outcome.closed) {
-          DropConnection(conn);
-          continue;
-        }
-      }
-      if (events[i].events & EPOLLOUT) {
-        FlushConnection(conn);
-      }
-    }
-
-    // Flush connections workers completed responses on.
-    std::vector<std::shared_ptr<ServerConnection>> pending;
-    {
-      std::lock_guard<std::mutex> lock(pending_mutex_);
-      pending.swap(pending_write_);
-    }
-    for (const auto& conn : pending) FlushConnection(conn);
-
-    if (shutdown_requested_.load(std::memory_order_acquire) && !draining) {
-      draining = true;
-      drain_deadline = std::chrono::steady_clock::now() +
-                       std::chrono::duration_cast<
-                           std::chrono::steady_clock::duration>(
-                           std::chrono::duration<double>(
-                               options_.drain_timeout_seconds));
-      CloseListenFd();
-    }
-    if (draining &&
-        (DrainComplete() || std::chrono::steady_clock::now() >= drain_deadline)) {
-      break;
-    }
-  }
-
-  // Close every socket; the objects stay alive until Shutdown() has drained
-  // the worker pool.
-  for (auto& [fd, conn] : connections_) {
-    ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
-    conn->CloseFd();
-    stats_.connections_closed.Add();
-  }
-  loop_running_.store(false, std::memory_order_release);
-}
-
-void F2dbServer::HandleAccept() {
-  for (;;) {
-    const int fd =
-        ::accept4(listen_fd_, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
-    if (fd < 0) {
-      if (errno == EINTR) continue;
-      break;  // EAGAIN or a transient accept error
-    }
-    if (connections_.size() >= options_.max_connections) {
-      ::close(fd);
-      stats_.connections_refused.Add();
-      continue;
-    }
-    const int enable = 1;
-    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &enable, sizeof(enable));
-    auto conn = std::make_shared<ServerConnection>(fd, options_.max_frame_bytes);
-    epoll_event ev{};
-    ev.events = EPOLLIN;
-    ev.data.fd = fd;
-    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) != 0) {
-      continue;  // conn destructor closes the fd
-    }
-    connections_.emplace(fd, std::move(conn));
-    stats_.connections_accepted.Add();
-  }
-}
-
-void F2dbServer::HandleRequest(const std::shared_ptr<ServerConnection>& conn,
+void F2dbServer::HandleRequest(Reactor& reactor,
+                               const std::shared_ptr<ServerConnection>& conn,
                                const std::string& payload) {
   stats_.requests_received.Add();
   auto decoded = DecodeRequestPayload(payload);
   if (!decoded.ok()) {
     stats_.protocol_errors.Add();
-    Respond(conn, ErrorResponse(FrameType::kPing, decoded.status()));
+    reactor.RespondNow(
+        conn, EncodeResponse(ErrorResponse(FrameType::kPing, decoded.status())));
     return;
   }
   WireRequest request = std::move(decoded).value();
 
-  // PING is answered inline on the loop thread: it measures serving-layer
-  // liveness, not worker availability.
+  // PING is answered inline on the reactor thread: it measures
+  // serving-layer liveness, not worker availability.
   if (request.type == FrameType::kPing) {
     WireResponse pong;
     pong.type = FrameType::kPing;
     pong.body = "PONG";
-    Respond(conn, pong);
+    reactor.RespondNow(conn, EncodeResponse(pong));
     return;
   }
 
   if (shutdown_requested_.load(std::memory_order_acquire)) {
     stats_.requests_shed.Add();
-    Respond(conn, ErrorResponse(request.type, Status::Unavailable(
-                                                  "server shutting down")));
+    reactor.RespondNow(
+        conn, EncodeResponse(ErrorResponse(
+                  request.type, Status::Unavailable("server shutting down"))));
     return;
   }
 
-  // Admission control: shed instead of queueing past the watermark.
+  // Admission control: shed instead of queueing past the watermark. The
+  // watermark is global — reactors share one worker pool.
   const std::size_t depth = in_flight_.load(std::memory_order_relaxed);
   if (depth >= options_.admission_queue_limit) {
     stats_.requests_shed.Add();
-    Respond(conn,
-            ErrorResponse(request.type,
-                          Status::Unavailable(
-                              "server overloaded: admission queue depth " +
-                              std::to_string(depth) + " at limit " +
-                              std::to_string(options_.admission_queue_limit))));
+    reactor.RespondNow(
+        conn,
+        EncodeResponse(ErrorResponse(
+            request.type,
+            Status::Unavailable("server overloaded: admission queue depth " +
+                                std::to_string(depth) + " at limit " +
+                                std::to_string(options_.admission_queue_limit)))));
     return;
   }
 
   in_flight_.fetch_add(1, std::memory_order_relaxed);
   conn->BeginRequest();
-  pool_->Submit([this, conn, request = std::move(request)] {
+  pool_->Submit([this, &reactor, conn, request = std::move(request)] {
     if (options_.worker_test_hook) options_.worker_test_hook();
     const WireResponse response = ExecuteRequest(request);
     conn->EnqueueResponse(EncodeResponse(response));
     stats_.responses_sent.Add();
-    {
-      std::lock_guard<std::mutex> lock(pending_mutex_);
-      pending_write_.push_back(conn);
-    }
+    reactor.NoteResponseReady(conn);
     conn->EndRequest();
     // Decrement AFTER the response is visible in the outbox, so the drain
     // check never sees zero in-flight with an unflushed response.
     in_flight_.fetch_sub(1, std::memory_order_release);
-    Wake();
+    reactor.Wake();
   });
 }
 
@@ -468,13 +390,10 @@ WireResponse F2dbServer::ExecuteRequest(const WireRequest& request) const {
         response.body = RenderExplainResult(plan.value());
         return response;
       }
-      // Pin one snapshot for name rendering; Execute() pins its own for the
-      // computation (both are consistent views — node ids are stable).
-      const SnapshotPtr snapshot = engine_.snapshot();
       auto result = engine_.Execute(statement.forecast);
       if (!result.ok()) return ErrorResponse(request.type, result.status());
       response.degradation = result.value().degradation;
-      response.body = RenderQueryResult(*snapshot, result.value());
+      response.body = RenderQueryResult(result.value());
       return response;
     }
     case FrameType::kInsert: {
@@ -497,61 +416,6 @@ WireResponse F2dbServer::ExecuteRequest(const WireRequest& request) const {
   }
   return ErrorResponse(request.type,
                        Status::Internal("unhandled frame type"));
-}
-
-void F2dbServer::Respond(const std::shared_ptr<ServerConnection>& conn,
-                         const WireResponse& response) {
-  conn->EnqueueResponse(EncodeResponse(response));
-  stats_.responses_sent.Add();
-  FlushConnection(conn);
-}
-
-void F2dbServer::FlushConnection(const std::shared_ptr<ServerConnection>& conn) {
-  if (conn->fd_closed()) return;
-  if (!conn->FlushWrites()) {
-    DropConnection(conn);
-    return;
-  }
-  const bool wants_write = conn->wants_write();
-  if (wants_write && !conn->epollout_armed) {
-    epoll_event ev{};
-    ev.events = EPOLLIN | EPOLLOUT;
-    ev.data.fd = conn->fd();
-    ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn->fd(), &ev);
-    conn->epollout_armed = true;
-  } else if (!wants_write) {
-    if (conn->epollout_armed) {
-      epoll_event ev{};
-      ev.events = EPOLLIN;
-      ev.data.fd = conn->fd();
-      ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn->fd(), &ev);
-      conn->epollout_armed = false;
-    }
-    if (conn->close_after_flush() && conn->in_flight() == 0) {
-      DropConnection(conn);
-    }
-  }
-}
-
-void F2dbServer::DropConnection(const std::shared_ptr<ServerConnection>& conn) {
-  if (conn->fd_closed()) return;
-  const int fd = conn->fd();
-  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
-  conn->CloseFd();
-  connections_.erase(fd);
-  stats_.connections_closed.Add();
-}
-
-bool F2dbServer::DrainComplete() {
-  if (in_flight_.load(std::memory_order_acquire) != 0) return false;
-  for (const auto& [fd, conn] : connections_) {
-    if (conn->wants_write()) return false;
-  }
-  {
-    std::lock_guard<std::mutex> lock(pending_mutex_);
-    if (!pending_write_.empty()) return false;
-  }
-  return true;
 }
 
 }  // namespace f2db

@@ -1,29 +1,35 @@
-// F2dbServer: an epoll-based TCP serving layer over one F2dbEngine.
+// F2dbServer: a multi-reactor epoll TCP serving layer over a forecast
+// engine (one F2dbEngine or a ShardedEngine facade).
 //
-// Threading model (DESIGN.md §8):
-//   - ONE event-loop thread owns every socket: it accepts connections,
-//     reads bytes into per-connection FrameDecoders, and writes queued
-//     response frames back out. Sockets are non-blocking; readiness comes
-//     from a single epoll instance.
-//   - A ThreadPool of workers executes complete requests. A QUERY pins the
-//     engine's current EngineSnapshot through the const query layer, so
-//     serving reads never blocks maintenance (and vice versa); INSERT goes
-//     through the engine's serialized maintenance layer.
-//   - Workers hand finished responses back to the event loop through the
-//     connection outbox plus an eventfd wake — workers never touch sockets.
+// Threading model (DESIGN.md §8, §11):
+//   - A fixed pool of REACTOR threads (server/reactor.h). Each reactor
+//     owns one epoll instance and, exclusively, its connections' sockets
+//     and outboxes. With SO_REUSEPORT every reactor runs its own listener
+//     and the kernel load-balances new connections; without it (older
+//     kernels, or use_so_reuseport = false) reactor 0 accepts and hands
+//     sockets off round-robin.
+//   - A ThreadPool of workers executes complete requests. A QUERY goes
+//     through the engine's const query layer (each shard pins its own
+//     immutable snapshot), so serving reads never block maintenance;
+//     INSERT goes through the owning shard's serialized maintenance layer.
+//   - Workers hand finished responses back to the connection's owning
+//     reactor through the outbox plus an eventfd wake — workers never
+//     touch sockets.
 //
 // Admission control: the server tracks queued-plus-running requests in one
-// atomic. A request arriving while the count is at the configured limit is
-// answered immediately with kUnavailable ("server overloaded") instead of
-// being queued — bounded queues shed load early rather than building an
-// unbounded backlog (the thundering-herd regime the ROADMAP's
-// millions-of-users north star implies).
+// atomic shared by all reactors. A request arriving while the count is at
+// the configured limit is answered immediately with kUnavailable ("server
+// overloaded") instead of being queued — bounded queues shed load early
+// rather than building an unbounded backlog (the thundering-herd regime
+// the ROADMAP's millions-of-users north star implies).
 //
 // Graceful shutdown: RequestShutdown() (async-signal-safe; see
-// InstallSigtermShutdown) flips a flag and wakes the loop. The loop stops
-// accepting, answers any late requests with kUnavailable, waits for
-// in-flight work to finish and every response to flush (bounded by
-// drain_timeout_seconds), then closes all connections and exits.
+// InstallSigtermShutdown) flips a flag and wakes every reactor. Each
+// reactor stops accepting, answers late requests with kUnavailable, waits
+// for in-flight work to finish and its own responses to flush (bounded by
+// drain_timeout_seconds), then closes its connections and exits. After
+// the drain the server checkpoints the engine — every shard of a sharded
+// engine.
 
 #ifndef F2DB_SERVER_SERVER_H_
 #define F2DB_SERVER_SERVER_H_
@@ -33,10 +39,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
-#include <thread>
-#include <unordered_map>
 #include <vector>
 
 #include "common/concurrent.h"
@@ -44,6 +47,7 @@
 #include "common/thread_pool.h"
 #include "engine/engine.h"
 #include "server/connection.h"
+#include "server/reactor.h"
 #include "server/wire.h"
 
 namespace f2db {
@@ -54,12 +58,21 @@ struct ServerOptions {
   std::string host = "127.0.0.1";
   /// Listen port; 0 binds an ephemeral port (read it back via port()).
   std::uint16_t port = 0;
+  /// Reactor (event-loop) threads; each owns its connections exclusively
+  /// (at least 1).
+  std::size_t reactor_threads = 1;
+  /// Per-reactor SO_REUSEPORT listeners when true (the kernel
+  /// load-balances new connections across reactors). When false — or when
+  /// the kernel rejects SO_REUSEPORT — reactor 0 runs the only listener
+  /// and hands accepted sockets off round-robin.
+  bool use_so_reuseport = true;
   /// Worker threads executing requests (at least 1).
   std::size_t worker_threads = 4;
   /// Admission watermark: requests queued or running before new arrivals
   /// are shed with kUnavailable.
   std::size_t admission_queue_limit = 64;
-  /// Accepted sockets beyond this are refused (closed immediately).
+  /// Accepted sockets beyond this are refused (closed immediately);
+  /// counted across all reactors.
   std::size_t max_connections = 256;
   /// Per-frame payload cap enforced by the decoder.
   std::size_t max_frame_bytes = kMaxFrameBytes;
@@ -92,35 +105,42 @@ struct ServerStats {
 /// the server.
 class F2dbServer {
  public:
-  explicit F2dbServer(F2dbEngine& engine, ServerOptions options = {});
+  explicit F2dbServer(EngineInterface& engine, ServerOptions options = {});
   ~F2dbServer();
 
   F2dbServer(const F2dbServer&) = delete;
   F2dbServer& operator=(const F2dbServer&) = delete;
 
-  /// Binds, listens, and starts the event loop + worker pool.
+  /// Binds, listens, and starts the reactor pool + worker pool.
   Status Start();
 
   /// The bound port (resolved when options.port was 0). Valid after a
   /// successful Start().
   std::uint16_t port() const { return port_; }
 
-  /// True from a successful Start() until the event loop has exited.
-  bool running() const { return loop_running_.load(std::memory_order_acquire); }
+  /// True from a successful Start() until every reactor has exited.
+  bool running() const;
 
-  /// Begins a graceful drain: async-signal-safe (one atomic store and one
-  /// eventfd write), callable from a signal handler.
+  /// True when Start() fell back to the single-listener hand-off path
+  /// (use_so_reuseport = false or the kernel lacks SO_REUSEPORT). Valid
+  /// after a successful Start(); exposed for tests and diagnostics.
+  bool accept_handoff_active() const { return accept_handoff_; }
+
+  /// Begins a graceful drain: async-signal-safe (atomic store + one
+  /// eventfd write per reactor), callable from a signal handler.
   void RequestShutdown();
 
   /// RequestShutdown() plus join: blocks until in-flight requests drained
   /// (bounded by drain_timeout_seconds), all sockets are closed, and the
-  /// worker pool has stopped. Idempotent.
+  /// worker pool has stopped. Then checkpoints a durable engine (every
+  /// shard). Idempotent.
   void Shutdown();
 
   ServerStats stats() const;
 
-  /// Combined Prometheus exposition: engine families + server families.
-  /// This is the STATS frame's response body.
+  /// Combined Prometheus exposition: engine families (per-shard labels
+  /// for a sharded engine) + server families. This is the STATS frame's
+  /// response body.
   std::string StatsPrometheusText() const;
 
   /// Routes SIGTERM to server->RequestShutdown() — the drain-then-close
@@ -128,6 +148,8 @@ class F2dbServer {
   static Status InstallSigtermShutdown(F2dbServer* server);
 
  private:
+  friend class Reactor;
+
   struct StatsCounters {
     RelaxedCounter connections_accepted;
     RelaxedCounter connections_closed;
@@ -138,49 +160,38 @@ class F2dbServer {
     RelaxedCounter protocol_errors;
   };
 
-  void EventLoop();
-  void HandleAccept();
-  void HandleRequest(const std::shared_ptr<ServerConnection>& conn,
+  /// Creates one non-blocking listener bound to host:port. Sets
+  /// SO_REUSEPORT when `reuseport` is non-null and reports whether the
+  /// kernel accepted it. On the first successful bind port_ is resolved.
+  Result<int> CreateListener(bool* reuseport);
+
+  /// Called by a reactor for every decoded request payload; runs on that
+  /// reactor's thread.
+  void HandleRequest(Reactor& reactor,
+                     const std::shared_ptr<ServerConnection>& conn,
                      const std::string& payload);
   /// Executes one decoded request on a worker thread.
   WireResponse ExecuteRequest(const WireRequest& request) const;
-  /// Queues `response` on `conn` and schedules a flush.
-  void Respond(const std::shared_ptr<ServerConnection>& conn,
-               const WireResponse& response);
-  /// Flushes one connection's pending bytes; manages EPOLLOUT arming and
-  /// close-after-flush. Event-loop thread only.
-  void FlushConnection(const std::shared_ptr<ServerConnection>& conn);
-  void DropConnection(const std::shared_ptr<ServerConnection>& conn);
-  /// True when no request is in flight and every connection is flushed.
-  bool DrainComplete();
-  /// Wakes the event loop (eventfd write; async-signal-safe).
-  void Wake();
-  void CloseListenFd();
 
-  F2dbEngine& engine_;
+  EngineInterface& engine_;
   const ServerOptions options_;
   mutable StatsCounters stats_;
 
-  int listen_fd_ = -1;
-  int epoll_fd_ = -1;
-  int wake_fd_ = -1;
   std::uint16_t port_ = 0;
+  bool accept_handoff_ = false;
 
+  std::vector<std::unique_ptr<Reactor>> reactors_;
   std::unique_ptr<ThreadPool> pool_;
-  std::thread loop_thread_;
-  std::atomic<bool> loop_running_{false};
-  std::atomic<bool> shutdown_requested_{false};
   bool started_ = false;
+  std::atomic<bool> shutdown_requested_{false};
 
-  /// Queued + running requests (admission control and drain tracking).
+  /// Queued + running requests (admission control and drain tracking);
+  /// shared across reactors.
   std::atomic<std::size_t> in_flight_{0};
-
-  /// Event-loop-owned connection table.
-  std::unordered_map<int, std::shared_ptr<ServerConnection>> connections_;
-
-  /// Connections with responses enqueued by workers, awaiting a flush.
-  std::mutex pending_mutex_;
-  std::vector<std::shared_ptr<ServerConnection>> pending_write_;
+  /// Open connections across all reactors (max_connections enforcement).
+  std::atomic<std::size_t> num_connections_{0};
+  /// Hand-off round-robin cursor (reactor 0's accept path).
+  std::atomic<std::size_t> next_reactor_{0};
 };
 
 }  // namespace f2db

@@ -7,6 +7,7 @@
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cmath>
 #include <cstring>
@@ -23,6 +24,7 @@
 #include "core/evaluator.h"
 #include "cube/graph.h"
 #include "engine/engine.h"
+#include "engine/sharded_engine.h"
 #include "engine/wal.h"
 #include "testing/differential.h"
 #include "testing/oracle.h"
@@ -112,6 +114,21 @@ Result<std::vector<NodeId>> CellNodeMap(const WorkloadSpec& spec,
   return nodes;
 }
 
+/// Level-0 value names of one base cell, decoded in the oracle's odometer
+/// order (dimension 0 most significant) — the InsertFact address form of
+/// the sharded facade, whose names[0] also picks the owning partition.
+std::vector<std::string> CellBaseValues(const WorkloadSpec& spec,
+                                        std::size_t cell) {
+  std::vector<std::string> names(spec.dims.size());
+  std::size_t rest = cell;
+  for (std::size_t d = spec.dims.size(); d-- > 0;) {
+    const std::size_t radix = spec.dims[d].num_values(0);
+    names[d] = spec.dims[d].values[0][rest % radix];
+    rest /= radix;
+  }
+  return names;
+}
+
 std::string ChildErrorPath(const std::string& data_dir) {
   return data_dir + "/child_error.txt";
 }
@@ -188,6 +205,67 @@ std::string ChildErrorPath(const std::string& data_dir) {
   ::_exit(99);  // unreachable
 }
 
+/// The sharded crashing process: open a durable ShardedEngine (per-shard
+/// WALs under data_dir/shard-<k>), run the attempt prefix through the
+/// name-routed insert path, then die without warning. No configuration is
+/// loaded, so every shard's WAL holds ONLY kInsert records and recovery is
+/// exactly reproducible from the accepted prefix.
+[[noreturn]] void RunShardedChild(const WorkloadSpec& spec,
+                                  const std::vector<InsertAttempt>& attempts,
+                                  std::size_t kill_after, bool do_checkpoint,
+                                  std::size_t checkpoint_after,
+                                  std::size_t num_shards,
+                                  const std::string& data_dir) {
+  ShardedEngineOptions sharded_options;
+  sharded_options.num_shards = num_shards;
+  sharded_options.engine.maintenance_threads = 1;
+  sharded_options.engine.reestimate_after_updates = 0;
+  sharded_options.engine.data_dir = data_dir;
+  sharded_options.engine.fsync_policy = FsyncPolicy::kAlways;
+
+  auto graph = BuildWorkloadGraph(spec);
+  if (!graph.ok()) {
+    ChildAbort(data_dir, "child graph: " + graph.status().ToString());
+  }
+  auto engine = ShardedEngine::Open(graph.value(), sharded_options);
+  if (!engine.ok()) {
+    ChildAbort(data_dir, "child sharded open: " + engine.status().ToString());
+  }
+
+  // A bare global oracle tracks the frontier and the expected verdicts. A
+  // scatter-gather spec keeps shard frontiers reconcilable with it: every
+  // single-cell attempt sits between complete rounds, where every shard's
+  // frontier equals the global one.
+  ReferenceOracle oracle(spec.dims);
+  for (std::size_t cell = 0; cell < spec.base_history.size(); ++cell) {
+    oracle.SetBaseSeries(cell, spec.base_history[cell]);
+  }
+
+  for (std::size_t i = 0; i < kill_after; ++i) {
+    const InsertAttempt& attempt = attempts[i];
+    std::int64_t time = oracle.frontier();
+    if (attempt.behind) time -= 1;
+    const OracleInsert verdict =
+        oracle.Insert(attempt.cell, time, attempt.value);
+    const Status inserted = engine.value()->InsertFact(
+        CellBaseValues(spec, attempt.cell), time, attempt.value);
+    if (inserted.code() != ExpectedInsertCode(verdict)) {
+      ChildAbort(data_dir, "child sharded attempt " + std::to_string(i) +
+                               ": verdict mismatch, engine=" +
+                               inserted.ToString());
+    }
+    if (do_checkpoint && i == checkpoint_after) {
+      const Status checkpointed = engine.value()->CheckpointNow();
+      if (!checkpointed.ok()) {
+        ChildAbort(data_dir, "child checkpoint: " + checkpointed.ToString());
+      }
+    }
+  }
+
+  ::kill(::getpid(), SIGKILL);
+  ::_exit(99);  // unreachable
+}
+
 struct AcceptedInsert {
   std::size_t cell = 0;
   std::int64_t time = 0;
@@ -224,7 +302,13 @@ void RemoveDirectoryTree(const std::string& dir) {
     while (dirent* entry = ::readdir(d)) {
       const std::string name = entry->d_name;
       if (name == "." || name == "..") continue;
-      ::unlink((dir + "/" + name).c_str());
+      const std::string path = dir + "/" + name;
+      struct stat st;
+      if (::lstat(path.c_str(), &st) == 0 && S_ISDIR(st.st_mode)) {
+        RemoveDirectoryTree(path);  // shard-<k> subdirectories
+      } else {
+        ::unlink(path.c_str());
+      }
     }
     ::closedir(d);
   }
@@ -233,13 +317,23 @@ void RemoveDirectoryTree(const std::string& dir) {
 
 CrashFuzzReport RunCrashFuzz(const CrashFuzzOptions& options) {
   CrashFuzzReport report;
-  const WorkloadSpec spec = GenerateWorkload(
-      options.seed, static_cast<std::size_t>(options.seed % NumWorkloadShapes()),
-      /*inject_refit_failures=*/false);
+  const std::size_t num_shards = std::max<std::size_t>(1, options.num_shards);
+  const bool sharded = num_shards > 1;
+  // The sharded child runs complete rounds only (scatter-gather op mix):
+  // partial inserts would let one shard's frontier run ahead of the global
+  // oracle's and make the verdict stream ambiguous.
+  const std::size_t shape =
+      static_cast<std::size_t>(options.seed % NumWorkloadShapes());
+  const WorkloadSpec spec =
+      sharded ? GenerateScatterGatherWorkload(options.seed, shape,
+                                              /*inject_refit_failures=*/false)
+              : GenerateWorkload(options.seed, shape,
+                                 /*inject_refit_failures=*/false);
   const auto fail = [&](const std::string& what) {
     report.ok = false;
     report.failure = "crash seed=" + std::to_string(options.seed) +
-                     " shape=" + spec.shape_name + ": " + what;
+                     " shape=" + spec.shape_name +
+                     " shards=" + std::to_string(num_shards) + ": " + what;
     if (!options.keep_dir_on_failure) RemoveDirectoryTree(options.data_dir);
     return report;
   };
@@ -271,6 +365,10 @@ CrashFuzzReport RunCrashFuzz(const CrashFuzzOptions& options) {
   const pid_t pid = ::fork();
   if (pid < 0) return fail(std::string("fork(): ") + ::strerror(errno));
   if (pid == 0) {
+    if (sharded) {
+      RunShardedChild(spec, attempts, kill_after, do_checkpoint,
+                      checkpoint_after, num_shards, options.data_dir);
+    }
     RunChild(spec, attempts, kill_after, do_checkpoint, checkpoint_after,
              options.data_dir);
   }
@@ -299,13 +397,21 @@ CrashFuzzReport RunCrashFuzz(const CrashFuzzOptions& options) {
   // ---- phase 3: optional torn tail --------------------------------------
   // Truncate mid-record only when the final record is an insert, so the
   // expected state is simply the accepted prefix minus its last element.
+  // Sharded: tear the WAL of the shard OWNING the last accepted insert —
+  // that insert is the last record of that shard's WAL, so popping it from
+  // the accepted prefix stays exact while sibling shards replay intact.
   bool torn_injected = false;
   if (want_torn_tail && !accepted.empty()) {
-    auto epochs = ListWalEpochs(options.data_dir);
+    std::string wal_dir = options.data_dir;
+    if (sharded) {
+      const std::size_t torn_partition = ShardedEngine::PartitionOf(
+          CellBaseValues(spec, accepted.back().cell)[0], num_shards);
+      wal_dir += "/shard-" + std::to_string(torn_partition);
+    }
+    auto epochs = ListWalEpochs(wal_dir);
     if (!epochs.ok()) return fail("list epochs: " + epochs.status().ToString());
     if (!epochs.value().empty()) {
-      const std::string last_path =
-          WalPath(options.data_dir, epochs.value().back());
+      const std::string last_path = WalPath(wal_dir, epochs.value().back());
       auto segment = ReadWalSegment(last_path);
       if (!segment.ok()) {
         return fail("read last segment: " + segment.status().ToString());
@@ -330,6 +436,124 @@ CrashFuzzReport RunCrashFuzz(const CrashFuzzOptions& options) {
     }
   }
   report.torn_tail_injected = torn_injected;
+
+  if (sharded) {
+    // ---- phase 4 (sharded): recover every shard and compare -------------
+    // No models were loaded, so the reference is the accepted stream
+    // itself, reconciled per shard: shard p applies its j-th round once
+    // every one of ITS cells has a j-th accepted value (independent of the
+    // global round boundary); later values stay buffered.
+    const ReferenceOracle probe(spec.dims);
+    const std::size_t num_cells = probe.num_base_cells();
+    std::vector<std::vector<double>> accepted_values(num_cells);
+    for (const AcceptedInsert& insert : accepted) {
+      accepted_values[insert.cell].push_back(insert.value);
+    }
+    std::vector<std::vector<std::size_t>> cells_of_partition(num_shards);
+    for (std::size_t cell = 0; cell < num_cells; ++cell) {
+      cells_of_partition[ShardedEngine::PartitionOf(
+                             CellBaseValues(spec, cell)[0], num_shards)]
+          .push_back(cell);
+    }
+
+    auto recover_graph = BuildWorkloadGraph(spec);
+    if (!recover_graph.ok()) {
+      return fail("recovery graph: " + recover_graph.status().ToString());
+    }
+    ShardedEngineOptions sharded_options;
+    sharded_options.num_shards = num_shards;
+    sharded_options.engine.maintenance_threads = 1;
+    sharded_options.engine.reestimate_after_updates = 0;
+    sharded_options.engine.data_dir = options.data_dir;
+    sharded_options.engine.fsync_policy = FsyncPolicy::kAlways;
+    auto engine = ShardedEngine::Open(recover_graph.value(), sharded_options);
+    if (!engine.ok()) {
+      return fail("sharded recovery open: " + engine.status().ToString());
+    }
+    const ShardedEngine& recovered = *engine.value();
+
+    const EngineStats total = recovered.stats();
+    report.records_replayed = total.wal_records_replayed;
+    if ((total.torn_tail_detected != 0) != torn_injected) {
+      return fail("torn_tail_detected=" +
+                  std::to_string(total.torn_tail_detected) +
+                  " but injected=" + std::to_string(torn_injected));
+    }
+    if (total.inserts != accepted.size()) {
+      return fail("recovered inserts=" + std::to_string(total.inserts) +
+                  " want " + std::to_string(accepted.size()));
+    }
+
+    for (const std::size_t partition : recovered.active_partitions()) {
+      const std::vector<std::size_t>& cells = cells_of_partition[partition];
+      std::size_t applied_rounds = accepted.size() + 1;
+      std::size_t shard_inserts = 0;
+      for (const std::size_t cell : cells) {
+        applied_rounds =
+            std::min(applied_rounds, accepted_values[cell].size());
+        shard_inserts += accepted_values[cell].size();
+      }
+      const std::size_t shard_pending =
+          shard_inserts - applied_rounds * cells.size();
+      const F2dbEngine* shard = recovered.shard(partition);
+      const EngineStats stats = shard->stats();
+      const std::string tag = "shard " + std::to_string(partition);
+      if (stats.inserts != shard_inserts) {
+        return fail(tag + ": recovered inserts=" +
+                    std::to_string(stats.inserts) + " want " +
+                    std::to_string(shard_inserts));
+      }
+      if (stats.time_advances != applied_rounds) {
+        return fail(tag + ": recovered time_advances=" +
+                    std::to_string(stats.time_advances) + " want " +
+                    std::to_string(applied_rounds));
+      }
+      if (shard->pending_inserts() != shard_pending) {
+        return fail(tag + ": recovered pending=" +
+                    std::to_string(shard->pending_inserts()) + " want " +
+                    std::to_string(shard_pending));
+      }
+
+      // The recovered base series, value for value: the stored history
+      // plus this shard's applied rounds.
+      for (const std::size_t cell : cells) {
+        const std::vector<std::string> names = CellBaseValues(spec, cell);
+        std::vector<DimensionFilter> filters;
+        for (std::size_t d = 0; d < spec.dims.size(); ++d) {
+          filters.push_back({spec.dims[d].level_names[0], names[d]});
+        }
+        auto node = shard->ResolveNode(filters);
+        if (!node.ok()) {
+          return fail(tag + ": resolve cell " + std::to_string(cell) + ": " +
+                      node.status().ToString());
+        }
+        const TimeSeries& series = shard->graph().series(node.value());
+        if (series.size() != spec.history_length + applied_rounds) {
+          return fail(tag + ": cell " + std::to_string(cell) +
+                      " series length=" + std::to_string(series.size()) +
+                      " want " +
+                      std::to_string(spec.history_length + applied_rounds));
+        }
+        for (std::size_t j = 0; j < spec.history_length; ++j) {
+          if (!ValuesClose(series[j], spec.base_history[cell][j])) {
+            return fail(tag + ": cell " + std::to_string(cell) +
+                        " history value diverged at t=" + std::to_string(j));
+          }
+        }
+        for (std::size_t j = 0; j < applied_rounds; ++j) {
+          if (!ValuesClose(series[spec.history_length + j],
+                           accepted_values[cell][j])) {
+            return fail(tag + ": cell " + std::to_string(cell) +
+                        " applied value diverged at round " +
+                        std::to_string(j));
+          }
+        }
+      }
+    }
+    report.ok = true;
+    RemoveDirectoryTree(options.data_dir);
+    return report;
+  }
 
   // The reference state the recovered engine must match: a configured
   // oracle fed exactly the surviving accepted inserts.

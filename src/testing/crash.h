@@ -23,6 +23,16 @@
 // model-install and quarantine record kinds are covered by the recovery
 // integration tests, where their effect is directly assertable.
 //
+// With num_shards > 1 the iteration crashes a ShardedEngine instead: a
+// scatter-gather workload (complete insert rounds only, so shard and
+// global frontiers stay reconcilable), NO configuration (every per-shard
+// WAL holds only kInsert records), per-shard directories under the data
+// dir, and the torn tail lands on the WAL of the shard that owns the last
+// accepted insert — one shard recovers through truncation while its
+// siblings replay intact. Recovery then checks every shard independently:
+// per-shard insert/advance/pending counters derived from the accepted
+// prefix, and the recovered base series values cell by cell.
+//
 // fork() requires a single-threaded caller (the child inherits only the
 // calling thread); run iterations before starting servers or pools.
 
@@ -43,6 +53,11 @@ struct CrashFuzzOptions {
   std::string data_dir;
   /// Keep the data directory on failure (replay/debugging).
   bool keep_dir_on_failure = true;
+  /// 1 crashes a single durable F2dbEngine (the original mode). > 1
+  /// crashes a ShardedEngine with this many partitions: per-shard WAL
+  /// directories, a scatter-gather workload, no configuration, and the
+  /// torn tail injected into the shard owning the last accepted insert.
+  std::size_t num_shards = 1;
 };
 
 struct CrashFuzzReport {
@@ -63,8 +78,9 @@ struct CrashFuzzReport {
 /// Runs one seeded crash-recovery iteration (see file comment).
 CrashFuzzReport RunCrashFuzz(const CrashFuzzOptions& options);
 
-/// Removes every regular file inside `dir`, then the directory itself.
-/// Shared by the fuzzer and the durability tests' scratch-dir handling.
+/// Removes `dir` recursively (files and subdirectories — a sharded data
+/// dir nests shard-<k> directories). Shared by the fuzzer and the
+/// durability tests' scratch-dir handling.
 void RemoveDirectoryTree(const std::string& dir);
 
 }  // namespace f2db::testing

@@ -13,6 +13,7 @@
 #include "cube/cube_schema.h"
 #include "cube/hierarchy.h"
 #include "engine/engine.h"
+#include "engine/sharded_engine.h"
 #include "server/client.h"
 #include "server/server.h"
 #include "ts/model_factory.h"
@@ -560,6 +561,232 @@ DifferentialReport RunDifferential(const WorkloadSpec& spec,
     }
     client.Close();
     server->Shutdown();
+  }
+  return report;
+}
+
+namespace {
+
+/// The typed ForecastQuery of one oracle address. The sharded facade has
+/// no SQL entry point; EngineInterface::Execute takes the parsed form,
+/// and level/value names resolve identically against the global schema.
+ForecastQuery BuildShardedQuery(const WorkloadSpec& spec,
+                                const OracleAddress& address,
+                                std::size_t horizon) {
+  ForecastQuery query;
+  query.measure = "m";
+  query.aggregate = true;
+  query.horizon = horizon;
+  for (std::size_t d = 0; d < spec.dims.size(); ++d) {
+    const OracleDimension& dim = spec.dims[d];
+    const auto& [level, value] = address.coords[d];
+    if (level >= dim.num_levels()) continue;  // ALL: no predicate
+    query.filters.push_back(
+        {dim.level_names[level], dim.values[level][value]});
+  }
+  return query;
+}
+
+/// Level-0 value names of one base cell, decoded in the oracle's odometer
+/// order (dimension 0 most significant) — the InsertFact address form.
+std::vector<std::string> CellBaseValues(const WorkloadSpec& spec,
+                                        std::size_t cell) {
+  std::vector<std::string> names(spec.dims.size());
+  std::size_t rest = cell;
+  for (std::size_t d = spec.dims.size(); d-- > 0;) {
+    const std::size_t radix = spec.dims[d].num_values(0);
+    names[d] = spec.dims[d].values[0][rest % radix];
+    rest /= radix;
+  }
+  return names;
+}
+
+}  // namespace
+
+DifferentialReport RunShardedDifferential(
+    const WorkloadSpec& spec, const ShardedDifferentialOptions& options) {
+  DifferentialReport report;
+  const std::size_t num_shards = std::max<std::size_t>(1, options.num_shards);
+  const auto fail = [&](std::size_t op_index, const std::string& what) {
+    report.ok = false;
+    report.failure = "seed=" + std::to_string(spec.seed) + " shape=" +
+                     spec.shape_name + " shards=" +
+                     std::to_string(num_shards) + " op[" +
+                     std::to_string(op_index) + "]: " + what;
+    return report;
+  };
+  constexpr std::size_t kSetupOp = static_cast<std::size_t>(-1);
+
+  // ---- setup: oracle and sharded engine --------------------------------
+  ReferenceOracle oracle(spec.dims);
+  for (std::size_t cell = 0; cell < spec.base_history.size(); ++cell) {
+    oracle.SetBaseSeries(cell, spec.base_history[cell]);
+  }
+
+  auto graph = BuildWorkloadGraph(spec);
+  if (!graph.ok()) return fail(kSetupOp, graph.status().ToString());
+
+  ShardedEngineOptions sharded_options;
+  sharded_options.num_shards = num_shards;
+  sharded_options.engine.reestimate_after_updates =
+      spec.reestimate_after_updates;
+  sharded_options.engine.maintenance_threads = 1;
+  auto opened = ShardedEngine::Open(graph.value(), sharded_options);
+  if (!opened.ok()) return fail(kSetupOp, opened.status().ToString());
+  ShardedEngine& sharded = *opened.value();
+
+  auto config = BuildWorkloadConfiguration(spec, graph.value());
+  if (!config.ok()) return fail(kSetupOp, config.status().ToString());
+  {
+    const Status loaded = sharded.LoadConfiguration(config.value(), 1.0);
+    if (!loaded.ok()) return fail(kSetupOp, loaded.ToString());
+  }
+  InstallOracleConfiguration(spec, config.value(), graph.value(), oracle);
+
+  ScopedFailpoints failpoint_guard;
+  if (spec.inject_refit_failures) {
+    failpoint::Enable(kFailpointEngineRefit, failpoint::Policy::Always());
+  }
+
+  const auto run_insert = [&](std::size_t op_index, std::size_t cell,
+                              std::int64_t time, double value,
+                              StatusCode expected,
+                              bool* diverged) -> DifferentialReport {
+    const Status status =
+        sharded.InsertFact(CellBaseValues(spec, cell), time, value);
+    const StatusCode got = status.ok() ? StatusCode::kOk : status.code();
+    if (got != expected) {
+      *diverged = true;
+      return fail(op_index,
+                  "insert verdict mismatch cell=" + std::to_string(cell) +
+                      " t=" + std::to_string(time) + ": oracle expects " +
+                      StatusCodeName(expected) + ", sharded=" +
+                      StatusCodeName(got) + " (" + status.ToString() + ")");
+    }
+    expected == StatusCode::kOk ? ++report.inserts_accepted
+                                : ++report.inserts_rejected;
+    *diverged = false;
+    return report;
+  };
+
+  // ---- the op loop -----------------------------------------------------
+  const std::vector<OracleAddress> addresses = oracle.AllAddresses();
+  for (std::size_t i = 0; i < spec.ops.size(); ++i) {
+    const WorkloadOp& op = spec.ops[i];
+    switch (op.kind) {
+      case OpKind::kQuery: {
+        const OracleAddress& address =
+            addresses[op.address_index % addresses.size()];
+        const ForecastQuery query =
+            BuildShardedQuery(spec, address, op.horizon);
+        const std::string sql = query.ToString();
+        const std::int64_t now = oracle.frontier();
+        const auto oracle_forecast = oracle.Forecast(address, op.horizon);
+        const auto result = sharded.Execute(query);
+
+        if (result.ok() != oracle_forecast.has_value()) {
+          return fail(i, "availability mismatch for \"" + sql +
+                             "\": sharded=" +
+                             (result.ok() ? "ok" : result.status().ToString()) +
+                             " oracle=" +
+                             (oracle_forecast ? "ok" : "unavailable"));
+        }
+        ++report.queries;
+        if (result.ok()) {
+          const QueryResult& answer = result.value();
+          const std::vector<double>& expected = *oracle_forecast;
+          if (answer.rows.size() != expected.size()) {
+            return fail(i, "row count mismatch for \"" + sql + "\": sharded=" +
+                               std::to_string(answer.rows.size()) +
+                               " oracle=" + std::to_string(expected.size()));
+          }
+          const DegradationLevel expected_level =
+              ExpectedDegradation(spec, oracle, address);
+          if (answer.degradation != expected_level) {
+            return fail(
+                i, "merged degradation mismatch for \"" + sql +
+                       "\": sharded=" + DegradationLevelName(answer.degradation) +
+                       " expected=" + DegradationLevelName(expected_level) +
+                       " (" + answer.degradation_reason + ")");
+          }
+          if (expected_level != DegradationLevel::kNone) {
+            report.degraded_rows += answer.rows.size();
+          }
+          for (std::size_t h = 0; h < expected.size(); ++h) {
+            const ForecastRow& row = answer.rows[h];
+            if (row.time != now + static_cast<std::int64_t>(h)) {
+              return fail(i, "row time mismatch for \"" + sql + "\": got " +
+                                 std::to_string(row.time) + " expected " +
+                                 std::to_string(now + static_cast<int64_t>(h)));
+            }
+            if (!ValuesClose(row.value, expected[h], options.rel_tol,
+                             options.abs_tol)) {
+              return fail(i, "value mismatch for \"" + sql + "\" at h=" +
+                                 std::to_string(h) + ": sharded=" +
+                                 RenderDouble(row.value) + " oracle=" +
+                                 RenderDouble(expected[h]));
+            }
+            ++report.rows_compared;
+          }
+        }
+        break;
+      }
+      case OpKind::kInsertRound: {
+        const std::int64_t time = oracle.frontier();
+        for (const std::size_t cell : op.insert_order) {
+          const double value = op.round_values[cell];
+          const OracleInsert verdict = oracle.Insert(cell, time, value);
+          bool diverged = false;
+          run_insert(i, cell, time, value, ExpectedInsertCode(verdict),
+                     &diverged);
+          if (diverged) return report;
+        }
+        break;
+      }
+      case OpKind::kInsertPartial:
+      case OpKind::kInsertBehind:
+      case OpKind::kInsertNonFinite: {
+        std::int64_t time = oracle.frontier();
+        if (op.kind == OpKind::kInsertBehind) time -= 1;
+        const OracleInsert verdict = oracle.Insert(op.cell, time, op.value);
+        bool diverged = false;
+        run_insert(i, op.cell, time, op.value, ExpectedInsertCode(verdict),
+                   &diverged);
+        if (diverged) return report;
+        break;
+      }
+      case OpKind::kInsertInjectedFault: {
+        // The oracle never sees it; the owning shard must shed it with the
+        // injected kUnavailable.
+        const std::int64_t time = oracle.frontier();
+        failpoint::Enable(kFailpointEngineInsert,
+                          failpoint::Policy::Always());
+        bool diverged = false;
+        run_insert(i, op.cell, time, op.value, StatusCode::kUnavailable,
+                   &diverged);
+        failpoint::Disable(kFailpointEngineInsert);
+        if (diverged) return report;
+        break;
+      }
+    }
+  }
+
+  // ---- end-of-run maintenance invariants -------------------------------
+  if (sharded.pending_inserts() != oracle.pending_inserts()) {
+    return fail(spec.ops.size(),
+                "pending-insert mismatch: sharded=" +
+                    std::to_string(sharded.pending_inserts()) + " oracle=" +
+                    std::to_string(oracle.pending_inserts()));
+  }
+  for (const std::size_t partition : sharded.active_partitions()) {
+    const F2dbEngine* shard = sharded.shard(partition);
+    if (shard->stats().time_advances != oracle.advances()) {
+      return fail(spec.ops.size(),
+                  "advance-count mismatch on shard " +
+                      std::to_string(partition) + ": shard=" +
+                      std::to_string(shard->stats().time_advances) +
+                      " oracle=" + std::to_string(oracle.advances()));
+    }
   }
   return report;
 }

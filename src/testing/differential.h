@@ -89,6 +89,30 @@ std::string BuildInsertSql(const WorkloadSpec& spec, std::size_t cell,
 DifferentialReport RunDifferential(const WorkloadSpec& spec,
                                    const DifferentialOptions& options = {});
 
+struct ShardedDifferentialOptions {
+  /// Shard count M of the ShardedEngine under test (>= 1; 1 exercises the
+  /// same partition-restriction machinery with every value in one shard).
+  std::size_t num_shards = 2;
+  /// Sharded-engine-vs-oracle tolerance. A scatter-gather merge sums
+  /// per-shard partial aggregates, so summation order differs from the
+  /// oracle's flat sum — same policy as embedded-vs-oracle.
+  double rel_tol = 1e-6;
+  double abs_tol = 1e-8;
+};
+
+/// Replays a spec through the ReferenceOracle and a ShardedEngine with
+/// `num_shards` partitions (typed queries and inserts — the facade has no
+/// SQL surface), checking after every op: availability, row counts and
+/// times (cross-shard queries must see aligned frontiers), values within
+/// tolerance, the MERGED degradation annotation (worst contributing
+/// shard), and insert verdicts by status code. At the end: summed pending
+/// inserts match the oracle and every active shard's advance count equals
+/// the oracle's. Feed it GenerateScatterGatherWorkload specs — generic
+/// workloads place models at cross-shard aggregates, which the facade
+/// rejects by design.
+DifferentialReport RunShardedDifferential(
+    const WorkloadSpec& spec, const ShardedDifferentialOptions& options = {});
+
 /// true = the candidate spec still reproduces the failure under test.
 using WorkloadPredicate = std::function<bool(const WorkloadSpec&)>;
 

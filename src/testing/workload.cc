@@ -388,6 +388,98 @@ WorkloadSpec GenerateWorkload(std::uint64_t seed, std::size_t shape_index,
                          std::move(rng));
 }
 
+WorkloadSpec GenerateScatterGatherWorkload(std::uint64_t seed,
+                                           std::size_t shape_index,
+                                           bool inject_refit_failures) {
+  Rng rng(seed);
+  WorkloadSpec spec;
+  spec.seed = seed;
+  spec.shape_index = shape_index % NumWorkloadShapes();
+  spec.dims = WorkloadShape(spec.shape_index, &spec.shape_name);
+  spec.shape_name += "-scatter";
+  spec.inject_refit_failures = inject_refit_failures;
+  if (inject_refit_failures) {
+    spec.reestimate_after_updates =
+        static_cast<std::size_t>(rng.UniformInt(1, 3));
+  }
+  spec.history_length = static_cast<std::size_t>(rng.UniformInt(24, 36));
+
+  const ReferenceOracle shape_probe(spec.dims);
+  const std::size_t num_cells = shape_probe.num_base_cells();
+  const std::vector<OracleAddress> addresses = shape_probe.AllAddresses();
+
+  std::vector<double> cell_magnitude;
+  GenerateHistories(num_cells, spec.history_length, rng, &spec,
+                    &cell_magnitude);
+
+  // One model per base cell: any partitioning of the base cells leaves
+  // every shard with its own models.
+  for (std::size_t cell = 0; cell < num_cells; ++cell) {
+    ModelPlacement placement;
+    placement.node = shape_probe.CellAddress(cell);
+    placement.type =
+        kModelPalette[rng.UniformInt(0, std::size(kModelPalette) - 1)];
+    placement.period = placement.type == ModelType::kHoltWintersAdd ? 4 : 1;
+    spec.models.push_back(std::move(placement));
+  }
+
+  // Covering schemes: every address derives from ALL base cells it rolls
+  // up, so the derivation weight is exactly 1 and the scheme restricts to
+  // any shard without changing the summed answer.
+  for (const OracleAddress& address : addresses) {
+    SchemeChoice choice;
+    choice.target = address;
+    for (std::size_t cell = 0; cell < num_cells; ++cell) {
+      if (shape_probe.Covers(address, cell)) {
+        choice.sources.push_back(shape_probe.CellAddress(cell));
+      }
+    }
+    spec.schemes.push_back(std::move(choice));
+  }
+
+  // Frontier-aligned op mix: queries dominate (that is what scatter-gather
+  // exercises); inserts are complete rounds or always-rejected probes.
+  const std::size_t op_count =
+      static_cast<std::size_t>(rng.UniformInt(14, 26));
+  const auto random_cell = [&] {
+    return static_cast<std::size_t>(
+        rng.UniformInt(0, static_cast<std::int64_t>(num_cells) - 1));
+  };
+  for (std::size_t i = 0; i < op_count; ++i) {
+    WorkloadOp op;
+    const double roll = rng.NextDouble();
+    if (roll < 0.60) {
+      op.kind = OpKind::kQuery;
+      op.address_index = static_cast<std::size_t>(
+          rng.UniformInt(0, static_cast<std::int64_t>(addresses.size()) - 1));
+      op.horizon = static_cast<std::size_t>(rng.UniformInt(1, 6));
+    } else if (roll < 0.85) {
+      op.kind = OpKind::kInsertRound;
+      op.round_values.resize(num_cells);
+      op.insert_order.resize(num_cells);
+      for (std::size_t cell = 0; cell < num_cells; ++cell) {
+        op.round_values[cell] = DrawInsertValue(cell_magnitude[cell], rng);
+        op.insert_order[cell] = cell;
+      }
+      for (std::size_t a = num_cells; a-- > 1;) {
+        const std::size_t b = static_cast<std::size_t>(
+            rng.UniformInt(0, static_cast<std::int64_t>(a)));
+        std::swap(op.insert_order[a], op.insert_order[b]);
+      }
+    } else if (roll < 0.93) {
+      op.kind = OpKind::kInsertBehind;
+      op.cell = random_cell();
+      op.value = DrawInsertValue(cell_magnitude[op.cell], rng);
+    } else {
+      op.kind = OpKind::kInsertNonFinite;
+      op.cell = random_cell();
+      op.value = std::numeric_limits<double>::quiet_NaN();
+    }
+    spec.ops.push_back(std::move(op));
+  }
+  return spec;
+}
+
 WorkloadSpec GenerateQueryStorm(std::uint64_t seed, std::size_t shape_index,
                                 std::size_t num_queries) {
   Rng rng(seed);

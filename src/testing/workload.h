@@ -126,6 +126,19 @@ WorkloadSpec GenerateWorkload(std::uint64_t seed, std::size_t shape_index,
 WorkloadSpec GenerateQueryStorm(std::uint64_t seed, std::size_t shape_index,
                                 std::size_t num_queries);
 
+/// Generates a SHARD-SAFE workload for the scatter-gather differential
+/// suite: one model at EVERY base cell (so each shard of any partitioning
+/// owns at least one model) and a covering derivation scheme at every
+/// address (sources = all covered base cells, derivation weight exactly
+/// 1), which a ShardedEngine can split loss-free across shards. The op
+/// mix uses only frontier-aligned inserts — complete rounds plus
+/// always-rejected behind/non-finite probes — so cross-shard aggregate
+/// queries never race a partially advanced frontier; partial and
+/// failpoint inserts are excluded by construction.
+WorkloadSpec GenerateScatterGatherWorkload(std::uint64_t seed,
+                                           std::size_t shape_index,
+                                           bool inject_refit_failures);
+
 /// One-line rendering of an op ("QUERY addr=7 h=3", ...) for failure
 /// messages and determinism checks.
 std::string DescribeOp(const WorkloadOp& op);

@@ -60,6 +60,33 @@ TEST_F(CrashFuzzTest, SeededKillPointsRecoverWithDifferentialAgreement) {
   EXPECT_GT(replayed, 0u);
 }
 
+TEST_F(CrashFuzzTest, MultiShardKillPointsRecoverEveryShard) {
+  // The sharded configuration: per-shard WAL directories, parallel
+  // recovery, and the torn tail landing on exactly one shard while its
+  // siblings replay intact (see crash.h).
+  const std::uint64_t base = PropertySeed();
+  const std::size_t iterations = PropertyIterations(60);
+  const std::size_t shard_counts[] = {2, 3, 5};
+
+  std::size_t torn = 0;
+  std::size_t checkpoints = 0;
+  for (std::size_t i = 0; i < iterations; ++i) {
+    CrashFuzzOptions options;
+    options.seed = SubSeed(base, "crash-sharded-" + std::to_string(i));
+    options.data_dir = dir_ + "/iter";
+    options.num_shards = shard_counts[i % 3];
+    const CrashFuzzReport report = RunCrashFuzz(options);
+    ASSERT_TRUE(report.ok) << report.failure << "\n"
+                           << ReplayHint(base) << " (iteration " << i
+                           << ", shards " << options.num_shards << ")";
+    EXPECT_TRUE(report.killed_by_sigkill);
+    torn += report.torn_tail_injected ? 1 : 0;
+    checkpoints += report.checkpoint_taken ? 1 : 0;
+  }
+  EXPECT_GE(torn, iterations / 20);
+  EXPECT_GE(checkpoints, iterations / 20);
+}
+
 TEST_F(CrashFuzzTest, IterationsAreDeterministic) {
   CrashFuzzOptions options;
   options.seed = SubSeed(PropertySeed(), "crash-determinism");

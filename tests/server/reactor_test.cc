@@ -1,0 +1,177 @@
+// Multi-reactor serving tests: a reactor pool serving real loopback
+// connections, the SO_REUSEPORT per-reactor listener path, and the
+// single-listener round-robin hand-off fallback (use_so_reuseport = false
+// or a kernel without the option).
+
+#include <gtest/gtest.h>
+#include <sys/socket.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "engine/engine.h"
+#include "engine/sharded_engine.h"
+#include "server/client.h"
+#include "server/server.h"
+#include "testing/test_cubes.h"
+
+namespace f2db {
+namespace {
+
+constexpr char kHost[] = "127.0.0.1";
+
+ServerOptions MakeOptions(std::size_t reactors, bool reuseport) {
+  ServerOptions options;
+  options.reactor_threads = reactors;
+  options.use_so_reuseport = reuseport;
+  options.worker_threads = 2;
+  return options;
+}
+
+/// Connects `count` clients and round-trips a PING on each; exercises
+/// every reactor regardless of which one the kernel (or the hand-off
+/// cursor) assigned the connection to.
+void PingAcrossConnections(std::uint16_t port, std::size_t count) {
+  std::vector<F2dbClient> clients;
+  for (std::size_t i = 0; i < count; ++i) {
+    auto connected = F2dbClient::Connect(kHost, port);
+    ASSERT_TRUE(connected.ok()) << "conn " << i << ": "
+                                << connected.status().ToString();
+    clients.push_back(std::move(connected.value()));
+  }
+  for (std::size_t i = 0; i < count; ++i) {
+    auto response = clients[i].Ping();
+    ASSERT_TRUE(response.ok()) << "conn " << i << ": "
+                               << response.status().ToString();
+    EXPECT_EQ(response.value().status, StatusCode::kOk);
+  }
+  for (F2dbClient& client : clients) client.Close();
+}
+
+TEST(ReactorTest, MultiReactorServesManyConnections) {
+  F2dbEngine engine(testing::MakeFigure2Cube(48, 0.05));
+  F2dbServer server(engine, MakeOptions(4, /*reuseport=*/true));
+  ASSERT_TRUE(server.Start().ok());
+  EXPECT_TRUE(server.running());
+  PingAcrossConnections(server.port(), 12);
+  server.Shutdown();
+  EXPECT_FALSE(server.running());
+  EXPECT_GE(server.stats().connections_accepted, 12u);
+  EXPECT_EQ(server.stats().connections_accepted,
+            server.stats().connections_closed);
+}
+
+TEST(ReactorTest, ReuseportDisabledFallsBackToAcceptHandoff) {
+  // Satellite: with SO_REUSEPORT off the listener degrades gracefully to
+  // the single accept-thread hand-off path — reactor 0 owns the only
+  // listener and distributes accepted sockets round-robin.
+  F2dbEngine engine(testing::MakeFigure2Cube(48, 0.05));
+  F2dbServer server(engine, MakeOptions(3, /*reuseport=*/false));
+  ASSERT_TRUE(server.Start().ok());
+  EXPECT_TRUE(server.accept_handoff_active());
+  PingAcrossConnections(server.port(), 9);
+  const ServerStats stats = server.stats();
+  EXPECT_GE(stats.connections_accepted, 9u);
+  server.Shutdown();
+  EXPECT_EQ(server.stats().connections_closed,
+            server.stats().connections_accepted);
+}
+
+TEST(ReactorTest, ReuseportPathActiveWhenKernelSupportsIt) {
+#ifdef SO_REUSEPORT
+  F2dbEngine engine(testing::MakeFigure2Cube(48, 0.05));
+  F2dbServer server(engine, MakeOptions(2, /*reuseport=*/true));
+  ASSERT_TRUE(server.Start().ok());
+  // Either the kernel honored per-reactor listeners, or Start() fell back
+  // cleanly; both must serve.
+  PingAcrossConnections(server.port(), 4);
+  server.Shutdown();
+#else
+  GTEST_SKIP() << "SO_REUSEPORT not defined on this platform";
+#endif
+}
+
+TEST(ReactorTest, SingleReactorAlwaysUsesHandoffPath) {
+  // One reactor has nothing to hand off to; the flag documents that the
+  // single-listener path is in effect.
+  F2dbEngine engine(testing::MakeFigure2Cube(48, 0.05));
+  F2dbServer server(engine, MakeOptions(1, /*reuseport=*/true));
+  ASSERT_TRUE(server.Start().ok());
+  EXPECT_TRUE(server.accept_handoff_active());
+  PingAcrossConnections(server.port(), 3);
+  server.Shutdown();
+}
+
+TEST(ReactorTest, QueriesAndInsertsServeOnEveryReactor) {
+  const TimeSeriesGraph graph = testing::MakeFigure2Cube(48, 0.05);
+  ModelSpec spec;
+  spec.type = ModelType::kSes;
+  auto config = BuildShardableConfiguration(graph, spec, 1.0);
+  ASSERT_TRUE(config.ok());
+  auto sharded = [&] {
+    ShardedEngineOptions options;
+    options.num_shards = 2;
+    options.engine.maintenance_threads = 1;
+    return ShardedEngine::Open(graph, options);
+  }();
+  ASSERT_TRUE(sharded.ok()) << sharded.status().ToString();
+  ASSERT_TRUE(sharded.value()->LoadConfiguration(config.value(), 1.0).ok());
+
+  F2dbServer server(*sharded.value(), MakeOptions(3, /*reuseport=*/false));
+  ASSERT_TRUE(server.Start().ok());
+
+  const std::string sql =
+      "SELECT time, SUM(sales) FROM facts GROUP BY time AS OF now() + '2'";
+  std::vector<F2dbClient> clients;
+  for (std::size_t i = 0; i < 6; ++i) {
+    auto connected = F2dbClient::Connect(kHost, server.port());
+    ASSERT_TRUE(connected.ok());
+    clients.push_back(std::move(connected.value()));
+  }
+  for (std::size_t i = 0; i < clients.size(); ++i) {
+    auto response = clients[i].Query(sql);
+    ASSERT_TRUE(response.ok()) << response.status().ToString();
+    EXPECT_EQ(response.value().status, StatusCode::kOk)
+        << response.value().body;
+  }
+  // An insert through one connection lands on the owning shard.
+  auto inserted = clients[0].Insert(
+      "INSERT INTO facts VALUES ('C1', 'P1', 48, 5.0)");
+  ASSERT_TRUE(inserted.ok());
+  EXPECT_EQ(inserted.value().status, StatusCode::kOk)
+      << inserted.value().body;
+  EXPECT_EQ(sharded.value()->pending_inserts(), 1u);
+
+  // STATS over the wire carries the per-shard engine families.
+  auto stats = clients[1].Stats();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_NE(stats.value().body.find("f2db_queries_total{shard=\""),
+            std::string::npos);
+  EXPECT_NE(stats.value().body.find("f2db_server_requests_total"),
+            std::string::npos);
+
+  for (F2dbClient& client : clients) client.Close();
+  server.Shutdown();
+}
+
+TEST(ReactorTest, RequestShutdownDrainsEveryReactor) {
+  F2dbEngine engine(testing::MakeFigure2Cube(48, 0.05));
+  F2dbServer server(engine, MakeOptions(4, /*reuseport=*/false));
+  ASSERT_TRUE(server.Start().ok());
+  const std::uint16_t port = server.port();
+  auto connected = F2dbClient::Connect(kHost, port);
+  ASSERT_TRUE(connected.ok());
+  auto response = connected.value().Ping();
+  ASSERT_TRUE(response.ok());
+
+  server.RequestShutdown();
+  server.Shutdown();
+  EXPECT_FALSE(server.running());
+  // The drained listeners refuse new work.
+  auto late = F2dbClient::Connect(kHost, port);
+  EXPECT_FALSE(late.ok());
+}
+
+}  // namespace
+}  // namespace f2db
