@@ -1,0 +1,425 @@
+// Overload behavior of the serving layer: goodput and tail latency at
+// 1x / 2x / 4x of measured capacity, with and without the brownout rung.
+//
+// Boots the Tourism demo cube behind an in-process F2dbServer and first
+// measures capacity: the closed-loop QPS a small connection pool sustains
+// against a calm server. It then replays an open-loop-ish mixed workload
+// (7 queries : 1 invalidating insert, every frame stamped with a wire
+// deadline derived from the client timeout) at multiples of that capacity,
+// once with brownout disabled and once with the brownout watermark below
+// the admission limit. Each load point gets a fresh engine so the insert
+// and refit history is identical across the sweep.
+//
+// Expected shape: at 1x both configurations answer nearly everything at
+// full fidelity. Past capacity the no-brownout server spends its budget
+// on inline re-estimation and sheds/expires the excess, while the
+// brownout server converts that work into annotated stale-rung answers —
+// higher goodput and a flatter p99 at the price of explicit degradation.
+// Deadline expiries and admission sheds are losses, not goodput; the
+// tables separate them so the trade is visible.
+//
+// The load generator is paced per thread but backed by blocking clients,
+// so once a thread's pacing interval drops below the service time the
+// thread degenerates to closed-loop — offered load saturates at the pool's
+// maximum rather than queueing unboundedly. That is the standard bounded
+// approximation of open-loop load without async clients; the multiplier
+// column records the *target*, the offered column what was actually sent.
+//
+// Usage: bench_overload [--seconds S] [--multipliers LIST] [json_path]
+//   LIST is comma-separated, e.g. --multipliers 1,2,4 (the default). With
+//   a path argument, also writes the table as a JSON baseline (see
+//   BENCH_overload.json at the repo root).
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "engine/sharded_engine.h"
+#include "server/client.h"
+#include "server/server.h"
+
+namespace f2db::bench {
+namespace {
+
+constexpr char kQueryText[] =
+    "SELECT time, SUM(visitors) FROM facts GROUP BY time AS OF now() + '1'";
+constexpr std::size_t kLoadThreads = 8;
+constexpr double kClientTimeoutSeconds = 0.5;
+/// One insert per this many requests dirties models so the brownout rung
+/// has re-estimation work to skip.
+constexpr int kInsertEvery = 8;
+
+/// The engine only advances the cube once EVERY base cell has a value at
+/// the frontier time, so the inserts must walk the full 4x8 Tourism base
+/// layer before moving to the next quarter. A global sequence hands each
+/// insert a unique (cell, time) slot; times are non-decreasing in the
+/// sequence, so racing threads can never land behind the frontier.
+std::atomic<long> g_insert_seq{0};
+
+std::string NextInsertSql() {
+  static const char* kPurposes[] = {"holiday", "business", "visiting",
+                                    "other"};
+  const long seq = g_insert_seq.fetch_add(1, std::memory_order_relaxed);
+  const long cell = seq % 32;
+  const long time = 32 + seq / 32;  // past the seeded 32 quarters
+  return "INSERT INTO facts VALUES ('" + std::string(kPurposes[cell / 8]) +
+         "', 'S" + std::to_string(cell % 8 + 1) + "', " +
+         std::to_string(time) + ", 150.0)";
+}
+
+struct LoadPoint {
+  double multiplier = 0.0;
+  bool brownout = false;
+  double offered_qps = 0.0;
+  std::size_t sent = 0;
+  std::size_t ok = 0;        // status kOk (goodput, any fidelity)
+  std::size_t degraded = 0;  // subset of ok with a degradation annotation
+  std::size_t shed = 0;      // kUnavailable from admission control
+  std::size_t deadline_expired = 0;
+  std::size_t errors = 0;  // transport failures + client-side timeouts
+  double seconds = 0.0;
+  double goodput_qps = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  std::size_t brownout_queries = 0;
+  std::size_t brownout_episodes = 0;
+};
+
+double Percentile(std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const auto rank =
+      static_cast<std::size_t>(q * static_cast<double>(sorted.size() - 1));
+  return sorted[rank];
+}
+
+std::unique_ptr<ShardedEngine> MakeEngine(const TimeSeriesGraph& graph,
+                                          const ModelConfiguration& config) {
+  ShardedEngineOptions options;
+  options.num_shards = 1;
+  options.engine.reestimate_after_updates = 2;  // inserts invalidate quickly
+  auto engine = ShardedEngine::Open(graph, options);
+  if (!engine.ok()) return nullptr;
+  if (!engine.value()->LoadConfiguration(config, 0.8).ok()) return nullptr;
+  return std::move(engine.value());
+}
+
+ServerOptions OverloadServerOptions(bool brownout) {
+  ServerOptions options;
+  options.reactor_threads = 1;
+  options.worker_threads = 2;
+  options.admission_queue_limit = 16;
+  options.brownout_watermark = brownout ? 6 : 0;
+  return options;
+}
+
+/// Closed-loop calibration: what the calm server sustains.
+double MeasureCapacity(const F2dbServer& server, double seconds) {
+  std::atomic<bool> stop{false};
+  std::atomic<std::size_t> completed{0};
+  std::vector<std::thread> clients;
+  const auto begin = std::chrono::steady_clock::now();
+  for (int c = 0; c < 4; ++c) {
+    clients.emplace_back([&] {
+      auto client = F2dbClient::Connect("127.0.0.1", server.port());
+      if (!client.ok()) return;
+      while (!stop.load(std::memory_order_relaxed)) {
+        auto response = client.value().Query(kQueryText);
+        if (response.ok() && response.value().status == StatusCode::kOk) {
+          completed.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+  stop = true;
+  for (auto& t : clients) t.join();
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - begin)
+          .count();
+  return elapsed > 0 ? static_cast<double>(completed.load()) / elapsed : 0.0;
+}
+
+LoadPoint RunLoadPoint(const F2dbServer& server, double multiplier,
+                       double offered_qps, bool brownout, double seconds) {
+  struct ThreadTally {
+    std::size_t sent = 0, ok = 0, degraded = 0, shed = 0, expired = 0,
+                errors = 0;
+    std::vector<double> ok_latencies_ms;
+  };
+  g_insert_seq.store(0);  // each load point starts on a fresh engine
+  std::vector<ThreadTally> tallies(kLoadThreads);
+  std::vector<std::thread> threads;
+  const auto interval = std::chrono::duration<double>(
+      static_cast<double>(kLoadThreads) / offered_qps);
+  const auto begin = std::chrono::steady_clock::now();
+  const auto end = begin + std::chrono::duration<double>(seconds);
+
+  for (std::size_t t = 0; t < kLoadThreads; ++t) {
+    threads.emplace_back([&, t] {
+      ThreadTally& tally = tallies[t];
+      ClientOptions options;
+      options.request_timeout_seconds = kClientTimeoutSeconds;
+      options.propagate_deadline = true;
+      auto client = F2dbClient::Connect("127.0.0.1", server.port(), options);
+      auto next = std::chrono::steady_clock::now();
+      int sequence = 0;
+      while (std::chrono::steady_clock::now() < end) {
+        next += std::chrono::duration_cast<
+            std::chrono::steady_clock::duration>(interval);
+        const auto now = std::chrono::steady_clock::now();
+        if (next > now) {
+          std::this_thread::sleep_until(next);
+        } else {
+          next = now;  // behind schedule: shed the pacing backlog
+        }
+        if (!client.ok()) {  // timeout poisons the stream; reconnect
+          client =
+              F2dbClient::Connect("127.0.0.1", server.port(), options);
+          if (!client.ok()) {
+            ++tally.sent;
+            ++tally.errors;
+            continue;
+          }
+        }
+        ++tally.sent;
+        ++sequence;
+        const auto sent_at = std::chrono::steady_clock::now();
+        Result<WireResponse> response = [&] {
+          if (sequence % kInsertEvery == 0) {
+            return client.value().Insert(NextInsertSql());
+          }
+          return client.value().Query(kQueryText);
+        }();
+        const double latency_ms =
+            std::chrono::duration<double, std::milli>(
+                std::chrono::steady_clock::now() - sent_at)
+                .count();
+        if (!response.ok()) {
+          ++tally.errors;
+          client = Result<F2dbClient>(response.status());
+          continue;
+        }
+        switch (response.value().status) {
+          case StatusCode::kOk:
+            ++tally.ok;
+            if (response.value().degradation != DegradationLevel::kNone) {
+              ++tally.degraded;
+            }
+            tally.ok_latencies_ms.push_back(latency_ms);
+            break;
+          case StatusCode::kDeadlineExceeded:
+            ++tally.expired;
+            break;
+          case StatusCode::kUnavailable:
+            ++tally.shed;
+            break;
+          default:
+            ++tally.errors;
+            break;
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - begin)
+          .count();
+
+  LoadPoint point;
+  point.multiplier = multiplier;
+  point.brownout = brownout;
+  point.seconds = elapsed;
+  std::vector<double> merged;
+  for (const ThreadTally& tally : tallies) {
+    point.sent += tally.sent;
+    point.ok += tally.ok;
+    point.degraded += tally.degraded;
+    point.shed += tally.shed;
+    point.deadline_expired += tally.expired;
+    point.errors += tally.errors;
+    merged.insert(merged.end(), tally.ok_latencies_ms.begin(),
+                  tally.ok_latencies_ms.end());
+  }
+  point.offered_qps =
+      elapsed > 0 ? static_cast<double>(point.sent) / elapsed : 0.0;
+  point.goodput_qps =
+      elapsed > 0 ? static_cast<double>(point.ok) / elapsed : 0.0;
+  std::sort(merged.begin(), merged.end());
+  point.p50_ms = Percentile(merged, 0.50);
+  point.p99_ms = Percentile(merged, 0.99);
+  return point;
+}
+
+void WriteJsonBaseline(const char* path, double capacity_qps,
+                       const std::vector<LoadPoint>& points,
+                       double seconds_per_point) {
+  std::FILE* out = std::fopen(path, "w");
+  if (out == nullptr) {
+    std::printf("# could not write %s\n", path);
+    return;
+  }
+  std::fprintf(out, "{\n  \"bench\": \"bench_overload\",\n");
+  std::fprintf(out, "  \"query\": \"%s\",\n", kQueryText);
+  std::fprintf(out, "  \"seconds_per_point\": %.1f,\n", seconds_per_point);
+  std::fprintf(out, "  \"capacity_qps\": %.0f,\n", capacity_qps);
+  std::fprintf(out,
+               "  \"note\": \"goodput = kOk responses at any fidelity; "
+               "degraded is the annotated subset. Brownout trades inline "
+               "re-estimation for annotated stale answers once queue depth "
+               "crosses the watermark; sheds and deadline expiries are "
+               "honest losses, never silent ones.\",\n");
+  std::fprintf(out, "  \"points\": [\n");
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const LoadPoint& p = points[i];
+    std::fprintf(out,
+                 "    {\"multiplier\": %.0f, \"brownout\": %s, "
+                 "\"offered_qps\": %.0f, \"sent\": %zu, \"ok\": %zu, "
+                 "\"degraded\": %zu, \"shed\": %zu, "
+                 "\"deadline_expired\": %zu, \"errors\": %zu, "
+                 "\"goodput_qps\": %.0f, \"p50_ms\": %.2f, "
+                 "\"p99_ms\": %.2f, \"brownout_queries\": %zu, "
+                 "\"brownout_episodes\": %zu}%s\n",
+                 p.multiplier, p.brownout ? "true" : "false", p.offered_qps,
+                 p.sent, p.ok, p.degraded, p.shed, p.deadline_expired,
+                 p.errors, p.goodput_qps, p.p50_ms, p.p99_ms,
+                 p.brownout_queries, p.brownout_episodes,
+                 i + 1 < points.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]\n}\n");
+  std::fclose(out);
+  std::printf("# baseline written to %s\n", path);
+}
+
+/// Parses "1,2,4" into {1.0, 2.0, 4.0}; returns false on anything
+/// non-positive or non-numeric.
+bool ParseMultipliers(const char* text, std::vector<double>* axis) {
+  axis->clear();
+  std::string token;
+  for (const char* p = text;; ++p) {
+    if (*p != '\0' && *p != ',') {
+      token.push_back(*p);
+      continue;
+    }
+    if (token.empty()) return false;
+    char* endptr = nullptr;
+    const double value = std::strtod(token.c_str(), &endptr);
+    if (endptr == nullptr || *endptr != '\0' || value <= 0) return false;
+    axis->push_back(value);
+    token.clear();
+    if (*p == '\0') break;
+  }
+  return !axis->empty();
+}
+
+}  // namespace
+}  // namespace f2db::bench
+
+int main(int argc, char** argv) {
+  using namespace f2db::bench;
+
+  double seconds_per_point = 2.0;
+  std::vector<double> multipliers{1.0, 2.0, 4.0};
+  const char* json_path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    const bool has_value = i + 1 < argc;
+    if (std::strcmp(argv[i], "--seconds") == 0 && has_value) {
+      seconds_per_point = std::atof(argv[++i]);
+      if (seconds_per_point <= 0) {
+        std::printf("bad --seconds value\n");
+        return 2;
+      }
+    } else if (std::strcmp(argv[i], "--multipliers") == 0 && has_value) {
+      if (!ParseMultipliers(argv[++i], &multipliers)) {
+        std::printf("bad --multipliers list\n");
+        return 2;
+      }
+    } else {
+      json_path = argv[i];
+    }
+  }
+
+  PrintHeader("overload goodput", "serving layer, not in paper",
+              "multiplier,brownout,offered_qps,sent,ok,degraded,shed,"
+              "deadline_expired,errors,goodput_qps,p50_ms,p99_ms,"
+              "brownout_queries");
+
+  auto data = f2db::MakeTourism();
+  if (!data.ok()) {
+    std::printf("data generation failed: %s\n",
+                data.status().ToString().c_str());
+    return 1;
+  }
+  const f2db::TimeSeriesGraph& graph = data.value().graph;
+  auto config = f2db::BuildShardableConfiguration(
+      graph,
+      f2db::ModelSpec::TripleExponentialSmoothing(data.value().season), 0.8);
+  if (!config.ok()) {
+    std::printf("configuration failed: %s\n",
+                config.status().ToString().c_str());
+    return 1;
+  }
+
+  // Calibrate capacity against a calm, brownout-free server.
+  double capacity_qps = 0.0;
+  {
+    auto engine = MakeEngine(graph, config.value());
+    if (engine == nullptr) {
+      std::printf("engine load failed\n");
+      return 1;
+    }
+    f2db::F2dbServer server(*engine, OverloadServerOptions(false));
+    if (!server.Start().ok()) {
+      std::printf("server start failed\n");
+      return 1;
+    }
+    capacity_qps = MeasureCapacity(server, seconds_per_point);
+    server.Shutdown();
+  }
+  if (capacity_qps <= 0) {
+    std::printf("capacity calibration failed\n");
+    return 1;
+  }
+  std::printf("# capacity_qps=%.0f (closed loop, 4 connections)\n",
+              capacity_qps);
+
+  std::vector<LoadPoint> points;
+  for (const double multiplier : multipliers) {
+    for (const bool brownout : {false, true}) {
+      auto engine = MakeEngine(graph, config.value());
+      if (engine == nullptr) {
+        std::printf("engine load failed\n");
+        return 1;
+      }
+      f2db::F2dbServer server(*engine, OverloadServerOptions(brownout));
+      if (!server.Start().ok()) {
+        std::printf("server start failed\n");
+        return 1;
+      }
+      LoadPoint point =
+          RunLoadPoint(server, multiplier, multiplier * capacity_qps,
+                       brownout, seconds_per_point);
+      const f2db::ServerStats stats = server.stats();
+      point.brownout_queries = stats.brownout_queries;
+      point.brownout_episodes = stats.brownout_episodes;
+      server.Shutdown();
+      std::printf("%.0f,%d,%.0f,%zu,%zu,%zu,%zu,%zu,%zu,%.0f,%.2f,%.2f,%zu\n",
+                  point.multiplier, point.brownout ? 1 : 0, point.offered_qps,
+                  point.sent, point.ok, point.degraded, point.shed,
+                  point.deadline_expired, point.errors, point.goodput_qps,
+                  point.p50_ms, point.p99_ms, point.brownout_queries);
+      points.push_back(point);
+    }
+  }
+  if (json_path != nullptr) {
+    WriteJsonBaseline(json_path, capacity_qps, points, seconds_per_point);
+  }
+  return 0;
+}

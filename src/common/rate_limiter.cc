@@ -1,0 +1,104 @@
+#include "common/rate_limiter.h"
+
+#include <algorithm>
+#include <chrono>
+
+namespace f2db {
+namespace {
+
+constexpr double kMinRate = 1e-6;          // one token per ~11.6 days
+constexpr double kMaxIntervalNs = 9e18;    // keep the math inside u64
+
+std::uint64_t IntervalNsForRate(double tokens_per_second) {
+  const double rate = std::max(tokens_per_second, kMinRate);
+  const double interval = 1e9 / rate;
+  return static_cast<std::uint64_t>(std::min(interval, kMaxIntervalNs));
+}
+
+std::uint64_t SteadyNowNs() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+TokenBucket::TokenBucket(double tokens_per_second, double burst)
+    : emission_interval_ns_(IntervalNsForRate(tokens_per_second)) {
+  // Tolerance of (burst - 1) intervals: a full bucket admits `burst`
+  // back-to-back requests before the (burst+1)-th is non-conforming.
+  const double tokens = std::max(burst, 1.0);
+  const double tolerance =
+      (tokens - 1.0) * static_cast<double>(emission_interval_ns_);
+  burst_tolerance_ns_ =
+      static_cast<std::uint64_t>(std::min(tolerance, kMaxIntervalNs));
+}
+
+bool TokenBucket::TryAcquire(std::uint64_t now_ns,
+                             std::uint64_t* retry_after_ns) {
+  std::uint64_t tat = tat_ns_.load(std::memory_order_relaxed);
+  for (;;) {
+    // An idle bucket's TAT may be far in the past; a conforming request
+    // advances it from max(tat, now) so idle time never accumulates more
+    // than the burst tolerance of credit.
+    const std::uint64_t base = std::max(tat, now_ns);
+    if (base > now_ns + burst_tolerance_ns_) {
+      if (retry_after_ns != nullptr) {
+        *retry_after_ns = base - (now_ns + burst_tolerance_ns_);
+      }
+      return false;
+    }
+    if (tat_ns_.compare_exchange_weak(tat, base + emission_interval_ns_,
+                                      std::memory_order_relaxed,
+                                      std::memory_order_relaxed)) {
+      return true;
+    }
+    // `tat` was reloaded by the failed CAS; retry with the fresh value.
+  }
+}
+
+bool TokenBucket::TryAcquire(std::uint64_t* retry_after_ns) {
+  return TryAcquire(SteadyNowNs(), retry_after_ns);
+}
+
+double TokenBucket::AvailableTokens(std::uint64_t now_ns) const {
+  const std::uint64_t tat = tat_ns_.load(std::memory_order_relaxed);
+  const double interval = static_cast<double>(emission_interval_ns_);
+  const double full = burst();
+  if (tat <= now_ns) return full;
+  const double debt = static_cast<double>(tat - now_ns) / interval;
+  return std::max(0.0, full - debt);
+}
+
+double TokenBucket::tokens_per_second() const {
+  return 1e9 / static_cast<double>(emission_interval_ns_);
+}
+
+double TokenBucket::burst() const {
+  return 1.0 + static_cast<double>(burst_tolerance_ns_) /
+                   static_cast<double>(emission_interval_ns_);
+}
+
+TenantRateLimiters::TenantRateLimiters(double tokens_per_second, double burst)
+    : tokens_per_second_(tokens_per_second),
+      burst_(burst > 0.0 ? burst : tokens_per_second) {}
+
+TokenBucket* TenantRateLimiters::BucketFor(const std::string& tenant_id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = buckets_.find(tenant_id);
+  if (it == buckets_.end()) {
+    it = buckets_
+             .emplace(tenant_id,
+                      std::make_unique<TokenBucket>(tokens_per_second_, burst_))
+             .first;
+  }
+  return it->second.get();
+}
+
+std::size_t TenantRateLimiters::num_tenants() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return buckets_.size();
+}
+
+}  // namespace f2db

@@ -1,0 +1,90 @@
+// Token-bucket rate limiting for the serving layer's per-tenant quotas.
+//
+// TokenBucket is a GCRA-style limiter ("virtual scheduling" formulation):
+// the whole bucket state is ONE atomic u64 — the theoretical arrival time
+// (TAT) of the next conforming request, in nanoseconds on a caller-supplied
+// monotonic clock. TryAcquire is a CAS loop over that word: no locks, no
+// allocation, wait-free against readers — exactly what a reactor thread
+// can afford to run on every request frame.
+//
+// Semantics match the classic token bucket: a bucket of capacity `burst`
+// tokens refills at `tokens_per_second`; each conforming request consumes
+// one token. A denied request reports how long until one token will be
+// available (the retry-after hint the wire protocol forwards to clients).
+//
+// TenantRateLimiters is the registry mapping tenant ids to buckets. Bucket
+// creation takes a mutex, but it only happens on the connection handshake
+// (HELLO frames) — the per-request hot path dereferences a cached raw
+// pointer. Buckets are never removed, so cached pointers stay valid for
+// the registry's lifetime.
+
+#ifndef F2DB_COMMON_RATE_LIMITER_H_
+#define F2DB_COMMON_RATE_LIMITER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+namespace f2db {
+
+class TokenBucket {
+ public:
+  /// A bucket refilling at `tokens_per_second` with capacity `burst`
+  /// tokens. Rates are clamped to a small positive minimum so a
+  /// misconfigured zero/negative rate degrades to "almost never" instead
+  /// of dividing by zero; bursts below one token are clamped to one (a
+  /// bucket that can never conform is useless).
+  TokenBucket(double tokens_per_second, double burst);
+
+  /// Attempts to take one token at time `now_ns` (nanoseconds on any
+  /// monotonic clock; callers must use the same clock for a bucket's whole
+  /// lifetime). Returns true on success. On denial, `*retry_after_ns` (when
+  /// non-null) is set to how long after `now_ns` one token will be
+  /// available.
+  bool TryAcquire(std::uint64_t now_ns, std::uint64_t* retry_after_ns);
+
+  /// TryAcquire against std::chrono::steady_clock.
+  bool TryAcquire(std::uint64_t* retry_after_ns = nullptr);
+
+  /// Tokens available at `now_ns` (diagnostic; racy by nature).
+  double AvailableTokens(std::uint64_t now_ns) const;
+
+  double tokens_per_second() const;
+  double burst() const;
+
+ private:
+  /// Nanoseconds between conforming requests at the sustained rate.
+  std::uint64_t emission_interval_ns_;
+  /// Burst tolerance: a request conforms while TAT <= now + tolerance.
+  std::uint64_t burst_tolerance_ns_;
+  /// Theoretical arrival time of the next conforming request.
+  std::atomic<std::uint64_t> tat_ns_{0};
+};
+
+/// Registry of per-tenant TokenBuckets sharing one rate/burst policy.
+/// Thread-safe; bucket pointers stay valid until the registry dies.
+class TenantRateLimiters {
+ public:
+  /// `burst` <= 0 defaults to one second's worth of tokens.
+  TenantRateLimiters(double tokens_per_second, double burst);
+
+  /// The bucket for `tenant_id`, created on first sight. The empty string
+  /// is a valid tenant (connections that never sent a HELLO share it).
+  TokenBucket* BucketFor(const std::string& tenant_id);
+
+  /// Distinct tenants seen so far.
+  std::size_t num_tenants() const;
+
+ private:
+  const double tokens_per_second_;
+  const double burst_;
+  mutable std::mutex mutex_;
+  std::unordered_map<std::string, std::unique_ptr<TokenBucket>> buckets_;
+};
+
+}  // namespace f2db
+
+#endif  // F2DB_COMMON_RATE_LIMITER_H_

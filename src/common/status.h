@@ -29,6 +29,13 @@ enum class StatusCode {
   /// quarantined model). Distinct from kInternal, which means a programmer
   /// error / broken invariant.
   kUnavailable,
+  /// The request's deadline expired before (or while) it could be served;
+  /// the work was not executed. Appended after kUnavailable so existing
+  /// wire status bytes keep their values.
+  kDeadlineExceeded,
+  /// A quota was exhausted (per-tenant rate limit). Retryable after the
+  /// wait the response's retry-after hint suggests.
+  kResourceExhausted,
 };
 
 /// Returns a stable human-readable name for a StatusCode.
@@ -72,6 +79,12 @@ class Status {
   }
   static Status Unavailable(std::string msg) {
     return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
 
   /// True when the operation succeeded.

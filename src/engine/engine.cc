@@ -168,6 +168,8 @@ EngineStats F2dbEngine::stats() const {
   out.degraded_rows_stale = stats_.degraded_rows_stale.Load();
   out.degraded_rows_derived = stats_.degraded_rows_derived.Load();
   out.degraded_rows_naive = stats_.degraded_rows_naive.Load();
+  out.deadline_expired_queries = stats_.deadline_expired_queries.Load();
+  out.brownout_refits_skipped = stats_.brownout_refits_skipped.Load();
   out.total_query_seconds = stats_.query_seconds.Load();
   out.total_maintenance_seconds = stats_.maintenance_seconds.Load();
   out.wal_records_appended = stats_.wal_records.Load();
@@ -362,6 +364,15 @@ Result<QueryResult> F2dbEngine::ExecuteSql(const std::string& sql) const {
 
 Result<QueryResult> F2dbEngine::Execute(const ForecastQuery& query) const {
   StopWatch watch;
+  // Deadline gate: a query whose budget is already spent answers
+  // kDeadlineExceeded before any node resolution or forecast work — dead
+  // work never reaches a model.
+  if (query.deadline != ForecastQuery::kNoDeadline &&
+      std::chrono::steady_clock::now() >= query.deadline) {
+    stats_.deadline_expired_queries.Add();
+    return Status::DeadlineExceeded(
+        "query deadline expired before execution");
+  }
   const SnapshotPtr snap = LoadSnapshot();
   F2DB_ASSIGN_OR_RETURN(NodeId node, ResolveNodeIn(*snap->graph, query.filters));
   QueryResult result;
@@ -371,7 +382,8 @@ Result<QueryResult> F2dbEngine::Execute(const ForecastQuery& query) const {
   if (query.with_intervals) {
     F2DB_ASSIGN_OR_RETURN(
         DegradedForecast forecast,
-        ForecastInternal(snap, node, query.horizon, /*want_variance=*/true));
+        ForecastInternal(snap, node, query.horizon, /*want_variance=*/true,
+                         query.brownout));
     F2DB_ASSIGN_OR_RETURN(std::vector<ForecastInterval> intervals,
                           IntervalsFromMoments(forecast.values,
                                                forecast.variances,
@@ -392,7 +404,8 @@ Result<QueryResult> F2dbEngine::Execute(const ForecastQuery& query) const {
   } else {
     F2DB_ASSIGN_OR_RETURN(
         DegradedForecast forecast,
-        ForecastInternal(snap, node, query.horizon, /*want_variance=*/false));
+        ForecastInternal(snap, node, query.horizon, /*want_variance=*/false,
+                         query.brownout));
     result.degradation = forecast.level;
     result.degradation_reason = std::move(forecast.reason);
     result.rows.reserve(forecast.values.size());
@@ -542,17 +555,19 @@ Result<std::vector<ForecastInterval>> F2dbEngine::ForecastNodeWithIntervals(
 
 Result<DegradedForecast> F2dbEngine::ForecastInternal(
     const SnapshotPtr& snapshot, NodeId node, std::size_t horizon,
-    bool want_variance) const {
+    bool want_variance, bool brownout) const {
   if (node >= snapshot->graph->num_nodes()) {
     return Status::OutOfRange("node id out of range");
   }
-  return CombineScheme(snapshot, node, horizon, want_variance, /*depth=*/0);
+  return CombineScheme(snapshot, node, horizon, want_variance, brownout,
+                       /*depth=*/0);
 }
 
 Result<DegradedForecast> F2dbEngine::CombineScheme(const SnapshotPtr& snapshot,
                                                    NodeId node,
                                                    std::size_t horizon,
                                                    bool want_variance,
+                                                   bool brownout,
                                                    std::size_t depth) const {
   const std::vector<NodeId>& sources = snapshot->schemes[node];
   if (sources.empty()) {
@@ -565,7 +580,8 @@ Result<DegradedForecast> F2dbEngine::CombineScheme(const SnapshotPtr& snapshot,
   for (NodeId source : sources) {
     F2DB_ASSIGN_OR_RETURN(
         DegradedForecast from_source,
-        ForecastSource(snapshot, source, horizon, want_variance, depth));
+        ForecastSource(snapshot, source, horizon, want_variance, brownout,
+                       depth));
     for (std::size_t h = 0; h < horizon; ++h) {
       out.values[h] += from_source.values[h];
       if (want_variance) out.variances[h] += from_source.variances[h];
@@ -588,6 +604,7 @@ Result<DegradedForecast> F2dbEngine::ForecastSource(const SnapshotPtr& snapshot,
                                                     NodeId source,
                                                     std::size_t horizon,
                                                     bool want_variance,
+                                                    bool brownout,
                                                     std::size_t depth) const {
   const std::shared_ptr<const LiveModel> live = snapshot->FindModel(source);
 
@@ -605,8 +622,14 @@ Result<DegradedForecast> F2dbEngine::ForecastSource(const SnapshotPtr& snapshot,
     // Invalid entry: lazy re-estimation, copy-on-write — fit a fresh clone
     // on this snapshot's full stored history. The published (invalid)
     // entry is never mutated, so concurrent readers of `snapshot` are
-    // unaffected. Quarantined or backing-off nodes skip the attempt.
-    if (RefitAllowed(*live)) {
+    // unaffected. Quarantined or backing-off nodes skip the attempt, and
+    // so do brownout queries: re-estimation is the expensive step the
+    // serving layer sheds first under overload.
+    if (brownout) {
+      stats_.brownout_refits_skipped.Add();
+      reason = "node " + std::to_string(source) +
+               " re-estimation skipped under brownout";
+    } else if (RefitAllowed(*live)) {
       StopWatch watch;
       std::unique_ptr<ForecastModel> refit = live->model->Clone();
       const Status fitted =
@@ -656,7 +679,8 @@ Result<DegradedForecast> F2dbEngine::ForecastSource(const SnapshotPtr& snapshot,
         std::find(scheme.begin(), scheme.end(), source) != scheme.end();
     if (!scheme.empty() && !refers_self) {
       Result<DegradedForecast> derived =
-          CombineScheme(snapshot, source, horizon, want_variance, depth + 1);
+          CombineScheme(snapshot, source, horizon, want_variance, brownout,
+                        depth + 1);
       if (derived.ok()) {
         DegradedForecast out = std::move(derived).value();
         out.level = std::max(out.level, DegradationLevel::kDerivedFallback);

@@ -144,6 +144,12 @@ struct EngineStats {
   std::size_t degraded_rows_stale = 0;
   std::size_t degraded_rows_derived = 0;
   std::size_t degraded_rows_naive = 0;
+  /// Queries answered kDeadlineExceeded because their deadline had already
+  /// passed when the engine (or the scatter-gather fan-out) was reached.
+  std::size_t deadline_expired_queries = 0;
+  /// Lazy re-estimations skipped because the query ran in brownout mode
+  /// (the stale rung served instead, annotated).
+  std::size_t brownout_refits_skipped = 0;
   double total_query_seconds = 0.0;
   double total_maintenance_seconds = 0.0;
 
@@ -410,6 +416,8 @@ class F2dbEngine : public EngineInterface {
     RelaxedCounter degraded_rows_stale;
     RelaxedCounter degraded_rows_derived;
     RelaxedCounter degraded_rows_naive;
+    RelaxedCounter deadline_expired_queries;
+    RelaxedCounter brownout_refits_skipped;
     RelaxedAccumulator query_seconds;
     RelaxedAccumulator maintenance_seconds;
     RelaxedCounter wal_records;
@@ -430,16 +438,19 @@ class F2dbEngine : public EngineInterface {
   /// ForecastNode; no stats accounting). Bounds-checks `node`, then
   /// combines the node's stored scheme via CombineScheme. `want_variance`
   /// additionally fills DegradedForecast::variances (interval path).
+  /// `brownout` rides along to ForecastSource: refits are skipped and the
+  /// stale rung serves annotated answers.
   Result<DegradedForecast> ForecastInternal(const SnapshotPtr& snapshot,
                                             NodeId node, std::size_t horizon,
-                                            bool want_variance) const;
+                                            bool want_variance,
+                                            bool brownout = false) const;
 
   /// Sums the source forecasts of `node`'s stored scheme and applies the
   /// derivation weight. The reported level/reason is the worst rung any
   /// source had to fall to. `depth` limits derived-fallback recursion.
   Result<DegradedForecast> CombineScheme(const SnapshotPtr& snapshot,
                                          NodeId node, std::size_t horizon,
-                                         bool want_variance,
+                                         bool want_variance, bool brownout,
                                          std::size_t depth) const;
 
   /// Produces the forecast of ONE scheme source, degrading through the
@@ -452,7 +463,7 @@ class F2dbEngine : public EngineInterface {
   /// quarantine the node.
   Result<DegradedForecast> ForecastSource(const SnapshotPtr& snapshot,
                                           NodeId source, std::size_t horizon,
-                                          bool want_variance,
+                                          bool want_variance, bool brownout,
                                           std::size_t depth) const;
 
   /// Whether a refit of `live` may be attempted now (not quarantined and

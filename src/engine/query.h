@@ -19,6 +19,7 @@
 #ifndef F2DB_ENGINE_QUERY_H_
 #define F2DB_ENGINE_QUERY_H_
 
+#include <chrono>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -46,6 +47,23 @@ struct ForecastQuery {
   /// WITH INTERVALS [<confidence>] clause: request prediction intervals.
   bool with_intervals = false;
   double confidence = 0.95;
+
+  /// No serving deadline (the default for embedded callers).
+  static constexpr std::chrono::steady_clock::time_point kNoDeadline =
+      std::chrono::steady_clock::time_point::max();
+
+  /// Absolute serving deadline on the steady clock. The engine checks it
+  /// at entry (and a sharded engine again before scatter-gather fan-out):
+  /// an expired query answers kDeadlineExceeded instead of burning
+  /// forecast work the caller has already given up on. Not part of the
+  /// parsed SQL — the serving layer stamps it from the wire deadline.
+  std::chrono::steady_clock::time_point deadline = kNoDeadline;
+
+  /// Brownout mode: skip lazy re-estimation and serve the stale-model
+  /// rung (annotated) when a model is invalid. The serving layer sets this
+  /// under sustained admission pressure so degraded-but-correct answers go
+  /// out before load shedding starts.
+  bool brownout = false;
 
   std::string ToString() const;
 };

@@ -4,6 +4,7 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cmath>
 #include <cstdint>
 #include <thread>
@@ -426,6 +427,18 @@ Result<QueryResult> ShardedEngine::Execute(const ForecastQuery& query) const {
     return result;
   }
 
+  // Deadline gate before fan-out: a cross-shard query multiplies its work
+  // by the number of contributing shards, so an expired budget is checked
+  // here once instead of discovered M times inside the shards. (The
+  // single-partition path above inherits the engine-entry check.)
+  if (query.deadline != ForecastQuery::kNoDeadline &&
+      std::chrono::steady_clock::now() >= query.deadline) {
+    fanout_deadline_expired_.Add();
+    return Status::DeadlineExceeded(
+        "query deadline expired before scatter-gather fan-out across " +
+        std::to_string(parts.size()) + " shards");
+  }
+
   // Scatter-gather: every contributing shard answers against its own
   // pinned snapshot; the pieces sum into the global answer.
   std::vector<std::pair<std::size_t, QueryResult>> pieces;
@@ -554,6 +567,8 @@ EngineStats ShardedEngine::stats() const {
     total.degraded_rows_stale += s.degraded_rows_stale;
     total.degraded_rows_derived += s.degraded_rows_derived;
     total.degraded_rows_naive += s.degraded_rows_naive;
+    total.deadline_expired_queries += s.deadline_expired_queries;
+    total.brownout_refits_skipped += s.brownout_refits_skipped;
     total.total_query_seconds += s.total_query_seconds;
     total.total_maintenance_seconds += s.total_maintenance_seconds;
     total.wal_records_appended += s.wal_records_appended;
@@ -573,6 +588,9 @@ EngineStats ShardedEngine::stats() const {
     }
   }
   if (!checkpoint_everywhere) total.last_checkpoint_age_seconds = -1.0;
+  // Facade-level rejections (expired before fan-out) belong to the
+  // aggregate: no shard ever saw those queries.
+  total.deadline_expired_queries += fanout_deadline_expired_.Load();
   return total;
 }
 

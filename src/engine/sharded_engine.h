@@ -46,6 +46,7 @@
 #include <string_view>
 #include <vector>
 
+#include "common/concurrent.h"
 #include "common/status.h"
 #include "core/configuration.h"
 #include "cube/graph.h"
@@ -145,6 +146,9 @@ class ShardedEngine : public EngineInterface {
   }
 
   const ShardedEngineOptions options_;
+  /// Queries whose deadline expired before the scatter-gather fan-out
+  /// (facade-level; no shard counted them). Summed into stats().
+  mutable RelaxedCounter fanout_deadline_expired_;
   std::shared_ptr<const TimeSeriesGraph> global_graph_;
   std::vector<Shard> shards_;
   /// partition -> index into shards_, or SIZE_MAX for empty partitions.

@@ -64,6 +64,17 @@ constexpr EngineFamily kHeadFamilies[] = {
 
 /// Families rendered AFTER the degradation-rung breakdown.
 constexpr EngineFamily kTailFamilies[] = {
+    {"f2db_deadline_expired_queries_total",
+     "Queries rejected because their deadline had already expired.",
+     "counter",
+     [](const EngineStats& s) {
+       return static_cast<double>(s.deadline_expired_queries);
+     }},
+    {"f2db_brownout_refits_skipped_total",
+     "Lazy re-estimations skipped by brownout-mode queries.", "counter",
+     [](const EngineStats& s) {
+       return static_cast<double>(s.brownout_refits_skipped);
+     }},
     {"f2db_query_seconds_total",
      "Wall-clock seconds spent in the query layer.", "counter",
      [](const EngineStats& s) { return s.total_query_seconds; }},

@@ -105,7 +105,12 @@ Result<F2dbClient> F2dbClient::Connect(const std::string& host,
                                        std::uint16_t port,
                                        ClientOptions options) {
   F2DB_ASSIGN_OR_RETURN(const int fd, ConnectFd(host, port, options));
-  return F2dbClient(fd, host, port, options);
+  F2dbClient client(fd, host, port, options);
+  if (!options.tenant_id.empty()) {
+    auto hello = client.Hello(options.tenant_id);
+    if (!hello.ok()) return hello.status();
+  }
+  return client;
 }
 
 F2dbClient::F2dbClient(F2dbClient&& other) noexcept
@@ -151,16 +156,48 @@ Status F2dbClient::Reconnect() {
   F2DB_ASSIGN_OR_RETURN(const int fd, ConnectFd(host_, port_, options_));
   fd_ = fd;
   ++reconnects_succeeded_;
+  // Tenant identity is per-connection state; rebind it on the fresh one.
+  if (!options_.tenant_id.empty()) {
+    auto hello = Hello(options_.tenant_id);
+    if (!hello.ok()) return hello.status();
+  }
   return Status::OK();
 }
 
 Result<WireResponse> F2dbClient::Call(FrameType type, std::string body) {
+  // Derive the wire deadline from the per-call timeout: work the client
+  // will abandon at the timeout should not be executed past it either.
+  // Only QUERY/INSERT carry one — PING/STATS/HELLO must keep working
+  // during an overload.
+  bool has_deadline = false;
+  std::uint32_t deadline_ms = 0;
+  if (options_.propagate_deadline && options_.request_timeout_seconds > 0 &&
+      (type == FrameType::kQuery || type == FrameType::kInsert)) {
+    has_deadline = true;
+    deadline_ms = static_cast<std::uint32_t>(std::min(
+        options_.request_timeout_seconds * 1000.0, 4294967295.0));
+    if (deadline_ms == 0) deadline_ms = 1;
+  }
+  return CallInternal(type, std::move(body), has_deadline, deadline_ms);
+}
+
+Result<WireResponse> F2dbClient::CallWithDeadline(FrameType type,
+                                                  std::string body,
+                                                  std::uint32_t deadline_ms) {
+  return CallInternal(type, std::move(body), true, deadline_ms);
+}
+
+Result<WireResponse> F2dbClient::CallInternal(FrameType type, std::string body,
+                                              bool has_deadline,
+                                              std::uint32_t deadline_ms) {
   if (fd_ < 0) {
     return Status::FailedPrecondition("client is not connected");
   }
   WireRequest request;
   request.type = type;
   request.body = std::move(body);
+  request.has_deadline = has_deadline;
+  request.deadline_ms = deadline_ms;
   Status sent = WriteAll(fd_, EncodeRequest(request));
   if (!sent.ok()) {
     Close();  // a partially written frame poisons the stream
@@ -197,8 +234,26 @@ Result<WireResponse> F2dbClient::CallWithReconnect(FrameType type,
                                     ? Call(type, body)
                                     : Result<WireResponse>(Status::Unavailable(
                                           "client is not connected"));
-  for (std::size_t attempt = 1;
-       !result.ok() && attempt <= options_.max_reconnect_attempts; ++attempt) {
+  for (std::size_t attempt = 1; attempt <= options_.max_reconnect_attempts;
+       ++attempt) {
+    if (result.ok()) {
+      // Throttled (kResourceExhausted with a retry-after hint): sleep the
+      // hinted duration — capped, so a hostile hint cannot park us — and
+      // retry on the live connection, spending one attempt. Any other
+      // successful response is final.
+      if (result.value().status != StatusCode::kResourceExhausted) break;
+      const auto hint_ms = ParseRetryAfterMs(result.value().body);
+      if (!hint_ms.has_value()) break;
+      const double sleep_seconds =
+          std::min(static_cast<double>(*hint_ms) / 1000.0,
+                   std::max(options_.max_retry_after_seconds, 0.0));
+      if (sleep_seconds > 0.0) {
+        std::this_thread::sleep_for(
+            std::chrono::duration<double>(sleep_seconds));
+      }
+      result = Call(type, body);
+      continue;
+    }
     if (options_.reconnect_backoff_seconds > 0.0) {
       const std::size_t exponent = std::min<std::size_t>(attempt - 1, 30);
       const double base = options_.reconnect_backoff_seconds *

@@ -48,6 +48,18 @@ struct ClientOptions {
   double reconnect_backoff_seconds = 0.05;
   /// Seed of the jitter Rng (deterministic backoff in tests).
   std::uint64_t backoff_jitter_seed = 0x9E3779B97F4A7C15ULL;
+  /// Stamp each QUERY/INSERT frame with a wire deadline derived from
+  /// request_timeout_seconds (there is no point executing work the client
+  /// has already given up on). No-op when the timeout is 0.
+  bool propagate_deadline = true;
+  /// Tenant identity sent as a HELLO frame right after every (re)connect;
+  /// empty = no HELLO (the server's default tenant).
+  std::string tenant_id;
+  /// When the server throttles a request (kResourceExhausted with a
+  /// retry-after hint), CallWithReconnect sleeps the hinted duration and
+  /// retries, spending one reconnect attempt per retry. Sleeps are capped
+  /// at this bound so a hostile hint cannot park the client.
+  double max_retry_after_seconds = 5.0;
 };
 
 class F2dbClient {
@@ -73,8 +85,16 @@ class F2dbClient {
   void Close();
 
   /// Sends one request frame and blocks for the response frame (bounded by
-  /// request_timeout_seconds per send/receive when configured).
+  /// request_timeout_seconds per send/receive when configured). When
+  /// propagate_deadline is on and a timeout is set, the frame carries the
+  /// timeout as its wire deadline.
   Result<WireResponse> Call(FrameType type, std::string body);
+
+  /// Call() with an explicit wire deadline (milliseconds of budget the
+  /// server may spend; 0 = already expired, which the server rejects with
+  /// kDeadlineExceeded at admission).
+  Result<WireResponse> CallWithDeadline(FrameType type, std::string body,
+                                        std::uint32_t deadline_ms);
 
   /// Call() plus bounded recovery: a transport failure closes the socket,
   /// reconnects with jittered exponential backoff (up to
@@ -108,8 +128,16 @@ class F2dbClient {
   Result<WireResponse> Stats() { return Call(FrameType::kStats, ""); }
   /// Liveness probe; the response body is "PONG".
   Result<WireResponse> Ping() { return Call(FrameType::kPing, ""); }
+  /// Binds this connection to `tenant_id` for rate-limiting purposes.
+  /// Sent automatically on (re)connect when options.tenant_id is set.
+  Result<WireResponse> Hello(const std::string& tenant_id) {
+    return Call(FrameType::kHello, tenant_id);
+  }
 
  private:
+  Result<WireResponse> CallInternal(FrameType type, std::string body,
+                                    bool has_deadline,
+                                    std::uint32_t deadline_ms);
   F2dbClient(int fd, std::string host, std::uint16_t port,
              const ClientOptions& options)
       : fd_(fd),

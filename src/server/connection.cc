@@ -40,9 +40,22 @@ ServerConnection::ReadOutcome ServerConnection::ReadReady() {
   return outcome;
 }
 
-void ServerConnection::EnqueueResponse(std::string encoded) {
+bool ServerConnection::EnqueueResponse(std::string encoded) {
+  const std::size_t n = encoded.size();
+  // Hard ceiling: refuse the frame instead of growing without bound. The
+  // pending count can only shrink between the check and the push, so a
+  // passing check never overshoots by more than concurrent enqueuers'
+  // frames — the reactor evicts at the cap either way.
+  if (outbound_cap_bytes_ > 0 &&
+      pending_out_bytes_.load(std::memory_order_relaxed) + n >
+          outbound_cap_bytes_) {
+    over_outbound_cap_.store(true, std::memory_order_relaxed);
+    return false;
+  }
+  pending_out_bytes_.fetch_add(n, std::memory_order_relaxed);
   std::lock_guard<std::mutex> lock(outbox_mutex_);
   outbox_.push_back(std::move(encoded));
+  return true;
 }
 
 bool ServerConnection::FlushWrites() {
@@ -61,6 +74,8 @@ bool ServerConnection::FlushWrites() {
                               write_buffer_.size() - write_offset_);
     if (n > 0) {
       write_offset_ += static_cast<std::size_t>(n);
+      pending_out_bytes_.fetch_sub(static_cast<std::size_t>(n),
+                                   std::memory_order_relaxed);
       continue;
     }
     if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return true;

@@ -7,16 +7,24 @@
 // response to the connection's mutex-protected outbox and wakes the event
 // loop, which moves the outbox into the write buffer and flushes it.
 //
+// Backpressure (DESIGN.md §12): pending_out_bytes() tracks every byte
+// queued (outbox) or buffered (write buffer) but not yet written to the
+// socket. The reactor pauses reading from a connection past the configured
+// high watermark and evicts it at the hard cap — EnqueueResponse refuses
+// the frame and marks the connection over-cap, so a peer that never reads
+// can neither exhaust server memory nor stall its reactor.
+//
 // Lifetime: the server's connection table and every in-flight worker task
 // hold a shared_ptr. When the event loop drops a connection (peer close,
-// protocol error, shutdown) it closes the fd and removes the table entry;
-// stragglers still enqueue into the outbox harmlessly and the object is
-// freed when the last worker finishes.
+// protocol error, shutdown, eviction) it closes the fd and removes the
+// table entry; stragglers still enqueue into the outbox harmlessly and the
+// object is freed when the last worker finishes.
 
 #ifndef F2DB_SERVER_CONNECTION_H_
 #define F2DB_SERVER_CONNECTION_H_
 
 #include <atomic>
+#include <chrono>
 #include <cstddef>
 #include <mutex>
 #include <string>
@@ -27,10 +35,17 @@
 
 namespace f2db {
 
+class TokenBucket;  // common/rate_limiter.h
+
 class ServerConnection {
  public:
-  ServerConnection(int fd, std::size_t max_frame_bytes)
-      : fd_(fd), decoder_(max_frame_bytes) {}
+  /// `outbound_cap_bytes` bounds pending_out_bytes(); 0 = unbounded (tests
+  /// of the raw state machine).
+  ServerConnection(int fd, std::size_t max_frame_bytes,
+                   std::size_t outbound_cap_bytes = 0)
+      : fd_(fd),
+        decoder_(max_frame_bytes),
+        outbound_cap_bytes_(outbound_cap_bytes) {}
   ~ServerConnection() { CloseFd(); }
 
   ServerConnection(const ServerConnection&) = delete;
@@ -54,7 +69,21 @@ class ServerConnection {
   ReadOutcome ReadReady();
 
   /// Worker-safe: queues one encoded response frame for transmission.
-  void EnqueueResponse(std::string encoded);
+  /// Returns false — and marks the connection over-cap for eviction —
+  /// when the frame would push pending_out_bytes() past the hard cap (the
+  /// frame is NOT queued; the peer is not reading anyway).
+  bool EnqueueResponse(std::string encoded);
+
+  /// Bytes queued or buffered but not yet written to the socket.
+  std::size_t pending_out_bytes() const {
+    return pending_out_bytes_.load(std::memory_order_relaxed);
+  }
+
+  /// A response overflowed the hard cap; the reactor must evict this
+  /// connection.
+  bool over_outbound_cap() const {
+    return over_outbound_cap_.load(std::memory_order_relaxed);
+  }
 
   /// Event-loop only: moves the outbox into the write buffer and writes
   /// until EAGAIN or empty. Returns false on a fatal write error.
@@ -63,8 +92,19 @@ class ServerConnection {
   /// Unsent bytes remain (EPOLLOUT should be armed).
   bool wants_write();
 
-  /// Event-loop bookkeeping: whether EPOLLOUT is currently armed.
+  /// Event-loop bookkeeping: which epoll interests are currently armed.
+  bool epollin_armed = true;
   bool epollout_armed = false;
+
+  /// Event-loop bookkeeping: reading is paused (outbound backpressure).
+  bool reading_paused = false;
+  /// When the pause began (slow-client grace accounting).
+  std::chrono::steady_clock::time_point pause_started{};
+
+  /// Tenant identity bound by a HELLO frame and the cached rate-limiter
+  /// bucket. Reactor-thread only (set on HELLO, read per request).
+  std::string tenant_id;
+  TokenBucket* rate_limiter = nullptr;
 
   /// The connection should be closed once the write buffer drains
   /// (protocol error or server drain).
@@ -84,6 +124,7 @@ class ServerConnection {
  private:
   int fd_;
   FrameDecoder decoder_;
+  const std::size_t outbound_cap_bytes_;
 
   std::mutex outbox_mutex_;
   std::vector<std::string> outbox_;
@@ -94,6 +135,10 @@ class ServerConnection {
   bool close_after_flush_ = false;
 
   std::atomic<std::size_t> in_flight_{0};
+  /// Outbox + write-buffer bytes not yet written to the socket. Workers
+  /// add on enqueue, the event loop subtracts what write() accepted.
+  std::atomic<std::size_t> pending_out_bytes_{0};
+  std::atomic<bool> over_outbound_cap_{false};
 };
 
 }  // namespace f2db

@@ -86,8 +86,9 @@ void Reactor::NoteResponseReady(const std::shared_ptr<ServerConnection>& conn) {
 
 void Reactor::RespondNow(const std::shared_ptr<ServerConnection>& conn,
                          std::string encoded) {
-  conn->EnqueueResponse(std::move(encoded));
-  server_.stats_.responses_sent.Add();
+  if (conn->EnqueueResponse(std::move(encoded))) {
+    server_.stats_.responses_sent.Add();
+  }
   FlushConnection(conn);
 }
 
@@ -107,7 +108,10 @@ void Reactor::EventLoop() {
   epoll_event events[64];
 
   for (;;) {
-    const int timeout_ms = draining ? 20 : -1;
+    // Paused (backpressured) connections need a periodic tick: their
+    // EPOLLOUT may never fire again if the peer stopped reading, so the
+    // grace sweep below is the only thing that can evict them.
+    const int timeout_ms = draining ? 20 : (num_paused_ > 0 ? 50 : -1);
     const int n = ::epoll_wait(epoll_fd_, events, 64, timeout_ms);
     if (n < 0) {
       if (errno == EINTR) continue;
@@ -139,14 +143,10 @@ void Reactor::EventLoop() {
           error.type = FrameType::kPing;
           error.status = outcome.framing_error.code();
           error.body = outcome.framing_error.message();
-          RespondNow(conn, EncodeResponse(error));
           conn->MarkCloseAfterFlush();
-          // Unreadable stream: stop watching for input.
-          epoll_event mod{};
-          mod.events = EPOLLOUT;
-          mod.data.fd = conn->fd();
-          ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn->fd(), &mod);
-          conn->epollout_armed = true;
+          // RespondNow flushes and (via UpdateInterest) stops watching
+          // for input — the stream has no recoverable framing.
+          RespondNow(conn, EncodeResponse(error));
         } else if (outcome.closed) {
           DropConnection(conn);
           continue;
@@ -168,6 +168,8 @@ void Reactor::EventLoop() {
     }
     for (const int fd : adopted) RegisterConnection(fd);
     for (const auto& conn : pending) FlushConnection(conn);
+
+    if (num_paused_ > 0) SweepPausedConnections();
 
     if (server_.shutdown_requested_.load(std::memory_order_acquire) &&
         !draining) {
@@ -239,8 +241,9 @@ void Reactor::HandleAccept() {
 void Reactor::RegisterConnection(int fd) {
   const int enable = 1;
   ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &enable, sizeof(enable));
-  auto conn =
-      std::make_shared<ServerConnection>(fd, server_.options_.max_frame_bytes);
+  auto conn = std::make_shared<ServerConnection>(
+      fd, server_.options_.max_frame_bytes,
+      server_.options_.outbound_hard_cap_bytes);
   epoll_event ev{};
   ev.events = EPOLLIN;
   ev.data.fd = fd;
@@ -259,22 +262,62 @@ void Reactor::FlushConnection(const std::shared_ptr<ServerConnection>& conn) {
     DropConnection(conn);
     return;
   }
-  const bool wants_write = conn->wants_write();
-  if (wants_write && !conn->epollout_armed) {
+  if (conn->over_outbound_cap()) {
+    // A response overflowed the hard byte ceiling: the peer is not
+    // draining its socket. Evict rather than buffer without bound.
+    server_.stats_.connections_evicted.Add();
+    DropConnection(conn);
+    return;
+  }
+  UpdateInterest(conn);
+  if (!conn->wants_write() && conn->close_after_flush() &&
+      conn->in_flight() == 0) {
+    DropConnection(conn);
+  }
+}
+
+void Reactor::UpdateInterest(const std::shared_ptr<ServerConnection>& conn) {
+  if (conn->fd_closed()) return;
+  const std::size_t high = server_.options_.outbound_high_watermark_bytes;
+  const std::size_t pending = conn->pending_out_bytes();
+  if (!conn->reading_paused && high > 0 && pending > high) {
+    conn->reading_paused = true;
+    conn->pause_started = std::chrono::steady_clock::now();
+    ++num_paused_;
+    server_.stats_.read_pauses.Add();
+  } else if (conn->reading_paused && pending <= high / 2) {
+    // Hysteresis: resume only once the buffer drained to half the
+    // watermark so a borderline peer doesn't flap the epoll interest.
+    conn->reading_paused = false;
+    --num_paused_;
+  }
+  const bool want_read = !conn->reading_paused && !conn->close_after_flush();
+  const bool want_write = conn->wants_write();
+  if (want_read != conn->epollin_armed || want_write != conn->epollout_armed) {
     epoll_event ev{};
-    ev.events = EPOLLIN | EPOLLOUT;
+    ev.events = (want_read ? EPOLLIN : 0u) | (want_write ? EPOLLOUT : 0u);
     ev.data.fd = conn->fd();
     ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn->fd(), &ev);
-    conn->epollout_armed = true;
-  } else if (!wants_write) {
-    if (conn->epollout_armed) {
-      epoll_event ev{};
-      ev.events = EPOLLIN;
-      ev.data.fd = conn->fd();
-      ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn->fd(), &ev);
-      conn->epollout_armed = false;
-    }
-    if (conn->close_after_flush() && conn->in_flight() == 0) {
+    conn->epollin_armed = want_read;
+    conn->epollout_armed = want_write;
+  }
+}
+
+void Reactor::SweepPausedConnections() {
+  // Collect first: FlushConnection/DropConnection mutate connections_.
+  std::vector<std::shared_ptr<ServerConnection>> paused;
+  for (const auto& [fd, conn] : connections_) {
+    if (conn->reading_paused) paused.push_back(conn);
+  }
+  const auto now = std::chrono::steady_clock::now();
+  const double grace = server_.options_.slow_client_grace_seconds;
+  for (const auto& conn : paused) {
+    FlushConnection(conn);  // may resume or evict
+    if (conn->fd_closed() || !conn->reading_paused) continue;
+    if (grace > 0 &&
+        std::chrono::duration<double>(now - conn->pause_started).count() >=
+            grace) {
+      server_.stats_.connections_evicted.Add();
       DropConnection(conn);
     }
   }
@@ -282,6 +325,10 @@ void Reactor::FlushConnection(const std::shared_ptr<ServerConnection>& conn) {
 
 void Reactor::DropConnection(const std::shared_ptr<ServerConnection>& conn) {
   if (conn->fd_closed()) return;
+  if (conn->reading_paused) {
+    conn->reading_paused = false;
+    --num_paused_;
+  }
   const int fd = conn->fd();
   ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
   conn->CloseFd();

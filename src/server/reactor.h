@@ -86,9 +86,16 @@ class Reactor {
   void HandleAccept();
   /// Registers a socket this reactor owns (accepted or adopted).
   void RegisterConnection(int fd);
-  /// Flushes one connection's pending bytes; manages EPOLLOUT arming and
-  /// close-after-flush. Event-loop thread only.
+  /// Flushes one connection's pending bytes; evicts over-cap connections,
+  /// manages epoll interest and close-after-flush. Event-loop thread only.
   void FlushConnection(const std::shared_ptr<ServerConnection>& conn);
+  /// Recomputes the connection's epoll interest from its backpressure and
+  /// write state: pauses reading past the outbound high watermark, resumes
+  /// under half of it, arms/disarms EPOLLOUT. Event-loop thread only.
+  void UpdateInterest(const std::shared_ptr<ServerConnection>& conn);
+  /// Grace sweep over paused connections: resumes the ones that drained,
+  /// evicts the ones still stalled past slow_client_grace_seconds.
+  void SweepPausedConnections();
   void DropConnection(const std::shared_ptr<ServerConnection>& conn);
   /// True when no request is in flight server-wide and every connection
   /// of THIS reactor is flushed.
@@ -107,6 +114,9 @@ class Reactor {
 
   /// Reactor-thread-owned connection table.
   std::unordered_map<int, std::shared_ptr<ServerConnection>> connections_;
+  /// Connections currently read-paused (backpressure); when non-zero the
+  /// event loop ticks on a timeout to run the grace sweep.
+  std::size_t num_paused_ = 0;
 
   /// Cross-thread inboxes, drained once per loop iteration.
   std::mutex pending_mutex_;

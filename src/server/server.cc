@@ -9,6 +9,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <utility>
 
@@ -76,11 +77,25 @@ WireResponse ErrorResponse(FrameType type, const Status& status) {
   return response;
 }
 
+/// One `family{label="value"} N` sample line.
+void AppendLabeledSample(std::string* out, std::string_view name,
+                         std::string_view label, std::string_view value,
+                         std::size_t count) {
+  out->append(name)
+      .append("{")
+      .append(label)
+      .append("=\"")
+      .append(PrometheusEscapeLabelValue(value))
+      .append("\"} ")
+      .append(std::to_string(count))
+      .append("\n");
+}
+
 }  // namespace
 
 std::string ServerStats::ToPrometheusText() const {
   std::string out;
-  out.reserve(1024);
+  out.reserve(2048);
   AppendPrometheusCounter(&out, "f2db_server_connections_accepted_total",
                           "Client connections accepted.",
                           static_cast<double>(connections_accepted));
@@ -90,19 +105,63 @@ std::string ServerStats::ToPrometheusText() const {
   AppendPrometheusCounter(&out, "f2db_server_connections_refused_total",
                           "Connections refused at the max_connections cap.",
                           static_cast<double>(connections_refused));
+  AppendPrometheusCounter(
+      &out, "f2db_server_connections_evicted_total",
+      "Connections dropped by backpressure (outbound hard cap or the "
+      "slow-client grace timer).",
+      static_cast<double>(connections_evicted));
+  AppendPrometheusCounter(
+      &out, "f2db_server_read_pauses_total",
+      "Times a connection crossed the outbound high watermark and had its "
+      "reading paused.",
+      static_cast<double>(read_pauses));
   AppendPrometheusCounter(&out, "f2db_server_requests_total",
                           "Request frames received.",
                           static_cast<double>(requests_received));
   AppendPrometheusCounter(&out, "f2db_server_responses_total",
                           "Response frames queued for transmission.",
                           static_cast<double>(responses_sent));
+  // Labeled per-cause breakdown plus the unlabeled total, matching the
+  // sharded engine's exposition style.
+  out.append(
+      "# HELP f2db_server_requests_shed_total Requests answered kUnavailable "
+      "by admission control, by cause.\n"
+      "# TYPE f2db_server_requests_shed_total counter\n");
+  AppendLabeledSample(&out, "f2db_server_requests_shed_total", "cause",
+                      "admission", requests_shed_admission);
+  AppendLabeledSample(&out, "f2db_server_requests_shed_total", "cause",
+                      "shutdown", requests_shed_shutdown);
+  out.append("f2db_server_requests_shed_total ")
+      .append(std::to_string(requests_shed))
+      .append("\n");
   AppendPrometheusCounter(
-      &out, "f2db_server_requests_shed_total",
-      "Requests answered kUnavailable by admission control.",
-      static_cast<double>(requests_shed));
+      &out, "f2db_server_requests_throttled_total",
+      "Requests refused with kResourceExhausted by a tenant's token bucket.",
+      static_cast<double>(requests_throttled));
+  out.append(
+      "# HELP f2db_server_deadline_expired_total Requests rejected with "
+      "kDeadlineExceeded before execution, by pipeline stage.\n"
+      "# TYPE f2db_server_deadline_expired_total counter\n");
+  AppendLabeledSample(&out, "f2db_server_deadline_expired_total", "stage",
+                      "admission", deadline_expired_admission);
+  AppendLabeledSample(&out, "f2db_server_deadline_expired_total", "stage",
+                      "queue", deadline_expired_queue);
+  out.append("f2db_server_deadline_expired_total ")
+      .append(std::to_string(deadline_expired_admission +
+                             deadline_expired_queue))
+      .append("\n");
   AppendPrometheusCounter(&out, "f2db_server_protocol_errors_total",
                           "Malformed or oversized frames received.",
                           static_cast<double>(protocol_errors));
+  AppendPrometheusCounter(&out, "f2db_server_brownout_episodes_total",
+                          "Brownout-mode transitions (inactive to active).",
+                          static_cast<double>(brownout_episodes));
+  AppendPrometheusCounter(&out, "f2db_server_brownout_queries_total",
+                          "Queries executed in brownout mode.",
+                          static_cast<double>(brownout_queries));
+  AppendPrometheusGauge(&out, "f2db_server_brownout_active",
+                        "1 while the server is currently in brownout.",
+                        static_cast<double>(brownout_active));
   AppendPrometheusGauge(&out, "f2db_server_inflight_requests",
                         "Requests queued or executing right now.",
                         static_cast<double>(in_flight_requests));
@@ -110,7 +169,12 @@ std::string ServerStats::ToPrometheusText() const {
 }
 
 F2dbServer::F2dbServer(EngineInterface& engine, ServerOptions options)
-    : engine_(engine), options_(std::move(options)) {}
+    : engine_(engine), options_(std::move(options)) {
+  if (options_.tenant_rate_limit_per_second > 0) {
+    limiters_ = std::make_unique<TenantRateLimiters>(
+        options_.tenant_rate_limit_per_second, options_.tenant_rate_burst);
+  }
+}
 
 F2dbServer::~F2dbServer() {
   Shutdown();
@@ -279,10 +343,21 @@ ServerStats F2dbServer::stats() const {
   out.connections_accepted = stats_.connections_accepted.Load();
   out.connections_closed = stats_.connections_closed.Load();
   out.connections_refused = stats_.connections_refused.Load();
+  out.connections_evicted = stats_.connections_evicted.Load();
+  out.read_pauses = stats_.read_pauses.Load();
   out.requests_received = stats_.requests_received.Load();
   out.responses_sent = stats_.responses_sent.Load();
-  out.requests_shed = stats_.requests_shed.Load();
+  out.requests_shed_admission = stats_.requests_shed_admission.Load();
+  out.requests_shed_shutdown = stats_.requests_shed_shutdown.Load();
+  out.requests_shed = out.requests_shed_admission + out.requests_shed_shutdown;
+  out.requests_throttled = stats_.requests_throttled.Load();
+  out.deadline_expired_admission = stats_.deadline_expired_admission.Load();
+  out.deadline_expired_queue = stats_.deadline_expired_queue.Load();
   out.protocol_errors = stats_.protocol_errors.Load();
+  out.brownout_episodes = stats_.brownout_episodes.Load();
+  out.brownout_queries = stats_.brownout_queries.Load();
+  out.brownout_active =
+      brownout_active_.load(std::memory_order_relaxed) ? 1 : 0;
   out.in_flight_requests = in_flight_.load(std::memory_order_relaxed);
   return out;
 }
@@ -325,19 +400,74 @@ void F2dbServer::HandleRequest(Reactor& reactor,
     return;
   }
 
+  // HELLO binds the connection's tenant identity (and its rate-limiter
+  // bucket) inline on the reactor thread, which owns conn's tenant state.
+  if (request.type == FrameType::kHello) {
+    conn->tenant_id = request.body;
+    conn->rate_limiter =
+        limiters_ ? limiters_->BucketFor(conn->tenant_id) : nullptr;
+    WireResponse hello;
+    hello.type = FrameType::kHello;
+    hello.body = "HELLO tenant=" +
+                 (conn->tenant_id.empty() ? std::string("(default)")
+                                          : conn->tenant_id);
+    reactor.RespondNow(conn, EncodeResponse(hello));
+    return;
+  }
+
   if (shutdown_requested_.load(std::memory_order_acquire)) {
-    stats_.requests_shed.Add();
+    stats_.requests_shed_shutdown.Add();
     reactor.RespondNow(
         conn, EncodeResponse(ErrorResponse(
                   request.type, Status::Unavailable("server shutting down"))));
     return;
   }
 
+  // Deadline at admission: a frame whose budget is already gone is
+  // answered without consuming a worker, a queue slot, or a rate token.
+  const auto now = std::chrono::steady_clock::now();
+  auto deadline = ForecastQuery::kNoDeadline;
+  if (request.has_deadline) {
+    deadline = now + std::chrono::milliseconds(request.deadline_ms);
+    if (request.deadline_ms == 0) {
+      stats_.deadline_expired_admission.Add();
+      reactor.RespondNow(
+          conn, EncodeResponse(ErrorResponse(
+                    request.type, Status::DeadlineExceeded(
+                                      "deadline expired before admission"))));
+      return;
+    }
+  }
+
+  // Per-tenant quota, enforced AHEAD of the global watermark so one
+  // flooding tenant is throttled before it can crowd out the others.
+  // STATS stays exempt: monitoring must work during an overload.
+  if (limiters_ && request.type != FrameType::kStats) {
+    if (conn->rate_limiter == nullptr) {
+      conn->rate_limiter = limiters_->BucketFor(conn->tenant_id);
+    }
+    std::uint64_t retry_after_ns = 0;
+    if (!conn->rate_limiter->TryAcquire(&retry_after_ns)) {
+      stats_.requests_throttled.Add();
+      const std::uint32_t retry_ms = static_cast<std::uint32_t>(
+          std::min<std::uint64_t>((retry_after_ns + 999'999) / 1'000'000,
+                                  60'000));
+      WireResponse throttled;
+      throttled.type = request.type;
+      throttled.status = StatusCode::kResourceExhausted;
+      throttled.body = EncodeThrottleBody(
+          std::max<std::uint32_t>(retry_ms, 1),
+          "tenant '" + conn->tenant_id + "' over rate limit");
+      reactor.RespondNow(conn, EncodeResponse(throttled));
+      return;
+    }
+  }
+
   // Admission control: shed instead of queueing past the watermark. The
   // watermark is global — reactors share one worker pool.
   const std::size_t depth = in_flight_.load(std::memory_order_relaxed);
   if (depth >= options_.admission_queue_limit) {
-    stats_.requests_shed.Add();
+    stats_.requests_shed_admission.Add();
     reactor.RespondNow(
         conn,
         EncodeResponse(ErrorResponse(
@@ -348,11 +478,40 @@ void F2dbServer::HandleRequest(Reactor& reactor,
     return;
   }
 
+  // Brownout: between the brownout watermark and the admission limit,
+  // queries are still served but forced down the degradation ladder (no
+  // lazy re-estimation; the stale rung, annotated). Hysteresis at half
+  // the watermark keeps the active flag from flapping.
+  bool brownout = false;
+  if (options_.brownout_watermark > 0) {
+    if (depth >= options_.brownout_watermark) {
+      brownout = true;
+      stats_.brownout_queries.Add();
+      if (!brownout_active_.exchange(true, std::memory_order_relaxed)) {
+        stats_.brownout_episodes.Add();
+      }
+    } else if (depth < options_.brownout_watermark / 2) {
+      brownout_active_.store(false, std::memory_order_relaxed);
+    }
+  }
+
   in_flight_.fetch_add(1, std::memory_order_relaxed);
   conn->BeginRequest();
-  pool_->Submit([this, &reactor, conn, request = std::move(request)] {
+  pool_->Submit([this, &reactor, conn, deadline, brownout,
+                 request = std::move(request)] {
     if (options_.worker_test_hook) options_.worker_test_hook();
-    const WireResponse response = ExecuteRequest(request);
+    WireResponse response;
+    // Deadline at dequeue: work that expired while queued is answered
+    // cheaply instead of executed uselessly.
+    if (deadline != ForecastQuery::kNoDeadline &&
+        std::chrono::steady_clock::now() >= deadline) {
+      stats_.deadline_expired_queue.Add();
+      response = ErrorResponse(
+          request.type,
+          Status::DeadlineExceeded("deadline expired while queued"));
+    } else {
+      response = ExecuteRequest(request, deadline, brownout);
+    }
     conn->EnqueueResponse(EncodeResponse(response));
     stats_.responses_sent.Add();
     reactor.NoteResponseReady(conn);
@@ -364,11 +523,14 @@ void F2dbServer::HandleRequest(Reactor& reactor,
   });
 }
 
-WireResponse F2dbServer::ExecuteRequest(const WireRequest& request) const {
+WireResponse F2dbServer::ExecuteRequest(
+    const WireRequest& request, std::chrono::steady_clock::time_point deadline,
+    bool brownout) const {
   WireResponse response;
   response.type = request.type;
   switch (request.type) {
     case FrameType::kPing:
+    case FrameType::kHello:
       response.body = "PONG";
       return response;
     case FrameType::kStats:
@@ -377,7 +539,7 @@ WireResponse F2dbServer::ExecuteRequest(const WireRequest& request) const {
     case FrameType::kQuery: {
       auto parsed = ParseStatement(request.body);
       if (!parsed.ok()) return ErrorResponse(request.type, parsed.status());
-      const Statement& statement = parsed.value();
+      Statement& statement = parsed.value();
       if (statement.kind == Statement::Kind::kInsert) {
         return ErrorResponse(
             request.type,
@@ -390,6 +552,10 @@ WireResponse F2dbServer::ExecuteRequest(const WireRequest& request) const {
         response.body = RenderExplainResult(plan.value());
         return response;
       }
+      // The serving layer stamps the overload context; the SQL itself
+      // never carries deadlines or brownout.
+      statement.forecast.deadline = deadline;
+      statement.forecast.brownout = brownout;
       auto result = engine_.Execute(statement.forecast);
       if (!result.ok()) return ErrorResponse(request.type, result.status());
       response.degradation = result.value().degradation;

@@ -43,6 +43,7 @@
 #include <vector>
 
 #include "common/concurrent.h"
+#include "common/rate_limiter.h"
 #include "common/status.h"
 #include "common/thread_pool.h"
 #include "engine/engine.h"
@@ -79,6 +80,28 @@ struct ServerOptions {
   /// Graceful-shutdown drain bound; connections still busy afterwards are
   /// closed anyway.
   double drain_timeout_seconds = 10.0;
+  /// Per-tenant token-bucket rate (QUERY/INSERT frames per second; tenants
+  /// are bound by HELLO frames, connections that never said HELLO share
+  /// the "" tenant). 0 disables rate limiting.
+  double tenant_rate_limit_per_second = 0.0;
+  /// Token-bucket burst (frames); <= 0 defaults to one second's worth.
+  double tenant_rate_burst = 0.0;
+  /// Outbound backpressure: reading from a connection pauses once its
+  /// unsent bytes exceed this watermark (resumes at half). 0 disables
+  /// pausing.
+  std::size_t outbound_high_watermark_bytes = 256 * 1024;
+  /// Hard ceiling on one connection's unsent bytes; a response that would
+  /// cross it is refused and the connection evicted. 0 = unbounded.
+  std::size_t outbound_hard_cap_bytes = 4 * 1024 * 1024;
+  /// A connection read-paused longer than this is evicted as a slow
+  /// client. <= 0 disables eviction (paused connections linger).
+  double slow_client_grace_seconds = 5.0;
+  /// Brownout watermark: while queued-plus-running requests are at or
+  /// above this, queries run in brownout mode — the engine skips lazy
+  /// re-estimation and serves the stale rung, annotated — shedding work
+  /// BEFORE the admission limit starts refusing outright. 0 disables
+  /// brownout. Should sit below admission_queue_limit.
+  std::size_t brownout_watermark = 32;
   /// Test-only: runs at the start of every worker task (before the request
   /// executes). Integration tests block here to saturate the admission
   /// queue deterministically. Leave empty in production.
@@ -91,10 +114,31 @@ struct ServerStats {
   std::size_t connections_accepted = 0;
   std::size_t connections_closed = 0;
   std::size_t connections_refused = 0;
+  /// Connections dropped by backpressure (hard-cap overflow or the
+  /// slow-client grace timer).
+  std::size_t connections_evicted = 0;
+  /// Times a connection crossed the outbound high watermark and had its
+  /// reading paused.
+  std::size_t read_pauses = 0;
   std::size_t requests_received = 0;
   std::size_t responses_sent = 0;
+  /// Sum of the per-cause shed counters below (kept for compatibility).
   std::size_t requests_shed = 0;
+  std::size_t requests_shed_admission = 0;
+  std::size_t requests_shed_shutdown = 0;
+  /// Requests refused with kResourceExhausted by a tenant's token bucket.
+  std::size_t requests_throttled = 0;
+  /// Requests whose deadline had already expired when the frame arrived.
+  std::size_t deadline_expired_admission = 0;
+  /// Requests whose deadline expired between admission and worker pickup.
+  std::size_t deadline_expired_queue = 0;
   std::size_t protocol_errors = 0;
+  /// Brownout-mode transitions (inactive -> active).
+  std::size_t brownout_episodes = 0;
+  /// Queries executed in brownout mode.
+  std::size_t brownout_queries = 0;
+  /// 1 while the server is currently in brownout.
+  std::size_t brownout_active = 0;
   std::size_t in_flight_requests = 0;
 
   /// Prometheus text for the server-side families (f2db_server_*).
@@ -154,10 +198,18 @@ class F2dbServer {
     RelaxedCounter connections_accepted;
     RelaxedCounter connections_closed;
     RelaxedCounter connections_refused;
+    RelaxedCounter connections_evicted;
+    RelaxedCounter read_pauses;
     RelaxedCounter requests_received;
     RelaxedCounter responses_sent;
-    RelaxedCounter requests_shed;
+    RelaxedCounter requests_shed_admission;
+    RelaxedCounter requests_shed_shutdown;
+    RelaxedCounter requests_throttled;
+    RelaxedCounter deadline_expired_admission;
+    RelaxedCounter deadline_expired_queue;
     RelaxedCounter protocol_errors;
+    RelaxedCounter brownout_episodes;
+    RelaxedCounter brownout_queries;
   };
 
   /// Creates one non-blocking listener bound to host:port. Sets
@@ -166,12 +218,18 @@ class F2dbServer {
   Result<int> CreateListener(bool* reuseport);
 
   /// Called by a reactor for every decoded request payload; runs on that
-  /// reactor's thread.
+  /// reactor's thread. Walks the admission ladder: HELLO/PING inline,
+  /// shutdown shed, deadline-at-admission, per-tenant throttle, watermark
+  /// shed, brownout decision, then hands off to a worker.
   void HandleRequest(Reactor& reactor,
                      const std::shared_ptr<ServerConnection>& conn,
                      const std::string& payload);
-  /// Executes one decoded request on a worker thread.
-  WireResponse ExecuteRequest(const WireRequest& request) const;
+  /// Executes one decoded request on a worker thread. `deadline` and
+  /// `brownout` were stamped by admission and propagate into the engine's
+  /// ForecastQuery.
+  WireResponse ExecuteRequest(const WireRequest& request,
+                              std::chrono::steady_clock::time_point deadline,
+                              bool brownout) const;
 
   EngineInterface& engine_;
   const ServerOptions options_;
@@ -184,6 +242,12 @@ class F2dbServer {
   std::unique_ptr<ThreadPool> pool_;
   bool started_ = false;
   std::atomic<bool> shutdown_requested_{false};
+
+  /// Per-tenant token buckets; null when rate limiting is disabled.
+  std::unique_ptr<TenantRateLimiters> limiters_;
+  /// Whether the server is currently in brownout (hysteresis state for
+  /// episode counting and the f2db_server_brownout_active gauge).
+  std::atomic<bool> brownout_active_{false};
 
   /// Queued + running requests (admission control and drain tracking);
   /// shared across reactors.

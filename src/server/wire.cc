@@ -33,20 +33,33 @@ const char* FrameTypeName(FrameType type) {
       return "STATS";
     case FrameType::kPing:
       return "PING";
+    case FrameType::kHello:
+      return "HELLO";
   }
   return "UNKNOWN";
 }
 
 bool IsKnownFrameType(std::uint8_t raw) {
-  return raw >= static_cast<std::uint8_t>(FrameType::kQuery) &&
-         raw <= static_cast<std::uint8_t>(FrameType::kPing);
+  const std::uint8_t base = raw & static_cast<std::uint8_t>(~kDeadlineFlag);
+  return base >= static_cast<std::uint8_t>(FrameType::kQuery) &&
+         base <= static_cast<std::uint8_t>(FrameType::kHello);
 }
 
 std::string EncodeRequest(const WireRequest& request) {
   std::string out;
-  out.reserve(4 + 1 + request.body.size());
-  AppendLength(&out, 1 + request.body.size());
-  out.push_back(static_cast<char>(request.type));
+  const std::size_t header = request.has_deadline ? 5 : 1;
+  out.reserve(4 + header + request.body.size());
+  AppendLength(&out, header + request.body.size());
+  std::uint8_t type_byte = static_cast<std::uint8_t>(request.type);
+  if (request.has_deadline) type_byte |= kDeadlineFlag;
+  out.push_back(static_cast<char>(type_byte));
+  if (request.has_deadline) {
+    const std::uint32_t v = request.deadline_ms;
+    out.push_back(static_cast<char>(v & 0xff));
+    out.push_back(static_cast<char>((v >> 8) & 0xff));
+    out.push_back(static_cast<char>((v >> 16) & 0xff));
+    out.push_back(static_cast<char>((v >> 24) & 0xff));
+  }
   out.append(request.body);
   return out;
 }
@@ -72,8 +85,31 @@ Result<WireRequest> DecodeRequestPayload(std::string_view payload) {
                                    std::to_string(raw));
   }
   WireRequest request;
-  request.type = static_cast<FrameType>(raw);
-  request.body.assign(payload.substr(1));
+  request.type = static_cast<FrameType>(
+      raw & static_cast<std::uint8_t>(~kDeadlineFlag));
+  std::size_t header = 1;
+  if ((raw & kDeadlineFlag) != 0) {
+    if (payload.size() < 5) {
+      return Status::InvalidArgument(
+          "request frame announces a deadline but is shorter than its "
+          "5-byte extended header");
+    }
+    const auto b = [payload](int i) {
+      return static_cast<std::uint32_t>(
+          static_cast<unsigned char>(payload[i]));
+    };
+    request.has_deadline = true;
+    request.deadline_ms = b(1) | (b(2) << 8) | (b(3) << 16) | (b(4) << 24);
+    header = 5;
+  }
+  request.body.assign(payload.substr(header));
+  if (request.type == FrameType::kHello &&
+      request.body.size() > kMaxTenantIdBytes) {
+    return Status::InvalidArgument(
+        "HELLO tenant id of " + std::to_string(request.body.size()) +
+        " bytes exceeds the " + std::to_string(kMaxTenantIdBytes) +
+        "-byte limit");
+  }
   return request;
 }
 
@@ -88,7 +124,7 @@ Result<WireResponse> DecodeResponsePayload(std::string_view payload) {
                                    std::to_string(type_raw));
   }
   const auto status_raw = static_cast<std::uint8_t>(payload[1]);
-  if (status_raw > static_cast<std::uint8_t>(StatusCode::kUnavailable)) {
+  if (status_raw > static_cast<std::uint8_t>(StatusCode::kResourceExhausted)) {
     return Status::InvalidArgument("response status byte out of range: " +
                                    std::to_string(status_raw));
   }
@@ -104,6 +140,27 @@ Result<WireResponse> DecodeResponsePayload(std::string_view payload) {
   response.degradation = static_cast<DegradationLevel>(degradation_raw);
   response.body.assign(payload.substr(3));
   return response;
+}
+
+std::string EncodeThrottleBody(std::uint32_t retry_after_ms,
+                               const std::string& message) {
+  std::string out = "retry-after-ms=" + std::to_string(retry_after_ms);
+  out += "; ";
+  out += message;
+  return out;
+}
+
+std::optional<std::uint32_t> ParseRetryAfterMs(std::string_view body) {
+  constexpr std::string_view kPrefix = "retry-after-ms=";
+  if (body.substr(0, kPrefix.size()) != kPrefix) return std::nullopt;
+  std::uint64_t value = 0;
+  std::size_t i = kPrefix.size();
+  if (i >= body.size() || body[i] < '0' || body[i] > '9') return std::nullopt;
+  for (; i < body.size() && body[i] >= '0' && body[i] <= '9'; ++i) {
+    value = value * 10 + static_cast<std::uint64_t>(body[i] - '0');
+    if (value > 0xffffffffULL) return std::nullopt;
+  }
+  return static_cast<std::uint32_t>(value);
 }
 
 Status FrameDecoder::Feed(const char* data, std::size_t n) {

@@ -6,16 +6,25 @@
 //   frame    := length payload
 //   length   := uint32, little-endian, byte count of `payload`
 //
-//   request  := type:uint8  body...
+//   request  := type:uint8  [deadline_ms:uint32]  body...
 //   response := type:uint8  status:uint8  degradation:uint8  body...
 //
-// `type` names the operation (QUERY / INSERT / STATS / PING); responses
-// echo the request type. `status` is the StatusCode of the outcome and
-// `degradation` the worst DegradationLevel that contributed to a QUERY
-// answer — the two annotations the paper's client boundary needs: did the
-// answer arrive, and at what fidelity. Bodies are UTF-8 text: the SQL-ish
-// statement on the way in; rendered rows, Prometheus exposition text, or
-// an error message on the way out.
+// `type` names the operation (QUERY / INSERT / STATS / PING / HELLO);
+// responses echo the request type. `status` is the StatusCode of the
+// outcome and `degradation` the worst DegradationLevel that contributed to
+// a QUERY answer — the two annotations the paper's client boundary needs:
+// did the answer arrive, and at what fidelity. Bodies are UTF-8 text: the
+// SQL-ish statement on the way in; rendered rows, Prometheus exposition
+// text, or an error message on the way out.
+//
+// Wire v2 (backward-compatible): a request may carry a serving DEADLINE.
+// The high bit of the type byte (kDeadlineFlag) signals an extended
+// header: the four bytes after the type are the remaining deadline budget
+// in milliseconds (uint32, little-endian, RELATIVE so client and server
+// clocks need not agree; 0 = already expired). v1 frames — a bare type
+// byte — decode exactly as before and mean "no deadline". The HELLO frame
+// (v2) binds a tenant id to the connection for per-tenant rate limiting;
+// its body is the tenant id (kMaxTenantIdBytes cap).
 //
 // Every frame is capped at kMaxFrameBytes of payload. The decoder rejects
 // oversized or zero-length frames with a Status instead of buffering them,
@@ -41,21 +50,36 @@ enum class FrameType : std::uint8_t {
   kInsert = 2,  ///< INSERT statement text.
   kStats = 3,   ///< Empty body; response body is Prometheus text.
   kPing = 4,    ///< Empty body; response body is "PONG".
+  kHello = 5,   ///< Body is the tenant id; binds it to the connection.
 };
 
 /// Stable display name ("QUERY", "INSERT", ...).
 const char* FrameTypeName(FrameType type);
 
-/// True when `raw` is one of the FrameType values.
+/// True when `raw` — with the deadline flag masked off — is one of the
+/// FrameType values.
 bool IsKnownFrameType(std::uint8_t raw);
 
 /// Hard cap on a single frame's payload (type byte + annotations + body).
 inline constexpr std::size_t kMaxFrameBytes = 1 << 20;  // 1 MiB
 
-/// A decoded request frame.
+/// Request type-byte flag: an extended header with a deadline follows.
+inline constexpr std::uint8_t kDeadlineFlag = 0x80;
+
+/// Cap on a HELLO frame's tenant id.
+inline constexpr std::size_t kMaxTenantIdBytes = 256;
+
+/// A decoded request frame. `body` stays the second member so the
+/// pre-deadline aggregate init `{type, "body"}` keeps meaning what it
+/// says (a string literal would otherwise convert to has_deadline).
 struct WireRequest {
   FrameType type = FrameType::kPing;
   std::string body;
+  /// Wire v2 deadline: remaining budget in milliseconds when has_deadline
+  /// is set (0 = already expired). v1 frames decode with has_deadline
+  /// false.
+  bool has_deadline = false;
+  std::uint32_t deadline_ms = 0;
 };
 
 /// A decoded response frame.
@@ -79,6 +103,16 @@ Result<WireRequest> DecodeRequestPayload(std::string_view payload);
 /// Decodes a response payload. Out-of-range status / degradation bytes and
 /// payloads shorter than the three header bytes are kInvalidArgument.
 Result<WireResponse> DecodeResponsePayload(std::string_view payload);
+
+/// Body of a throttled (kResourceExhausted) response: a machine-readable
+/// retry-after hint followed by the human-readable cause —
+/// "retry-after-ms=<n>; <message>".
+std::string EncodeThrottleBody(std::uint32_t retry_after_ms,
+                               const std::string& message);
+
+/// Extracts the retry-after hint from a throttle body; nullopt when the
+/// body does not carry one (a non-throttle response, or a foreign server).
+std::optional<std::uint32_t> ParseRetryAfterMs(std::string_view body);
 
 /// Incremental frame reassembly for a byte stream. Feed() appends raw
 /// socket bytes (validating the length prefix as soon as it is complete);

@@ -1,10 +1,13 @@
 #include "testing/differential.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
+#include <mutex>
+#include <thread>
 #include <vector>
 
 #include "common/failpoint.h"
@@ -788,6 +791,229 @@ DifferentialReport RunShardedDifferential(
                       " oracle=" + std::to_string(oracle.advances()));
     }
   }
+  return report;
+}
+
+OverloadDifferentialReport RunOverloadDifferential(
+    const WorkloadSpec& spec, const OverloadDifferentialOptions& options) {
+  OverloadDifferentialReport report;
+  const auto fail = [&](const std::string& what) {
+    report.ok = false;
+    report.failure = "seed=" + std::to_string(spec.seed) + " shape=" +
+                     spec.shape_name + ": " + what;
+    return report;
+  };
+
+  // ---- setup: oracle, engine, loopback server --------------------------
+  ReferenceOracle oracle(spec.dims);
+  for (std::size_t cell = 0; cell < spec.base_history.size(); ++cell) {
+    oracle.SetBaseSeries(cell, spec.base_history[cell]);
+  }
+
+  EngineOptions engine_options;
+  engine_options.reestimate_after_updates = spec.reestimate_after_updates;
+  engine_options.maintenance_threads = 1;
+  auto graph = BuildWorkloadGraph(spec);
+  if (!graph.ok()) return fail(graph.status().ToString());
+  F2dbEngine engine(std::move(graph.value()), engine_options);
+
+  auto config = BuildWorkloadConfiguration(spec, engine.graph());
+  if (!config.ok()) return fail(config.status().ToString());
+  const ConfigurationEvaluator evaluator(engine.graph(), 1.0);
+  {
+    const Status loaded = engine.LoadConfiguration(config.value(), evaluator);
+    if (!loaded.ok()) return fail(loaded.ToString());
+  }
+  InstallOracleConfiguration(spec, config.value(), engine.graph(), oracle);
+
+  ScopedFailpoints failpoint_guard;
+  if (spec.inject_refit_failures) {
+    failpoint::Enable(kFailpointEngineRefit, failpoint::Policy::Always());
+  }
+
+  ServerOptions server_options;
+  server_options.worker_threads = options.worker_threads;
+  server_options.admission_queue_limit = options.admission_queue_limit;
+  server_options.brownout_watermark = options.brownout_watermark;
+  F2dbServer server(engine, server_options);
+  {
+    const Status started = server.Start();
+    if (!started.ok()) return fail(started.ToString());
+  }
+  auto connected = F2dbClient::Connect("127.0.0.1", server.port());
+  if (!connected.ok()) return fail(connected.status().ToString());
+  F2dbClient setup_client = std::move(connected.value());
+
+  // ---- phase 1 (calm): advance the frontier through the wire -----------
+  // Enough complete insert rounds to cross the invalidation threshold, so
+  // a fault-mode spec serves the stale rung during the flood.
+  const std::size_t rounds =
+      spec.reestimate_after_updates > 0 ? spec.reestimate_after_updates : 1;
+  const std::size_t num_cells = spec.base_history.size();
+  for (std::size_t r = 0; r < rounds; ++r) {
+    const std::int64_t time = oracle.frontier();
+    for (std::size_t cell = 0; cell < num_cells; ++cell) {
+      const double value =
+          10.0 + static_cast<double>(r) + 0.5 * static_cast<double>(cell);
+      const OracleInsert verdict = oracle.Insert(cell, time, value);
+      const StatusCode expected = ExpectedInsertCode(verdict);
+      auto response =
+          setup_client.Insert(BuildInsertSql(spec, cell, time, value));
+      if (!response.ok()) {
+        return fail("insert transport failure: " +
+                    response.status().ToString());
+      }
+      if (response.value().status != expected) {
+        return fail("insert verdict mismatch cell=" + std::to_string(cell) +
+                    " t=" + std::to_string(time) + ": oracle expects " +
+                    StatusCodeName(expected) + ", wire=" +
+                    StatusCodeName(response.value().status));
+      }
+    }
+  }
+
+  // ---- precompute the oracle's expected answer per target --------------
+  struct ExpectedAnswer {
+    std::string sql;
+    std::vector<double> values;
+    DegradationLevel level = DegradationLevel::kNone;
+    std::int64_t now = 0;
+  };
+  std::vector<ExpectedAnswer> targets;
+  for (const OracleAddress& address : oracle.AllAddresses()) {
+    for (const std::size_t horizon : {1, 3}) {
+      const auto forecast = oracle.Forecast(address, horizon);
+      if (!forecast.has_value()) continue;
+      ExpectedAnswer target;
+      target.sql = BuildQuerySql(spec, address, horizon);
+      target.values = *forecast;
+      target.level = ExpectedDegradation(spec, oracle, address);
+      target.now = oracle.frontier();
+      targets.push_back(std::move(target));
+    }
+  }
+  if (targets.empty()) return fail("no forecastable addresses in the spec");
+
+  // ---- phase 2: concurrent flood ---------------------------------------
+  std::atomic<std::size_t> sent{0}, full_fidelity{0}, degraded{0}, shed{0},
+      expired{0};
+  std::mutex failure_mutex;
+  std::string first_failure;
+  const auto record_failure = [&](const std::string& what) {
+    std::lock_guard<std::mutex> lock(failure_mutex);
+    if (first_failure.empty()) first_failure = what;
+  };
+
+  std::vector<std::thread> clients;
+  clients.reserve(options.num_clients);
+  for (std::size_t c = 0; c < options.num_clients; ++c) {
+    clients.emplace_back([&, c] {
+      auto flood_connected = F2dbClient::Connect("127.0.0.1", server.port());
+      if (!flood_connected.ok()) {
+        record_failure("flood client connect: " +
+                       flood_connected.status().ToString());
+        return;
+      }
+      F2dbClient client = std::move(flood_connected.value());
+      for (std::size_t i = 0; i < options.queries_per_client; ++i) {
+        const ExpectedAnswer& target =
+            targets[(c + i * 7) % targets.size()];
+        // Every other query carries a generous wire deadline so the v2
+        // extended header is exercised under concurrency too.
+        auto response =
+            (i % 2 == 0)
+                ? client.Query(target.sql)
+                : client.CallWithDeadline(FrameType::kQuery, target.sql,
+                                          60'000);
+        sent.fetch_add(1, std::memory_order_relaxed);
+        if (!response.ok()) {
+          record_failure("flood transport failure: " +
+                         response.status().ToString());
+          return;
+        }
+        const WireResponse& wire = response.value();
+        switch (wire.status) {
+          case StatusCode::kOk: {
+            const WireRows parsed = ParseWireBody(wire.body);
+            if (!parsed.parse_ok) {
+              record_failure("unparseable body for \"" + target.sql +
+                             "\": " + parsed.parse_error);
+              return;
+            }
+            // Degraded-never-wrong, half 1: any degraded answer must say
+            // so in the body — a missing marker is a silent degradation.
+            if (parsed.degraded_marker !=
+                (wire.degradation != DegradationLevel::kNone)) {
+              record_failure("degradation annotation mismatch for \"" +
+                             target.sql + "\": header=" +
+                             DegradationLevelName(wire.degradation) +
+                             " marker=" +
+                             (parsed.degraded_marker ? "yes" : "no"));
+              return;
+            }
+            if (wire.degradation != target.level) {
+              record_failure(
+                  "unexpected degradation for \"" + target.sql + "\": got " +
+                  DegradationLevelName(wire.degradation) + " expected " +
+                  DegradationLevelName(target.level));
+              return;
+            }
+            // Half 2: degraded or not, the values must be the oracle's —
+            // the ladder may lower fidelity labels, never correctness.
+            if (parsed.rows.size() != target.values.size()) {
+              record_failure("row count mismatch for \"" + target.sql +
+                             "\"");
+              return;
+            }
+            for (std::size_t h = 0; h < parsed.rows.size(); ++h) {
+              if (parsed.rows[h].first !=
+                  target.now + static_cast<std::int64_t>(h)) {
+                record_failure("row time mismatch for \"" + target.sql +
+                               "\"");
+                return;
+              }
+              if (!ValuesClose(parsed.rows[h].second, target.values[h], 1e-9,
+                               options.wire_abs_tol)) {
+                record_failure(
+                    "value mismatch for \"" + target.sql + "\" at h=" +
+                    std::to_string(h) + ": wire=" +
+                    RenderDouble(parsed.rows[h].second) + " oracle=" +
+                    RenderDouble(target.values[h]));
+                return;
+              }
+            }
+            (wire.degradation != DegradationLevel::kNone ? degraded
+                                                         : full_fidelity)
+                .fetch_add(1, std::memory_order_relaxed);
+            break;
+          }
+          case StatusCode::kUnavailable:
+            shed.fetch_add(1, std::memory_order_relaxed);
+            break;
+          case StatusCode::kDeadlineExceeded:
+            expired.fetch_add(1, std::memory_order_relaxed);
+            break;
+          default:
+            record_failure("unexpected status " +
+                           std::string(StatusCodeName(wire.status)) +
+                           " for \"" + target.sql + "\": " + wire.body);
+            return;
+        }
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+
+  report.queries_sent = sent.load();
+  report.ok_full_fidelity = full_fidelity.load();
+  report.ok_degraded = degraded.load();
+  report.shed = shed.load();
+  report.deadline_expired = expired.load();
+  report.brownout_queries = server.stats().brownout_queries;
+
+  setup_client.Close();
+  server.Shutdown();
+  if (!first_failure.empty()) return fail(first_failure);
   return report;
 }
 

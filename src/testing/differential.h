@@ -113,6 +113,51 @@ struct ShardedDifferentialOptions {
 DifferentialReport RunShardedDifferential(
     const WorkloadSpec& spec, const ShardedDifferentialOptions& options = {});
 
+struct OverloadDifferentialOptions {
+  /// Concurrent client threads flooding the server with queries.
+  std::size_t num_clients = 4;
+  /// Queries each client issues during the flood.
+  std::size_t queries_per_client = 40;
+  std::size_t worker_threads = 2;
+  /// Kept small so the flood actually reaches the admission watermark.
+  std::size_t admission_queue_limit = 4;
+  /// Brownout engages at depth >= 1 so concurrent clients force the
+  /// degradation ladder deterministically.
+  std::size_t brownout_watermark = 1;
+  /// Oracle-vs-wire tolerance (the wire body renders "%.4f").
+  double wire_abs_tol = 2e-4;
+};
+
+struct OverloadDifferentialReport {
+  bool ok = true;
+  std::string failure;
+  std::size_t queries_sent = 0;
+  /// kOk answers at full fidelity (values checked against the oracle).
+  std::size_t ok_full_fidelity = 0;
+  /// kOk answers on a degradation rung — every one verified ANNOTATED
+  /// (the "-- degraded:" marker) and value-correct against the oracle.
+  std::size_t ok_degraded = 0;
+  /// kUnavailable answers (admission or shutdown shedding).
+  std::size_t shed = 0;
+  /// kDeadlineExceeded answers.
+  std::size_t deadline_expired = 0;
+  /// Queries the server executed in brownout mode (server counter).
+  std::size_t brownout_queries = 0;
+};
+
+/// Overload fuzz: replays the spec's insert rounds calmly (advancing the
+/// frontier past the invalidation threshold with the engine.refit
+/// failpoint armed when the spec is in fault mode), then floods the
+/// loopback server with `num_clients` concurrent query streams against a
+/// brownout-configured F2dbServer. Every response must be one of: a
+/// full-fidelity answer matching the oracle, a DEGRADED answer that is
+/// both annotated and value-correct (degraded-never-wrong), or an honest
+/// overload rejection (kUnavailable / kDeadlineExceeded). Anything else —
+/// a silently degraded body, a wrong value, an unexpected status — fails
+/// the report.
+OverloadDifferentialReport RunOverloadDifferential(
+    const WorkloadSpec& spec, const OverloadDifferentialOptions& options = {});
+
 /// true = the candidate spec still reproduces the failure under test.
 using WorkloadPredicate = std::function<bool(const WorkloadSpec&)>;
 

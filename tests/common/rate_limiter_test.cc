@@ -1,0 +1,121 @@
+// TokenBucket (GCRA) and TenantRateLimiters unit tests. All timing uses
+// the explicit now_ns overload, so nothing here depends on wall-clock
+// speed.
+
+#include "common/rate_limiter.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+namespace f2db {
+namespace {
+
+constexpr std::uint64_t kSecond = 1'000'000'000ULL;
+
+TEST(RateLimitTest, BurstThenDenialAtTheConfiguredCapacity) {
+  TokenBucket bucket(/*tokens_per_second=*/10.0, /*burst=*/3.0);
+  const std::uint64_t t0 = kSecond;  // arbitrary epoch on the caller clock
+  std::uint64_t retry = 0;
+  // The full burst conforms back-to-back...
+  EXPECT_TRUE(bucket.TryAcquire(t0, &retry));
+  EXPECT_TRUE(bucket.TryAcquire(t0, &retry));
+  EXPECT_TRUE(bucket.TryAcquire(t0, &retry));
+  // ...and the next request at the same instant is denied with a hint.
+  EXPECT_FALSE(bucket.TryAcquire(t0, &retry));
+  EXPECT_GT(retry, 0u);
+  // At 10 tokens/s one token emerges every 100ms; the hint says so.
+  EXPECT_EQ(retry, kSecond / 10);
+  // Waiting out the hint makes exactly one more request conform.
+  EXPECT_TRUE(bucket.TryAcquire(t0 + retry, &retry));
+  EXPECT_FALSE(bucket.TryAcquire(t0 + kSecond / 10, &retry));
+}
+
+TEST(RateLimitTest, SustainedRateIsHonored) {
+  TokenBucket bucket(/*tokens_per_second=*/5.0, /*burst=*/1.0);
+  std::uint64_t now = kSecond;
+  std::size_t conforming = 0;
+  // Offer 100 requests over 2 seconds (50/s against a 5/s budget).
+  for (int i = 0; i < 100; ++i) {
+    if (bucket.TryAcquire(now, nullptr)) ++conforming;
+    now += 20'000'000;  // 20ms apart
+  }
+  // 2 seconds at 5/s plus the initial burst token.
+  EXPECT_GE(conforming, 10u);
+  EXPECT_LE(conforming, 11u);
+}
+
+TEST(RateLimitTest, IdleBucketRefillsUpToBurstOnly) {
+  TokenBucket bucket(/*tokens_per_second=*/10.0, /*burst=*/2.0);
+  const std::uint64_t t0 = kSecond;
+  EXPECT_TRUE(bucket.TryAcquire(t0, nullptr));
+  EXPECT_TRUE(bucket.TryAcquire(t0, nullptr));
+  EXPECT_FALSE(bucket.TryAcquire(t0, nullptr));
+  // A long idle period refills to the cap, not beyond it: exactly the
+  // burst conforms again, no matter how long the bucket slept.
+  const std::uint64_t later = t0 + 100 * kSecond;
+  EXPECT_TRUE(bucket.TryAcquire(later, nullptr));
+  EXPECT_TRUE(bucket.TryAcquire(later, nullptr));
+  EXPECT_FALSE(bucket.TryAcquire(later, nullptr));
+}
+
+TEST(RateLimitTest, MisconfiguredBucketsAreClamped) {
+  // Zero/negative rates degrade to "almost never" rather than dividing by
+  // zero; bursts below one token are raised to one so the bucket can
+  // conform at all.
+  TokenBucket zero_rate(0.0, 1.0);
+  EXPECT_GT(zero_rate.tokens_per_second(), 0.0);
+  TokenBucket tiny_burst(10.0, 0.25);
+  EXPECT_GE(tiny_burst.burst(), 1.0);
+  EXPECT_TRUE(tiny_burst.TryAcquire(kSecond, nullptr));
+}
+
+TEST(RateLimitTest, ConcurrentAcquiresNeverExceedTheBudget) {
+  TokenBucket bucket(/*tokens_per_second=*/1.0, /*burst=*/8.0);
+  const std::uint64_t t0 = kSecond;
+  std::atomic<std::size_t> conforming{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 16; ++i) {
+        if (bucket.TryAcquire(t0, nullptr)) {
+          conforming.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  // 64 competing acquires at one instant: exactly the burst conforms.
+  EXPECT_EQ(conforming.load(), 8u);
+}
+
+TEST(RateLimitTest, TenantRegistryIsolatesBucketsAndKeepsPointersStable) {
+  TenantRateLimiters limiters(/*tokens_per_second=*/10.0, /*burst=*/1.0);
+  TokenBucket* alpha = limiters.BucketFor("alpha");
+  TokenBucket* beta = limiters.BucketFor("beta");
+  ASSERT_NE(alpha, nullptr);
+  ASSERT_NE(beta, nullptr);
+  EXPECT_NE(alpha, beta);
+  // Same tenant, same bucket — the cached pointer stays valid.
+  EXPECT_EQ(limiters.BucketFor("alpha"), alpha);
+  EXPECT_EQ(limiters.num_tenants(), 2u);
+  // Draining alpha's budget does not touch beta's.
+  const std::uint64_t t0 = kSecond;
+  EXPECT_TRUE(alpha->TryAcquire(t0, nullptr));
+  EXPECT_FALSE(alpha->TryAcquire(t0, nullptr));
+  EXPECT_TRUE(beta->TryAcquire(t0, nullptr));
+  // The empty string is the default tenant, not an error.
+  EXPECT_NE(limiters.BucketFor(""), nullptr);
+  EXPECT_EQ(limiters.num_tenants(), 3u);
+}
+
+TEST(RateLimitTest, DefaultBurstIsOneSecondsWorth) {
+  TenantRateLimiters limiters(/*tokens_per_second=*/25.0, /*burst=*/0.0);
+  EXPECT_DOUBLE_EQ(limiters.BucketFor("t")->burst(), 25.0);
+}
+
+}  // namespace
+}  // namespace f2db

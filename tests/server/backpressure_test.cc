@@ -1,0 +1,303 @@
+// Slow-client backpressure: the outbound hard byte ceiling on
+// ServerConnection (socketpair unit tests) and the reactor's
+// pause/evict ladder against a peer that never reads (loopback), plus the
+// golden-text pin of the server's Prometheus exposition.
+
+#include <gtest/gtest.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "baselines/advisor_builder.h"
+#include "engine/engine.h"
+#include "server/client.h"
+#include "server/connection.h"
+#include "server/server.h"
+#include "testing/test_cubes.h"
+
+namespace f2db {
+namespace {
+
+constexpr char kHost[] = "127.0.0.1";
+constexpr char kSumQuery[] =
+    "SELECT time, SUM(sales) FROM facts GROUP BY time AS OF now() + '3'";
+
+// ---------------------------------------------------------------------------
+// ServerConnection hard-cap unit tests over a socketpair.
+
+class BackpressureTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, sv_), 0);
+  }
+  void TearDown() override {
+    // sv_[0] belongs to the ServerConnection under test (its destructor
+    // closes it); the peer end is ours.
+    if (sv_[1] >= 0) ::close(sv_[1]);
+  }
+
+  int sv_[2] = {-1, -1};
+};
+
+TEST_F(BackpressureTest, HardCapRefusesTheOverflowingFrame) {
+  ServerConnection conn(sv_[0], kMaxFrameBytes, /*outbound_cap_bytes=*/64);
+  const std::string frame(16, 'x');
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_TRUE(conn.EnqueueResponse(frame)) << "frame " << i;
+  }
+  EXPECT_EQ(conn.pending_out_bytes(), 64u);
+  EXPECT_FALSE(conn.over_outbound_cap());
+
+  // The fifth frame would cross the ceiling: refused, NOT queued, and the
+  // connection is marked for eviction.
+  EXPECT_FALSE(conn.EnqueueResponse(frame));
+  EXPECT_TRUE(conn.over_outbound_cap());
+  EXPECT_EQ(conn.pending_out_bytes(), 64u);
+
+  // Exactly the four accepted frames reach the peer.
+  EXPECT_TRUE(conn.FlushWrites());
+  EXPECT_EQ(conn.pending_out_bytes(), 0u);
+  char buffer[256];
+  const ssize_t n = ::read(sv_[1], buffer, sizeof(buffer));
+  EXPECT_EQ(n, 64);
+}
+
+TEST_F(BackpressureTest, PendingBytesTrackEnqueueAndDrain) {
+  ServerConnection conn(sv_[0], kMaxFrameBytes, /*outbound_cap_bytes=*/1024);
+  EXPECT_EQ(conn.pending_out_bytes(), 0u);
+  EXPECT_TRUE(conn.EnqueueResponse(std::string(100, 'a')));
+  EXPECT_TRUE(conn.EnqueueResponse(std::string(50, 'b')));
+  EXPECT_EQ(conn.pending_out_bytes(), 150u);
+  EXPECT_TRUE(conn.wants_write());
+
+  EXPECT_TRUE(conn.FlushWrites());
+  EXPECT_EQ(conn.pending_out_bytes(), 0u);
+  EXPECT_FALSE(conn.wants_write());
+
+  // The ceiling measures live bytes, not lifetime bytes: after a drain the
+  // full budget is available again.
+  EXPECT_TRUE(conn.EnqueueResponse(std::string(1024, 'c')));
+  EXPECT_FALSE(conn.over_outbound_cap());
+}
+
+TEST_F(BackpressureTest, ZeroCapMeansUnbounded) {
+  ServerConnection conn(sv_[0], kMaxFrameBytes, /*outbound_cap_bytes=*/0);
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_TRUE(conn.EnqueueResponse(std::string(4096, 'x')));
+  }
+  EXPECT_FALSE(conn.over_outbound_cap());
+  EXPECT_EQ(conn.pending_out_bytes(), 64u * 4096u);
+}
+
+// ---------------------------------------------------------------------------
+// Loopback: a peer that floods requests and never reads responses is
+// paused at the high watermark and evicted, while other clients keep
+// being served.
+
+class BackpressureIntegrationTest : public ::testing::Test {
+ protected:
+  BackpressureIntegrationTest()
+      : evaluator_graph_(testing::MakeFigure2Cube(60, 0.05)),
+        evaluator_(evaluator_graph_, 0.8),
+        factory_(ModelSpec::TripleExponentialSmoothing(12)) {
+    AdvisorOptions advisor_options;
+    advisor_options.models_per_iteration = 4;
+    advisor_options.stop.max_iterations = 12;
+    AdvisorBuilder builder(advisor_options);
+    auto outcome = builder.Build(evaluator_, factory_);
+    EXPECT_TRUE(outcome.ok());
+    config_ = std::move(outcome.value().configuration);
+  }
+
+  std::unique_ptr<F2dbEngine> MakeEngine() {
+    auto engine =
+        std::make_unique<F2dbEngine>(testing::MakeFigure2Cube(60, 0.05));
+    EXPECT_TRUE(engine->LoadConfiguration(config_, evaluator_).ok());
+    return engine;
+  }
+
+  /// A raw blocking connection with a deliberately tiny receive buffer, so
+  /// the TCP window closes almost immediately once we stop reading.
+  static int ConnectNonReading(std::uint16_t port) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) return -1;
+    const int rcvbuf = 512;
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVBUF, &rcvbuf, sizeof(rcvbuf));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+      ::close(fd);
+      return -1;
+    }
+    return fd;
+  }
+
+  TimeSeriesGraph evaluator_graph_;
+  ConfigurationEvaluator evaluator_;
+  ModelFactory factory_;
+  ModelConfiguration config_;
+};
+
+TEST_F(BackpressureIntegrationTest, NeverReadingPeerIsPausedThenEvicted) {
+  auto engine = MakeEngine();
+  ServerOptions options;
+  options.outbound_high_watermark_bytes = 16 * 1024;
+  // Unbounded cap: a 400-response burst would cross any reasonable cap
+  // before the reactor's first flush ever runs UpdateInterest, evicting
+  // without a pause. Disabling it isolates the pause -> grace-evict rungs;
+  // cap eviction is covered by the socketpair tests above and the chaos
+  // suite.
+  options.outbound_hard_cap_bytes = 0;
+  options.slow_client_grace_seconds = 0.5;
+  // Nothing should be shed here — the flood must be answered so the
+  // responses pile up against the non-reading peer.
+  options.admission_queue_limit = 1024;
+  options.brownout_watermark = 0;
+  F2dbServer server(*engine, options);
+  ASSERT_TRUE(server.Start().ok());
+
+  // Flood STATS requests (each response is kilobytes of Prometheus text)
+  // and never read a byte back. The requests themselves are tiny, so the
+  // blocking sends cannot stall even after the server pauses reading.
+  const int flood_fd = ConnectNonReading(server.port());
+  ASSERT_GE(flood_fd, 0);
+  WireRequest stats;
+  stats.type = FrameType::kStats;
+  const std::string frame = EncodeRequest(stats);
+  for (int i = 0; i < 400; ++i) {
+    ASSERT_EQ(::send(flood_fd, frame.data(), frame.size(), 0),
+              static_cast<ssize_t>(frame.size()));
+  }
+
+  // The server pauses reading once the undrained responses cross the
+  // watermark, and the grace timer then evicts the still-paused peer.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (std::chrono::steady_clock::now() < deadline &&
+         server.stats().read_pauses == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_GE(server.stats().read_pauses, 1u);
+  while (std::chrono::steady_clock::now() < deadline &&
+         server.stats().connections_evicted == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  const ServerStats stats_after = server.stats();
+  EXPECT_GE(stats_after.connections_evicted, 1u);
+  EXPECT_GE(stats_after.read_pauses, 1u);
+
+  // The victim's socket is gone server-side; a well-behaved client on the
+  // same server is entirely unaffected.
+  auto client = F2dbClient::Connect(kHost, server.port());
+  ASSERT_TRUE(client.ok()) << client.status().message();
+  auto result = client.value().Query(kSumQuery);
+  ASSERT_TRUE(result.ok()) << result.status().message();
+  EXPECT_EQ(result.value().status, StatusCode::kOk);
+
+  ::close(flood_fd);
+  server.Shutdown();
+}
+
+// ---------------------------------------------------------------------------
+// Golden pin of the server-side Prometheus exposition. Every overload
+// counter must render, with the per-cause labels, exactly as scrapers
+// already consume it — a byte change here is a dashboard break.
+
+TEST(OverloadStatsTest, PrometheusTextIsPinned) {
+  ServerStats stats;
+  stats.connections_accepted = 1;
+  stats.connections_closed = 2;
+  stats.connections_refused = 3;
+  stats.connections_evicted = 4;
+  stats.read_pauses = 5;
+  stats.requests_received = 6;
+  stats.responses_sent = 7;
+  stats.requests_shed_admission = 8;
+  stats.requests_shed_shutdown = 9;
+  stats.requests_shed = 17;
+  stats.requests_throttled = 10;
+  stats.deadline_expired_admission = 11;
+  stats.deadline_expired_queue = 12;
+  stats.protocol_errors = 13;
+  stats.brownout_episodes = 14;
+  stats.brownout_queries = 15;
+  stats.brownout_active = 1;
+  stats.in_flight_requests = 16;
+
+  const std::string expected =
+      "# HELP f2db_server_connections_accepted_total Client connections "
+      "accepted.\n"
+      "# TYPE f2db_server_connections_accepted_total counter\n"
+      "f2db_server_connections_accepted_total 1\n"
+      "# HELP f2db_server_connections_closed_total Client connections closed "
+      "(peer or server side).\n"
+      "# TYPE f2db_server_connections_closed_total counter\n"
+      "f2db_server_connections_closed_total 2\n"
+      "# HELP f2db_server_connections_refused_total Connections refused at "
+      "the max_connections cap.\n"
+      "# TYPE f2db_server_connections_refused_total counter\n"
+      "f2db_server_connections_refused_total 3\n"
+      "# HELP f2db_server_connections_evicted_total Connections dropped by "
+      "backpressure (outbound hard cap or the slow-client grace timer).\n"
+      "# TYPE f2db_server_connections_evicted_total counter\n"
+      "f2db_server_connections_evicted_total 4\n"
+      "# HELP f2db_server_read_pauses_total Times a connection crossed the "
+      "outbound high watermark and had its reading paused.\n"
+      "# TYPE f2db_server_read_pauses_total counter\n"
+      "f2db_server_read_pauses_total 5\n"
+      "# HELP f2db_server_requests_total Request frames received.\n"
+      "# TYPE f2db_server_requests_total counter\n"
+      "f2db_server_requests_total 6\n"
+      "# HELP f2db_server_responses_total Response frames queued for "
+      "transmission.\n"
+      "# TYPE f2db_server_responses_total counter\n"
+      "f2db_server_responses_total 7\n"
+      "# HELP f2db_server_requests_shed_total Requests answered kUnavailable "
+      "by admission control, by cause.\n"
+      "# TYPE f2db_server_requests_shed_total counter\n"
+      "f2db_server_requests_shed_total{cause=\"admission\"} 8\n"
+      "f2db_server_requests_shed_total{cause=\"shutdown\"} 9\n"
+      "f2db_server_requests_shed_total 17\n"
+      "# HELP f2db_server_requests_throttled_total Requests refused with "
+      "kResourceExhausted by a tenant's token bucket.\n"
+      "# TYPE f2db_server_requests_throttled_total counter\n"
+      "f2db_server_requests_throttled_total 10\n"
+      "# HELP f2db_server_deadline_expired_total Requests rejected with "
+      "kDeadlineExceeded before execution, by pipeline stage.\n"
+      "# TYPE f2db_server_deadline_expired_total counter\n"
+      "f2db_server_deadline_expired_total{stage=\"admission\"} 11\n"
+      "f2db_server_deadline_expired_total{stage=\"queue\"} 12\n"
+      "f2db_server_deadline_expired_total 23\n"
+      "# HELP f2db_server_protocol_errors_total Malformed or oversized "
+      "frames received.\n"
+      "# TYPE f2db_server_protocol_errors_total counter\n"
+      "f2db_server_protocol_errors_total 13\n"
+      "# HELP f2db_server_brownout_episodes_total Brownout-mode transitions "
+      "(inactive to active).\n"
+      "# TYPE f2db_server_brownout_episodes_total counter\n"
+      "f2db_server_brownout_episodes_total 14\n"
+      "# HELP f2db_server_brownout_queries_total Queries executed in "
+      "brownout mode.\n"
+      "# TYPE f2db_server_brownout_queries_total counter\n"
+      "f2db_server_brownout_queries_total 15\n"
+      "# HELP f2db_server_brownout_active 1 while the server is currently in "
+      "brownout.\n"
+      "# TYPE f2db_server_brownout_active gauge\n"
+      "f2db_server_brownout_active 1\n"
+      "# HELP f2db_server_inflight_requests Requests queued or executing "
+      "right now.\n"
+      "# TYPE f2db_server_inflight_requests gauge\n"
+      "f2db_server_inflight_requests 16\n";
+  EXPECT_EQ(stats.ToPrometheusText(), expected);
+}
+
+}  // namespace
+}  // namespace f2db
