@@ -5,6 +5,8 @@
 //
 //   build/examples/f2db_serve [port] [--data-dir DIR] [--fsync POLICY]
 //                             [--checkpoint-interval SECONDS]
+//                             [--compaction-interval SECONDS]
+//                             [--retention-window PERIODS]
 //                             [--reactors N] [--shards M]
 //
 //   port                  listen port; default 2113, 0 = ephemeral
@@ -19,6 +21,17 @@
 //   --fsync POLICY        none | batch | always (default batch)
 //   --checkpoint-interval background checkpoint cadence in seconds
 //                         (default 60; 0 = shutdown checkpoint only)
+//   --compaction-interval background compaction cadence in seconds: closed
+//                         WAL history is sealed into compressed segments
+//                         under DIR/segments (per shard with --shards) and
+//                         the sealed WAL prefix deleted (default 300;
+//                         0 = shutdown compaction only). Requires
+//                         --data-dir.
+//   --retention-window    drop raw history sealed more than PERIODS behind
+//                         the time frontier at compaction time; model
+//                         state, aggregates, and derivation sums survive.
+//                         Size it to at least the model warm-up window
+//                         (default 0 = keep everything).
 //   --reactors N          epoll reactor threads (default 1). Each reactor
 //                         owns its connections exclusively; with N > 1 the
 //                         listener uses SO_REUSEPORT per-reactor sockets,
@@ -59,6 +72,7 @@ int main(int argc, char** argv) {
   std::size_t shards = 1;
   EngineOptions engine_options;
   engine_options.checkpoint_interval_seconds = 60.0;
+  engine_options.compaction_interval_seconds = 300.0;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     const auto value = [&]() -> const char* {
@@ -79,6 +93,15 @@ int main(int argc, char** argv) {
       engine_options.fsync_policy = policy.value();
     } else if (arg == "--checkpoint-interval") {
       engine_options.checkpoint_interval_seconds = std::atof(value());
+    } else if (arg == "--compaction-interval") {
+      engine_options.compaction_interval_seconds = std::atof(value());
+    } else if (arg == "--retention-window") {
+      const int periods = std::atoi(value());
+      if (periods < 0) {
+        std::fprintf(stderr, "--retention-window must be >= 0\n");
+        return 2;
+      }
+      engine_options.retention_window = static_cast<std::size_t>(periods);
     } else if (arg == "--reactors") {
       reactors = static_cast<std::size_t>(std::atoi(value()));
       if (reactors == 0) {

@@ -324,6 +324,39 @@ Status TimeSeriesGraph::AdvanceTime(const std::vector<double>& base_values) {
   return Status::OK();
 }
 
+Status TimeSeriesGraph::DropHistoryBefore(std::int64_t t) {
+  if (!aggregates_built_) {
+    return Status::FailedPrecondition(
+        "DropHistoryBefore: call BuildAggregates first");
+  }
+  for (TimeSeries& series : series_) {
+    if (series.start_time() >= t) continue;
+    series.DropFront(static_cast<std::size_t>(t - series.start_time()));
+  }
+  return Status::OK();
+}
+
+Result<std::vector<double>> TimeSeriesGraph::AggregateBaseScalars(
+    const std::vector<double>& base_scalars) const {
+  if (base_scalars.size() != base_nodes_.size()) {
+    return Status::InvalidArgument(
+        "AggregateBaseScalars: need exactly one scalar per base node");
+  }
+  std::vector<double> out(num_nodes_, 0.0);
+  for (std::size_t i = 0; i < base_nodes_.size(); ++i) {
+    out[base_nodes_[i]] = base_scalars[i];
+  }
+  for (NodeId node : aggregation_order_) {
+    const NodeAddress address = AddressOf(node);
+    std::size_t dim = 0;
+    while (address.coords[dim].level == 0) ++dim;
+    double sum = 0.0;
+    for (NodeId child : Children(node, dim)) sum += out[child];
+    out[node] = sum;
+  }
+  return out;
+}
+
 std::size_t TimeSeriesGraph::series_length() const {
   if (base_nodes_.empty()) return 0;
   return series_[base_nodes_[0]].size();

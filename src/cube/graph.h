@@ -113,6 +113,19 @@ class TimeSeriesGraph {
   /// Length of the (aligned) series; 0 before data is loaded.
   std::size_t series_length() const;
 
+  /// Drops every observation strictly before time `t` from every node's
+  /// series (base and aggregate alike) — the in-memory half of retention.
+  /// Requires aggregates to be built; series starting at or after `t` are
+  /// untouched.
+  Status DropHistoryBefore(std::int64_t t);
+
+  /// Aggregates one scalar per base node (ordered as base_nodes()) up the
+  /// graph with the same child-sum structure BuildAggregates uses,
+  /// returning one scalar per node. Used to roll per-base retention sum
+  /// offsets up to every aggregate exactly.
+  Result<std::vector<double>> AggregateBaseScalars(
+      const std::vector<double>& base_scalars) const;
+
  private:
   TimeSeriesGraph() = default;
 

@@ -12,6 +12,7 @@
 #include "common/logging.h"
 #include "common/stopwatch.h"
 #include "engine/recovery.h"
+#include "storage/fsio.h"
 #include "ts/model_factory.h"
 #include "ts/naive_models.h"
 
@@ -101,13 +102,14 @@ F2dbEngine::F2dbEngine(TimeSeriesGraph graph, EngineOptions options)
 }
 
 F2dbEngine::~F2dbEngine() {
-  if (checkpoint_thread_.joinable()) {
+  if (checkpoint_thread_.joinable() || compaction_thread_.joinable()) {
     {
       std::lock_guard<std::mutex> lock(checkpoint_mutex_);
       stopping_ = true;
     }
     checkpoint_cv_.notify_all();
-    checkpoint_thread_.join();
+    if (checkpoint_thread_.joinable()) checkpoint_thread_.join();
+    if (compaction_thread_.joinable()) compaction_thread_.join();
   }
   if (wal_) {
     std::lock_guard<std::mutex> lock(writer_mutex_);
@@ -124,8 +126,15 @@ Result<std::unique_ptr<F2dbEngine>> F2dbEngine::Open(TimeSeriesGraph graph,
   // can reach it yet, so the replay callbacks use the regular maintenance
   // paths (with logging suppressed — replayed records are already logged).
   RecoveryCallbacks callbacks;
-  callbacks.apply_checkpoint = [&engine](CheckpointState&& state) {
-    return engine->ApplyCheckpointState(std::move(state));
+  callbacks.apply_checkpoint = [&engine](
+                                   CheckpointState&& state,
+                                   const storage::ManifestData* manifest) {
+    return engine->ApplyCheckpointState(std::move(state), manifest);
+  };
+  callbacks.apply_segments = [&engine](
+                                 const storage::ManifestData& manifest,
+                                 std::vector<storage::SegmentData>&& chain) {
+    return engine->ApplySegmentState(manifest, std::move(chain));
   };
   callbacks.apply_record = [&engine](const WalRecord& record) {
     return engine->ApplyWalRecord(record);
@@ -135,6 +144,8 @@ Result<std::unique_ptr<F2dbEngine>> F2dbEngine::Open(TimeSeriesGraph graph,
   engine->recovery_records_replayed_ = info.records_replayed;
   engine->recovery_torn_tail_ = info.torn_tail_detected;
   engine->recovery_seconds_ = info.recovery_seconds;
+  engine->recovery_segment_records_ =
+      static_cast<std::size_t>(info.segment_records_loaded);
 
   auto writer =
       info.create_segment
@@ -146,9 +157,19 @@ Result<std::unique_ptr<F2dbEngine>> F2dbEngine::Open(TimeSeriesGraph graph,
   if (!writer.ok()) return writer.status();
   engine->wal_ = std::make_unique<WalWriter>(std::move(writer.value()));
 
+  // The segment store opens AFTER recovery: recovery reads the manifest
+  // and chain straight from disk, then the store cleans up whatever a
+  // crash orphaned (half-written segments, retention leftovers).
+  F2DB_ASSIGN_OR_RETURN(engine->store_,
+                        storage::SegmentStore::Open(options.data_dir));
+
   if (options.checkpoint_interval_seconds > 0.0) {
     engine->checkpoint_thread_ =
         std::thread([raw = engine.get()] { raw->CheckpointLoop(); });
+  }
+  if (options.compaction_interval_seconds > 0.0) {
+    engine->compaction_thread_ =
+        std::thread([raw = engine.get()] { raw->CompactionLoop(); });
   }
   return engine;
 }
@@ -178,6 +199,17 @@ EngineStats F2dbEngine::stats() const {
   out.torn_tail_detected = recovery_torn_tail_ ? 1 : 0;
   out.checkpoints_completed = stats_.checkpoints_completed.Load();
   out.checkpoint_failures = stats_.checkpoint_failures.Load();
+  out.segments_sealed = stats_.segments_sealed.Load();
+  out.segment_records_sealed = stats_.segment_records_sealed.Load();
+  out.segments_live =
+      store_ ? static_cast<std::size_t>(store_->live_segments()) : 0;
+  out.segment_live_bytes =
+      store_ ? static_cast<std::size_t>(store_->live_bytes()) : 0;
+  out.compactions_completed = stats_.compactions_completed.Load();
+  out.compaction_failures = stats_.compaction_failures.Load();
+  out.retention_segments_deleted = stats_.retention_segments_deleted.Load();
+  out.retention_records_dropped = stats_.retention_records_dropped.Load();
+  out.segment_records_recovered = recovery_segment_records_;
   out.recovery_duration_ms = recovery_seconds_ * 1e3;
   const double last = last_checkpoint_seconds_.load(std::memory_order_relaxed);
   out.last_checkpoint_age_seconds =
@@ -990,7 +1022,8 @@ Status F2dbEngine::WalAppendLocked(const WalRecord& record) const {
   return Status::OK();
 }
 
-Status F2dbEngine::ApplyCheckpointState(CheckpointState&& state) {
+Status F2dbEngine::ApplyCheckpointState(CheckpointState&& state,
+                                        const storage::ManifestData* manifest) {
   std::lock_guard<std::mutex> lock(writer_mutex_);
   const SnapshotPtr cur = LoadSnapshot();
 
@@ -1013,6 +1046,26 @@ Status F2dbEngine::ApplyCheckpointState(CheckpointState&& state) {
   next->graph = graph;
   for (NodeId node = 0; node < graph->num_nodes(); ++node) {
     next->history_sums[node] = graph->series(node).Sum();
+  }
+  // The checkpointed series start where retention left them: the sums of
+  // the forgotten prefix live in the manifest's offsets and must be folded
+  // back in so derivation weights stay exact.
+  if (manifest != nullptr && !manifest->offsets.empty()) {
+    std::vector<double> base_offsets(graph->num_base_nodes(), 0.0);
+    for (const auto& [node, offset] : manifest->offsets) {
+      const auto slot = base_slot_.find(node);
+      if (slot == base_slot_.end()) {
+        return Status::Internal(
+            "manifest offset references non-base node " +
+            std::to_string(node));
+      }
+      base_offsets[slot->second] = offset;
+    }
+    F2DB_ASSIGN_OR_RETURN(std::vector<double> node_offsets,
+                          graph->AggregateBaseScalars(base_offsets));
+    for (NodeId node = 0; node < graph->num_nodes(); ++node) {
+      next->history_sums[node] += node_offsets[node];
+    }
   }
   for (auto& scheme : next->schemes) scheme.clear();
   for (auto& [target, sources] : state.schemes) {
@@ -1064,9 +1117,21 @@ Status F2dbEngine::ApplyCheckpointState(CheckpointState&& state) {
 
 Status F2dbEngine::ApplyWalRecord(const WalRecord& record) {
   switch (record.kind) {
-    case WalRecord::Kind::kInsert:
-      return InsertFactImpl(record.node, record.time, record.value,
-                            /*log=*/false);
+    case WalRecord::Kind::kInsert: {
+      const Status applied = InsertFactImpl(record.node, record.time,
+                                            record.value, /*log=*/false);
+      // Compaction rewrites the pending inserts into the fresh epoch; a
+      // crash between the WAL rotation and the manifest commit leaves both
+      // the original record (in a still-undeleted old epoch) and the
+      // rewritten copy on disk. Replay applies the first occurrence and
+      // skips the duplicate — as AlreadyExists when the batch is still
+      // pending, as OutOfRange when it already advanced the frontier.
+      if (applied.code() == StatusCode::kAlreadyExists ||
+          applied.code() == StatusCode::kOutOfRange) {
+        return Status::OK();
+      }
+      return applied;
+    }
     case WalRecord::Kind::kCatalog: {
       ConfigurationCatalog catalog;
       F2DB_RETURN_IF_ERROR(catalog.ParseFromString(record.payload));
@@ -1227,6 +1292,330 @@ void F2dbEngine::CheckpointLoop() {
     const Status status = CheckpointNow();
     if (!status.ok()) {
       F2DB_LOG(kWarning) << "background checkpoint failed: "
+                         << status.message();
+    }
+    lock.lock();
+  }
+}
+
+// ------------------------------------------------------ storage lifecycle
+
+Status F2dbEngine::ApplySegmentState(const storage::ManifestData& manifest,
+                                     std::vector<storage::SegmentData>&& chain) {
+  std::lock_guard<std::mutex> lock(writer_mutex_);
+  const SnapshotPtr cur = LoadSnapshot();
+  auto graph = std::make_shared<TimeSeriesGraph>(*cur->graph);
+
+  if (!chain.empty()) {
+    // Bulk load: concatenate each base series across the (validated,
+    // contiguous) chain, install it wholesale, and rebuild every
+    // aggregate once — instead of re-running maintenance per record.
+    const std::size_t num_series = chain.front().series.size();
+    if (num_series != graph->num_base_nodes()) {
+      return Status::Internal(
+          "segment chain holds " + std::to_string(num_series) +
+          " series but the cube has " +
+          std::to_string(graph->num_base_nodes()) + " base nodes");
+    }
+    const std::int64_t start = chain.front().start_time;
+    for (std::size_t s = 0; s < num_series; ++s) {
+      const NodeId node = chain.front().series[s].node;
+      if (node >= graph->num_nodes()) {
+        return Status::Internal("segment references unknown node " +
+                                std::to_string(node));
+      }
+      std::size_t total = 0;
+      for (const storage::SegmentData& segment : chain) {
+        total += segment.series[s].values.size();
+      }
+      std::vector<double> values;
+      values.reserve(total);
+      for (const storage::SegmentData& segment : chain) {
+        values.insert(values.end(), segment.series[s].values.begin(),
+                      segment.series[s].values.end());
+      }
+      F2DB_RETURN_IF_ERROR(
+          graph->SetBaseSeries(node, TimeSeries(std::move(values), start)));
+    }
+    F2DB_RETURN_IF_ERROR(graph->BuildAggregates());
+  }
+
+  auto next = cur->CopyForWrite();
+  next->graph = graph;
+  // History sums = retained history + the retention offsets rolled up the
+  // aggregation structure (Sum() alone misses what retention deleted).
+  std::vector<double> base_offsets(graph->num_base_nodes(), 0.0);
+  for (const auto& [node, offset] : manifest.offsets) {
+    const auto slot = base_slot_.find(node);
+    if (slot == base_slot_.end()) {
+      return Status::Internal("manifest offset references non-base node " +
+                              std::to_string(node));
+    }
+    base_offsets[slot->second] = offset;
+  }
+  F2DB_ASSIGN_OR_RETURN(std::vector<double> node_offsets,
+                        graph->AggregateBaseScalars(base_offsets));
+  for (NodeId node = 0; node < graph->num_nodes(); ++node) {
+    next->history_sums[node] = graph->series(node).Sum() + node_offsets[node];
+  }
+
+  // Configuration, quarantine flags, and the pending buffer arrive via
+  // the rewritten records at the head of the manifest's WAL epoch.
+  for (auto& scheme : next->schemes) scheme.clear();
+  next->models.clear();
+  pending_.clear();
+
+  // Restore the maintenance counters so post-recovery stats continue the
+  // pre-crash sequence (the rewritten tail replay then stacks on top).
+  stats_.inserts.Add(manifest.inserts);
+  stats_.time_advances.Add(manifest.time_advances);
+  stats_.reestimates.Add(manifest.reestimates);
+  stats_.quarantines.Add(manifest.quarantines);
+  stats_.refit_failures.Add(manifest.refit_failures);
+
+  Publish(std::move(next));
+  return Status::OK();
+}
+
+Status F2dbEngine::CompactNow() {
+  if (!durable()) {
+    return Status::FailedPrecondition(
+        "compaction requires a durable engine (open with a data_dir)");
+  }
+  std::lock_guard<std::mutex> serial(compaction_serial_mutex_);
+
+  const Status status = [&]() -> Status {
+    const bool has_base = store_->has_manifest();
+    const storage::ManifestData base = store_->manifest();
+
+    // ---- Phase A, under the writer lock: rotate the WAL and rewrite the
+    // live tail into the fresh epoch. After the manifest commits, replay
+    // starts HERE — these records carry everything the sealed history
+    // does not: the configuration, every quarantine transition, and the
+    // pending insert buffer.
+    SnapshotPtr snap;
+    std::uint64_t new_epoch = 0;
+    std::int64_t sealed_from = 0;
+    std::int64_t sealed_to = 0;
+    storage::ManifestData next;
+    {
+      std::lock_guard<std::mutex> lock(writer_mutex_);
+      if (!wal_->open()) {
+        return Status::Unavailable("WAL writer is broken; cannot rotate");
+      }
+      F2DB_RETURN_IF_ERROR(wal_->Sync());
+      auto rotated = WalWriter::Create(options_.data_dir, wal_->epoch() + 1,
+                                       options_.fsync_policy,
+                                       options_.wal_batch_records);
+      if (!rotated.ok()) return rotated.status();
+      wal_->Close();
+      *wal_ = std::move(rotated.value());
+      new_epoch = wal_->epoch();
+
+      snap = LoadSnapshot();
+      bool any_scheme = false;
+      for (const auto& scheme : snap->schemes) {
+        if (!scheme.empty()) {
+          any_scheme = true;
+          break;
+        }
+      }
+      if (!snap->models.empty() || any_scheme) {
+        F2DB_RETURN_IF_ERROR(WalAppendLocked(WalRecord::Catalog(
+            CatalogFromSnapshot(*snap).SerializeToString())));
+      }
+      std::vector<std::pair<NodeId, std::uint64_t>> quarantined;
+      for (const auto& [node, live] : snap->models) {
+        if (live->quarantined) quarantined.emplace_back(node, live->refit_failures);
+      }
+      std::sort(quarantined.begin(), quarantined.end());
+      for (const auto& [node, failures] : quarantined) {
+        F2DB_RETURN_IF_ERROR(
+            WalAppendLocked(WalRecord::Quarantine(node, failures)));
+      }
+      std::uint64_t pending_count = 0;
+      const std::vector<NodeId>& base_nodes = snap->graph->base_nodes();
+      for (const auto& [time, batch] : pending_) {
+        for (std::size_t slot = 0; slot < batch.size(); ++slot) {
+          if (batch[slot].has_value()) {
+            F2DB_RETURN_IF_ERROR(WalAppendLocked(
+                WalRecord::Insert(base_nodes[slot], time, *batch[slot])));
+            ++pending_count;
+          }
+        }
+      }
+      F2DB_RETURN_IF_ERROR(wal_->Sync());
+      F2DB_RETURN_IF_ERROR(SyncDirectory(options_.data_dir));
+
+      // The cut: everything strictly before the frontier is closed (its
+      // batches completed) and gets sealed; [sealed_from, sealed_to).
+      const TimeSeries& first = snap->graph->series(base_nodes[0]);
+      sealed_from = has_base ? base.sealed_to : first.start_time();
+      sealed_to = first.end_time();
+
+      next.wal_epoch = new_epoch;
+      next.sealed_from = has_base ? base.sealed_from : sealed_from;
+      next.sealed_to = sealed_to;
+      // Counters at the cut: replay of the rewritten tail re-adds the
+      // pending inserts and quarantine transitions, so subtract them.
+      next.inserts = stats_.inserts.Load() - pending_count;
+      next.time_advances = stats_.time_advances.Load();
+      next.reestimates = stats_.reestimates.Load();
+      next.quarantines = stats_.quarantines.Load() - quarantined.size();
+      next.refit_failures = stats_.refit_failures.Load();
+      next.records_dropped = base.records_dropped;
+      next.offsets = base.offsets;
+      next.segments = base.segments;
+    }
+
+    // ---- Phase B, off the writer lock: seal, commit, truncate. The
+    // manifest rename is the commit point — until it lands, recovery uses
+    // the previous artifact and the old (still-undeleted) WAL epochs.
+    const std::uint64_t count =
+        static_cast<std::uint64_t>(sealed_to - sealed_from);
+    if (count > 0) {
+      storage::SegmentData segment;
+      segment.seq = store_->next_seq();
+      segment.start_time = sealed_from;
+      segment.count = count;
+      const std::vector<NodeId>& base_nodes = snap->graph->base_nodes();
+      segment.series.reserve(base_nodes.size());
+      for (NodeId node : base_nodes) {
+        const TimeSeries& series = snap->graph->series(node);
+        if (series.start_time() > sealed_from) {
+          return Status::Internal(
+              "series history no longer covers the seal range");
+        }
+        const std::size_t begin =
+            static_cast<std::size_t>(sealed_from - series.start_time());
+        storage::SegmentSeries out;
+        out.node = node;
+        out.values.assign(
+            series.values().begin() + static_cast<std::ptrdiff_t>(begin),
+            series.values().begin() +
+                static_cast<std::ptrdiff_t>(begin + count));
+        segment.series.push_back(std::move(out));
+      }
+      F2DB_ASSIGN_OR_RETURN(const std::uint64_t bytes,
+                            store_->WriteSegment(segment));
+      storage::ManifestSegment entry;
+      entry.seq = segment.seq;
+      entry.start_time = segment.start_time;
+      entry.count = segment.count;
+      entry.num_series = static_cast<std::uint32_t>(segment.series.size());
+      entry.bytes = bytes;
+      next.segments.push_back(entry);
+    }
+    F2DB_RETURN_IF_ERROR(store_->CommitManifest(next));
+    if (count > 0) {
+      stats_.segments_sealed.Add();
+      stats_.segment_records_sealed.Add(static_cast<std::size_t>(
+          count * snap->graph->num_base_nodes()));
+    }
+    storage::FireStorageCrashHook("before_wal_delete");
+    // The manifest is durable — WAL epochs below its epoch are redundant.
+    // A failed unlink merely leaves a stale segment for the next recovery
+    // (or compaction) to clean up.
+    auto epochs = ListWalEpochs(options_.data_dir);
+    if (epochs.ok()) {
+      for (const std::uint64_t epoch : epochs.value()) {
+        if (epoch < new_epoch) {
+          ::unlink(WalPath(options_.data_dir, epoch).c_str());
+        }
+      }
+    }
+    stats_.compactions_completed.Add();
+
+    // ---- Phase C: retention. Whole segments entirely older than the
+    // window are dropped — their per-series sums fold into the manifest
+    // offsets (keeping history sums, and with them derivation weights,
+    // exact), the pruned manifest commits, and only then do the files go.
+    // The newest segment always survives so the chain stays anchored.
+    if (options_.retention_window == 0 || next.segments.size() < 2) {
+      return Status::OK();
+    }
+    const std::int64_t cutoff =
+        sealed_to - static_cast<std::int64_t>(options_.retention_window);
+    std::vector<storage::ManifestSegment> doomed;
+    std::vector<storage::ManifestSegment> kept;
+    for (std::size_t i = 0; i < next.segments.size(); ++i) {
+      const storage::ManifestSegment& seg = next.segments[i];
+      const bool last = (i + 1 == next.segments.size());
+      if (!last &&
+          seg.start_time + static_cast<std::int64_t>(seg.count) <= cutoff) {
+        doomed.push_back(seg);
+      } else {
+        kept.push_back(seg);
+      }
+    }
+    if (doomed.empty()) return Status::OK();
+
+    std::map<std::uint32_t, double> offset_map(next.offsets.begin(),
+                                               next.offsets.end());
+    std::uint64_t dropped_records = 0;
+    for (const storage::ManifestSegment& seg : doomed) {
+      // Decode the doomed file to accumulate the exact sums being
+      // forgotten — the values on disk, not a re-derivation.
+      F2DB_ASSIGN_OR_RETURN(
+          const storage::SegmentData data,
+          storage::ReadSegmentFile(storage::SegmentPath(
+              storage::SegmentsDirFor(options_.data_dir), seg.seq)));
+      for (const storage::SegmentSeries& series : data.series) {
+        double sum = 0.0;
+        for (const double v : series.values) sum += v;
+        offset_map[series.node] += sum;
+      }
+      dropped_records += seg.count * seg.num_series;
+    }
+    storage::ManifestData pruned = next;
+    pruned.segments = kept;
+    pruned.records_dropped += dropped_records;
+    pruned.offsets.assign(offset_map.begin(), offset_map.end());
+    F2DB_RETURN_IF_ERROR(store_->CommitManifest(pruned));
+    for (const storage::ManifestSegment& seg : doomed) {
+      F2DB_RETURN_IF_ERROR(store_->DeleteSegmentFile(seg.seq));
+    }
+    stats_.retention_segments_deleted.Add(doomed.size());
+    stats_.retention_records_dropped.Add(
+        static_cast<std::size_t>(dropped_records));
+
+    // In-memory half: forget the same prefix from every series, base and
+    // aggregate alike. History sums stay untouched — the offsets now
+    // carry the forgotten mass.
+    const std::int64_t new_start = kept.front().start_time;
+    {
+      std::lock_guard<std::mutex> lock(writer_mutex_);
+      const SnapshotPtr cur = LoadSnapshot();
+      const TimeSeries& first =
+          cur->graph->series(cur->graph->base_nodes()[0]);
+      if (first.start_time() < new_start) {
+        auto graph = std::make_shared<TimeSeriesGraph>(*cur->graph);
+        F2DB_RETURN_IF_ERROR(graph->DropHistoryBefore(new_start));
+        auto updated = cur->CopyForWrite();
+        updated->graph = std::move(graph);
+        Publish(std::move(updated));
+      }
+    }
+    return Status::OK();
+  }();
+
+  if (!status.ok()) stats_.compaction_failures.Add();
+  return status;
+}
+
+void F2dbEngine::CompactionLoop() {
+  const auto interval =
+      std::chrono::duration<double>(options_.compaction_interval_seconds);
+  std::unique_lock<std::mutex> lock(checkpoint_mutex_);
+  while (!stopping_) {
+    if (checkpoint_cv_.wait_for(lock, interval,
+                                [this] { return stopping_; })) {
+      break;
+    }
+    lock.unlock();
+    const Status status = CompactNow();
+    if (!status.ok()) {
+      F2DB_LOG(kWarning) << "background compaction failed: "
                          << status.message();
     }
     lock.lock();

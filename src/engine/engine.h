@@ -57,6 +57,7 @@
 #include "engine/query.h"
 #include "engine/snapshot.h"
 #include "engine/wal.h"
+#include "storage/store.h"
 #include "ts/intervals.h"
 #include "ts/model.h"
 
@@ -109,6 +110,22 @@ struct EngineOptions {
   /// Background checkpoint cadence in seconds; 0 disables the background
   /// thread (checkpoints then happen only via CheckpointNow / shutdown).
   double checkpoint_interval_seconds = 0.0;
+
+  // ---- storage engine (DESIGN.md §13) ----
+
+  /// Background compaction cadence in seconds: closed WAL history is
+  /// sealed into compressed segments on this interval. 0 disables the
+  /// background thread (compaction then happens only via CompactNow /
+  /// shutdown).
+  double compaction_interval_seconds = 0.0;
+  /// Retention window in periods. After a compaction, sealed segments
+  /// whose entire range is older than `frontier - retention_window` are
+  /// deleted and the raw history is dropped from memory; model state,
+  /// aggregates, and history sums (derivation weights) are preserved
+  /// exactly. Size it to at least the model warm-up window — lazy
+  /// re-estimation and the naive fallback refit against the RETAINED
+  /// history only. 0 keeps all history forever.
+  std::size_t retention_window = 0;
 };
 
 /// How far down the fallback ladder a forecast had to go. Higher values
@@ -171,6 +188,25 @@ struct EngineStats {
   /// Seconds since the last completed checkpoint; -1 when none completed
   /// in this process's lifetime.
   double last_checkpoint_age_seconds = -1.0;
+
+  // ---- storage-engine counters (DESIGN.md §13; zero when no segments) ----
+
+  /// Segments sealed by this process.
+  std::size_t segments_sealed = 0;
+  /// Raw records (observations) sealed into segments by this process.
+  std::size_t segment_records_sealed = 0;
+  /// Segments currently in the live chain (gauge).
+  std::size_t segments_live = 0;
+  /// On-disk bytes of the live segment chain (gauge).
+  std::size_t segment_live_bytes = 0;
+  /// Compactions completed / failed by this process.
+  std::size_t compactions_completed = 0;
+  std::size_t compaction_failures = 0;
+  /// Segments deleted and raw records dropped by retention.
+  std::size_t retention_segments_deleted = 0;
+  std::size_t retention_records_dropped = 0;
+  /// Records recovery bulk-loaded from sealed segments at open (gauge).
+  std::size_t segment_records_recovered = 0;
 
   /// Renders the counters in the Prometheus text exposition format (see
   /// engine/stats_export.h); served by the network layer's STATS frame.
@@ -270,6 +306,11 @@ class EngineInterface {
 
   /// Takes a checkpoint now (every shard, for a sharded engine).
   virtual Status CheckpointNow() = 0;
+
+  /// Seals closed WAL history into compressed segments now (every shard,
+  /// for a sharded engine) and applies retention. kFailedPrecondition for
+  /// an in-memory engine.
+  virtual Status CompactNow() = 0;
 };
 
 /// The embedded forecast-enabled database engine.
@@ -307,6 +348,17 @@ class F2dbEngine : public EngineInterface {
   /// previous checkpoint and every WAL segment survive, so recovery is
   /// unaffected. kFailedPrecondition for an in-memory engine.
   Status CheckpointNow() override;
+
+  /// Runs one compaction right now: rotates the WAL to a fresh epoch,
+  /// rewrites the live tail (configuration, quarantine transitions,
+  /// pending inserts) into it, seals the closed history slice into a
+  /// compressed segment, commits the manifest by atomic rename, and only
+  /// then deletes the covered WAL epochs. When a retention window is
+  /// configured, segments entirely older than the window are then dropped
+  /// (on disk and in memory) with history sums preserved via manifest
+  /// offsets. Serialized against itself; interleaves safely with
+  /// checkpoints. kFailedPrecondition for an in-memory engine.
+  Status CompactNow() override;
 
   /// The graph of the CURRENT snapshot. The reference stays valid until the
   /// next maintenance publication — a single-threaded convenience. Code
@@ -424,6 +476,12 @@ class F2dbEngine : public EngineInterface {
     RelaxedCounter wal_bytes;
     RelaxedCounter checkpoints_completed;
     RelaxedCounter checkpoint_failures;
+    RelaxedCounter segments_sealed;
+    RelaxedCounter segment_records_sealed;
+    RelaxedCounter compactions_completed;
+    RelaxedCounter compaction_failures;
+    RelaxedCounter retention_segments_deleted;
+    RelaxedCounter retention_records_dropped;
   };
 
   SnapshotPtr LoadSnapshot() const {
@@ -512,8 +570,19 @@ class F2dbEngine : public EngineInterface {
 
   /// Recovery: installs a checkpoint's state wholesale (graph data,
   /// schemes, models, pending buffer, maintenance counters). Runs
-  /// single-threaded inside Open(), before the engine is visible.
-  Status ApplyCheckpointState(CheckpointState&& state);
+  /// single-threaded inside Open(), before the engine is visible. When a
+  /// manifest survives, its retention offsets are folded into the history
+  /// sums (the checkpointed series start where retention left them).
+  Status ApplyCheckpointState(CheckpointState&& state,
+                              const storage::ManifestData* manifest);
+
+  /// Recovery: restores series history by decoding the sealed segment
+  /// chain directly — base series are bulk-loaded and aggregates/history
+  /// sums rebuilt once, instead of re-running maintenance per record.
+  /// Configuration, quarantine flags, and the pending buffer arrive via
+  /// the rewritten records at the head of the manifest's WAL epoch.
+  Status ApplySegmentState(const storage::ManifestData& manifest,
+                           std::vector<storage::SegmentData>&& chain);
 
   /// Recovery: re-applies one replayed WAL record.
   Status ApplyWalRecord(const WalRecord& record);
@@ -525,6 +594,9 @@ class F2dbEngine : public EngineInterface {
 
   /// Body of the background checkpoint thread.
   void CheckpointLoop();
+
+  /// Body of the background compaction thread.
+  void CompactionLoop();
 
   /// The maintenance fan-out pool (nullptr = serial maintenance).
   ThreadPool* MaintenancePool() const;
@@ -559,20 +631,32 @@ class F2dbEngine : public EngineInterface {
   /// same reason WalAppendLocked is const).
   mutable std::unique_ptr<WalWriter> wal_;
 
+  /// The sealed-segment store; nullptr for an in-memory engine. The store
+  /// object is internally synchronized; compactions themselves are
+  /// serialized by compaction_serial_mutex_.
+  std::unique_ptr<storage::SegmentStore> store_;
+
+  /// Serializes whole compactions against each other (the background
+  /// thread vs. an explicit CompactNow vs. the shutdown path). Always
+  /// acquired BEFORE writer_mutex_.
+  std::mutex compaction_serial_mutex_;
+
   // ---- recovery facts, written once inside Open() before any thread ----
   std::size_t recovery_records_replayed_ = 0;
   bool recovery_torn_tail_ = false;
   double recovery_seconds_ = 0.0;
+  std::size_t recovery_segment_records_ = 0;
 
   /// uptime_-relative stamp of the last completed checkpoint; negative
   /// when none completed yet.
   std::atomic<double> last_checkpoint_seconds_{-1.0};
 
-  // ---- background checkpoint thread ----
+  // ---- background checkpoint + compaction threads ----
   std::mutex checkpoint_mutex_;
   std::condition_variable checkpoint_cv_;
   bool stopping_ = false;  ///< guarded by checkpoint_mutex_
   std::thread checkpoint_thread_;
+  std::thread compaction_thread_;
 };
 
 }  // namespace f2db

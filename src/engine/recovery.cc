@@ -5,9 +5,12 @@
 #include <sys/stat.h>
 #include <unistd.h>
 
+#include <optional>
 #include <utility>
 
+#include "common/logging.h"
 #include "common/stopwatch.h"
+#include "storage/store.h"
 
 namespace f2db {
 namespace {
@@ -32,24 +35,79 @@ Result<RecoveryInfo> RunRecovery(const std::string& data_dir,
   Status status = EnsureDirectory(data_dir);
   if (!status.ok()) return status;
 
-  // Phase 1: the checkpoint. kNotFound means a fresh directory; any other
-  // failure (CRC mismatch, version drift, unreadable file) aborts recovery.
-  std::uint64_t replay_from_epoch = 1;
-  auto checkpoint = LoadCheckpoint(data_dir);
-  if (checkpoint.ok()) {
-    info.checkpoint_loaded = true;
-    replay_from_epoch = checkpoint.value().wal_epoch;
-    if (callbacks.apply_checkpoint) {
-      status = callbacks.apply_checkpoint(std::move(checkpoint.value()));
-      if (!status.ok()) return status;
-    }
-  } else if (checkpoint.status().code() != StatusCode::kNotFound) {
-    return checkpoint.status();
+  // Phase 1: the durable artifacts. kNotFound means a fresh directory; a
+  // checkpoint that fails its CRC/version check aborts recovery, while an
+  // unreadable manifest only disables the segment fast path (WAL epochs
+  // are deleted strictly after a manifest commit, so the checkpoint + WAL
+  // still cover everything the manifest would have).
+  std::optional<CheckpointState> checkpoint;
+  auto checkpoint_result = LoadCheckpoint(data_dir);
+  if (checkpoint_result.ok()) {
+    checkpoint = std::move(checkpoint_result.value());
+  } else if (checkpoint_result.status().code() != StatusCode::kNotFound) {
+    return checkpoint_result.status();
   }
 
-  // Phase 2: the WAL segments. Segments older than the checkpoint's epoch
-  // are fully covered by it — a previous crash interrupted their deletion,
-  // so finish the job here.
+  const std::string segments_dir = storage::SegmentsDirFor(data_dir);
+  std::optional<storage::ManifestData> manifest;
+  auto manifest_result = storage::ReadManifestFile(segments_dir);
+  if (manifest_result.ok()) {
+    manifest = std::move(manifest_result.value());
+  } else if (manifest_result.status().code() != StatusCode::kNotFound) {
+    info.segment_fallback = true;
+    F2DB_LOG(kWarning) << "recovery: segment manifest unreadable ("
+                       << manifest_result.status().ToString()
+                       << "); falling back to checkpoint + WAL replay";
+  }
+
+  // Phase 2: pick the base artifact — the one whose state extends to the
+  // strictly higher WAL epoch. A winning manifest bulk-loads history from
+  // the sealed segment chain; when the chain fails validation (the
+  // half-written-segment crash case) fall back to the checkpoint, whose
+  // WAL epochs are guaranteed to still exist.
+  std::uint64_t replay_from_epoch = 1;
+  bool segment_base = false;
+  std::vector<storage::SegmentData> chain;
+  if (manifest.has_value() &&
+      (!checkpoint.has_value() ||
+       manifest->wal_epoch > checkpoint->wal_epoch)) {
+    auto chain_result = storage::ReadSegmentChain(segments_dir, *manifest);
+    if (chain_result.ok()) {
+      segment_base = true;
+      chain = std::move(chain_result.value());
+    } else {
+      info.segment_fallback = true;
+      F2DB_LOG(kWarning) << "recovery: sealed segment chain invalid ("
+                         << chain_result.status().ToString()
+                         << "); falling back to checkpoint + WAL replay";
+    }
+  }
+
+  if (segment_base) {
+    replay_from_epoch = manifest->wal_epoch;
+    info.segments_loaded = chain.size();
+    for (const storage::SegmentData& segment : chain) {
+      info.segment_records_loaded +=
+          segment.count * static_cast<std::uint64_t>(segment.series.size());
+    }
+    if (callbacks.apply_segments) {
+      status = callbacks.apply_segments(*manifest, std::move(chain));
+      if (!status.ok()) return status;
+    }
+  } else if (checkpoint.has_value()) {
+    info.checkpoint_loaded = true;
+    replay_from_epoch = checkpoint->wal_epoch;
+    if (callbacks.apply_checkpoint) {
+      status = callbacks.apply_checkpoint(
+          std::move(*checkpoint),
+          manifest.has_value() ? &manifest.value() : nullptr);
+      if (!status.ok()) return status;
+    }
+  }
+
+  // Phase 3: the WAL segments. Epochs older than the base artifact's are
+  // fully covered by it — a previous crash interrupted their deletion, so
+  // finish the job here.
   auto epochs_result = ListWalEpochs(data_dir);
   if (!epochs_result.ok()) return epochs_result.status();
   std::vector<std::uint64_t> epochs;
@@ -66,6 +124,17 @@ Result<RecoveryInfo> RunRecovery(const std::string& data_dir,
   }
 
   if (epochs.empty()) {
+    if (segment_base) {
+      // Compaction rewrites the live tail (catalog, quarantine flags,
+      // pending inserts) into the manifest's epoch BEFORE committing the
+      // manifest, and the manifest commit happens before any deletion —
+      // so this epoch must exist. Losing it means losing acknowledged
+      // state: fail loudly instead of starting silently wrong.
+      return Status::Internal(
+          "segment manifest references WAL epoch " +
+          std::to_string(replay_from_epoch) +
+          " but no WAL segment file exists — log history is damaged");
+    }
     // Fresh directory, or a checkpoint whose successor segment was never
     // created before the crash: start a new segment at the replay epoch.
     info.append_epoch = replay_from_epoch;
@@ -75,9 +144,16 @@ Result<RecoveryInfo> RunRecovery(const std::string& data_dir,
     return info;
   }
 
-  // Phase 3: replay, oldest epoch first. Rotation bumps epochs one at a
-  // time and deletion only runs after a durable checkpoint, so a gap in
-  // the sequence means a segment (= history) went missing.
+  // Phase 4: replay, oldest epoch first. Rotation bumps epochs one at a
+  // time and deletion only runs after a durable checkpoint or manifest,
+  // so a missing leading epoch or a gap in the sequence means a segment
+  // (= history) went missing.
+  if (epochs.front() != replay_from_epoch) {
+    return Status::Internal(
+        "WAL history is missing: replay must start at epoch " +
+        std::to_string(replay_from_epoch) + " but the oldest segment is " +
+        std::to_string(epochs.front()));
+  }
   for (std::size_t i = 0; i + 1 < epochs.size(); ++i) {
     if (epochs[i + 1] != epochs[i] + 1) {
       return Status::Internal(

@@ -577,6 +577,15 @@ EngineStats ShardedEngine::stats() const {
     total.torn_tail_detected += s.torn_tail_detected;
     total.checkpoints_completed += s.checkpoints_completed;
     total.checkpoint_failures += s.checkpoint_failures;
+    total.segments_sealed += s.segments_sealed;
+    total.segment_records_sealed += s.segment_records_sealed;
+    total.segments_live += s.segments_live;
+    total.segment_live_bytes += s.segment_live_bytes;
+    total.compactions_completed += s.compactions_completed;
+    total.compaction_failures += s.compaction_failures;
+    total.retention_segments_deleted += s.retention_segments_deleted;
+    total.retention_records_dropped += s.retention_records_dropped;
+    total.segment_records_recovered += s.segment_records_recovered;
     // Recovery ran in parallel, so the slowest shard is the wall clock.
     total.recovery_duration_ms =
         std::max(total.recovery_duration_ms, s.recovery_duration_ms);
@@ -612,6 +621,19 @@ Status ShardedEngine::CheckpointNow() {
   Status first_error = Status::OK();
   for (Shard& shard : shards_) {
     const Status status = shard.engine->CheckpointNow();
+    if (!status.ok() && first_error.ok()) {
+      first_error = Status(status.code(), "shard " +
+                                              std::to_string(shard.partition) +
+                                              ": " + status.message());
+    }
+  }
+  return first_error;
+}
+
+Status ShardedEngine::CompactNow() {
+  Status first_error = Status::OK();
+  for (Shard& shard : shards_) {
+    const Status status = shard.engine->CompactNow();
     if (!status.ok() && first_error.ok()) {
       first_error = Status(status.code(), "shard " +
                                               std::to_string(shard.partition) +

@@ -104,6 +104,9 @@ class ShardedEngine : public EngineInterface {
   bool durable() const override;
   /// Checkpoints every shard; attempts all and returns the first error.
   Status CheckpointNow() override;
+  /// Compacts every shard (seal + manifest commit + WAL truncation +
+  /// retention); attempts all and returns the first error.
+  Status CompactNow() override;
 
   // ------------------------------------------------------- introspection
 

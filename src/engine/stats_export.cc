@@ -116,6 +116,51 @@ constexpr EngineFamily kTailFamilies[] = {
      "yet.",
      "gauge",
      [](const EngineStats& s) { return s.last_checkpoint_age_seconds; }},
+    {"f2db_segments_sealed_total",
+     "Sealed segments written by this process.", "counter",
+     [](const EngineStats& s) {
+       return static_cast<double>(s.segments_sealed);
+     }},
+    {"f2db_segment_records_sealed_total",
+     "Observations sealed into segments by this process.", "counter",
+     [](const EngineStats& s) {
+       return static_cast<double>(s.segment_records_sealed);
+     }},
+    {"f2db_segments_live",
+     "Sealed segments the current manifest references.", "gauge",
+     [](const EngineStats& s) {
+       return static_cast<double>(s.segments_live);
+     }},
+    {"f2db_segment_live_bytes",
+     "On-disk bytes of the live sealed-segment chain.", "gauge",
+     [](const EngineStats& s) {
+       return static_cast<double>(s.segment_live_bytes);
+     }},
+    {"f2db_compactions_completed_total",
+     "Compactions that committed their manifest.", "counter",
+     [](const EngineStats& s) {
+       return static_cast<double>(s.compactions_completed);
+     }},
+    {"f2db_compaction_failures_total", "Compaction attempts that failed.",
+     "counter",
+     [](const EngineStats& s) {
+       return static_cast<double>(s.compaction_failures);
+     }},
+    {"f2db_retention_segments_deleted_total",
+     "Sealed segments deleted by retention.", "counter",
+     [](const EngineStats& s) {
+       return static_cast<double>(s.retention_segments_deleted);
+     }},
+    {"f2db_retention_records_dropped_total",
+     "Observations dropped by retention.", "counter",
+     [](const EngineStats& s) {
+       return static_cast<double>(s.retention_records_dropped);
+     }},
+    {"f2db_segment_records_recovered_total",
+     "Observations restored from sealed segments at open.", "counter",
+     [](const EngineStats& s) {
+       return static_cast<double>(s.segment_records_recovered);
+     }},
 };
 
 /// The degradation-rung breakdown of one stats snapshot.

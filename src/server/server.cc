@@ -326,6 +326,13 @@ void F2dbServer::Shutdown() {
   // instead of replaying whole WAL tails. Failure is non-fatal: the WAL
   // alone still recovers everything.
   if (started_ && engine_.durable()) {
+    // Seal the closed history first: the follow-up checkpoint then covers
+    // only the live tail, and the next open bulk-loads from segments.
+    const Status compacted = engine_.CompactNow();
+    if (!compacted.ok()) {
+      F2DB_LOG(kWarning) << "shutdown compaction failed: "
+                         << compacted.message();
+    }
     const Status checkpointed = engine_.CheckpointNow();
     if (!checkpointed.ok()) {
       F2DB_LOG(kWarning) << "shutdown checkpoint failed: "

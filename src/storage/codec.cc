@@ -1,0 +1,243 @@
+#include "storage/codec.h"
+
+#include <bit>
+
+namespace f2db::storage {
+namespace {
+
+std::uint64_t ZigZag(std::int64_t v) {
+  return (static_cast<std::uint64_t>(v) << 1) ^
+         static_cast<std::uint64_t>(v >> 63);
+}
+
+std::int64_t UnZigZag(std::uint64_t z) {
+  return static_cast<std::int64_t>(z >> 1) ^
+         -static_cast<std::int64_t>(z & 1);
+}
+
+void PutVarint(std::string* out, std::uint64_t v) {
+  while (v >= 0x80) {
+    out->push_back(static_cast<char>((v & 0x7f) | 0x80));
+    v >>= 7;
+  }
+  out->push_back(static_cast<char>(v));
+}
+
+bool GetVarint(std::string_view data, std::size_t* pos, std::uint64_t* out) {
+  std::uint64_t value = 0;
+  for (int shift = 0; shift < 64; shift += 7) {
+    if (*pos >= data.size()) return false;
+    const std::uint8_t byte = static_cast<std::uint8_t>(data[*pos]);
+    ++*pos;
+    value |= static_cast<std::uint64_t>(byte & 0x7f) << shift;
+    if ((byte & 0x80) == 0) {
+      *out = value;
+      return true;
+    }
+  }
+  return false;  // More than 10 continuation bytes: malformed.
+}
+
+Status Malformed(const char* what) {
+  return Status::InvalidArgument(std::string("series block: ") + what);
+}
+
+}  // namespace
+
+void BitWriter::PutBit(bool bit) {
+  if (free_bits_ == 0) {
+    bytes_.push_back(0);
+    free_bits_ = 8;
+  }
+  if (bit) {
+    bytes_.back() |= static_cast<char>(1u << (free_bits_ - 1));
+  }
+  --free_bits_;
+}
+
+void BitWriter::PutBits(std::uint64_t value, int count) {
+  for (int i = count - 1; i >= 0; --i) {
+    PutBit((value >> i) & 1u);
+  }
+}
+
+bool BitReader::GetBit(bool* out) {
+  if (consumed_bits_ >= bytes_.size() * 8) return false;
+  const std::size_t byte = consumed_bits_ / 8;
+  const int bit = 7 - static_cast<int>(consumed_bits_ % 8);
+  *out = (static_cast<std::uint8_t>(bytes_[byte]) >> bit) & 1u;
+  ++consumed_bits_;
+  return true;
+}
+
+bool BitReader::GetBits(int count, std::uint64_t* out) {
+  std::uint64_t value = 0;
+  for (int i = 0; i < count; ++i) {
+    bool bit = false;
+    if (!GetBit(&bit)) return false;
+    value = (value << 1) | static_cast<std::uint64_t>(bit);
+  }
+  *out = value;
+  return true;
+}
+
+bool BitReader::PaddingIsZero() {
+  if (remaining_bits() >= 8) return false;
+  bool bit = false;
+  while (GetBit(&bit)) {
+    if (bit) return false;
+  }
+  return true;
+}
+
+Result<std::string> EncodeSeriesBlock(const std::vector<std::int64_t>& times,
+                                      const std::vector<double>& values) {
+  if (times.size() != values.size()) {
+    return Status::InvalidArgument("series block: column lengths differ");
+  }
+  std::string out;
+  if (times.empty()) return out;
+
+  PutVarint(&out, ZigZag(times[0]));
+  BitWriter bits;
+  bits.PutBits(std::bit_cast<std::uint64_t>(values[0]), 64);
+
+  std::int64_t prev_time = times[0];
+  std::int64_t prev_delta = 0;
+  std::uint64_t prev_word = std::bit_cast<std::uint64_t>(values[0]);
+  int win_lead = -1;  ///< Leading-zero count of the open window; -1 = none.
+  int win_len = 0;    ///< Meaningful-bit count of the open window.
+
+  for (std::size_t i = 1; i < times.size(); ++i) {
+    const std::int64_t delta = times[i] - prev_time;
+    const std::int64_t dod = delta - prev_delta;
+    prev_delta = delta;
+    prev_time = times[i];
+    const std::uint64_t z = ZigZag(dod);
+    if (dod == 0) {
+      bits.PutBit(false);
+    } else if (z < (1u << 7)) {
+      bits.PutBits(0b10, 2);
+      bits.PutBits(z, 7);
+    } else if (z < (1u << 9)) {
+      bits.PutBits(0b110, 3);
+      bits.PutBits(z, 9);
+    } else if (z < (1u << 12)) {
+      bits.PutBits(0b1110, 4);
+      bits.PutBits(z, 12);
+    } else {
+      bits.PutBits(0b1111, 4);
+      bits.PutBits(z, 64);
+    }
+
+    const std::uint64_t word = std::bit_cast<std::uint64_t>(values[i]);
+    const std::uint64_t x = word ^ prev_word;
+    prev_word = word;
+    if (x == 0) {
+      bits.PutBit(false);
+      continue;
+    }
+    bits.PutBit(true);
+    int lead = std::countl_zero(x);
+    if (lead > 31) lead = 31;  // 5-bit field; a wider window is still exact.
+    const int trail = std::countr_zero(x);
+    const int len = 64 - lead - trail;
+    const int win_trail = 64 - win_lead - win_len;
+    if (win_lead >= 0 && lead >= win_lead && trail >= win_trail) {
+      bits.PutBit(false);
+      bits.PutBits(x >> win_trail, win_len);
+    } else {
+      bits.PutBit(true);
+      bits.PutBits(static_cast<std::uint64_t>(lead), 5);
+      bits.PutBits(static_cast<std::uint64_t>(len) & 63, 6);  // 64 encodes as 0.
+      bits.PutBits(x >> trail, len);
+      win_lead = lead;
+      win_len = len;
+    }
+  }
+  out += bits.Take();
+  return out;
+}
+
+Status DecodeSeriesBlock(std::string_view block, std::size_t count,
+                         std::vector<std::int64_t>* times,
+                         std::vector<double>* values) {
+  times->clear();
+  values->clear();
+  if (count == 0) {
+    if (!block.empty()) return Malformed("nonempty block for zero points");
+    return Status::OK();
+  }
+  times->reserve(count);
+  values->reserve(count);
+
+  std::size_t pos = 0;
+  std::uint64_t z0 = 0;
+  if (!GetVarint(block, &pos, &z0)) return Malformed("truncated first time");
+  BitReader bits(block.substr(pos));
+  std::uint64_t word = 0;
+  if (!bits.GetBits(64, &word)) return Malformed("truncated first value");
+
+  std::int64_t time = UnZigZag(z0);
+  times->push_back(time);
+  values->push_back(std::bit_cast<double>(word));
+
+  std::int64_t prev_delta = 0;
+  int win_lead = -1;
+  int win_len = 0;
+
+  for (std::size_t i = 1; i < count; ++i) {
+    // Timestamp: read the unary bucket prefix, then the zigzagged DoD.
+    bool bit = false;
+    int prefix = 0;
+    while (prefix < 4) {
+      if (!bits.GetBit(&bit)) return Malformed("truncated timestamp prefix");
+      if (!bit) break;
+      ++prefix;
+    }
+    std::int64_t dod = 0;
+    if (prefix > 0) {
+      static constexpr int kWidth[] = {0, 7, 9, 12, 64};
+      std::uint64_t z = 0;
+      if (!bits.GetBits(kWidth[prefix], &z)) {
+        return Malformed("truncated timestamp delta");
+      }
+      dod = UnZigZag(z);
+    }
+    prev_delta += dod;
+    time += prev_delta;
+    times->push_back(time);
+
+    // Value: XOR control bits.
+    if (!bits.GetBit(&bit)) return Malformed("truncated value control");
+    if (!bit) {
+      values->push_back(std::bit_cast<double>(word));
+      continue;
+    }
+    if (!bits.GetBit(&bit)) return Malformed("truncated window control");
+    if (bit) {
+      std::uint64_t lead = 0;
+      std::uint64_t len = 0;
+      if (!bits.GetBits(5, &lead) || !bits.GetBits(6, &len)) {
+        return Malformed("truncated window header");
+      }
+      if (len == 0) len = 64;
+      if (lead + len > 64) return Malformed("window exceeds 64 bits");
+      win_lead = static_cast<int>(lead);
+      win_len = static_cast<int>(len);
+    } else if (win_lead < 0) {
+      return Malformed("window reuse before any window");
+    }
+    std::uint64_t meaningful = 0;
+    if (!bits.GetBits(win_len, &meaningful)) {
+      return Malformed("truncated value bits");
+    }
+    word ^= meaningful << (64 - win_lead - win_len);
+    values->push_back(std::bit_cast<double>(word));
+  }
+
+  if (!bits.PaddingIsZero()) return Malformed("trailing garbage");
+  return Status::OK();
+}
+
+}  // namespace f2db::storage

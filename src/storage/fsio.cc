@@ -1,0 +1,109 @@
+#include "storage/fsio.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+namespace f2db::storage {
+namespace {
+
+std::atomic<StorageCrashHook> g_crash_hook{nullptr};
+
+std::string Errno(const std::string& op, const std::string& path) {
+  return op + " " + path + ": " + std::strerror(errno);
+}
+
+}  // namespace
+
+void SetStorageCrashHook(StorageCrashHook hook) {
+  g_crash_hook.store(hook, std::memory_order_release);
+}
+
+void FireStorageCrashHook(const char* point) {
+  if (StorageCrashHook hook = g_crash_hook.load(std::memory_order_acquire)) {
+    hook(point);
+  }
+}
+
+Status EnsureDir(const std::string& dir) {
+  if (::mkdir(dir.c_str(), 0755) == 0 || errno == EEXIST) return Status::OK();
+  return Status::Internal(Errno("mkdir", dir));
+}
+
+Status SyncDir(const std::string& dir) {
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return Status::Internal(Errno("open dir", dir));
+  const int rc = ::fsync(fd);
+  ::close(fd);
+  if (rc != 0) return Status::Internal(Errno("fsync dir", dir));
+  return Status::OK();
+}
+
+Result<std::string> ReadFileToString(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    if (errno == ENOENT) return Status::NotFound("no such file: " + path);
+    return Status::Internal(Errno("open", path));
+  }
+  std::string out;
+  char buffer[1 << 16];
+  for (;;) {
+    const ssize_t n = ::read(fd, buffer, sizeof(buffer));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      return Status::Internal(Errno("read", path));
+    }
+    if (n == 0) break;
+    out.append(buffer, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return out;
+}
+
+Status WriteFileDurably(const std::string& path, std::string_view bytes,
+                        const char* hook_before_rename,
+                        const char* hook_after_rename) {
+  const std::string tmp = path + ".tmp";
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return Status::Internal(Errno("open", tmp));
+  std::size_t written = 0;
+  while (written < bytes.size()) {
+    const ssize_t n =
+        ::write(fd, bytes.data() + written, bytes.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      ::unlink(tmp.c_str());
+      return Status::Internal(Errno("write", tmp));
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  if (::fsync(fd) != 0) {
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    return Status::Internal(Errno("fsync", tmp));
+  }
+  ::close(fd);
+  if (hook_before_rename != nullptr) FireStorageCrashHook(hook_before_rename);
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    ::unlink(tmp.c_str());
+    return Status::Internal(Errno("rename", path));
+  }
+  if (hook_after_rename != nullptr) FireStorageCrashHook(hook_after_rename);
+  const std::size_t slash = path.rfind('/');
+  const std::string dir = slash == std::string::npos ? "." : path.substr(0, slash);
+  return SyncDir(dir);
+}
+
+Status RemoveFile(const std::string& path) {
+  if (::unlink(path.c_str()) == 0 || errno == ENOENT) return Status::OK();
+  return Status::Internal(Errno("unlink", path));
+}
+
+}  // namespace f2db::storage

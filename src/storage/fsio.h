@@ -1,0 +1,56 @@
+// Durable file primitives for the storage engine, plus the storage crash
+// hook the crash fuzzer uses to SIGKILL the process at named protocol
+// points (DESIGN.md §13).
+//
+// Everything the storage layer persists — sealed segments and the
+// manifest — commits through the same tmp + fsync + rename + dir-fsync
+// sequence the checkpoint writer uses, so a crash at any instant leaves
+// either the old file or the new file, never a torn one.
+
+#ifndef F2DB_STORAGE_FSIO_H_
+#define F2DB_STORAGE_FSIO_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace f2db::storage {
+
+/// Process-global crash hook: when set, FireStorageCrashHook invokes it
+/// with the protocol point name. The crash fuzzer installs a hook that
+/// SIGKILLs the process at a chosen point; production never sets it.
+/// Points fired by this layer: "segment_written", "before_manifest_rename",
+/// "after_manifest_rename". The engine additionally fires
+/// "before_wal_delete" between the manifest commit and WAL truncation.
+using StorageCrashHook = void (*)(const char* point);
+
+/// Installs (or clears, with nullptr) the crash hook.
+void SetStorageCrashHook(StorageCrashHook hook);
+
+/// Invokes the installed hook, if any, with `point`.
+void FireStorageCrashHook(const char* point);
+
+/// Creates `dir` if it does not exist (one level; parents must exist).
+Status EnsureDir(const std::string& dir);
+
+/// fsyncs the directory itself so a rename/create inside it is durable.
+Status SyncDir(const std::string& dir);
+
+/// Whole-file read; NotFound when the file does not exist.
+Result<std::string> ReadFileToString(const std::string& path);
+
+/// Atomically publishes `bytes` at `path`: writes `<path>.tmp`, fsyncs it,
+/// renames onto `path`, and fsyncs the directory. When the hook point
+/// names are non-null, FireStorageCrashHook runs immediately before and
+/// after the rename — the commit point of the protocol.
+Status WriteFileDurably(const std::string& path, std::string_view bytes,
+                        const char* hook_before_rename = nullptr,
+                        const char* hook_after_rename = nullptr);
+
+/// Unlinks `path`; missing files are OK (idempotent delete).
+Status RemoveFile(const std::string& path);
+
+}  // namespace f2db::storage
+
+#endif  // F2DB_STORAGE_FSIO_H_

@@ -1,0 +1,78 @@
+// Sealed segment files: the immutable columnar history format
+// (DESIGN.md §13).
+//
+// A segment seals one aligned slice [start_time, start_time + count) of
+// every base series of a shard's cube. On-disk layout (little-endian):
+//
+//   header:   "F2DBSEG" | u8 version (kSegmentFormatVersion) |
+//             u64 seq | i64 start_time | u64 count | u32 num_series |
+//             u32 crc32c(header bytes so far)              = 40 bytes
+//   block x num_series:
+//             u32 node | u32 count | u32 enc_len |
+//             u32 crc32c(block header + enc) | enc          (codec.h block)
+//
+// Timestamps inside a sealed segment are the dense period index
+// start_time + i, which the delta-of-delta codec collapses to roughly one
+// bit per point. Decode verifies the magic, version byte, both CRC
+// levels, the per-block counts, the regular time axis, and that no bytes
+// trail the last block — a torn, truncated, or bit-flipped segment is
+// rejected, never misparsed.
+
+#ifndef F2DB_STORAGE_SEGMENT_H_
+#define F2DB_STORAGE_SEGMENT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace f2db::storage {
+
+/// On-disk format version; bumped on any layout change so old binaries
+/// fail loudly instead of misparsing (checked by the golden-file tests).
+inline constexpr std::uint8_t kSegmentFormatVersion = 1;
+
+/// The 7 magic bytes opening every segment file.
+inline constexpr char kSegmentMagic[] = "F2DBSEG";
+
+/// One base series' slice inside a segment.
+struct SegmentSeries {
+  std::uint32_t node = 0;       ///< Base node id in the shard's graph.
+  std::vector<double> values;   ///< Exactly `count` observations.
+};
+
+/// A decoded segment: an aligned history slice across all base series.
+struct SegmentData {
+  std::uint64_t seq = 0;        ///< Position in the shard's segment chain.
+  std::int64_t start_time = 0;  ///< First period sealed.
+  std::uint64_t count = 0;      ///< Periods sealed per series.
+  std::vector<SegmentSeries> series;
+};
+
+/// "seg-00000042.f2ds" for seq 42.
+std::string SegmentFileName(std::uint64_t seq);
+
+/// "<dir>/seg-00000042.f2ds".
+std::string SegmentPath(const std::string& dir, std::uint64_t seq);
+
+/// Serializes a segment into its on-disk byte form.
+Result<std::string> EncodeSegment(const SegmentData& segment);
+
+/// Parses and fully validates a segment image (both CRC levels, counts,
+/// regular time axis, no trailing bytes).
+Result<SegmentData> DecodeSegment(std::string_view bytes);
+
+/// Durably publishes `segment` under `dir` (tmp + fsync + rename +
+/// dir-fsync) and reports the encoded size. Fires the "segment_written"
+/// crash hook after the file is durable.
+Status WriteSegmentFile(const std::string& dir, const SegmentData& segment,
+                        std::uint64_t* bytes_written);
+
+/// Reads and validates one segment file.
+Result<SegmentData> ReadSegmentFile(const std::string& path);
+
+}  // namespace f2db::storage
+
+#endif  // F2DB_STORAGE_SEGMENT_H_

@@ -26,6 +26,7 @@
 #include "engine/engine.h"
 #include "engine/sharded_engine.h"
 #include "engine/wal.h"
+#include "storage/fsio.h"
 #include "testing/differential.h"
 #include "testing/oracle.h"
 #include "testing/workload.h"
@@ -133,6 +134,20 @@ std::string ChildErrorPath(const std::string& data_dir) {
   return data_dir + "/child_error.txt";
 }
 
+/// The compaction kill point, child-process global: the storage layer
+/// fires named hooks at each stage of the compaction protocol (segment
+/// durable, around the manifest rename, before WAL deletion), and the
+/// child dies the instant the planned one fires — mid-protocol, exactly
+/// like a power cut between two renames. Empty = let compaction finish.
+const char* g_storage_kill_point = "";
+
+void StorageKillHook(const char* point) {
+  if (g_storage_kill_point[0] != '\0' &&
+      std::strcmp(point, g_storage_kill_point) == 0) {
+    ::kill(::getpid(), SIGKILL);
+  }
+}
+
 /// The child's escape hatch: it cannot use the report (different process),
 /// so failures before the planned SIGKILL land in a file the parent reads.
 [[noreturn]] void ChildAbort(const std::string& data_dir,
@@ -148,8 +163,12 @@ std::string ChildErrorPath(const std::string& data_dir) {
 [[noreturn]] void RunChild(const WorkloadSpec& spec,
                            const std::vector<InsertAttempt>& attempts,
                            std::size_t kill_after, bool do_checkpoint,
-                           std::size_t checkpoint_after,
+                           std::size_t checkpoint_after, bool do_compact,
+                           std::size_t compact_after,
+                           const char* compact_crash_point,
                            const std::string& data_dir) {
+  g_storage_kill_point = compact_crash_point;
+  storage::SetStorageCrashHook(&StorageKillHook);
   EngineOptions engine_options;
   engine_options.maintenance_threads = 1;
   engine_options.reestimate_after_updates = 0;  // pure kCatalog+kInsert WAL
@@ -198,6 +217,14 @@ std::string ChildErrorPath(const std::string& data_dir) {
         ChildAbort(data_dir, "child checkpoint: " + checkpointed.ToString());
       }
     }
+    if (do_compact && i == compact_after) {
+      // With a kill point armed the process dies INSIDE this call; without
+      // one the compaction must complete cleanly.
+      const Status compacted = engine.value()->CompactNow();
+      if (!compacted.ok()) {
+        ChildAbort(data_dir, "child compaction: " + compacted.ToString());
+      }
+    }
   }
 
   // The crash itself: no destructors, no WAL close, no flushes.
@@ -214,8 +241,12 @@ std::string ChildErrorPath(const std::string& data_dir) {
                                   const std::vector<InsertAttempt>& attempts,
                                   std::size_t kill_after, bool do_checkpoint,
                                   std::size_t checkpoint_after,
+                                  bool do_compact, std::size_t compact_after,
+                                  const char* compact_crash_point,
                                   std::size_t num_shards,
                                   const std::string& data_dir) {
+  g_storage_kill_point = compact_crash_point;
+  storage::SetStorageCrashHook(&StorageKillHook);
   ShardedEngineOptions sharded_options;
   sharded_options.num_shards = num_shards;
   sharded_options.engine.maintenance_threads = 1;
@@ -258,6 +289,16 @@ std::string ChildErrorPath(const std::string& data_dir) {
       const Status checkpointed = engine.value()->CheckpointNow();
       if (!checkpointed.ok()) {
         ChildAbort(data_dir, "child checkpoint: " + checkpointed.ToString());
+      }
+    }
+    if (do_compact && i == compact_after) {
+      // The fan-out compacts shard by shard; an armed kill point fires in
+      // whichever shard reaches that protocol stage first, leaving the
+      // siblings at arbitrary earlier stages — recovery must reconcile a
+      // mixed fleet.
+      const Status compacted = engine.value()->CompactNow();
+      if (!compacted.ok()) {
+        ChildAbort(data_dir, "child compaction: " + compacted.ToString());
       }
     }
   }
@@ -355,9 +396,34 @@ CrashFuzzReport RunCrashFuzz(const CrashFuzzOptions& options) {
       do_checkpoint ? static_cast<std::size_t>(rng.UniformInt(
                           0, static_cast<std::int64_t>(kill_after) - 1))
                     : 0;
-  const bool want_torn_tail = rng.NextBernoulli(0.4);
-  report.attempts_executed = kill_after;
-  report.checkpoint_taken = do_checkpoint;
+  // The compaction leg: maybe call CompactNow mid-workload, and maybe die
+  // INSIDE it at a seed-chosen protocol stage ("" lets it complete). Every
+  // workload carries base history (>= 24 observations per series), so the
+  // first compaction always seals a segment and every listed hook fires.
+  static constexpr const char* kCompactKillPoints[] = {
+      "", "segment_written", "before_manifest_rename",
+      "after_manifest_rename", "before_wal_delete"};
+  const bool do_compact = kill_after > 0 && rng.NextBernoulli(0.5);
+  const char* compact_crash_point =
+      kCompactKillPoints[do_compact ? rng.UniformInt(0, 4) : 0];
+  const std::size_t compact_after =
+      do_compact ? static_cast<std::size_t>(rng.UniformInt(
+                       0, static_cast<std::int64_t>(kill_after) - 1))
+                 : 0;
+  // A compaction rewrites the WAL tail, so "truncate the last record" no
+  // longer maps cleanly onto "drop the last accepted insert" — skip the
+  // torn-tail leg on compacting iterations.
+  const bool want_torn_tail = rng.NextBernoulli(0.4) && !do_compact;
+  // With a kill point armed the child dies inside CompactNow, i.e. right
+  // after executing attempt `compact_after` — the surviving prefix is
+  // shorter than the planned one.
+  const std::size_t effective_kill =
+      (do_compact && compact_crash_point[0] != '\0') ? compact_after + 1
+                                                     : kill_after;
+  report.attempts_executed = effective_kill;
+  report.checkpoint_taken = do_checkpoint && checkpoint_after < effective_kill;
+  report.compaction_attempted = do_compact && compact_after < effective_kill;
+  report.compaction_crash_point = compact_crash_point;
 
   RemoveDirectoryTree(options.data_dir);  // stale state from a prior run
 
@@ -367,9 +433,11 @@ CrashFuzzReport RunCrashFuzz(const CrashFuzzOptions& options) {
   if (pid == 0) {
     if (sharded) {
       RunShardedChild(spec, attempts, kill_after, do_checkpoint,
-                      checkpoint_after, num_shards, options.data_dir);
+                      checkpoint_after, do_compact, compact_after,
+                      compact_crash_point, num_shards, options.data_dir);
     }
     RunChild(spec, attempts, kill_after, do_checkpoint, checkpoint_after,
+             do_compact, compact_after, compact_crash_point,
              options.data_dir);
   }
   int wait_status = 0;
@@ -391,7 +459,7 @@ CrashFuzzReport RunCrashFuzz(const CrashFuzzOptions& options) {
 
   // ---- phase 2: the expected surviving state ----------------------------
   std::vector<AcceptedInsert> accepted =
-      AcceptedPrefix(spec, attempts, kill_after);
+      AcceptedPrefix(spec, attempts, effective_kill);
   report.inserts_accepted = accepted.size();
 
   // ---- phase 3: optional torn tail --------------------------------------

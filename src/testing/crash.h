@@ -72,6 +72,11 @@ struct CrashFuzzReport {
   bool killed_by_sigkill = false;
   bool checkpoint_taken = false;
   bool torn_tail_injected = false;
+  /// A mid-workload compaction was attempted; `compaction_crash_point` is
+  /// the storage hook the SIGKILL landed on ("" when the compaction was
+  /// allowed to complete).
+  bool compaction_attempted = false;
+  std::string compaction_crash_point;
   std::size_t records_replayed = 0;   ///< engine recovery counter
 };
 

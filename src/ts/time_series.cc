@@ -26,6 +26,13 @@ Status TimeSeries::ValidateFinite() const {
   return Status::OK();
 }
 
+void TimeSeries::DropFront(std::size_t count) {
+  count = std::min(count, values_.size());
+  values_.erase(values_.begin(),
+                values_.begin() + static_cast<std::ptrdiff_t>(count));
+  start_time_ += static_cast<std::int64_t>(count);
+}
+
 double TimeSeries::Sum() const {
   double sum = 0.0;
   for (double v : values_) sum += v;

@@ -64,6 +64,11 @@ class TimeSeries {
   /// Appends one observation at the next time index.
   void Append(double value) { values_.push_back(value); }
 
+  /// Drops the oldest `count` observations (clamped to size()) and moves
+  /// start_time forward accordingly — the retention primitive: the series
+  /// keeps its identity and time axis but forgets its oldest history.
+  void DropFront(std::size_t count);
+
   /// Sum over the whole history (the h_s of Eq. 2 in the paper).
   double Sum() const;
 

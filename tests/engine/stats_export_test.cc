@@ -78,6 +78,87 @@ TEST(StatsExportTest, FreshStatsRenderZeroes) {
             std::string::npos);
 }
 
+TEST(StatsExportTest, StorageFamiliesGoldenText) {
+  // The storage-lifecycle families, pinned as one contiguous golden block:
+  // renaming a family, reordering the exposition, or changing a HELP
+  // string is a scrape-breaking change and must show up here.
+  EngineStats stats = MakeStats();
+  stats.segments_sealed = 4;
+  stats.segment_records_sealed = 4096;
+  stats.segments_live = 3;
+  stats.segment_live_bytes = 9000;
+  stats.compactions_completed = 4;
+  stats.compaction_failures = 1;
+  stats.retention_segments_deleted = 1;
+  stats.retention_records_dropped = 1024;
+  stats.segment_records_recovered = 2048;
+  const std::string text = stats.ToPrometheusText();
+  const char* golden =
+      "# HELP f2db_segments_sealed_total Sealed segments written by this "
+      "process.\n"
+      "# TYPE f2db_segments_sealed_total counter\n"
+      "f2db_segments_sealed_total 4\n"
+      "# HELP f2db_segment_records_sealed_total Observations sealed into "
+      "segments by this process.\n"
+      "# TYPE f2db_segment_records_sealed_total counter\n"
+      "f2db_segment_records_sealed_total 4096\n"
+      "# HELP f2db_segments_live Sealed segments the current manifest "
+      "references.\n"
+      "# TYPE f2db_segments_live gauge\n"
+      "f2db_segments_live 3\n"
+      "# HELP f2db_segment_live_bytes On-disk bytes of the live "
+      "sealed-segment chain.\n"
+      "# TYPE f2db_segment_live_bytes gauge\n"
+      "f2db_segment_live_bytes 9000\n"
+      "# HELP f2db_compactions_completed_total Compactions that committed "
+      "their manifest.\n"
+      "# TYPE f2db_compactions_completed_total counter\n"
+      "f2db_compactions_completed_total 4\n"
+      "# HELP f2db_compaction_failures_total Compaction attempts that "
+      "failed.\n"
+      "# TYPE f2db_compaction_failures_total counter\n"
+      "f2db_compaction_failures_total 1\n"
+      "# HELP f2db_retention_segments_deleted_total Sealed segments deleted "
+      "by retention.\n"
+      "# TYPE f2db_retention_segments_deleted_total counter\n"
+      "f2db_retention_segments_deleted_total 1\n"
+      "# HELP f2db_retention_records_dropped_total Observations dropped by "
+      "retention.\n"
+      "# TYPE f2db_retention_records_dropped_total counter\n"
+      "f2db_retention_records_dropped_total 1024\n"
+      "# HELP f2db_segment_records_recovered_total Observations restored "
+      "from sealed segments at open.\n"
+      "# TYPE f2db_segment_records_recovered_total counter\n"
+      "f2db_segment_records_recovered_total 2048\n";
+  EXPECT_NE(text.find(golden), std::string::npos) << text;
+}
+
+TEST(StatsExportTest, ShardedStorageFamiliesCarryShardLabels) {
+  EngineStats shard0;
+  shard0.segments_sealed = 2;
+  shard0.retention_records_dropped = 100;
+  EngineStats shard1;
+  shard1.segments_sealed = 3;
+  shard1.retention_records_dropped = 50;
+  EngineStats total;
+  total.segments_sealed = 5;
+  total.retention_records_dropped = 150;
+  const std::string text = ShardedEngineStatsPrometheusText(
+      {{"0", shard0}, {"1", shard1}}, total);
+  // Per-shard samples labelled, followed by the unlabelled fleet total.
+  EXPECT_NE(text.find("f2db_segments_sealed_total{shard=\"0\"} 2\n"
+                      "f2db_segments_sealed_total{shard=\"1\"} 3\n"
+                      "f2db_segments_sealed_total 5\n"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(
+      text.find("f2db_retention_records_dropped_total{shard=\"0\"} 100\n"
+                "f2db_retention_records_dropped_total{shard=\"1\"} 50\n"
+                "f2db_retention_records_dropped_total 150\n"),
+      std::string::npos)
+      << text;
+}
+
 TEST(StatsExportTest, HelpEscapingBackslashAndNewline) {
   EXPECT_EQ(PrometheusEscapeHelp("plain help"), "plain help");
   EXPECT_EQ(PrometheusEscapeHelp("a\\b"), "a\\\\b");

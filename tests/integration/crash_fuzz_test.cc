@@ -18,6 +18,38 @@
 namespace f2db::testing {
 namespace {
 
+/// Per-kill-point coverage accumulator for the compaction leg: counts how
+/// often each storage crash hook actually killed an iteration.
+struct CompactionCoverage {
+  std::size_t attempted = 0;
+  std::size_t completed = 0;  // attempted with no kill point armed
+  std::size_t segment_written = 0;
+  std::size_t before_rename = 0;
+  std::size_t after_rename = 0;
+  std::size_t before_wal_delete = 0;
+
+  void Record(const CrashFuzzReport& report) {
+    if (!report.compaction_attempted) return;
+    ++attempted;
+    const std::string& point = report.compaction_crash_point;
+    if (point.empty()) ++completed;
+    if (point == "segment_written") ++segment_written;
+    if (point == "before_manifest_rename") ++before_rename;
+    if (point == "after_manifest_rename") ++after_rename;
+    if (point == "before_wal_delete") ++before_wal_delete;
+  }
+
+  /// Every stage of the compaction protocol must have been hit at least
+  /// once, including the completed-cleanly case.
+  void ExpectFullCoverage() const {
+    EXPECT_GT(completed, 0u);
+    EXPECT_GT(segment_written, 0u);
+    EXPECT_GT(before_rename, 0u);
+    EXPECT_GT(after_rename, 0u);
+    EXPECT_GT(before_wal_delete, 0u);
+  }
+};
+
 class CrashFuzzTest : public ::testing::Test {
  protected:
   void SetUp() override {
@@ -40,6 +72,7 @@ TEST_F(CrashFuzzTest, SeededKillPointsRecoverWithDifferentialAgreement) {
   std::size_t torn = 0;
   std::size_t checkpoints = 0;
   std::size_t replayed = 0;
+  CompactionCoverage compactions;
   for (std::size_t i = 0; i < iterations; ++i) {
     CrashFuzzOptions options;
     options.seed = SubSeed(base, "crash-" + std::to_string(i));
@@ -51,12 +84,16 @@ TEST_F(CrashFuzzTest, SeededKillPointsRecoverWithDifferentialAgreement) {
     torn += report.torn_tail_injected ? 1 : 0;
     checkpoints += report.checkpoint_taken ? 1 : 0;
     replayed += report.records_replayed;
+    compactions.Record(report);
   }
 
   // Coverage sanity: across 200 seeds the plan must have exercised every
-  // recovery mode, not just the easy clean-tail path.
+  // recovery mode, not just the easy clean-tail path — including a SIGKILL
+  // inside every stage of the compaction protocol.
   EXPECT_GE(torn, iterations / 20);
   EXPECT_GE(checkpoints, iterations / 20);
+  EXPECT_GE(compactions.attempted, iterations / 4);
+  compactions.ExpectFullCoverage();
   EXPECT_GT(replayed, 0u);
 }
 
@@ -70,6 +107,7 @@ TEST_F(CrashFuzzTest, MultiShardKillPointsRecoverEveryShard) {
 
   std::size_t torn = 0;
   std::size_t checkpoints = 0;
+  CompactionCoverage compactions;
   for (std::size_t i = 0; i < iterations; ++i) {
     CrashFuzzOptions options;
     options.seed = SubSeed(base, "crash-sharded-" + std::to_string(i));
@@ -82,9 +120,18 @@ TEST_F(CrashFuzzTest, MultiShardKillPointsRecoverEveryShard) {
     EXPECT_TRUE(report.killed_by_sigkill);
     torn += report.torn_tail_injected ? 1 : 0;
     checkpoints += report.checkpoint_taken ? 1 : 0;
+    compactions.Record(report);
   }
   EXPECT_GE(torn, iterations / 20);
   EXPECT_GE(checkpoints, iterations / 20);
+  // The sharded fan-out compacts shard by shard, so an armed kill point
+  // leaves sibling shards at earlier protocol stages; require the plan to
+  // have exercised compaction here too (60 iterations: every kill point
+  // lands with probability ~1/10 each, so demand attempts, not all five).
+  EXPECT_GE(compactions.attempted, iterations / 5);
+  EXPECT_GT(compactions.segment_written + compactions.before_rename +
+                compactions.after_rename + compactions.before_wal_delete,
+            0u);
 }
 
 TEST_F(CrashFuzzTest, IterationsAreDeterministic) {
@@ -100,6 +147,8 @@ TEST_F(CrashFuzzTest, IterationsAreDeterministic) {
   EXPECT_EQ(first.inserts_accepted, second.inserts_accepted);
   EXPECT_EQ(first.checkpoint_taken, second.checkpoint_taken);
   EXPECT_EQ(first.torn_tail_injected, second.torn_tail_injected);
+  EXPECT_EQ(first.compaction_attempted, second.compaction_attempted);
+  EXPECT_EQ(first.compaction_crash_point, second.compaction_crash_point);
   EXPECT_EQ(first.records_replayed, second.records_replayed);
 }
 

@@ -1,0 +1,136 @@
+// Segment manifest tests: golden text pin, round-trip, CRC tamper
+// rejection, and the atomic-rename publish path.
+
+#include "storage/manifest.h"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <fstream>
+#include <string>
+
+#include "storage/fsio.h"
+
+namespace f2db::storage {
+namespace {
+
+ManifestData GoldenManifest() {
+  ManifestData manifest;
+  manifest.wal_epoch = 2;
+  manifest.sealed_from = 3;
+  manifest.sealed_to = 8;
+  manifest.inserts = 40;
+  manifest.time_advances = 5;
+  manifest.reestimates = 1;
+  manifest.quarantines = 0;
+  manifest.refit_failures = 0;
+  manifest.records_dropped = 10;
+  manifest.offsets = {{1, 45.0}, {4, 7.5}};
+  manifest.segments = {{7, 3, 5, 2, 108}};
+  return manifest;
+}
+
+constexpr char kGoldenText[] =
+    "f2db-manifest v1\n"
+    "epoch 2\n"
+    "sealed 3 8\n"
+    "counters 40 5 1 0 0\n"
+    "dropped 10\n"
+    "offsets 2\n"
+    "1 45\n"
+    "4 7.5\n"
+    "segments 1\n"
+    "7 3 5 2 108\n"
+    "crc 3a8582b4\n";
+
+void ExpectEqualsGolden(const ManifestData& got) {
+  const ManifestData want = GoldenManifest();
+  EXPECT_EQ(got.wal_epoch, want.wal_epoch);
+  EXPECT_EQ(got.sealed_from, want.sealed_from);
+  EXPECT_EQ(got.sealed_to, want.sealed_to);
+  EXPECT_EQ(got.inserts, want.inserts);
+  EXPECT_EQ(got.time_advances, want.time_advances);
+  EXPECT_EQ(got.reestimates, want.reestimates);
+  EXPECT_EQ(got.quarantines, want.quarantines);
+  EXPECT_EQ(got.refit_failures, want.refit_failures);
+  EXPECT_EQ(got.records_dropped, want.records_dropped);
+  EXPECT_EQ(got.offsets, want.offsets);
+  ASSERT_EQ(got.segments.size(), want.segments.size());
+  EXPECT_EQ(got.segments[0].seq, want.segments[0].seq);
+  EXPECT_EQ(got.segments[0].start_time, want.segments[0].start_time);
+  EXPECT_EQ(got.segments[0].count, want.segments[0].count);
+  EXPECT_EQ(got.segments[0].num_series, want.segments[0].num_series);
+  EXPECT_EQ(got.segments[0].bytes, want.segments[0].bytes);
+}
+
+TEST(SegmentManifestTest, GoldenTextPin) {
+  EXPECT_EQ(SerializeManifest(GoldenManifest()), kGoldenText);
+}
+
+TEST(SegmentManifestTest, GoldenTextParses) {
+  auto parsed = ParseManifest(kGoldenText);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ExpectEqualsGolden(parsed.value());
+}
+
+TEST(SegmentManifestTest, EmptyManifestRoundTrips) {
+  const ManifestData empty;
+  auto parsed = ParseManifest(SerializeManifest(empty));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed.value().wal_epoch, 0u);
+  EXPECT_TRUE(parsed.value().offsets.empty());
+  EXPECT_TRUE(parsed.value().segments.empty());
+}
+
+TEST(SegmentManifestTest, OffsetsRoundTripFullPrecision) {
+  ManifestData manifest = GoldenManifest();
+  manifest.offsets = {{0, 0.1 + 0.2}, {9, -1.0 / 3.0}, {17, 1e-300}};
+  auto parsed = ParseManifest(SerializeManifest(manifest));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().offsets, manifest.offsets);
+}
+
+TEST(SegmentManifestTest, TamperedLineRejected) {
+  std::string tampered = kGoldenText;
+  const std::size_t pos = tampered.find("counters 40");
+  ASSERT_NE(pos, std::string::npos);
+  tampered.replace(pos, 11, "counters 41");
+  EXPECT_FALSE(ParseManifest(tampered).ok());
+}
+
+TEST(SegmentManifestTest, TruncationRejected) {
+  const std::string text = kGoldenText;
+  for (const std::size_t len :
+       {std::size_t{0}, text.size() / 2, text.size() - 1}) {
+    EXPECT_FALSE(ParseManifest(std::string_view(text).substr(0, len)).ok())
+        << "parsed from a " << len << "-byte prefix";
+  }
+}
+
+TEST(SegmentManifestTest, FileRoundTripAndNotFound) {
+  char tmpl[] = "/tmp/f2db_manifest_XXXXXX";
+  ASSERT_NE(::mkdtemp(tmpl), nullptr);
+  const std::string dir = tmpl;
+  auto absent = ReadManifestFile(dir);
+  ASSERT_FALSE(absent.ok());
+  EXPECT_EQ(absent.status().code(), StatusCode::kNotFound);
+
+  ASSERT_TRUE(WriteManifestFile(dir, GoldenManifest()).ok());
+  auto read = ReadManifestFile(dir);
+  ASSERT_TRUE(read.ok()) << read.status().ToString();
+  ExpectEqualsGolden(read.value());
+
+  // Republish overwrites atomically (no stale tmp left behind).
+  ManifestData next = GoldenManifest();
+  next.wal_epoch = 3;
+  ASSERT_TRUE(WriteManifestFile(dir, next).ok());
+  auto reread = ReadManifestFile(dir);
+  ASSERT_TRUE(reread.ok());
+  EXPECT_EQ(reread.value().wal_epoch, 3u);
+
+  ASSERT_TRUE(RemoveFile(dir + "/" + kManifestFileName).ok());
+  ::rmdir(dir.c_str());
+}
+
+}  // namespace
+}  // namespace f2db::storage

@@ -1,0 +1,148 @@
+// Segment v1 file format tests: golden byte pin, version gating, and
+// exhaustive single-byte-flip / truncation rejection.
+//
+// The golden file is load-bearing the same way the WAL v1 and checkpoint
+// v1 pins are: sealed segments persist across binary upgrades, so any
+// layout change must either reproduce these bytes exactly or bump
+// kSegmentFormatVersion and keep decoding v1.
+
+#include "storage/segment.h"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "storage/fsio.h"
+
+namespace f2db::storage {
+namespace {
+
+/// The pinned two-series segment: seq 7 sealing periods [3, 8).
+SegmentData GoldenSegment() {
+  SegmentData segment;
+  segment.seq = 7;
+  segment.start_time = 3;
+  segment.count = 5;
+  segment.series.push_back({1, {10.0, 10.0, 12.5, 12.5, -3.0}});
+  segment.series.push_back({4, {0.5, 1.0, 1.5, 2.0, 2.5}});
+  return segment;
+}
+
+const std::string& GoldenBytes() {
+  static const std::string golden(
+      "\x46\x32\x44\x42\x53\x45\x47\x01\x07\x00\x00\x00\x00\x00\x00\x00"
+      "\x03\x00\x00\x00\x00\x00\x00\x00\x05\x00\x00\x00\x00\x00\x00\x00"
+      "\x02\x00\x00\x00\xa5\x7d\x99\x36\x01\x00\x00\x00\x05\x00\x00\x00"
+      "\x11\x00\x00\x00\x48\xb9\x4f\xf3\x06\x40\x24\x00\x00\x00\x00\x00"
+      "\x00\x81\x1b\x04\xd1\x81\x08\x02\x10\x04\x00\x00\x00\x05\x00\x00"
+      "\x00\x13\x00\x00\x00\x42\xe4\xb7\x5c\x06\x3f\xe0\x00\x00\x00\x00"
+      "\x00\x00\x81\x6b\x06\xd8\x0d\x84\xcf\xff\x6d\x06",
+      108);
+  return golden;
+}
+
+void ExpectEqualsGolden(const SegmentData& segment) {
+  const SegmentData want = GoldenSegment();
+  EXPECT_EQ(segment.seq, want.seq);
+  EXPECT_EQ(segment.start_time, want.start_time);
+  EXPECT_EQ(segment.count, want.count);
+  ASSERT_EQ(segment.series.size(), want.series.size());
+  for (std::size_t s = 0; s < want.series.size(); ++s) {
+    EXPECT_EQ(segment.series[s].node, want.series[s].node);
+    EXPECT_EQ(segment.series[s].values, want.series[s].values);
+  }
+}
+
+TEST(SegmentFormatTest, GoldenBytePin) {
+  auto bytes = EncodeSegment(GoldenSegment());
+  ASSERT_TRUE(bytes.ok());
+  EXPECT_EQ(bytes.value(), GoldenBytes());
+  // The frozen fields of the header: magic, version byte.
+  EXPECT_EQ(GoldenBytes().substr(0, 7), "F2DBSEG");
+  EXPECT_EQ(static_cast<std::uint8_t>(GoldenBytes()[7]),
+            kSegmentFormatVersion);
+}
+
+TEST(SegmentFormatTest, GoldenBytesDecode) {
+  // A v1 file written by any past binary must keep decoding.
+  auto decoded = DecodeSegment(GoldenBytes());
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  ExpectEqualsGolden(decoded.value());
+}
+
+TEST(SegmentFormatTest, UnsupportedVersionRejected) {
+  std::string tampered = GoldenBytes();
+  tampered[7] = static_cast<char>(kSegmentFormatVersion + 1);
+  auto decoded = DecodeSegment(tampered);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_NE(decoded.status().message().find("version"), std::string::npos);
+}
+
+TEST(SegmentFormatTest, EverySingleByteFlipRejected) {
+  // Both CRC levels together cover every byte of the file — header,
+  // per-block metadata (including the node id), and payload — so no
+  // single-byte corruption can decode, anywhere.
+  const std::string& golden = GoldenBytes();
+  for (std::size_t i = 0; i < golden.size(); ++i) {
+    for (const unsigned char mask : {0x01, 0x80}) {
+      std::string tampered = golden;
+      tampered[i] = static_cast<char>(tampered[i] ^ mask);
+      EXPECT_FALSE(DecodeSegment(tampered).ok())
+          << "byte " << i << " flipped with mask " << int(mask)
+          << " still decoded";
+    }
+  }
+}
+
+TEST(SegmentFormatTest, EveryTruncationRejected) {
+  const std::string& golden = GoldenBytes();
+  for (std::size_t len = 0; len < golden.size(); ++len) {
+    EXPECT_FALSE(
+        DecodeSegment(std::string_view(golden).substr(0, len)).ok())
+        << "decoded from a " << len << "-byte prefix";
+  }
+}
+
+TEST(SegmentFormatTest, TrailingBytesRejected) {
+  std::string tampered = GoldenBytes();
+  tampered.push_back('\0');
+  EXPECT_FALSE(DecodeSegment(tampered).ok());
+}
+
+TEST(SegmentFormatTest, SeriesLengthMismatchRejectedAtEncode) {
+  SegmentData segment = GoldenSegment();
+  segment.series[1].values.pop_back();
+  EXPECT_FALSE(EncodeSegment(segment).ok());
+}
+
+TEST(SegmentFormatTest, FileNameFormat) {
+  EXPECT_EQ(SegmentFileName(42), "seg-00000042.f2ds");
+  EXPECT_EQ(SegmentPath("/data/segments", 1),
+            "/data/segments/seg-00000001.f2ds");
+}
+
+TEST(SegmentFormatTest, FileRoundTripThroughDisk) {
+  char tmpl[] = "/tmp/f2db_segment_XXXXXX";
+  ASSERT_NE(::mkdtemp(tmpl), nullptr);
+  const std::string dir = tmpl;
+  std::uint64_t bytes_written = 0;
+  ASSERT_TRUE(WriteSegmentFile(dir, GoldenSegment(), &bytes_written).ok());
+  EXPECT_EQ(bytes_written, GoldenBytes().size());
+  auto read = ReadSegmentFile(SegmentPath(dir, 7));
+  ASSERT_TRUE(read.ok()) << read.status().ToString();
+  ExpectEqualsGolden(read.value());
+  ASSERT_TRUE(RemoveFile(SegmentPath(dir, 7)).ok());
+  ::rmdir(dir.c_str());
+}
+
+TEST(SegmentFormatTest, MissingFileIsNotFound) {
+  auto read = ReadSegmentFile("/tmp/f2db_segment_missing/seg-00000001.f2ds");
+  ASSERT_FALSE(read.ok());
+  EXPECT_EQ(read.status().code(), StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace f2db::storage

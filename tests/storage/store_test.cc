@@ -1,0 +1,249 @@
+// SegmentStore tests: directory lifecycle (manifest load, orphan and tmp
+// cleanup), segment publication, and full-chain validation.
+
+#include "storage/store.h"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "storage/fsio.h"
+#include "testing/crash.h"
+
+namespace f2db::storage {
+namespace {
+
+class SegmentStoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    char tmpl[] = "/tmp/f2db_store_XXXXXX";
+    ASSERT_NE(::mkdtemp(tmpl), nullptr);
+    dir_ = tmpl;
+  }
+
+  void TearDown() override { f2db::testing::RemoveDirectoryTree(dir_); }
+
+  std::unique_ptr<SegmentStore> OpenStore() {
+    auto store = SegmentStore::Open(dir_);
+    EXPECT_TRUE(store.ok()) << store.status().ToString();
+    return std::move(store).value();
+  }
+
+  /// A two-series segment sealing [start, start + count).
+  static SegmentData MakeSegment(std::uint64_t seq, std::int64_t start,
+                                 std::uint64_t count) {
+    SegmentData segment;
+    segment.seq = seq;
+    segment.start_time = start;
+    segment.count = count;
+    for (const std::uint32_t node : {1u, 4u}) {
+      SegmentSeries series;
+      series.node = node;
+      for (std::uint64_t i = 0; i < count; ++i) {
+        series.values.push_back(static_cast<double>(node) * 10.0 +
+                                static_cast<double>(start + std::int64_t(i)));
+      }
+      segment.series.push_back(std::move(series));
+    }
+    return segment;
+  }
+
+  static ManifestSegment EntryFor(const SegmentData& segment,
+                                  std::uint64_t bytes) {
+    return {segment.seq, segment.start_time, segment.count,
+            static_cast<std::uint32_t>(segment.series.size()), bytes};
+  }
+
+  std::string dir_;
+};
+
+TEST_F(SegmentStoreTest, OpenFreshDirectory) {
+  auto store = OpenStore();
+  EXPECT_FALSE(store->has_manifest());
+  EXPECT_EQ(store->next_seq(), 1u);
+  EXPECT_EQ(store->live_segments(), 0u);
+  EXPECT_EQ(store->live_bytes(), 0u);
+  EXPECT_EQ(store->dir(), SegmentsDirFor(dir_));
+  auto chain = store->ReadChain();
+  ASSERT_TRUE(chain.ok());
+  EXPECT_TRUE(chain.value().empty());
+}
+
+TEST_F(SegmentStoreTest, WriteCommitReadChain) {
+  auto store = OpenStore();
+  const SegmentData first = MakeSegment(1, 0, 8);
+  const SegmentData second = MakeSegment(2, 8, 4);
+  auto first_bytes = store->WriteSegment(first);
+  ASSERT_TRUE(first_bytes.ok());
+  auto second_bytes = store->WriteSegment(second);
+  ASSERT_TRUE(second_bytes.ok());
+
+  ManifestData manifest;
+  manifest.wal_epoch = 3;
+  manifest.sealed_from = 0;
+  manifest.sealed_to = 12;
+  manifest.segments = {EntryFor(first, first_bytes.value()),
+                       EntryFor(second, second_bytes.value())};
+  ASSERT_TRUE(store->CommitManifest(manifest).ok());
+
+  EXPECT_TRUE(store->has_manifest());
+  EXPECT_EQ(store->next_seq(), 3u);
+  EXPECT_EQ(store->live_segments(), 2u);
+  EXPECT_EQ(store->live_bytes(), first_bytes.value() + second_bytes.value());
+
+  auto chain = store->ReadChain();
+  ASSERT_TRUE(chain.ok()) << chain.status().ToString();
+  ASSERT_EQ(chain.value().size(), 2u);
+  EXPECT_EQ(chain.value()[0].series[0].values, first.series[0].values);
+  EXPECT_EQ(chain.value()[1].series[1].values, second.series[1].values);
+}
+
+TEST_F(SegmentStoreTest, ReopenLoadsManifest) {
+  {
+    auto store = OpenStore();
+    const SegmentData segment = MakeSegment(1, 0, 5);
+    auto bytes = store->WriteSegment(segment);
+    ASSERT_TRUE(bytes.ok());
+    ManifestData manifest;
+    manifest.wal_epoch = 2;
+    manifest.sealed_to = 5;
+    manifest.segments = {EntryFor(segment, bytes.value())};
+    ASSERT_TRUE(store->CommitManifest(manifest).ok());
+  }
+  auto store = OpenStore();
+  EXPECT_TRUE(store->has_manifest());
+  EXPECT_EQ(store->manifest().wal_epoch, 2u);
+  EXPECT_EQ(store->live_segments(), 1u);
+  auto chain = store->ReadChain();
+  ASSERT_TRUE(chain.ok());
+  ASSERT_EQ(chain.value().size(), 1u);
+}
+
+TEST_F(SegmentStoreTest, OrphanSegmentsAndTmpFilesRemovedAtOpen) {
+  {
+    auto store = OpenStore();
+    // A segment written but never committed — a crash between
+    // WriteSegment and CommitManifest leaves exactly this.
+    ASSERT_TRUE(store->WriteSegment(MakeSegment(1, 0, 5)).ok());
+    std::ofstream tmp(SegmentsDirFor(dir_) + "/MANIFEST.tmp");
+    tmp << "half-written";
+  }
+  auto store = OpenStore();
+  EXPECT_FALSE(store->has_manifest());
+  EXPECT_EQ(store->next_seq(), 1u);
+  EXPECT_EQ(ReadSegmentFile(SegmentPath(SegmentsDirFor(dir_), 1))
+                .status()
+                .code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(ReadFileToString(SegmentsDirFor(dir_) + "/MANIFEST.tmp")
+                .status()
+                .code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(SegmentStoreTest, UnparsableManifestTreatedAsAbsent) {
+  {
+    auto store = OpenStore();
+    std::ofstream manifest(SegmentsDirFor(dir_) + "/" + kManifestFileName);
+    manifest << "not a manifest\n";
+  }
+  auto store = OpenStore();
+  EXPECT_FALSE(store->has_manifest());
+}
+
+TEST_F(SegmentStoreTest, DeleteSegmentFileIsIdempotent) {
+  auto store = OpenStore();
+  ASSERT_TRUE(store->WriteSegment(MakeSegment(1, 0, 5)).ok());
+  EXPECT_TRUE(store->DeleteSegmentFile(1).ok());
+  EXPECT_TRUE(store->DeleteSegmentFile(1).ok());  // already gone
+}
+
+// ---- chain validation ----------------------------------------------------
+
+class SegmentChainTest : public SegmentStoreTest {};
+
+TEST_F(SegmentChainTest, MissingFileRejectsChain) {
+  auto store = OpenStore();
+  const SegmentData segment = MakeSegment(1, 0, 5);
+  auto bytes = store->WriteSegment(segment);
+  ASSERT_TRUE(bytes.ok());
+  ManifestData manifest;
+  manifest.segments = {EntryFor(segment, bytes.value()),
+                       {2, 5, 3, 2, 99}};  // never written
+  EXPECT_FALSE(ReadSegmentChain(SegmentsDirFor(dir_), manifest).ok());
+}
+
+TEST_F(SegmentChainTest, CorruptedFileRejectsChain) {
+  auto store = OpenStore();
+  const SegmentData segment = MakeSegment(1, 0, 5);
+  auto bytes = store->WriteSegment(segment);
+  ASSERT_TRUE(bytes.ok());
+  ManifestData manifest;
+  manifest.segments = {EntryFor(segment, bytes.value())};
+  ASSERT_TRUE(ReadSegmentChain(SegmentsDirFor(dir_), manifest).ok());
+
+  // Flip one payload byte in place; the chain must reject it.
+  const std::string path = SegmentPath(SegmentsDirFor(dir_), 1);
+  auto raw = ReadFileToString(path);
+  ASSERT_TRUE(raw.ok());
+  std::string tampered = raw.value();
+  tampered[tampered.size() / 2] =
+      static_cast<char>(tampered[tampered.size() / 2] ^ 0x40);
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << tampered;
+  out.close();
+  EXPECT_FALSE(ReadSegmentChain(SegmentsDirFor(dir_), manifest).ok());
+}
+
+TEST_F(SegmentChainTest, ManifestDisagreementRejectsChain) {
+  auto store = OpenStore();
+  const SegmentData segment = MakeSegment(1, 0, 5);
+  auto bytes = store->WriteSegment(segment);
+  ASSERT_TRUE(bytes.ok());
+  for (const char* what : {"count", "start", "bytes", "series"}) {
+    ManifestData manifest;
+    ManifestSegment entry = EntryFor(segment, bytes.value());
+    if (std::string(what) == "count") entry.count = 4;
+    if (std::string(what) == "start") entry.start_time = 1;
+    if (std::string(what) == "bytes") entry.bytes += 1;
+    if (std::string(what) == "series") entry.num_series = 3;
+    manifest.segments = {entry};
+    EXPECT_FALSE(ReadSegmentChain(SegmentsDirFor(dir_), manifest).ok())
+        << "disagreement on " << what << " not caught";
+  }
+}
+
+TEST_F(SegmentChainTest, RangeGapRejectsChain) {
+  auto store = OpenStore();
+  const SegmentData first = MakeSegment(1, 0, 5);
+  const SegmentData second = MakeSegment(2, 6, 3);  // gap: period 5 missing
+  auto first_bytes = store->WriteSegment(first);
+  auto second_bytes = store->WriteSegment(second);
+  ASSERT_TRUE(first_bytes.ok());
+  ASSERT_TRUE(second_bytes.ok());
+  ManifestData manifest;
+  manifest.segments = {EntryFor(first, first_bytes.value()),
+                       EntryFor(second, second_bytes.value())};
+  EXPECT_FALSE(ReadSegmentChain(SegmentsDirFor(dir_), manifest).ok());
+}
+
+TEST_F(SegmentChainTest, NodeSetMismatchRejectsChain) {
+  auto store = OpenStore();
+  const SegmentData first = MakeSegment(1, 0, 5);
+  SegmentData second = MakeSegment(2, 5, 3);
+  second.series[1].node = 9;  // different node set than the first segment
+  auto first_bytes = store->WriteSegment(first);
+  auto second_bytes = store->WriteSegment(second);
+  ASSERT_TRUE(first_bytes.ok());
+  ASSERT_TRUE(second_bytes.ok());
+  ManifestData manifest;
+  manifest.segments = {EntryFor(first, first_bytes.value()),
+                       EntryFor(second, second_bytes.value())};
+  EXPECT_FALSE(ReadSegmentChain(SegmentsDirFor(dir_), manifest).ok());
+}
+
+}  // namespace
+}  // namespace f2db::storage
