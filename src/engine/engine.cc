@@ -146,6 +146,7 @@ Result<std::unique_ptr<F2dbEngine>> F2dbEngine::Open(TimeSeriesGraph graph,
   engine->recovery_seconds_ = info.recovery_seconds;
   engine->recovery_segment_records_ =
       static_cast<std::size_t>(info.segment_records_loaded);
+  engine->reseal_segments_ = info.segment_fallback;
 
   auto writer =
       info.create_segment
@@ -1229,6 +1230,12 @@ Status F2dbEngine::CheckpointNow() {
     return Status::FailedPrecondition(
         "checkpoint requires a durable engine (open with a data_dir)");
   }
+  // Exclude whole compactions (ordered before writer_mutex_): without
+  // this, a checkpoint could snapshot the still-undropped series between
+  // a retention manifest commit and the in-memory drop — recovery would
+  // then add the pruned offsets to the full series sum, double-counting
+  // the retained prefix in every derivation weight.
+  std::lock_guard<std::mutex> serial(compaction_serial_mutex_);
   CheckpointState state;
   {
     std::lock_guard<std::mutex> lock(writer_mutex_);
@@ -1386,7 +1393,20 @@ Status F2dbEngine::CompactNow() {
 
   const Status status = [&]() -> Status {
     const bool has_base = store_->has_manifest();
-    const storage::ManifestData base = store_->manifest();
+    storage::ManifestData base = store_->manifest();
+    // When recovery fell back because the sealed chain failed validation,
+    // extending that chain would commit a higher-epoch manifest over the
+    // invalid segments and then delete the WAL epochs the fallback still
+    // needs — the next restart would lose acknowledged writes. Instead,
+    // reseal the full retained history from memory into a fresh chain
+    // (offsets and drop counters survive) and truncate only once that
+    // chain is durable.
+    const bool reseal = reseal_segments_;
+    std::vector<storage::ManifestSegment> invalid_chain;
+    if (reseal) {
+      invalid_chain = std::move(base.segments);
+      base.segments.clear();
+    }
 
     // ---- Phase A, under the writer lock: rotate the WAL and rewrite the
     // live tail into the fresh epoch. After the manifest commits, replay
@@ -1450,7 +1470,8 @@ Status F2dbEngine::CompactNow() {
       // The cut: everything strictly before the frontier is closed (its
       // batches completed) and gets sealed; [sealed_from, sealed_to).
       const TimeSeries& first = snap->graph->series(base_nodes[0]);
-      sealed_from = has_base ? base.sealed_to : first.start_time();
+      sealed_from =
+          (has_base && !reseal) ? base.sealed_to : first.start_time();
       sealed_to = first.end_time();
 
       next.wal_epoch = new_epoch;
@@ -1507,6 +1528,15 @@ Status F2dbEngine::CompactNow() {
       next.segments.push_back(entry);
     }
     F2DB_RETURN_IF_ERROR(store_->CommitManifest(next));
+    if (reseal) {
+      // The fresh chain is durable and the manifest no longer references
+      // the invalidated segments; their files can go (best effort — the
+      // next store open sweeps unreferenced leftovers anyway).
+      for (const storage::ManifestSegment& seg : invalid_chain) {
+        (void)store_->DeleteSegmentFile(seg.seq);
+      }
+      reseal_segments_ = false;
+    }
     if (count > 0) {
       stats_.segments_sealed.Add();
       stats_.segment_records_sealed.Add(static_cast<std::size_t>(
@@ -1581,7 +1611,10 @@ Status F2dbEngine::CompactNow() {
 
     // In-memory half: forget the same prefix from every series, base and
     // aggregate alike. History sums stay untouched — the offsets now
-    // carry the forgotten mass.
+    // carry the forgotten mass. No checkpoint can land between the pruned
+    // manifest commit above and this drop: CheckpointNow serializes on
+    // compaction_serial_mutex_, so it never snapshots undropped series
+    // alongside the pruned offsets (which would double-count on recovery).
     const std::int64_t new_start = kept.front().start_time;
     {
       std::lock_guard<std::mutex> lock(writer_mutex_);

@@ -343,10 +343,14 @@ class F2dbEngine : public EngineInterface {
 
   /// Takes a checkpoint right now: rotates the WAL to a fresh epoch,
   /// writes the pinned snapshot atomically, and deletes the WAL segments
-  /// the checkpoint made redundant. Serialized with all maintenance; the
-  /// expensive serialization runs off the writer lock. On failure the
-  /// previous checkpoint and every WAL segment survive, so recovery is
-  /// unaffected. kFailedPrecondition for an in-memory engine.
+  /// the checkpoint made redundant. Serialized with all maintenance AND
+  /// with whole compactions — a checkpoint that landed between a
+  /// retention manifest commit and the matching in-memory drop would
+  /// snapshot the undropped series at a higher epoch and double-count the
+  /// retained prefix on recovery. The expensive serialization runs off
+  /// the writer lock. On failure the previous checkpoint and every WAL
+  /// segment survive, so recovery is unaffected. kFailedPrecondition for
+  /// an in-memory engine.
   Status CheckpointNow() override;
 
   /// Runs one compaction right now: rotates the WAL to a fresh epoch,
@@ -356,8 +360,9 @@ class F2dbEngine : public EngineInterface {
   /// then deletes the covered WAL epochs. When a retention window is
   /// configured, segments entirely older than the window are then dropped
   /// (on disk and in memory) with history sums preserved via manifest
-  /// offsets. Serialized against itself; interleaves safely with
-  /// checkpoints. kFailedPrecondition for an in-memory engine.
+  /// offsets. Serialized against itself and against whole checkpoints
+  /// (both take compaction_serial_mutex_). kFailedPrecondition for an
+  /// in-memory engine.
   Status CompactNow() override;
 
   /// The graph of the CURRENT snapshot. The reference stays valid until the
@@ -637,9 +642,20 @@ class F2dbEngine : public EngineInterface {
   std::unique_ptr<storage::SegmentStore> store_;
 
   /// Serializes whole compactions against each other (the background
-  /// thread vs. an explicit CompactNow vs. the shutdown path). Always
+  /// thread vs. an explicit CompactNow vs. the shutdown path) and whole
+  /// checkpoints against compactions: CheckpointNow takes it too, so a
+  /// checkpoint can never observe the state between a retention manifest
+  /// commit and the matching in-memory DropHistoryBefore. Always
   /// acquired BEFORE writer_mutex_.
   std::mutex compaction_serial_mutex_;
+
+  /// Recovery fell back to checkpoint + WAL replay because the on-disk
+  /// sealed chain failed validation. The next compaction must reseal the
+  /// chain from the in-memory history instead of extending the invalid
+  /// one — extending would commit a higher-epoch manifest and truncate
+  /// the very WAL epochs the fallback still needs. Written once inside
+  /// Open(); afterwards read and cleared under compaction_serial_mutex_.
+  bool reseal_segments_ = false;
 
   // ---- recovery facts, written once inside Open() before any thread ----
   std::size_t recovery_records_replayed_ = 0;

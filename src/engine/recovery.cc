@@ -64,7 +64,10 @@ Result<RecoveryInfo> RunRecovery(const std::string& data_dir,
   // strictly higher WAL epoch. A winning manifest bulk-loads history from
   // the sealed segment chain; when the chain fails validation (the
   // half-written-segment crash case) fall back to the checkpoint, whose
-  // WAL epochs are guaranteed to still exist.
+  // WAL epochs still exist as long as no later artifact truncated them.
+  // segment_fallback tells the engine so its next compaction RESEALS the
+  // chain from memory instead of extending the invalid one — extending
+  // would truncate exactly the epochs this fallback depends on.
   std::uint64_t replay_from_epoch = 1;
   bool segment_base = false;
   std::vector<storage::SegmentData> chain;

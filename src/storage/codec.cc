@@ -29,6 +29,12 @@ bool GetVarint(std::string_view data, std::size_t* pos, std::uint64_t* out) {
     if (*pos >= data.size()) return false;
     const std::uint8_t byte = static_cast<std::uint8_t>(data[*pos]);
     ++*pos;
+    if (shift == 63 && byte > 0x01) {
+      // The 10th byte holds only bit 63; anything beyond would be
+      // silently discarded by the shift, so overlong/non-canonical
+      // encodings are rejected like every other malformed input.
+      return false;
+    }
     value |= static_cast<std::uint64_t>(byte & 0x7f) << shift;
     if ((byte & 0x80) == 0) {
       *out = value;

@@ -52,6 +52,14 @@ std::string SegmentPath(const std::string& dir, std::uint64_t seq) {
 }
 
 Result<std::string> EncodeSegment(const SegmentData& segment) {
+  // Block headers carry count and the series count as u32; a larger
+  // segment would encode a file its own decoder rejects ("block count
+  // mismatch"), so refuse at encode time instead of producing it.
+  constexpr std::uint64_t kU32Max = 0xffffffffu;
+  if (segment.count > kU32Max || segment.series.size() > kU32Max) {
+    return Status::InvalidArgument(
+        "segment: count or series count exceeds format v1's u32 range");
+  }
   std::string out;
   out.append(kSegmentMagic, 7);
   out.push_back(static_cast<char>(kSegmentFormatVersion));

@@ -1,10 +1,12 @@
 #include "storage/store.h"
 
 #include <dirent.h>
+#include <stdio.h>
 
 #include <algorithm>
 #include <set>
 
+#include "common/logging.h"
 #include "storage/fsio.h"
 
 namespace f2db::storage {
@@ -75,17 +77,36 @@ Result<std::unique_ptr<SegmentStore>> SegmentStore::Open(
   std::unique_ptr<SegmentStore> store(new SegmentStore(dir));
 
   auto manifest = ReadManifestFile(dir);
+  bool manifest_corrupt = false;
   if (manifest.ok()) {
     store->manifest_ = std::move(manifest).value();
     store->has_manifest_ = true;
+  } else if (manifest.status().code() != StatusCode::kNotFound) {
+    // An unparsable manifest is treated as absent for serving — recovery
+    // has already fallen back to the checkpoint path, and the next
+    // compaction reseals from scratch — but its bytes and the segments it
+    // referenced are evidence, not garbage: a single flipped bit in the
+    // manifest must not turn every sealed segment into a deletable
+    // "orphan". Quarantine them as *.corrupt instead so the retention
+    // offsets only the manifest records can still be repaired offline.
+    // (NotFound simply means no compaction has run yet.)
+    manifest_corrupt = true;
+    F2DB_LOG(kError) << "segment manifest " << dir << "/" << kManifestFileName
+                     << " is unreadable (" << manifest.status().ToString()
+                     << "); quarantining it and unreferenced segments as"
+                        " *.corrupt — retention offsets may be understated"
+                        " until repaired";
+    const std::string path = dir + "/" + kManifestFileName;
+    if (::rename(path.c_str(), (path + ".corrupt").c_str()) != 0) {
+      F2DB_LOG(kWarning) << "cannot quarantine " << path;
+    }
   }
-  // An unparsable manifest is treated as absent: recovery has already
-  // fallen back to the checkpoint path, and the next compaction reseals
-  // from scratch. (NotFound simply means no compaction has run yet.)
 
   // Remove stale temp files and segments the manifest does not reference
   // (left by a crash between a segment write and the manifest commit, or
-  // between a retention commit and the file unlink).
+  // between a retention commit and the file unlink). With a corrupt
+  // manifest the referenced set is unknowable, so segments are
+  // quarantined rather than removed.
   std::set<std::string> referenced;
   for (const ManifestSegment& entry : store->manifest_.segments) {
     referenced.insert(SegmentFileName(entry.seq));
@@ -93,17 +114,26 @@ Result<std::unique_ptr<SegmentStore>> SegmentStore::Open(
   DIR* handle = ::opendir(dir.c_str());
   if (handle == nullptr) return Status::Internal("opendir " + dir);
   std::vector<std::string> doomed;
+  std::vector<std::string> quarantined;
   while (dirent* entry = ::readdir(handle)) {
     const std::string name = entry->d_name;
     const bool tmp = name.size() > 4 && name.ends_with(".tmp");
     const bool seg = name.starts_with("seg-") && name.ends_with(".f2ds");
-    if (tmp || (seg && referenced.find(name) == referenced.end())) {
+    if (tmp) {
       doomed.push_back(name);
+    } else if (seg && referenced.find(name) == referenced.end()) {
+      (manifest_corrupt ? quarantined : doomed).push_back(name);
     }
   }
   ::closedir(handle);
   for (const std::string& name : doomed) {
     F2DB_RETURN_IF_ERROR(RemoveFile(dir + "/" + name));
+  }
+  for (const std::string& name : quarantined) {
+    const std::string path = dir + "/" + name;
+    if (::rename(path.c_str(), (path + ".corrupt").c_str()) != 0) {
+      F2DB_LOG(kWarning) << "cannot quarantine " << path;
+    }
   }
   return store;
 }

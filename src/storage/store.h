@@ -35,10 +35,13 @@ Result<std::vector<SegmentData>> ReadSegmentChain(
 /// The sealed-segment directory of one shard.
 class SegmentStore {
  public:
-  /// Creates/opens "<data_dir>/segments", loads the manifest when present
-  /// (an unparsable manifest is treated as absent — recovery has already
-  /// fallen back to the checkpoint path), and removes stale "*.tmp" files
-  /// and segment files the manifest does not reference.
+  /// Creates/opens "<data_dir>/segments", loads the manifest when present,
+  /// and removes stale "*.tmp" files and segment files the manifest does
+  /// not reference. An unparsable manifest is treated as absent for
+  /// serving (recovery has already fallen back to the checkpoint path),
+  /// but it and the now-unreferenced segments are quarantined as
+  /// "*.corrupt" — never deleted — with a loud error log, so the data a
+  /// flipped manifest bit orphaned stays available for offline repair.
   static Result<std::unique_ptr<SegmentStore>> Open(
       const std::string& data_dir);
 

@@ -9,10 +9,15 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <fstream>
 #include <memory>
 #include <string>
+#include <string_view>
+#include <thread>
 #include <vector>
 
 #include "baselines/advisor_builder.h"
@@ -42,6 +47,24 @@ bool ValuesClose(double a, double b) {
   if (std::isnan(a) || std::isnan(b)) return false;
   return std::abs(a - b) <=
          kAbsTol + kRelTol * std::max(std::abs(a), std::abs(b));
+}
+
+// Hook state for CheckpointCannotInterleaveWithRetentionDrop: on the
+// retention (second) manifest rename of the armed compaction, request a
+// concurrent checkpoint and give it ample time to land. With correct
+// serialization the checkpoint cannot complete until the compaction —
+// including the in-memory history drop — has finished.
+std::atomic<int> g_manifest_renames{0};
+std::atomic<bool> g_checkpoint_requested{false};
+std::atomic<bool> g_checkpoint_done{false};
+
+void RetentionRaceHook(const char* point) {
+  if (std::string_view(point) != "after_manifest_rename") return;
+  if (g_manifest_renames.fetch_add(1) + 1 != 2) return;
+  g_checkpoint_requested.store(true);
+  for (int i = 0; i < 100 && !g_checkpoint_done.load(); ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
 }
 
 NodeAddress ToNodeAddress(const testing::OracleAddress& address) {
@@ -363,6 +386,68 @@ TEST_F(SegmentRecoveryTest, CorruptSealedSegmentFailsLoudly) {
   EXPECT_FALSE(engine.ok());
 }
 
+TEST_F(SegmentRecoveryTest, CompactionAfterFallbackResealsTheChain) {
+  std::vector<double> before;
+  {
+    auto engine = Open(DurableOptions());
+    LoadConfig(*engine);
+    Advance(*engine, 2);
+    ASSERT_TRUE(engine->CheckpointNow().ok());  // checkpoint at epoch 2
+    Advance(*engine, 2);
+    // Preserve the checkpoint's WAL epoch across the compaction: this is
+    // the crash-before-wal-delete window the fallback path covers — the
+    // manifest committed but the sealed epochs were never unlinked.
+    auto epoch2 = storage::ReadFileToString(WalPath(dir_, 2));
+    ASSERT_TRUE(epoch2.ok()) << epoch2.status().ToString();
+    ASSERT_TRUE(engine->CompactNow().ok());  // manifest at epoch 3
+    {
+      std::ofstream out(WalPath(dir_, 2),
+                        std::ios::binary | std::ios::trunc);
+      out << epoch2.value();
+    }
+    before = TopForecast(*engine);
+  }
+  // Bit-rot the sealed segment so the chain fails validation.
+  auto manifest = storage::ReadManifestFile(storage::SegmentsDirFor(dir_));
+  ASSERT_TRUE(manifest.ok());
+  ASSERT_EQ(manifest.value().segments.size(), 1u);
+  const std::string path = storage::SegmentPath(
+      storage::SegmentsDirFor(dir_), manifest.value().segments[0].seq);
+  auto raw = storage::ReadFileToString(path);
+  ASSERT_TRUE(raw.ok());
+  std::string tampered = raw.value();
+  tampered[tampered.size() / 2] =
+      static_cast<char>(tampered[tampered.size() / 2] ^ 0x10);
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << tampered;
+  }
+
+  {
+    // Recovery falls back to checkpoint + WAL replay...
+    auto engine = Open(DurableOptions());
+    EXPECT_EQ(engine->stats().segment_records_recovered, 0u);
+    const std::vector<double> fallback = TopForecast(*engine);
+    ASSERT_EQ(fallback.size(), before.size());
+    for (std::size_t h = 0; h < fallback.size(); ++h) {
+      EXPECT_DOUBLE_EQ(fallback[h], before[h]) << "h=" << h;
+    }
+    // ...and the next compaction must RESEAL the chain from memory.
+    // Extending the invalid chain instead would commit a higher-epoch
+    // manifest over it and truncate the WAL epochs the fallback just
+    // used — the reopen below would then fail with lost history.
+    ASSERT_TRUE(engine->CompactNow().ok());
+  }
+
+  auto engine = Open(DurableOptions());
+  EXPECT_GT(engine->stats().segment_records_recovered, 0u);
+  const std::vector<double> after = TopForecast(*engine);
+  ASSERT_EQ(after.size(), before.size());
+  for (std::size_t h = 0; h < after.size(); ++h) {
+    EXPECT_DOUBLE_EQ(after[h], before[h]) << "h=" << h;
+  }
+}
+
 TEST_F(SegmentRecoveryTest, MissingWalEpochFailsLoudly) {
   {
     auto engine = Open(DurableOptions());
@@ -444,6 +529,75 @@ TEST_F(RetentionTest, RetentionDropsOldSegmentsAndPreservesForecasts) {
   auto reopened = Open(options);
   EXPECT_GT(reopened->stats().segment_records_recovered, 0u);
   const std::vector<double> after = TopForecast(*reopened);
+  ASSERT_EQ(after.size(), before.size());
+  for (std::size_t h = 0; h < after.size(); ++h) {
+    EXPECT_TRUE(ValuesClose(after[h], before[h]))
+        << "h=" << h << ": " << before[h] << " vs " << after[h];
+  }
+}
+
+TEST_F(RetentionTest, CheckpointCannotInterleaveWithRetentionDrop) {
+  // A checkpoint that lands between the pruned-manifest commit and the
+  // in-memory DropHistoryBefore would snapshot the still-undropped
+  // series at a strictly higher WAL epoch; recovery would then compute
+  // history sums as full-series sum PLUS the pruned offsets, silently
+  // double-counting the retained prefix in every derivation weight. The
+  // storage hook below invites exactly that interleaving; CheckpointNow's
+  // compaction serialization must refuse it.
+  EngineOptions options = DurableOptions();
+  options.retention_window = 8;
+
+  // A never-compacted in-memory control over the same insert stream.
+  F2dbEngine control(testing::MakeRegionCube(48, 0.0));
+  ASSERT_TRUE(control.LoadConfiguration(config_, evaluator_).ok());
+
+  std::vector<double> before;
+  {
+    auto engine = Open(options);
+    LoadConfig(*engine);
+    Advance(*engine, 12);
+    Advance(control, 12);
+    ASSERT_TRUE(engine->CompactNow().ok());  // one segment, nothing pruned
+    Advance(*engine, 12);
+    Advance(control, 12);
+
+    g_manifest_renames.store(0);
+    g_checkpoint_requested.store(false);
+    g_checkpoint_done.store(false);
+    storage::SetStorageCrashHook(&RetentionRaceHook);
+    Status checkpoint_status;
+    std::thread checkpointer([&engine, &checkpoint_status] {
+      while (!g_checkpoint_requested.load()) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+      checkpoint_status = engine->CheckpointNow();
+      g_checkpoint_done.store(true);
+    });
+    // This compaction prunes the first segment (entirely older than
+    // frontier - window); its second manifest rename fires the hook.
+    ASSERT_TRUE(engine->CompactNow().ok());
+    g_checkpoint_requested.store(true);  // in case the hook never fired
+    checkpointer.join();
+    storage::SetStorageCrashHook(nullptr);
+    ASSERT_TRUE(checkpoint_status.ok()) << checkpoint_status.ToString();
+    EXPECT_EQ(g_manifest_renames.load(), 2);
+    EXPECT_GT(engine->stats().retention_segments_deleted, 0u);
+    before = TopForecast(*engine);
+  }
+
+  // Whichever artifact wins recovery, history sums must match the
+  // full-history control exactly (up to float regrouping) — a
+  // double-counted prefix would be off by the entire dropped range.
+  auto engine = Open(options);
+  const SnapshotPtr snap = engine->snapshot();
+  const SnapshotPtr want = control.snapshot();
+  for (NodeId node = 0; node < snap->graph->num_nodes(); ++node) {
+    EXPECT_TRUE(ValuesClose(snap->history_sums[node],
+                            want->graph->series(node).Sum()))
+        << "node " << node << ": " << snap->history_sums[node] << " vs "
+        << want->graph->series(node).Sum();
+  }
+  const std::vector<double> after = TopForecast(*engine);
   ASSERT_EQ(after.size(), before.size());
   for (std::size_t h = 0; h < after.size(); ++h) {
     EXPECT_TRUE(ValuesClose(after[h], before[h]))

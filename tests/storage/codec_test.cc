@@ -112,6 +112,25 @@ TEST(SegmentCodecTest, RoundTripEdgeValues) {
   ExpectRoundTrip(times, values, "edge values");
 }
 
+TEST(SegmentCodecTest, OverlongFirstTimeVarintRejected) {
+  // A 10-byte varint whose final byte sets bits beyond bit 63 would be
+  // silently truncated by the shift; the decoder must reject the
+  // non-canonical spelling like every other malformed input.
+  std::string block(9, '\xff');
+  block.push_back('\x7f');   // bits 69..63 set — beyond the u64 range
+  block.append(8, '\x00');   // first value word
+  std::vector<std::int64_t> times;
+  std::vector<double> values;
+  EXPECT_FALSE(DecodeSeriesBlock(block, 1, &times, &values).ok());
+}
+
+TEST(SegmentCodecTest, TenByteCanonicalVarintRoundTrips) {
+  // INT64_MIN zigzags to UINT64_MAX — the canonical 10-byte varint whose
+  // last byte is exactly 0x01. It must still decode.
+  ExpectRoundTrip({std::numeric_limits<std::int64_t>::min()}, {1.5},
+                  "10-byte canonical varint");
+}
+
 TEST(SegmentCodecTest, RoundTripConstantRuns) {
   // Long constant runs are the best case: one bit per repeated point.
   const std::vector<double> values(500, 42.25);

@@ -154,6 +154,59 @@ TEST_F(SegmentStoreTest, UnparsableManifestTreatedAsAbsent) {
   EXPECT_FALSE(store->has_manifest());
 }
 
+TEST_F(SegmentStoreTest, CorruptManifestQuarantinesInsteadOfDeleting) {
+  // A committed chain whose manifest then rots (one flipped bit) must NOT
+  // have its segments swept as "orphans": with the manifest unreadable
+  // the referenced set is unknowable, and deleting would irreversibly
+  // destroy the only copy of sealed history. Everything is quarantined
+  // as *.corrupt for offline repair instead.
+  const std::string dir = SegmentsDirFor(dir_);
+  {
+    auto store = OpenStore();
+    const SegmentData segment = MakeSegment(1, 0, 5);
+    auto bytes = store->WriteSegment(segment);
+    ASSERT_TRUE(bytes.ok());
+    ManifestData manifest;
+    manifest.wal_epoch = 2;
+    manifest.sealed_to = 5;
+    manifest.offsets = {{1u, 123.0}};  // retention state only MANIFEST holds
+    manifest.segments = {EntryFor(segment, bytes.value())};
+    ASSERT_TRUE(store->CommitManifest(manifest).ok());
+  }
+  const std::string manifest_path = dir + "/" + kManifestFileName;
+  auto raw = ReadFileToString(manifest_path);
+  ASSERT_TRUE(raw.ok());
+  std::string tampered = raw.value();
+  tampered[tampered.size() / 2] =
+      static_cast<char>(tampered[tampered.size() / 2] ^ 0x01);
+  {
+    std::ofstream out(manifest_path, std::ios::binary | std::ios::trunc);
+    out << tampered;
+  }
+
+  auto store = OpenStore();
+  EXPECT_FALSE(store->has_manifest());
+  EXPECT_EQ(store->next_seq(), 1u);
+  // The originals are gone from their live names...
+  EXPECT_EQ(ReadFileToString(manifest_path).status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(ReadSegmentFile(SegmentPath(dir, 1)).status().code(),
+            StatusCode::kNotFound);
+  // ...but the bytes survive under quarantine names.
+  auto manifest_corrupt = ReadFileToString(manifest_path + ".corrupt");
+  ASSERT_TRUE(manifest_corrupt.ok());
+  EXPECT_EQ(manifest_corrupt.value(), tampered);
+  auto segment_corrupt = ReadSegmentFile(SegmentPath(dir, 1) + ".corrupt");
+  ASSERT_TRUE(segment_corrupt.ok()) << segment_corrupt.status().ToString();
+  EXPECT_EQ(segment_corrupt.value().count, 5u);
+
+  // Quarantined files are inert: a reopen neither resurrects nor deletes
+  // them, and the store starts a fresh chain at seq 1.
+  auto reopened = OpenStore();
+  EXPECT_FALSE(reopened->has_manifest());
+  EXPECT_TRUE(ReadFileToString(manifest_path + ".corrupt").ok());
+}
+
 TEST_F(SegmentStoreTest, DeleteSegmentFileIsIdempotent) {
   auto store = OpenStore();
   ASSERT_TRUE(store->WriteSegment(MakeSegment(1, 0, 5)).ok());
